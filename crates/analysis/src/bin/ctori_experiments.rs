@@ -1,0 +1,73 @@
+//! Command-line runner for the paper-reproduction experiments.
+//!
+//! ```text
+//! ctori-experiments list                 # list experiment ids
+//! ctori-experiments run <id> [--quick]   # run one experiment
+//! ctori-experiments all [--quick]        # run every experiment
+//! ctori-experiments report [--quick]     # print the EXPERIMENTS.md report
+//! ```
+
+use ctori_analysis::experiment::{all_experiments, run_by_id, Mode};
+use ctori_analysis::report::full_report;
+
+fn mode_from_args(args: &[String]) -> Mode {
+    if args.iter().any(|a| a == "--quick") {
+        Mode::Quick
+    } else {
+        Mode::Full
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ctori-experiments <list | run <id> | all | report> [--quick]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let mode = mode_from_args(&args);
+
+    match command {
+        "list" => {
+            for experiment in all_experiments() {
+                println!("{:<8} {}", experiment.id(), experiment.title());
+            }
+        }
+        "run" => {
+            let Some(id) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage();
+            };
+            match run_by_id(id, mode) {
+                Some(record) => {
+                    print!("{}", record.render());
+                    if !record.passed {
+                        std::process::exit(1);
+                    }
+                }
+                None => {
+                    eprintln!("unknown experiment id '{id}'; try `ctori-experiments list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        "all" => {
+            let mut failures = 0usize;
+            for experiment in all_experiments() {
+                let record = experiment.run(mode);
+                print!("{}", record.render());
+                if !record.passed {
+                    failures += 1;
+                }
+            }
+            if failures > 0 {
+                eprintln!("{failures} experiment(s) did not reproduce");
+                std::process::exit(1);
+            }
+        }
+        "report" => {
+            print!("{}", full_report(mode));
+        }
+        _ => usage(),
+    }
+}

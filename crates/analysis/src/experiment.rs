@@ -1,0 +1,156 @@
+//! The experiment abstraction and registry.
+
+use crate::table::Table;
+
+/// How much work an experiment should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Small parameter ranges, suitable for unit tests and CI.
+    Quick,
+    /// The full sweeps reported in EXPERIMENTS.md.
+    Full,
+}
+
+impl Mode {
+    /// Scales a size list: `Quick` keeps only the first few entries.
+    pub fn take<T: Clone>(&self, items: &[T], quick_count: usize) -> Vec<T> {
+        match self {
+            Mode::Quick => items.iter().take(quick_count).cloned().collect(),
+            Mode::Full => items.to_vec(),
+        }
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentRecord {
+    /// Stable identifier (`fig1`, `thm7`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// What the paper claims (the statement being reproduced).
+    pub paper_claim: String,
+    /// The measured table.
+    pub table: Table,
+    /// Free-form observations (differences, caveats, reproduction notes).
+    pub observations: Vec<String>,
+    /// Whether the measurement is consistent with the paper's claim.
+    pub passed: bool,
+}
+
+impl ExperimentRecord {
+    /// Renders the record as a markdown section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## `{}` — {}\n\n", self.id, self.title));
+        out.push_str(&format!("**Paper claim.** {}\n\n", self.paper_claim));
+        out.push_str(&format!(
+            "**Status.** {}\n\n",
+            if self.passed {
+                "reproduced"
+            } else {
+                "NOT reproduced (see observations)"
+            }
+        ));
+        out.push_str(&self.table.render_markdown());
+        out.push('\n');
+        if !self.observations.is_empty() {
+            out.push_str("**Observations.**\n");
+            for obs in &self.observations {
+                out.push_str(&format!("- {obs}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A reproducible experiment tied to one figure, theorem or proposition of
+/// the paper.
+pub trait Experiment: Send + Sync {
+    /// Stable identifier used on the command line (`fig1`, `thm7`, …).
+    fn id(&self) -> &'static str;
+    /// Human-readable title.
+    fn title(&self) -> &'static str;
+    /// Runs the experiment.
+    fn run(&self, mode: Mode) -> ExperimentRecord;
+}
+
+/// All experiments, in the order they appear in the paper.
+pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
+    use crate::experiments::*;
+    vec![
+        Box::new(figures::Figure1),
+        Box::new(figures::Figure2),
+        Box::new(figures::Figure3),
+        Box::new(figures::Figure4),
+        Box::new(figures::Figure5),
+        Box::new(figures::Figure6),
+        Box::new(bounds::Theorem1),
+        Box::new(bounds::Proposition3),
+        Box::new(constructions::Theorem2),
+        Box::new(bounds::Theorem3),
+        Box::new(constructions::Theorem4),
+        Box::new(bounds::Theorem5),
+        Box::new(constructions::Theorem6),
+        Box::new(rounds::Theorem7),
+        Box::new(rounds::Theorem8),
+        Box::new(baselines::Propositions1And2),
+        Box::new(tss_ext::ScaleFreeExtension),
+    ]
+}
+
+/// Runs an experiment by identifier.
+pub fn run_by_id(id: &str, mode: Mode) -> Option<ExperimentRecord> {
+    all_experiments()
+        .into_iter()
+        .find(|e| e.id() == id)
+        .map(|e| e.run(mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_unique_ids_in_paper_order() {
+        let experiments = all_experiments();
+        assert_eq!(experiments.len(), 17);
+        let ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
+        let unique: std::collections::HashSet<&&str> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate experiment ids");
+        assert!(ids.contains(&"fig5"));
+        assert!(ids.contains(&"thm8"));
+        assert!(ids.contains(&"prop12"));
+    }
+
+    #[test]
+    fn unknown_id_returns_none() {
+        assert!(run_by_id("does-not-exist", Mode::Quick).is_none());
+    }
+
+    #[test]
+    fn mode_take_limits_quick_runs() {
+        let items = vec![1, 2, 3, 4, 5];
+        assert_eq!(Mode::Quick.take(&items, 2), vec![1, 2]);
+        assert_eq!(Mode::Full.take(&items, 2), items);
+    }
+
+    #[test]
+    fn record_render_includes_all_sections() {
+        let mut table = Table::new(vec!["a"]);
+        table.add_row(vec!["1"]);
+        let record = ExperimentRecord {
+            id: "fig1",
+            title: "test",
+            paper_claim: "something".into(),
+            table,
+            observations: vec!["a note".into()],
+            passed: true,
+        };
+        let text = record.render();
+        assert!(text.contains("## `fig1`"));
+        assert!(text.contains("reproduced"));
+        assert!(text.contains("a note"));
+    }
+}

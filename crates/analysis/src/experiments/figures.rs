@@ -1,0 +1,294 @@
+//! Experiments `fig1` … `fig6`: regenerate the paper's six figures.
+
+use crate::experiment::{Experiment, ExperimentRecord, Mode};
+use crate::table::Table;
+use ctori_coloring::Color;
+use ctori_core::dynamo::verify_dynamo;
+use ctori_core::figures;
+use ctori_core::rounds::{theorem7_rounds, theorem8_rounds};
+
+fn k() -> Color {
+    Color::new(1)
+}
+
+/// `fig1`: the monotone dynamo seed of size `m + n − 2`.
+pub struct Figure1;
+
+impl Experiment for Figure1 {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 1: a monotone dynamo seed of size m + n - 2"
+    }
+    fn run(&self, _mode: Mode) -> ExperimentRecord {
+        let (m, n) = (9, 9);
+        let (_torus, seed, picture) = figures::figure1(m, n, k());
+        let mut table = Table::new(vec!["quantity", "paper", "measured"]);
+        table.add_row(vec![
+            "seed size".to_string(),
+            "16".to_string(),
+            seed.count(k()).to_string(),
+        ]);
+        let passed = seed.count(k()) == m + n - 2;
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title(),
+            paper_claim: "Figure 1 shows a monotone dynamo of black nodes of size m + n − 2 = 16."
+                .into(),
+            table,
+            observations: vec![format!("rendered seed (B = colour k):\n```\n{picture}```")],
+            passed,
+        }
+    }
+}
+
+/// `fig2`: the Theorem-2 colouring of the remaining vertices.
+pub struct Figure2;
+
+impl Experiment for Figure2 {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 2: a four-colour minimum monotone dynamo on a 9x9 toroidal mesh"
+    }
+    fn run(&self, _mode: Mode) -> ExperimentRecord {
+        let built = figures::figure2(9, 9, k()).expect("9x9 construction");
+        let report = verify_dynamo(built.torus(), built.coloring(), k());
+        let mut table = Table::new(vec!["quantity", "paper", "measured"]);
+        table.add_row(vec![
+            "seed size".into(),
+            "m + n - 2 = 16".into(),
+            built.seed_size().to_string(),
+        ]);
+        table.add_row(vec![
+            "colours used".into(),
+            "4".into(),
+            built.colors_used().to_string(),
+        ]);
+        table.add_row(vec![
+            "monotone dynamo".into(),
+            "yes".into(),
+            report.is_monotone_dynamo().to_string(),
+        ]);
+        let passed =
+            built.seed_size() == 16 && built.colors_used() == 4 && report.is_monotone_dynamo();
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title(),
+            paper_claim: "Figure 2 exhibits a four-colour configuration whose k-coloured row and \
+                          column (one vertex short) form a minimum-size monotone dynamo."
+                .into(),
+            table,
+            observations: vec![format!(
+                "filler used: {}; configuration:\n```\n{}```",
+                built.filler(),
+                ctori_coloring::render_coloring(built.coloring())
+            )],
+            passed,
+        }
+    }
+}
+
+/// `fig3`: black vertices of the right size that are not a dynamo.
+pub struct Figure3;
+
+impl Experiment for Figure3 {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 3: a minimum-size black seed that is not a dynamo"
+    }
+    fn run(&self, _mode: Mode) -> ExperimentRecord {
+        let (torus, coloring) = figures::figure3(9, 9, k());
+        let report = verify_dynamo(&torus, &coloring, k());
+        let mut table = Table::new(vec!["quantity", "paper", "measured"]);
+        table.add_row(vec![
+            "seed size".into(),
+            "m + n - 2 = 16".into(),
+            coloring.count(k()).to_string(),
+        ]);
+        table.add_row(vec![
+            "is a dynamo".into(),
+            "no".into(),
+            report.is_dynamo().to_string(),
+        ]);
+        let passed = !report.is_dynamo() && coloring.count(k()) == 16;
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title(),
+            paper_claim: "Figure 3: black nodes (of the minimum dynamo size) do not constitute a \
+                          dynamo when the surrounding colours violate the Theorem-2 conditions."
+                .into(),
+            table,
+            observations: vec![
+                "representative counterexample: the same seed shape on a bi-coloured torus; \
+                 the exact cell values of the published image are not recoverable from the text."
+                    .into(),
+            ],
+            passed,
+        }
+    }
+}
+
+/// `fig4`: a configuration where no recolouring can arise.
+pub struct Figure4;
+
+impl Experiment for Figure4 {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 4: a configuration in which no recolouring can arise"
+    }
+    fn run(&self, _mode: Mode) -> ExperimentRecord {
+        let (torus, coloring) = figures::figure4(9, 9, k());
+        let report = verify_dynamo(&torus, &coloring, k());
+        let mut table = Table::new(vec!["quantity", "paper", "measured"]);
+        table.add_row(vec![
+            "is a dynamo".into(),
+            "no".into(),
+            report.is_dynamo().to_string(),
+        ]);
+        table.add_row(vec![
+            "rounds before freezing".into(),
+            "0 (no recolouring)".into(),
+            format!("{} (first round idles)", report.rounds),
+        ]);
+        let passed = !report.is_dynamo() && report.rounds <= 1;
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title(),
+            paper_claim: "Figure 4 shows an initial configuration in which no recolouring can arise."
+                .into(),
+            table,
+            observations: vec![],
+            passed,
+        }
+    }
+}
+
+/// `fig5`: the toroidal-mesh recolouring-time matrix.
+pub struct Figure5;
+
+impl Experiment for Figure5 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 5: recolouring-time matrix on a 5x5 toroidal mesh"
+    }
+    fn run(&self, _mode: Mode) -> ExperimentRecord {
+        let times = figures::figure5(5, 5, k());
+        let expected: [[usize; 5]; 5] = [
+            [0, 0, 0, 0, 0],
+            [0, 1, 2, 2, 1],
+            [0, 2, 3, 3, 2],
+            [0, 2, 3, 3, 2],
+            [0, 1, 2, 2, 1],
+        ];
+        let mut matches = true;
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &value) in row.iter().enumerate() {
+                if times.at(i, j) != Some(value) {
+                    matches = false;
+                }
+            }
+        }
+        let mut table = Table::new(vec!["quantity", "paper", "measured"]);
+        table.add_row(vec![
+            "matrix equals Figure 5".into(),
+            "yes".into(),
+            matches.to_string(),
+        ]);
+        table.add_row(vec![
+            "slowest vertex (rounds)".into(),
+            "3".into(),
+            format!("{:?}", times.max_time()),
+        ]);
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title(),
+            paper_claim: "Figure 5 tabulates, per vertex, the number of rounds before it assumes \
+                          colour k; the slowest vertices need 3 rounds on a 5x5 mesh."
+                .into(),
+            table,
+            observations: vec![format!("measured matrix:\n```\n{}```", times.render())],
+            passed: matches && times.max_time() == Some(theorem7_rounds(5, 5) as usize),
+        }
+    }
+}
+
+/// `fig6`: the torus-cordalis recolouring-time matrix.
+pub struct Figure6;
+
+impl Experiment for Figure6 {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 6: recolouring-time matrix on a 5x5 torus cordalis"
+    }
+    fn run(&self, _mode: Mode) -> ExperimentRecord {
+        let times = figures::figure6(5, 5, k());
+        let expected: [[usize; 5]; 5] = [
+            [0, 0, 0, 0, 0],
+            [0, 1, 2, 3, 4],
+            [5, 6, 7, 8, 7],
+            [6, 7, 8, 7, 6],
+            [5, 4, 3, 2, 1],
+        ];
+        let mut matches = true;
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &value) in row.iter().enumerate() {
+                if times.at(i, j) != Some(value) {
+                    matches = false;
+                }
+            }
+        }
+        let mut table = Table::new(vec!["quantity", "paper", "measured"]);
+        table.add_row(vec![
+            "matrix equals Figure 6".into(),
+            "yes".into(),
+            matches.to_string(),
+        ]);
+        table.add_row(vec![
+            "slowest vertex (rounds)".into(),
+            "8".into(),
+            format!("{:?}", times.max_time()),
+        ]);
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title(),
+            paper_claim: "Figure 6 tabulates the recolouring times of the Theorem-4 dynamo on a \
+                          5x5 torus cordalis; the slowest vertices need 8 rounds."
+                .into(),
+            table,
+            observations: vec![format!("measured matrix:\n```\n{}```", times.render())],
+            passed: matches && times.max_time() == Some(theorem8_rounds(5, 5) as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figure_experiments_pass_in_quick_mode() {
+        for exp in [
+            &Figure1 as &dyn Experiment,
+            &Figure2,
+            &Figure3,
+            &Figure4,
+            &Figure5,
+            &Figure6,
+        ] {
+            let record = exp.run(Mode::Quick);
+            assert!(record.passed, "{} did not reproduce", exp.id());
+            assert!(!record.table.is_empty());
+        }
+    }
+}

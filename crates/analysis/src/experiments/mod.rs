@@ -1,0 +1,8 @@
+//! One module per group of paper artefacts.
+
+pub mod baselines;
+pub mod bounds;
+pub mod constructions;
+pub mod figures;
+pub mod rounds;
+pub mod tss_ext;

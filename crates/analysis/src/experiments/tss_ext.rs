@@ -1,0 +1,126 @@
+//! Experiment `tss`: the paper's future-work question — the SMP-Protocol
+//! and threshold diffusion on scale-free networks.
+//!
+//! The paper's conclusions propose studying the SMP-Protocol on scale-free
+//! networks and comparing with other algorithmic models of social
+//! influence.  This experiment builds Barabási–Albert networks, seeds them
+//! with the standard TSS heuristics, and measures (a) the linear-threshold
+//! spread and (b) the SMP-Protocol spread from the same seeds, reporting
+//! how much of the network each seed-selection strategy eventually
+//! convinces.
+
+use crate::experiment::{Experiment, ExperimentRecord, Mode};
+use crate::table::Table;
+use ctori_coloring::Color;
+use ctori_topology::Topology;
+use ctori_tss::diffusion::{simple_majority_thresholds, smp_on_graph, spread};
+use ctori_tss::generators::barabasi_albert;
+use ctori_tss::selection::{greedy_seeds, highest_degree_seeds, random_seeds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `tss`: scale-free extension experiment.
+pub struct ScaleFreeExtension;
+
+impl Experiment for ScaleFreeExtension {
+    fn id(&self) -> &'static str {
+        "tss"
+    }
+    fn title(&self) -> &'static str {
+        "Future work: SMP-Protocol and threshold diffusion on scale-free networks"
+    }
+    fn run(&self, mode: Mode) -> ExperimentRecord {
+        let (nodes, budget_fractions): (usize, Vec<f64>) = match mode {
+            Mode::Quick => (300, vec![0.05, 0.10]),
+            Mode::Full => (3000, vec![0.02, 0.05, 0.10, 0.20]),
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        let graph = barabasi_albert(nodes, 3, &mut rng);
+        let thresholds = simple_majority_thresholds(&graph);
+        let k = Color::new(1);
+        let others: Vec<Color> = (2..=9).map(Color::new).collect();
+
+        let mut table = Table::new(vec![
+            "seed budget",
+            "strategy",
+            "threshold spread",
+            "SMP spread",
+        ]);
+        let mut passed = true;
+        let mut degree_beats_random = true;
+
+        for &fraction in &budget_fractions {
+            let budget = ((nodes as f64) * fraction).round() as usize;
+            let degree = highest_degree_seeds(&graph, budget);
+            let random = random_seeds(&graph, budget, &mut rng);
+            // The greedy heuristic is O(n^2) spreads; keep it to the small
+            // budgets so the Full run stays tractable.
+            let strategies: Vec<(&str, Vec<ctori_topology::NodeId>)> =
+                if budget <= nodes / 20 && mode == Mode::Full || mode == Mode::Quick {
+                    vec![
+                        ("highest degree", degree.clone()),
+                        ("greedy", greedy_seeds(&graph, &thresholds, budget.min(40))),
+                        ("random", random.clone()),
+                    ]
+                } else {
+                    vec![("highest degree", degree.clone()), ("random", random.clone())]
+                };
+
+            let mut spreads = std::collections::HashMap::new();
+            for (name, seeds) in &strategies {
+                let lt = spread(&graph, &thresholds, seeds);
+                let (smp_count, _rounds, _mono) = smp_on_graph(&graph, seeds, k, &others);
+                spreads.insert(*name, lt.activated_count);
+                table.add_row(vec![
+                    format!("{budget} ({:.0}%)", fraction * 100.0),
+                    (*name).to_string(),
+                    format!("{} / {}", lt.activated_count, graph.node_count()),
+                    format!("{} / {}", smp_count, graph.node_count()),
+                ]);
+                // sanity: spreads never shrink below the seed budget
+                passed &= lt.activated_count >= seeds.len().min(graph.node_count());
+            }
+            if let (Some(&d), Some(&r)) = (spreads.get("highest degree"), spreads.get("random")) {
+                if d < r {
+                    degree_beats_random = false;
+                }
+            }
+        }
+
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title(),
+            paper_claim: "Future work of the paper: study the SMP-Protocol on scale-free networks \
+                          and compare with other models of social influence (no quantitative \
+                          claim is made in the paper)."
+                .into(),
+            table,
+            observations: vec![
+                format!(
+                    "hub-based seeding {} uniformly random seeding on the swept budgets",
+                    if degree_beats_random {
+                        "dominates"
+                    } else {
+                        "does not always dominate"
+                    }
+                ),
+                "scale-free inputs are synthetic Barabási–Albert graphs (see the substitution \
+                 note in DESIGN.md)."
+                    .into(),
+            ],
+            passed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tss_quick_runs_and_passes() {
+        let record = ScaleFreeExtension.run(Mode::Quick);
+        assert!(record.passed, "{}", record.render());
+        assert!(record.table.len() >= 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ctori-analysis
+//!
+//! Experiment harness reproducing every figure and theorem of
+//! *Dynamic Monopolies in Colored Tori*.
+//!
+//! Each experiment is a self-contained object with a stable identifier
+//! (`fig1` … `fig6`, `thm1` … `thm8`, `prop3`, `prop12`, `tss`) that runs a
+//! workload, compares the measurement with the paper's claim, and renders a
+//! text table.  The `ctori-experiments` binary runs them from the command
+//! line; the benchmark crate wraps the same workloads in Criterion groups;
+//! EXPERIMENTS.md is generated from the full report.
+//!
+//! ```
+//! use ctori_analysis::experiment::{run_by_id, Mode};
+//!
+//! let record = run_by_id("thm1", Mode::Quick).expect("known experiment");
+//! assert!(record.passed);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod experiment;
+pub mod experiments;
+pub mod report;
+pub mod table;
+
+pub use experiment::{all_experiments, run_by_id, Experiment, ExperimentRecord, Mode};
+pub use report::full_report;
+pub use table::Table;

@@ -1,0 +1,136 @@
+//! Minimal text-table rendering for experiment output.
+
+/// A simple text table with a header row.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row; missing cells are padded with empty strings, extra cells
+    /// are kept (the renderer widens the table).
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The header row.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let render_row = |row: &[String], widths: &[usize]| -> String {
+            let mut out = String::from("|");
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push(' ');
+                out.push_str(cell);
+                out.push_str(&" ".repeat(width - cell.chars().count()));
+                out.push_str(" |");
+            }
+            out
+        };
+
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push('|');
+        for width in &widths {
+            out.push_str(&"-".repeat(width + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown (same layout, usable
+    /// directly in EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        self.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["size", "predicted", "measured"]);
+        t.add_row(vec!["5x5", "3", "3"]);
+        t.add_row(vec!["128x128", "127", "127"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("predicted"));
+        assert!(lines[1].starts_with("|-"));
+        // all rows have the same width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["1"]);
+        t.add_row(vec!["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+        assert_eq!(t.render(), t.render_markdown());
+    }
+}

@@ -1,0 +1,129 @@
+//! Propositions 1 and 2: the SMP-Protocol versus the bi-coloured majority
+//! baselines of Flocchini et al. on identical workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctori_coloring::random::random_with_seed_count;
+use ctori_coloring::{Color, Palette};
+use ctori_core::dynamo::verify_dynamo_with_rule;
+use ctori_core::phi::phi_collapse;
+use ctori_engine::{RunConfig, Simulator};
+use ctori_protocols::{ReverseSimpleMajority, ReverseStrongMajority, SmpProtocol};
+use ctori_topology::toroidal_mesh;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_rule_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/convergence_random_configs");
+    group.sample_size(20);
+    let size = 48usize;
+    let torus = toroidal_mesh(size, size);
+    let palette = Palette::new(4);
+    let k = Color::new(4);
+    let mut rng = StdRng::seed_from_u64(41);
+    let seed_count = size * size * 6 / 10;
+    let coloring = random_with_seed_count(&torus, &palette, k, seed_count, &mut rng);
+    let collapsed = phi_collapse(&coloring, k);
+    group.throughput(Throughput::Elements((size * size) as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("smp_multicolor"), |b| {
+        b.iter(|| {
+            let report = verify_dynamo_with_rule(&torus, &coloring, k, SmpProtocol);
+            black_box(report.rounds)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("reverse_simple_prefer_black"), |b| {
+        b.iter(|| {
+            let report = verify_dynamo_with_rule(
+                &torus,
+                &collapsed,
+                Color::BLACK,
+                ReverseSimpleMajority::prefer_black(),
+            );
+            black_box(report.rounds)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("reverse_strong"), |b| {
+        b.iter(|| {
+            let report =
+                verify_dynamo_with_rule(&torus, &collapsed, Color::BLACK, ReverseStrongMajority);
+            black_box(report.rounds)
+        });
+    });
+    group.finish();
+}
+
+fn bench_phi_collapse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/phi_collapse");
+    for &size in &[64usize, 256] {
+        let torus = toroidal_mesh(size, size);
+        let mut rng = StdRng::seed_from_u64(5);
+        let coloring =
+            ctori_coloring::random::uniform_random(&torus, &Palette::new(6), &mut rng);
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(phi_collapse(&coloring, Color::new(3)).count(Color::BLACK)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_round_rule_costs(c: &mut Criterion) {
+    // Per-round cost of each rule on the same striped workload — the
+    // microbenchmark behind the "rule cost is not the bottleneck" claim in
+    // the README.
+    let mut group = c.benchmark_group("baselines/single_round_cost");
+    let size = 192usize;
+    let torus = toroidal_mesh(size, size);
+    let coloring = ctori_coloring::patterns::column_stripes(
+        &torus,
+        &[Color::new(1), Color::new(2), Color::new(3), Color::new(4)],
+    );
+    group.throughput(Throughput::Elements((size * size) as u64));
+    group.bench_function("smp", |b| {
+        let mut sim = Simulator::new(&torus, SmpProtocol, coloring.clone());
+        b.iter(|| black_box(sim.step()));
+    });
+    group.bench_function("prefer_black", |b| {
+        let mut sim = Simulator::new(
+            &torus,
+            ReverseSimpleMajority::prefer_black(),
+            coloring.clone(),
+        );
+        b.iter(|| black_box(sim.step()));
+    });
+    group.bench_function("strong", |b| {
+        let mut sim = Simulator::new(&torus, ReverseStrongMajority, coloring.clone());
+        b.iter(|| black_box(sim.step()));
+    });
+    group.bench_function("smp_full_run_small", |b| {
+        let small = toroidal_mesh(24, 24);
+        let c = ctori_bench::absorbing_patch(&small, 12);
+        b.iter(|| {
+            let mut sim = Simulator::new(&small, SmpProtocol, c.clone());
+            black_box(sim.run(&RunConfig::default()).rounds)
+        });
+    });
+    group.finish();
+}
+
+
+/// Criterion configuration shared by this file: shorter warm-up and
+/// measurement windows so the full `cargo bench --workspace` sweep stays
+/// within a few minutes while still producing stable estimates.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets =
+    bench_rule_convergence,
+    bench_phi_collapse,
+    bench_single_round_rule_costs
+
+}
+criterion_main!(benches);

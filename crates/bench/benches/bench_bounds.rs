@@ -1,0 +1,105 @@
+//! Theorems 1, 3 and 5 (and Proposition 3): cost of the exhaustive
+//! lower-bound verification on small tori, and of the block/non-block
+//! detection primitives the bounds rest on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctori_bench::target_color;
+use ctori_coloring::{Palette, Color};
+use ctori_core::blocks::{find_k_blocks, find_non_k_blocks};
+use ctori_core::bounds;
+use ctori_core::search::verify_lower_bound;
+use ctori_coloring::random::uniform_random;
+use ctori_topology::{Torus, TorusKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_exhaustive_lower_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds/exhaustive_small_tori");
+    group.sample_size(10);
+    let cases = [
+        (TorusKind::ToroidalMesh, 3usize, 3usize),
+        (TorusKind::TorusCordalis, 3, 3),
+        (TorusKind::TorusSerpentinus, 4, 3),
+    ];
+    for (kind, m, n) in cases {
+        let torus = Torus::new(kind, m, n);
+        let bound = bounds::lower_bound(kind, m, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{m}x{n}", kind.name().replace(' ', "_"))),
+            &bound,
+            |b, &bound| {
+                b.iter(|| {
+                    let ok = verify_lower_bound(&torus, target_color(), Palette::new(4), bound);
+                    assert!(ok);
+                    black_box(ok)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_block_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds/block_detection");
+    for &size in &[32usize, 128] {
+        for kind in TorusKind::ALL {
+            let torus = Torus::new(kind, size, size);
+            let mut rng = StdRng::seed_from_u64(13);
+            let coloring = uniform_random(&torus, &Palette::new(4), &mut rng);
+            group.throughput(Throughput::Elements((size * size) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        let kb = find_k_blocks(&torus, &coloring, Color::new(1));
+                        let nb = find_non_k_blocks(&torus, &coloring, Color::new(1));
+                        black_box((kb.len(), nb.len()))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_bound_formulas(c: &mut Criterion) {
+    // Trivially cheap, but keeping them benchmarked documents that the
+    // bounds table of EXPERIMENTS.md costs nothing to regenerate at any
+    // size.
+    let mut group = c.benchmark_group("bounds/formulas");
+    group.bench_function("all_kinds_up_to_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in (8usize..=4096).step_by(8) {
+                for kind in TorusKind::ALL {
+                    acc = acc.wrapping_add(bounds::lower_bound(kind, s, s));
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+
+/// Criterion configuration shared by this file: shorter warm-up and
+/// measurement windows so the full `cargo bench --workspace` sweep stays
+/// within a few minutes while still producing stable estimates.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets =
+    bench_exhaustive_lower_bounds,
+    bench_block_detection,
+    bench_bound_formulas
+
+}
+criterion_main!(benches);

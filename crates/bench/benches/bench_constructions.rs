@@ -1,0 +1,96 @@
+//! Theorems 2, 4 and 6: cost of building (and validating) the minimum
+//! monotone dynamo constructions across torus sizes and topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctori_bench::target_color;
+use ctori_core::construct::minimum_dynamo;
+use ctori_core::hypotheses::check_hypotheses;
+use ctori_topology::TorusKind;
+use std::hint::black_box;
+
+fn bench_construct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructions/build");
+    // Sizes chosen so the 4-colour stripe fillers apply (a dimension
+    // divisible by 3), matching the paper's |C| = 4 claim.
+    for &size in &[9usize, 24, 48, 96] {
+        for kind in TorusKind::ALL {
+            group.throughput(Throughput::Elements((size * size) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), size),
+                &size,
+                |b, &s| {
+                    b.iter(|| {
+                        let built = minimum_dynamo(kind, s, s, target_color()).expect("builds");
+                        black_box(built.seed_size())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hypothesis_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructions/hypothesis_check");
+    for &size in &[24usize, 96] {
+        for kind in TorusKind::ALL {
+            let built = ctori_bench::build_construction(kind, size, size);
+            group.throughput(Throughput::Elements((size * size) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        let violations =
+                            check_hypotheses(built.torus(), built.coloring(), built.k());
+                        assert!(violations.is_empty());
+                        black_box(violations.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_local_search_filler(c: &mut Criterion) {
+    // The randomized filler is only used for sizes the stripe patterns do
+    // not cover; measure it separately so regressions are visible.
+    let mut group = c.benchmark_group("constructions/local_search_filler");
+    group.sample_size(10);
+    for &(m, n) in &[(7usize, 8usize), (11, 10), (14, 13)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("cordalis_{m}x{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                b.iter(|| {
+                    let built = minimum_dynamo(TorusKind::TorusCordalis, m, n, target_color())
+                        .expect("builds");
+                    black_box(built.colors_used())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Criterion configuration shared by this file: shorter warm-up and
+/// measurement windows so the full `cargo bench --workspace` sweep stays
+/// within a few minutes while still producing stable estimates.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets =
+    bench_construct,
+    bench_hypothesis_check,
+    bench_local_search_filler
+
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Engine throughput: cells updated per second per topology and per rule.
+//!
+//! Not a figure of the paper — this is the engineering baseline that tells
+//! a user how large a torus the simulator handles comfortably.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctori_bench::{absorbing_patch, target_color};
+use ctori_coloring::patterns::column_stripes;
+use ctori_coloring::Color;
+use ctori_engine::{RunConfig, Simulator};
+use ctori_protocols::{ReverseSimpleMajority, ReverseStrongMajority, SmpProtocol};
+use ctori_topology::{Torus, TorusKind};
+use std::hint::black_box;
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/single_round");
+    for &size in &[32usize, 64, 128, 256] {
+        for kind in TorusKind::ALL {
+            let torus = Torus::new(kind, size, size);
+            let coloring = absorbing_patch(&torus, size / 2);
+            group.throughput(Throughput::Elements((size * size) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), size),
+                &size,
+                |b, _| {
+                    let mut sim = Simulator::new(&torus, SmpProtocol, coloring.clone());
+                    b.iter(|| black_box(sim.step()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/rules_single_round");
+    let size = 128usize;
+    let torus = Torus::new(TorusKind::ToroidalMesh, size, size);
+    let coloring = column_stripes(&torus, &[Color::new(1), Color::new(2), Color::new(3)]);
+    group.throughput(Throughput::Elements((size * size) as u64));
+
+    group.bench_function("smp", |b| {
+        let mut sim = Simulator::new(&torus, SmpProtocol, coloring.clone());
+        b.iter(|| black_box(sim.step()));
+    });
+    group.bench_function("reverse_simple_prefer_black", |b| {
+        let mut sim = Simulator::new(
+            &torus,
+            ReverseSimpleMajority::prefer_black(),
+            coloring.clone(),
+        );
+        b.iter(|| black_box(sim.step()));
+    });
+    group.bench_function("reverse_strong", |b| {
+        let mut sim = Simulator::new(&torus, ReverseStrongMajority, coloring.clone());
+        b.iter(|| black_box(sim.step()));
+    });
+    group.finish();
+}
+
+fn bench_run_to_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/run_to_convergence");
+    group.sample_size(20);
+    for &size in &[32usize, 64, 128] {
+        let torus = Torus::new(TorusKind::ToroidalMesh, size, size);
+        let coloring = absorbing_patch(&torus, size / 2);
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&torus, SmpProtocol, coloring.clone());
+                let report = sim.run(&RunConfig::default().without_cycle_detection());
+                assert!(report.termination.is_monochromatic_in(target_color()));
+                black_box(report.rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+
+/// Criterion configuration shared by this file: shorter warm-up and
+/// measurement windows so the full `cargo bench --workspace` sweep stays
+/// within a few minutes while still producing stable estimates.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets = bench_single_round, bench_rules, bench_run_to_convergence
+}
+criterion_main!(benches);

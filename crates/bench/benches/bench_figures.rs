@@ -1,0 +1,96 @@
+//! One benchmark per paper figure: the time to regenerate each artefact
+//! (configuration or recolouring-time matrix) from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctori_coloring::Color;
+use ctori_core::dynamo::verify_dynamo;
+use ctori_core::figures;
+use std::hint::black_box;
+
+fn k() -> Color {
+    Color::new(1)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+
+    group.bench_function("fig1_seed_9x9", |b| {
+        b.iter(|| {
+            let (_, seed, picture) = figures::figure1(9, 9, k());
+            assert_eq!(seed.count(k()), 16);
+            black_box(picture.len())
+        });
+    });
+
+    group.bench_function("fig2_construction_9x9", |b| {
+        b.iter(|| {
+            let built = figures::figure2(9, 9, k()).expect("constructible");
+            assert_eq!(built.seed_size(), 16);
+            black_box(built.colors_used())
+        });
+    });
+
+    group.bench_function("fig3_counterexample_9x9", |b| {
+        b.iter(|| {
+            let (torus, coloring) = figures::figure3(9, 9, k());
+            let report = verify_dynamo(&torus, &coloring, k());
+            assert!(!report.is_dynamo());
+            black_box(report.rounds)
+        });
+    });
+
+    group.bench_function("fig4_frozen_9x9", |b| {
+        b.iter(|| {
+            let (torus, coloring) = figures::figure4(9, 9, k());
+            let report = verify_dynamo(&torus, &coloring, k());
+            assert!(!report.is_dynamo());
+            black_box(report.rounds)
+        });
+    });
+
+    group.bench_function("fig5_time_matrix_5x5", |b| {
+        b.iter(|| {
+            let times = figures::figure5(5, 5, k());
+            assert_eq!(times.max_time(), Some(3));
+            black_box(times.render().len())
+        });
+    });
+
+    group.bench_function("fig6_time_matrix_5x5", |b| {
+        b.iter(|| {
+            let times = figures::figure6(5, 5, k());
+            assert_eq!(times.max_time(), Some(8));
+            black_box(times.render().len())
+        });
+    });
+
+    // Larger instances of the figure-5/6 style matrices, to show how the
+    // artefact scales with the torus size.
+    for &size in &[16usize, 32, 64] {
+        group.bench_function(format!("fig5_time_matrix_{size}x{size}"), |b| {
+            b.iter(|| black_box(figures::figure5(size, size, k()).max_time()));
+        });
+        group.bench_function(format!("fig6_time_matrix_{size}x{size}"), |b| {
+            b.iter(|| black_box(figures::figure6(size, size, k()).max_time()));
+        });
+    }
+
+    group.finish();
+}
+
+
+/// Criterion configuration shared by this file: shorter warm-up and
+/// measurement windows so the full `cargo bench --workspace` sweep stays
+/// within a few minutes while still producing stable estimates.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Future-work extension: target set selection and SMP diffusion on
+//! scale-free networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctori_coloring::Color;
+use ctori_tss::diffusion::{simple_majority_thresholds, smp_on_graph, spread};
+use ctori_tss::generators::{barabasi_albert, erdos_renyi};
+use ctori_tss::selection::{greedy_seeds, highest_degree_seeds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tss/generators");
+    for &nodes in &[1_000usize, 4_000, 16_000] {
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("barabasi_albert_m3", nodes),
+            &nodes,
+            |b, &n| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    black_box(barabasi_albert(n, 3, &mut rng).edge_count())
+                });
+            },
+        );
+    }
+    group.bench_function("erdos_renyi_2000_p0.004", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(erdos_renyi(2_000, 0.004, &mut rng).edge_count())
+        });
+    });
+    group.finish();
+}
+
+fn bench_diffusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tss/diffusion");
+    group.sample_size(20);
+    for &nodes in &[2_000usize, 8_000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let graph = barabasi_albert(nodes, 3, &mut rng);
+        let thresholds = simple_majority_thresholds(&graph);
+        let seeds = highest_degree_seeds(&graph, nodes / 10);
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("linear_threshold_degree_seeds", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| black_box(spread(&graph, &thresholds, &seeds).activated_count));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("smp_protocol_degree_seeds", nodes),
+            &nodes,
+            |b, _| {
+                let others: Vec<Color> = (2..=9).map(Color::new).collect();
+                b.iter(|| {
+                    let (count, _, _) = smp_on_graph(&graph, &seeds, Color::new(1), &others);
+                    black_box(count)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_seed_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tss/seed_selection");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let graph = barabasi_albert(600, 3, &mut rng);
+    let thresholds = simple_majority_thresholds(&graph);
+    group.bench_function("highest_degree_60_of_600", |b| {
+        b.iter(|| black_box(highest_degree_seeds(&graph, 60).len()));
+    });
+    group.bench_function("greedy_12_of_600", |b| {
+        b.iter(|| black_box(greedy_seeds(&graph, &thresholds, 12).len()));
+    });
+    group.finish();
+}
+
+
+/// Criterion configuration shared by this file: shorter warm-up and
+/// measurement windows so the full `cargo bench --workspace` sweep stays
+/// within a few minutes while still producing stable estimates.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets = bench_generators, bench_diffusion, bench_seed_selection
+}
+criterion_main!(benches);

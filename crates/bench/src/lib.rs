@@ -1,0 +1,66 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Every benchmark group regenerates one of the paper's artefacts (a
+//! figure, a theorem's sweep, or a baseline comparison); the helpers here
+//! keep the individual bench files small and consistent.
+
+use ctori_coloring::{Color, Coloring, ColoringBuilder};
+use ctori_core::construct::{minimum_dynamo, ConstructedDynamo};
+use ctori_core::dynamo::verify_dynamo;
+use ctori_topology::{Torus, TorusKind};
+
+/// The target colour used by every benchmark.
+pub fn target_color() -> Color {
+    Color::new(1)
+}
+
+/// Builds the minimum-dynamo construction for a torus kind and size,
+/// panicking with a readable message on failure (benchmark setup only).
+pub fn build_construction(kind: TorusKind, m: usize, n: usize) -> ConstructedDynamo {
+    minimum_dynamo(kind, m, n, target_color())
+        .unwrap_or_else(|e| panic!("benchmark setup: construction failed for {kind} {m}x{n}: {e}"))
+}
+
+/// Runs a construction to convergence and returns the number of rounds,
+/// asserting that it really is a monotone dynamo (so a broken build fails
+/// loudly instead of producing meaningless timings).
+pub fn rounds_to_monochromatic(built: &ConstructedDynamo) -> usize {
+    let report = verify_dynamo(built.torus(), built.coloring(), built.k());
+    assert!(
+        report.is_monotone_dynamo(),
+        "benchmark setup: construction is not a monotone dynamo"
+    );
+    report.rounds
+}
+
+/// An "absorbing patch" workload: the torus is entirely the target colour
+/// except for a small square patch of pairwise-distinct colours; used for
+/// engine-throughput benchmarks because the work per round is predictable.
+pub fn absorbing_patch(torus: &Torus, patch: usize) -> Coloring {
+    let k = target_color();
+    let mut builder = ColoringBuilder::filled(torus, k);
+    let mut next = 2u16;
+    for i in 0..patch.min(torus.rows().saturating_sub(1)) {
+        for j in 0..patch.min(torus.cols().saturating_sub(1)) {
+            builder = builder.cell(1 + i, 1 + j, Color::new(next));
+            next += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_valid_workloads() {
+        let built = build_construction(TorusKind::ToroidalMesh, 6, 6);
+        assert_eq!(built.seed_size(), 10);
+        assert!(rounds_to_monochromatic(&built) >= 1);
+
+        let torus = ctori_topology::toroidal_mesh(8, 8);
+        let patch = absorbing_patch(&torus, 3);
+        assert_eq!(patch.count(target_color()), 64 - 9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Ergonomic construction of initial configurations.
+//!
+//! The paper's constructions place a `k`-coloured row and column (Theorem
+//! 2), a row plus a single extra vertex (Theorems 4 and 6), or hand-crafted
+//! counterexamples (Figures 3 and 4).  [`ColoringBuilder`] provides those
+//! placement operations on top of a background colour or an unset grid.
+
+use crate::color::Color;
+use crate::coloring::Coloring;
+use ctori_topology::{Coord, NodeId, Torus};
+
+/// A builder for initial colourings.
+#[derive(Clone, Debug)]
+pub struct ColoringBuilder {
+    coloring: Coloring,
+}
+
+impl ColoringBuilder {
+    /// Starts from a grid where every cell is [`Color::UNSET`].
+    pub fn unset(torus: &Torus) -> Self {
+        ColoringBuilder {
+            coloring: Coloring::uniform(torus, Color::UNSET),
+        }
+    }
+
+    /// Starts from a grid filled with a uniform background colour.
+    pub fn filled(torus: &Torus, background: Color) -> Self {
+        ColoringBuilder {
+            coloring: Coloring::uniform(torus, background),
+        }
+    }
+
+    /// Sets one cell by coordinate.
+    pub fn cell(mut self, row: usize, col: usize, color: Color) -> Self {
+        self.coloring.set_at(row, col, color);
+        self
+    }
+
+    /// Sets one cell by node id.
+    pub fn node(mut self, v: NodeId, color: Color) -> Self {
+        self.coloring.set(v, color);
+        self
+    }
+
+    /// Colours an entire row.
+    pub fn row(mut self, row: usize, color: Color) -> Self {
+        for col in 0..self.coloring.cols() {
+            self.coloring.set_at(row, col, color);
+        }
+        self
+    }
+
+    /// Colours an entire column.
+    pub fn column(mut self, col: usize, color: Color) -> Self {
+        for row in 0..self.coloring.rows() {
+            self.coloring.set_at(row, col, color);
+        }
+        self
+    }
+
+    /// Colours a row except for the listed columns.
+    pub fn row_except(mut self, row: usize, skip: &[usize], color: Color) -> Self {
+        for col in 0..self.coloring.cols() {
+            if !skip.contains(&col) {
+                self.coloring.set_at(row, col, color);
+            }
+        }
+        self
+    }
+
+    /// Colours a column except for the listed rows.
+    pub fn column_except(mut self, col: usize, skip: &[usize], color: Color) -> Self {
+        for row in 0..self.coloring.rows() {
+            if !skip.contains(&row) {
+                self.coloring.set_at(row, col, color);
+            }
+        }
+        self
+    }
+
+    /// Colours an axis-aligned rectangle given by inclusive row/column
+    /// ranges (no wrap-around).
+    pub fn rect(
+        mut self,
+        rows: std::ops::RangeInclusive<usize>,
+        cols: std::ops::RangeInclusive<usize>,
+        color: Color,
+    ) -> Self {
+        for row in rows {
+            for col in cols.clone() {
+                self.coloring.set_at(row, col, color);
+            }
+        }
+        self
+    }
+
+    /// Colours every listed coordinate.
+    pub fn cells(mut self, coords: &[(usize, usize)], color: Color) -> Self {
+        for &(row, col) in coords {
+            self.coloring.set_at(row, col, color);
+        }
+        self
+    }
+
+    /// Fills every still-unset cell with the given colour.
+    pub fn fill_unset(mut self, color: Color) -> Self {
+        let (rows, cols) = (self.coloring.rows(), self.coloring.cols());
+        for row in 0..rows {
+            for col in 0..cols {
+                if self.coloring.at(row, col).is_unset() {
+                    self.coloring.set_at(row, col, color);
+                }
+            }
+        }
+        self
+    }
+
+    /// Fills every still-unset cell using a function of its coordinate.
+    pub fn fill_unset_with(mut self, mut f: impl FnMut(Coord) -> Color) -> Self {
+        let (rows, cols) = (self.coloring.rows(), self.coloring.cols());
+        for row in 0..rows {
+            for col in 0..cols {
+                if self.coloring.at(row, col).is_unset() {
+                    self.coloring.set_at(row, col, f(Coord::new(row, col)));
+                }
+            }
+        }
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell is still unset — an unset cell would not be a
+    /// valid colouring `r : V → C`.
+    pub fn build(self) -> Coloring {
+        assert!(
+            !self.coloring.has_unset_cells(),
+            "colouring still has unset cells; call fill_unset(...) first"
+        );
+        self.coloring
+    }
+
+    /// Finishes the builder without checking for unset cells (used by
+    /// constructions that post-process the grid).
+    pub fn build_partial(self) -> Coloring {
+        self.coloring
+    }
+
+    /// Read-only view of the colouring built so far.
+    pub fn peek(&self) -> &Coloring {
+        &self.coloring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_topology::toroidal_mesh;
+
+    #[test]
+    fn rows_columns_and_cells() {
+        let t = toroidal_mesh(4, 5);
+        let c = ColoringBuilder::filled(&t, Color::new(1))
+            .row(0, Color::new(2))
+            .column(0, Color::new(2))
+            .cell(2, 2, Color::new(3))
+            .build();
+        assert_eq!(c.at(0, 3), Color::new(2));
+        assert_eq!(c.at(3, 0), Color::new(2));
+        assert_eq!(c.at(2, 2), Color::new(3));
+        assert_eq!(c.at(3, 4), Color::new(1));
+        // row 0 (5 cells) + column 0 (4 cells) overlap in 1 cell
+        assert_eq!(c.count(Color::new(2)), 5 + 4 - 1);
+    }
+
+    #[test]
+    fn row_except_skips_columns() {
+        let t = toroidal_mesh(3, 5);
+        let c = ColoringBuilder::filled(&t, Color::new(1))
+            .row_except(1, &[4], Color::new(2))
+            .build();
+        assert_eq!(c.at(1, 3), Color::new(2));
+        assert_eq!(c.at(1, 4), Color::new(1));
+        assert_eq!(c.count(Color::new(2)), 4);
+    }
+
+    #[test]
+    fn column_except_skips_rows() {
+        let t = toroidal_mesh(5, 3);
+        let c = ColoringBuilder::filled(&t, Color::new(1))
+            .column_except(2, &[0, 4], Color::new(3))
+            .build();
+        assert_eq!(c.count(Color::new(3)), 3);
+        assert_eq!(c.at(0, 2), Color::new(1));
+        assert_eq!(c.at(4, 2), Color::new(1));
+    }
+
+    #[test]
+    fn rect_and_cells() {
+        let t = toroidal_mesh(4, 4);
+        let c = ColoringBuilder::filled(&t, Color::new(1))
+            .rect(1..=2, 1..=2, Color::new(2))
+            .cells(&[(0, 0), (3, 3)], Color::new(3))
+            .build();
+        assert_eq!(c.count(Color::new(2)), 4);
+        assert_eq!(c.count(Color::new(3)), 2);
+    }
+
+    #[test]
+    fn fill_unset_with_function() {
+        let t = toroidal_mesh(3, 3);
+        let c = ColoringBuilder::unset(&t)
+            .cell(0, 0, Color::new(9))
+            .fill_unset_with(|c| Color::new(1 + ((c.row + c.col) % 2) as u16))
+            .build();
+        assert_eq!(c.at(0, 0), Color::new(9));
+        assert_eq!(c.at(0, 1), Color::new(2));
+        assert_eq!(c.at(1, 1), Color::new(1));
+        assert!(!c.has_unset_cells());
+    }
+
+    #[test]
+    #[should_panic(expected = "unset cells")]
+    fn build_rejects_unset_cells() {
+        let t = toroidal_mesh(2, 2);
+        let _ = ColoringBuilder::unset(&t).cell(0, 0, Color::new(1)).build();
+    }
+
+    #[test]
+    fn build_partial_allows_unset() {
+        let t = toroidal_mesh(2, 2);
+        let c = ColoringBuilder::unset(&t)
+            .cell(0, 0, Color::new(1))
+            .build_partial();
+        assert!(c.has_unset_cells());
+    }
+
+    #[test]
+    fn node_setter_and_peek() {
+        let t = toroidal_mesh(2, 2);
+        let b = ColoringBuilder::filled(&t, Color::new(1)).node(t.id(Coord::new(1, 1)), Color::new(2));
+        assert_eq!(b.peek().at(1, 1), Color::new(2));
+        let c = b.build();
+        assert_eq!(c.count(Color::new(2)), 1);
+    }
+}

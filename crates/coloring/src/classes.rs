@@ -1,0 +1,90 @@
+//! Colour classes (`V^k`) as vertex sets.
+
+use crate::color::{Color, Palette};
+use crate::coloring::Coloring;
+use ctori_topology::{NodeId, NodeSet};
+
+/// The set `V^k` of vertices carrying the given colour.
+pub fn color_class(coloring: &Coloring, color: Color) -> NodeSet {
+    let mut set = NodeSet::new(coloring.len());
+    for (i, &c) in coloring.cells().iter().enumerate() {
+        if c == color {
+            set.insert(NodeId::new(i));
+        }
+    }
+    set
+}
+
+/// All colour classes of a palette, as `(colour, V^colour)` pairs.
+pub fn color_classes(coloring: &Coloring, palette: &Palette) -> Vec<(Color, NodeSet)> {
+    palette
+        .colors()
+        .map(|c| (c, color_class(coloring, c)))
+        .collect()
+}
+
+/// The vertices *not* carrying the given colour (the paper's `T − S^k`
+/// complement used when looking for non-`k`-blocks).
+pub fn non_color_class(coloring: &Coloring, color: Color) -> NodeSet {
+    let mut set = NodeSet::new(coloring.len());
+    for (i, &c) in coloring.cells().iter().enumerate() {
+        if c != color {
+            set.insert(NodeId::new(i));
+        }
+    }
+    set
+}
+
+/// If the colouring is monochromatic, returns its colour (alias of
+/// [`Coloring::monochromatic`] kept here for discoverability next to the
+/// class helpers).
+pub fn monochromatic_color(coloring: &Coloring) -> Option<Color> {
+    coloring.monochromatic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_topology::toroidal_mesh;
+
+    #[test]
+    fn classes_partition_the_vertices() {
+        let t = toroidal_mesh(3, 3);
+        let mut col = Coloring::uniform(&t, Color::new(1));
+        col.set_at(0, 0, Color::new(2));
+        col.set_at(1, 1, Color::new(2));
+        col.set_at(2, 2, Color::new(3));
+
+        let palette = Palette::new(3);
+        let classes = color_classes(&col, &palette);
+        let total: usize = classes.iter().map(|(_, s)| s.count()).sum();
+        assert_eq!(total, 9);
+        assert_eq!(classes[0].1.count(), 6);
+        assert_eq!(classes[1].1.count(), 2);
+        assert_eq!(classes[2].1.count(), 1);
+    }
+
+    #[test]
+    fn class_and_complement_are_disjoint_and_cover() {
+        let t = toroidal_mesh(4, 4);
+        let mut col = Coloring::uniform(&t, Color::new(1));
+        col.set_at(0, 0, Color::new(2));
+        let k = Color::new(2);
+        let v_k = color_class(&col, k);
+        let rest = non_color_class(&col, k);
+        assert_eq!(v_k.count() + rest.count(), 16);
+        for v in v_k.iter() {
+            assert!(!rest.contains(v));
+        }
+    }
+
+    #[test]
+    fn monochromatic_helper() {
+        let t = toroidal_mesh(2, 2);
+        let col = Coloring::uniform(&t, Color::new(3));
+        assert_eq!(monochromatic_color(&col), Some(Color::new(3)));
+        let mut col2 = col.clone();
+        col2.set_at(0, 0, Color::new(1));
+        assert_eq!(monochromatic_color(&col2), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! # ctori-coloring
+//!
+//! Colours, palettes, colourings and pattern builders for the
+//! *Dynamic Monopolies in Colored Tori* reproduction.
+//!
+//! The paper works with a finite colour set `C = {1, …, k}` and a colouring
+//! `r : V → C` of a torus (Section II.B).  This crate provides:
+//!
+//! * [`Color`] — a compact colour identifier (the paper's `1..=k`);
+//! * [`Palette`] — the finite colour set `C`, with iteration helpers;
+//! * [`Coloring`] — a colouring of an `m × n` grid, the mutable state the
+//!   simulation engine evolves;
+//! * [`ColoringBuilder`] — ergonomic construction of initial configurations
+//!   (rows, columns, rectangles, individual cells);
+//! * [`patterns`] — deterministic fillers (stripes, bricks, checkerboards)
+//!   and random colourings used by the Theorem 2/4/6 constructions and the
+//!   experiments;
+//! * [`render`] — ASCII rendering of colourings and of recolouring-time
+//!   matrices (the format of Figures 1–6 of the paper);
+//! * [`classes`] — colour-class extraction (`V^k`, `S^k`) as vertex sets.
+//!
+//! # Example
+//!
+//! ```
+//! use ctori_topology::toroidal_mesh;
+//! use ctori_coloring::{Color, Coloring, Palette};
+//!
+//! let torus = toroidal_mesh(4, 4);
+//! let palette = Palette::new(4);
+//! let mut coloring = Coloring::uniform(&torus, Color::new(1));
+//! coloring.set_coord(&torus, (0, 0).into(), Color::new(2));
+//! assert_eq!(coloring.count(Color::new(2)), 1);
+//! assert!(palette.contains(Color::new(4)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod builder;
+pub mod classes;
+pub mod color;
+pub mod coloring;
+pub mod patterns;
+pub mod random;
+pub mod render;
+pub mod textio;
+
+pub use builder::ColoringBuilder;
+pub use classes::{color_class, color_classes, monochromatic_color};
+pub use color::{Color, Palette};
+pub use coloring::Coloring;
+pub use render::{render_coloring, render_highlight, render_side_by_side, render_time_matrix};

@@ -1,0 +1,186 @@
+//! Deterministic colouring patterns.
+//!
+//! These are the building blocks of the Theorem 2/4/6 constructions
+//! (`ctori-core` combines them with the `k`-coloured seed sets) and of the
+//! workload generators used by the benchmark harness.
+
+use crate::color::{Color, Palette};
+use crate::coloring::Coloring;
+use ctori_topology::Torus;
+
+/// Horizontal stripes: row `i` gets colour `colors[i mod colors.len()]`.
+pub fn row_stripes(torus: &Torus, colors: &[Color]) -> Coloring {
+    assert!(!colors.is_empty(), "need at least one stripe colour");
+    let mut c = Coloring::uniform(torus, Color::UNSET);
+    for row in 0..torus.rows() {
+        let color = colors[row % colors.len()];
+        for col in 0..torus.cols() {
+            c.set_at(row, col, color);
+        }
+    }
+    c
+}
+
+/// Vertical stripes: column `j` gets colour `colors[j mod colors.len()]`.
+pub fn column_stripes(torus: &Torus, colors: &[Color]) -> Coloring {
+    assert!(!colors.is_empty(), "need at least one stripe colour");
+    let mut c = Coloring::uniform(torus, Color::UNSET);
+    for col in 0..torus.cols() {
+        let color = colors[col % colors.len()];
+        for row in 0..torus.rows() {
+            c.set_at(row, col, color);
+        }
+    }
+    c
+}
+
+/// Diagonal stripes: cell `(i, j)` gets colour
+/// `colors[(i + j) mod colors.len()]`.
+pub fn diagonal_stripes(torus: &Torus, colors: &[Color]) -> Coloring {
+    assert!(!colors.is_empty(), "need at least one stripe colour");
+    let mut c = Coloring::uniform(torus, Color::UNSET);
+    for row in 0..torus.rows() {
+        for col in 0..torus.cols() {
+            c.set_at(row, col, colors[(row + col) % colors.len()]);
+        }
+    }
+    c
+}
+
+/// Checkerboard of two colours.
+pub fn checkerboard(torus: &Torus, even: Color, odd: Color) -> Coloring {
+    let mut c = Coloring::uniform(torus, Color::UNSET);
+    for row in 0..torus.rows() {
+        for col in 0..torus.cols() {
+            c.set_at(row, col, if (row + col) % 2 == 0 { even } else { odd });
+        }
+    }
+    c
+}
+
+/// "Brick" pattern: cell `(i, j)` gets colour
+/// `colors[(j + offsets[i mod offsets.len()]) mod colors.len()]`, i.e.
+/// column stripes whose phase shifts per row.
+pub fn brick(torus: &Torus, colors: &[Color], offsets: &[usize]) -> Coloring {
+    assert!(!colors.is_empty(), "need at least one brick colour");
+    assert!(!offsets.is_empty(), "need at least one row offset");
+    let mut c = Coloring::uniform(torus, Color::UNSET);
+    for row in 0..torus.rows() {
+        let off = offsets[row % offsets.len()];
+        for col in 0..torus.cols() {
+            c.set_at(row, col, colors[(col + off) % colors.len()]);
+        }
+    }
+    c
+}
+
+/// A colouring where every cell carries the *least* palette colour,
+/// except that all cells of the listed rows/columns carry `special`.
+/// Convenience used by examples and tests.
+pub fn background_with_cross(
+    torus: &Torus,
+    palette: &Palette,
+    special: Color,
+    rows: &[usize],
+    cols: &[usize],
+) -> Coloring {
+    let background = palette
+        .colors()
+        .find(|&c| c != special)
+        .expect("palette needs at least two colours");
+    let mut c = Coloring::uniform(torus, background);
+    for &row in rows {
+        for col in 0..torus.cols() {
+            c.set_at(row, col, special);
+        }
+    }
+    for &col in cols {
+        for row in 0..torus.rows() {
+            c.set_at(row, col, special);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_topology::toroidal_mesh;
+
+    fn colors(v: &[u16]) -> Vec<Color> {
+        v.iter().map(|&i| Color::new(i)).collect()
+    }
+
+    #[test]
+    fn row_stripes_period() {
+        let t = toroidal_mesh(5, 4);
+        let c = row_stripes(&t, &colors(&[1, 2, 3]));
+        assert_eq!(c.at(0, 0), Color::new(1));
+        assert_eq!(c.at(1, 3), Color::new(2));
+        assert_eq!(c.at(2, 2), Color::new(3));
+        assert_eq!(c.at(3, 0), Color::new(1));
+        assert_eq!(c.at(4, 0), Color::new(2));
+        assert!(!c.has_unset_cells());
+    }
+
+    #[test]
+    fn column_stripes_period() {
+        let t = toroidal_mesh(3, 6);
+        let c = column_stripes(&t, &colors(&[1, 2]));
+        for row in 0..3 {
+            for col in 0..6 {
+                assert_eq!(c.at(row, col), Color::new(1 + (col % 2) as u16));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_stripes_period() {
+        let t = toroidal_mesh(4, 4);
+        let c = diagonal_stripes(&t, &colors(&[1, 2, 3]));
+        assert_eq!(c.at(0, 0), Color::new(1));
+        assert_eq!(c.at(1, 1), Color::new(3));
+        assert_eq!(c.at(2, 2), Color::new(2));
+        assert_eq!(c.at(3, 3), Color::new(1));
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let t = toroidal_mesh(3, 3);
+        let c = checkerboard(&t, Color::new(1), Color::new(2));
+        assert_eq!(c.at(0, 0), Color::new(1));
+        assert_eq!(c.at(0, 1), Color::new(2));
+        assert_eq!(c.at(1, 0), Color::new(2));
+        assert_eq!(c.at(1, 1), Color::new(1));
+        assert_eq!(c.count(Color::new(1)), 5);
+        assert_eq!(c.count(Color::new(2)), 4);
+    }
+
+    #[test]
+    fn brick_shifts_per_row() {
+        let t = toroidal_mesh(4, 6);
+        let c = brick(&t, &colors(&[1, 2, 3]), &[0, 1]);
+        assert_eq!(c.at(0, 0), Color::new(1));
+        assert_eq!(c.at(1, 0), Color::new(2)); // offset 1
+        assert_eq!(c.at(2, 0), Color::new(1)); // offsets repeat
+        assert_eq!(c.at(1, 2), Color::new(1)); // (2 + 1) % 3 = 0
+    }
+
+    #[test]
+    fn cross_pattern() {
+        let t = toroidal_mesh(4, 4);
+        let p = Palette::new(3);
+        let c = background_with_cross(&t, &p, Color::new(2), &[0], &[0]);
+        assert_eq!(c.at(0, 2), Color::new(2));
+        assert_eq!(c.at(2, 0), Color::new(2));
+        assert_eq!(c.at(2, 2), Color::new(1));
+        assert_eq!(c.count(Color::new(2)), 4 + 4 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stripe colour")]
+    fn empty_stripe_palette_panics() {
+        let t = toroidal_mesh(2, 2);
+        let _ = row_stripes(&t, &[]);
+    }
+}

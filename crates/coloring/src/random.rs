@@ -1,0 +1,130 @@
+//! Random colourings.
+//!
+//! The experiment harness uses random initial configurations to estimate
+//! how likely an arbitrary configuration is to converge, and the property
+//! tests use them as fuzz inputs.
+
+use crate::color::{Color, Palette};
+use crate::coloring::Coloring;
+use ctori_topology::Torus;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random colouring: every cell gets an independent uniformly
+/// random colour from the palette.
+pub fn uniform_random<R: Rng + ?Sized>(torus: &Torus, palette: &Palette, rng: &mut R) -> Coloring {
+    let colors: Vec<Color> = palette.colors().collect();
+    let mut c = Coloring::uniform(torus, Color::UNSET);
+    for row in 0..torus.rows() {
+        for col in 0..torus.cols() {
+            c.set_at(row, col, *colors.choose(rng).expect("non-empty palette"));
+        }
+    }
+    c
+}
+
+/// A random colouring with a prescribed number of cells of a distinguished
+/// colour `k`, the rest uniform over the remaining colours.
+///
+/// This is the workload used when estimating how large a random `k`-seed
+/// must be before it behaves like a dynamo.
+pub fn random_with_seed_count<R: Rng + ?Sized>(
+    torus: &Torus,
+    palette: &Palette,
+    k: Color,
+    seed_count: usize,
+    rng: &mut R,
+) -> Coloring {
+    let total = torus.rows() * torus.cols();
+    assert!(seed_count <= total, "seed count exceeds the number of vertices");
+    let others: Vec<Color> = palette.colors_except(k).collect();
+    assert!(
+        !others.is_empty() || seed_count == total,
+        "need at least one non-k colour unless the seed covers everything"
+    );
+
+    let mut positions: Vec<usize> = (0..total).collect();
+    positions.shuffle(rng);
+
+    let mut c = Coloring::uniform(torus, Color::UNSET);
+    for (idx, pos) in positions.into_iter().enumerate() {
+        let (row, col) = (pos / torus.cols(), pos % torus.cols());
+        if idx < seed_count {
+            c.set_at(row, col, k);
+        } else {
+            c.set_at(row, col, *others.choose(rng).expect("non-empty"));
+        }
+    }
+    c
+}
+
+/// Shuffles the colours of an existing colouring (preserves the histogram,
+/// destroys the spatial structure).  Useful as a "null model" baseline in
+/// the experiments.
+pub fn shuffled<R: Rng + ?Sized>(coloring: &Coloring, rng: &mut R) -> Coloring {
+    let mut cells = coloring.cells().to_vec();
+    cells.shuffle(rng);
+    Coloring::from_cells(coloring.rows(), coloring.cols(), cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_topology::toroidal_mesh;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_random_uses_palette_colors_only() {
+        let t = toroidal_mesh(8, 8);
+        let p = Palette::new(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = uniform_random(&t, &p, &mut rng);
+        assert!(!c.has_unset_cells());
+        for &cell in c.cells() {
+            assert!(p.contains(cell));
+        }
+    }
+
+    #[test]
+    fn seeded_random_has_exact_seed_count() {
+        let t = toroidal_mesh(6, 6);
+        let p = Palette::new(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let k = Color::new(4);
+        for count in [0usize, 1, 10, 36] {
+            let c = random_with_seed_count(&t, &p, k, count, &mut rng);
+            assert_eq!(c.count(k), count, "seed count mismatch for {count}");
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_histogram() {
+        let t = toroidal_mesh(5, 5);
+        let p = Palette::new(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = uniform_random(&t, &p, &mut rng);
+        let s = shuffled(&c, &mut rng);
+        for color in p.colors() {
+            assert_eq!(c.count(color), s.count(color));
+        }
+    }
+
+    #[test]
+    fn deterministic_with_fixed_seed() {
+        let t = toroidal_mesh(4, 4);
+        let p = Palette::new(5);
+        let a = uniform_random(&t, &p, &mut StdRng::seed_from_u64(123));
+        let b = uniform_random(&t, &p, &mut StdRng::seed_from_u64(123));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the number of vertices")]
+    fn oversized_seed_panics() {
+        let t = toroidal_mesh(2, 2);
+        let p = Palette::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_with_seed_count(&t, &p, Color::new(1), 5, &mut rng);
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain-text (de)serialization of colourings.
+//!
+//! Configurations are stored as the same glyph grid produced by
+//! [`crate::render::render_coloring`], so a saved experiment artefact can be
+//! pasted straight back into a test.  We intentionally avoid pulling a
+//! serialization format crate: the grids are tiny and the format is
+//! human-diffable.
+
+use crate::color::Color;
+use crate::coloring::Coloring;
+
+/// Errors produced when parsing a colouring from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input contained no rows.
+    Empty,
+    /// Two rows had different lengths.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        got: usize,
+    },
+    /// A glyph was not a valid colour character.
+    BadGlyph {
+        /// The offending character.
+        glyph: char,
+        /// Row of the offending character.
+        row: usize,
+        /// Column of the offending character.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty colouring text"),
+            ParseError::RaggedRows { expected, row, got } => write!(
+                f,
+                "row {row} has {got} cells but the first row has {expected}"
+            ),
+            ParseError::BadGlyph { glyph, row, col } => {
+                write!(f, "invalid colour glyph {glyph:?} at row {row}, column {col}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn glyph_to_color(ch: char) -> Option<Color> {
+    match ch {
+        '.' => Some(Color::UNSET),
+        '0'..='9' => {
+            let v = ch as u16 - '0' as u16;
+            if v == 0 {
+                None
+            } else {
+                Some(Color(v))
+            }
+        }
+        'a'..='z' => Some(Color(10 + (ch as u16 - 'a' as u16))),
+        _ => None,
+    }
+}
+
+/// Serializes a colouring to the glyph-grid text format.
+pub fn to_text(coloring: &Coloring) -> String {
+    crate::render::render_coloring(coloring)
+}
+
+/// Parses a colouring from the glyph-grid text format.
+///
+/// Whitespace between glyphs is ignored; blank lines are skipped.
+pub fn from_text(text: &str) -> Result<Coloring, ParseError> {
+    let mut rows: Vec<Vec<Color>> = Vec::new();
+    for (row_idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut row = Vec::new();
+        for (col_idx, ch) in line.split_whitespace().flat_map(|tok| tok.chars()).enumerate() {
+            match glyph_to_color(ch) {
+                Some(c) => row.push(c),
+                None => {
+                    return Err(ParseError::BadGlyph {
+                        glyph: ch,
+                        row: row_idx,
+                        col: col_idx,
+                    })
+                }
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let expected = rows[0].len();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != expected {
+            return Err(ParseError::RaggedRows {
+                expected,
+                row: i,
+                got: row.len(),
+            });
+        }
+    }
+    Ok(Coloring::from_rows(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_topology::toroidal_mesh;
+
+    #[test]
+    fn roundtrip() {
+        let t = toroidal_mesh(3, 4);
+        let mut c = Coloring::uniform(&t, Color::new(1));
+        c.set_at(0, 0, Color::new(2));
+        c.set_at(2, 3, Color::new(12)); // glyph 'c'
+        let text = to_text(&c);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn parses_paper_style_figure() {
+        let text = "\
+            2 2 2 2\n\
+            2 1 3 1\n\
+            2 1 4 1\n";
+        let c = from_text(text).unwrap();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 4);
+        assert_eq!(c.at(0, 0), Color::new(2));
+        assert_eq!(c.at(2, 2), Color::new(4));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "1 1\n\n2 2\n";
+        let c = from_text(text).unwrap();
+        assert_eq!(c.rows(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(from_text(""), Err(ParseError::Empty));
+        assert!(matches!(
+            from_text("1 1\n1\n"),
+            Err(ParseError::RaggedRows { .. })
+        ));
+        assert!(matches!(
+            from_text("1 X\n"),
+            Err(ParseError::BadGlyph { glyph: 'X', .. })
+        ));
+        // glyph '0' is not a valid colour
+        assert!(matches!(
+            from_text("0 1\n"),
+            Err(ParseError::BadGlyph { glyph: '0', .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ParseError::RaggedRows {
+            expected: 3,
+            row: 2,
+            got: 1,
+        };
+        assert!(e.to_string().contains("row 2"));
+        let e = ParseError::BadGlyph {
+            glyph: '!',
+            row: 0,
+            col: 1,
+        };
+        assert!(e.to_string().contains("'!'"));
+    }
+
+    #[test]
+    fn unset_cells_roundtrip() {
+        let text = "1 .\n. 2\n";
+        let c = from_text(text).unwrap();
+        assert!(c.has_unset_cells());
+        assert_eq!(to_text(&c), "1 .\n. 2\n");
+    }
+}

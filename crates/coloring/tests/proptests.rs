@@ -1,0 +1,101 @@
+//! Property-based tests for colourings, patterns and text round-trips.
+
+use ctori_coloring::{classes, patterns, textio, Color, Coloring, Palette};
+use ctori_topology::toroidal_mesh;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dims() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=10, 2usize..=10)
+}
+
+proptest! {
+    /// Text serialization round-trips for any random colouring with up to
+    /// 35 colours (the glyph alphabet).
+    #[test]
+    fn text_roundtrip((m, n) in dims(), seed in any::<u64>(), colors in 1u16..=35) {
+        let torus = toroidal_mesh(m, n);
+        let palette = Palette::new(colors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = ctori_coloring::random::uniform_random(&torus, &palette, &mut rng);
+        let text = textio::to_text(&coloring);
+        let parsed = textio::from_text(&text).expect("parses");
+        prop_assert_eq!(parsed, coloring);
+    }
+
+    /// Colour classes partition the vertex set: every vertex belongs to
+    /// exactly one class and the class sizes sum to m*n.
+    #[test]
+    fn classes_partition((m, n) in dims(), seed in any::<u64>(), colors in 1u16..=6) {
+        let torus = toroidal_mesh(m, n);
+        let palette = Palette::new(colors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = ctori_coloring::random::uniform_random(&torus, &palette, &mut rng);
+        let all = classes::color_classes(&coloring, &palette);
+        let total: usize = all.iter().map(|(_, s)| s.count()).sum();
+        prop_assert_eq!(total, m * n);
+        for (color, class) in &all {
+            for v in class.iter() {
+                prop_assert_eq!(coloring.get(v), *color);
+            }
+        }
+    }
+
+    /// The histogram agrees with per-colour counts and sums to the number
+    /// of cells.
+    #[test]
+    fn histogram_consistency((m, n) in dims(), seed in any::<u64>(), colors in 1u16..=6) {
+        let torus = toroidal_mesh(m, n);
+        let palette = Palette::new(colors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = ctori_coloring::random::uniform_random(&torus, &palette, &mut rng);
+        let histogram = coloring.histogram(&palette);
+        let total: usize = histogram.iter().map(|(_, count)| count).sum();
+        prop_assert_eq!(total, m * n);
+        for (color, count) in histogram {
+            prop_assert_eq!(count, coloring.count(color));
+        }
+    }
+
+    /// Stripe patterns use exactly the requested colours and assign the
+    /// expected colour to every cell.
+    #[test]
+    fn stripes_are_periodic((m, n) in dims(), period in 1usize..=4) {
+        let torus = toroidal_mesh(m, n);
+        let stripe_colors: Vec<Color> = (1..=period as u16).map(Color::new).collect();
+        let rows = patterns::row_stripes(&torus, &stripe_colors);
+        let cols = patterns::column_stripes(&torus, &stripe_colors);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(rows.at(i, j), stripe_colors[i % period]);
+                prop_assert_eq!(cols.at(i, j), stripe_colors[j % period]);
+            }
+        }
+    }
+
+    /// `map_colors` with the identity is a no-op, and with a constant maps
+    /// everything to that constant.
+    #[test]
+    fn map_colors_laws((m, n) in dims(), seed in any::<u64>()) {
+        let torus = toroidal_mesh(m, n);
+        let palette = Palette::new(5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = ctori_coloring::random::uniform_random(&torus, &palette, &mut rng);
+        prop_assert_eq!(coloring.map_colors(|c| c), coloring.clone());
+        let constant = coloring.map_colors(|_| Color::new(7));
+        prop_assert!(constant.is_monochromatic_in(Color::new(7)));
+    }
+
+    /// A monochromatic colouring reports its colour, and flipping a single
+    /// cell destroys monochromaticity (for grids with more than one cell).
+    #[test]
+    fn monochromatic_detection((m, n) in dims(), color in 1u16..=9) {
+        let torus = toroidal_mesh(m, n);
+        let uniform = Coloring::uniform(&torus, Color::new(color));
+        prop_assert_eq!(uniform.monochromatic(), Some(Color::new(color)));
+        let mut touched = uniform;
+        touched.set_at(0, 0, Color::new(color + 1));
+        prop_assert_eq!(touched.monochromatic(), None);
+    }
+}

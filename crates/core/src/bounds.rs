@@ -1,0 +1,153 @@
+//! Lower bounds on the size of monotone dynamos (Theorems 1, 3, 5 and
+//! Proposition 3).
+//!
+//! | topology          | lower bound on `|S^k|` | paper reference |
+//! |-------------------|------------------------|-----------------|
+//! | toroidal mesh     | `m + n − 2`            | Theorem 1       |
+//! | torus cordalis    | `n + 1`                | Theorem 3       |
+//! | torus serpentinus | `min(m, n) + 1`        | Theorem 5       |
+//!
+//! Proposition 3 additionally ties the existence of a *minimum-size*
+//! dynamo to the number of available colours: with `N = min(m, n)` and
+//! `1 < N ≤ 3`, a minimum-size dynamo requires `|C| ≥ N`; the discussion
+//! after Theorem 2 shows that four colours are needed (and sufficient)
+//! once `N ≥ 4`.
+
+use ctori_topology::{Torus, TorusKind};
+
+/// Lower bound of Theorem 1: a monotone dynamo of a colored `m × n`
+/// toroidal mesh has at least `m + n − 2` vertices.
+pub fn toroidal_mesh_lower_bound(m: usize, n: usize) -> usize {
+    m + n - 2
+}
+
+/// Lower bound of Theorem 3: a monotone dynamo of a colored `m × n` torus
+/// cordalis has at least `n + 1` vertices.
+pub fn torus_cordalis_lower_bound(_m: usize, n: usize) -> usize {
+    n + 1
+}
+
+/// Lower bound of Theorem 5: a monotone dynamo of a colored `m × n` torus
+/// serpentinus has at least `min(m, n) + 1` vertices.
+pub fn torus_serpentinus_lower_bound(m: usize, n: usize) -> usize {
+    m.min(n) + 1
+}
+
+/// The lower bound for any of the three torus kinds.
+pub fn lower_bound(kind: TorusKind, m: usize, n: usize) -> usize {
+    match kind {
+        TorusKind::ToroidalMesh => toroidal_mesh_lower_bound(m, n),
+        TorusKind::TorusCordalis => torus_cordalis_lower_bound(m, n),
+        TorusKind::TorusSerpentinus => torus_serpentinus_lower_bound(m, n),
+    }
+}
+
+/// The lower bound for a torus value.
+pub fn lower_bound_for(torus: &Torus) -> usize {
+    lower_bound(torus.kind(), torus.rows(), torus.cols())
+}
+
+/// Proposition 3: the minimum number of colours required for a
+/// *minimum-size* dynamo to exist on a toroidal mesh, as a function of
+/// `N = min(m, n)`.
+///
+/// * `N = 1` — a single colour suffices (the torus is degenerate; the
+///   paper notes a dynamo exists only if `|C| = 1`).
+/// * `N = 2` — at least 2 colours; the paper notes that with more than two
+///   colours a single `k`-coloured column of size `m` is already a dynamo.
+/// * `N = 3` — at least 3 colours ("two colors are not enough, since
+///   vertices outside a k-colored row and column form a non-k-block").
+/// * `N ≥ 4` — four colours are needed for the Theorem-2 construction (the
+///   paper's discussion following Theorem 2).
+pub fn prop3_minimum_colors(m: usize, n: usize) -> u16 {
+    let nmin = m.min(n);
+    match nmin {
+        0 | 1 => 1,
+        2 => 2,
+        3 => 3,
+        _ => 4,
+    }
+}
+
+/// Theorem 16 of [15], quoted in the proof of Proposition 3: the
+/// bi-coloured lower bound `⌈(2m + 1) / 2⌉ = m + 1` for an `m × 2` torus.
+/// Returned here because the Proposition-3 experiment compares against it.
+pub fn flocchini_bicolor_bound_two_columns(m: usize) -> usize {
+    m + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_examples() {
+        // The paper's Figure 1 example: m + n - 2 = 16 (a 9x9 torus).
+        assert_eq!(toroidal_mesh_lower_bound(9, 9), 16);
+        assert_eq!(toroidal_mesh_lower_bound(4, 4), 6);
+        assert_eq!(toroidal_mesh_lower_bound(2, 2), 2);
+        assert_eq!(toroidal_mesh_lower_bound(5, 8), 11);
+    }
+
+    #[test]
+    fn theorem3_and_theorem5_examples() {
+        assert_eq!(torus_cordalis_lower_bound(9, 9), 10);
+        assert_eq!(torus_cordalis_lower_bound(4, 7), 8);
+        // the cordalis bound depends only on n
+        assert_eq!(torus_cordalis_lower_bound(100, 7), 8);
+        assert_eq!(torus_serpentinus_lower_bound(9, 9), 10);
+        assert_eq!(torus_serpentinus_lower_bound(4, 7), 5);
+        assert_eq!(torus_serpentinus_lower_bound(7, 4), 5);
+    }
+
+    #[test]
+    fn dispatch_matches_specific_functions() {
+        for (m, n) in [(3usize, 3usize), (4, 9), (12, 5)] {
+            assert_eq!(
+                lower_bound(TorusKind::ToroidalMesh, m, n),
+                toroidal_mesh_lower_bound(m, n)
+            );
+            assert_eq!(
+                lower_bound(TorusKind::TorusCordalis, m, n),
+                torus_cordalis_lower_bound(m, n)
+            );
+            assert_eq!(
+                lower_bound(TorusKind::TorusSerpentinus, m, n),
+                torus_serpentinus_lower_bound(m, n)
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_for_torus_value() {
+        let t = ctori_topology::torus_cordalis(6, 8);
+        assert_eq!(lower_bound_for(&t), 9);
+    }
+
+    #[test]
+    fn cordalis_and_serpentinus_bounds_are_below_mesh_bound() {
+        // The chained tori admit much smaller dynamos than the toroidal
+        // mesh as soon as the torus is large in both dimensions — the
+        // qualitative relationship the paper emphasises.
+        for (m, n) in [(8usize, 8usize), (16, 16), (10, 30)] {
+            assert!(torus_cordalis_lower_bound(m, n) < toroidal_mesh_lower_bound(m, n));
+            assert!(torus_serpentinus_lower_bound(m, n) <= torus_cordalis_lower_bound(m, n));
+        }
+    }
+
+    #[test]
+    fn prop3_color_requirements() {
+        assert_eq!(prop3_minimum_colors(1, 10), 1);
+        assert_eq!(prop3_minimum_colors(2, 10), 2);
+        assert_eq!(prop3_minimum_colors(10, 2), 2);
+        assert_eq!(prop3_minimum_colors(3, 5), 3);
+        assert_eq!(prop3_minimum_colors(4, 4), 4);
+        assert_eq!(prop3_minimum_colors(100, 50), 4);
+    }
+
+    #[test]
+    fn flocchini_two_column_bound() {
+        assert_eq!(flocchini_bicolor_bound_two_columns(5), 6);
+        assert_eq!(flocchini_bicolor_bound_two_columns(10), 11);
+    }
+}

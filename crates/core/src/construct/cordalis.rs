@@ -1,0 +1,145 @@
+//! Theorem 4: minimum-size monotone dynamos on the torus cordalis.
+//!
+//! The seed is a full `k`-coloured row plus one extra vertex at the start
+//! of the next row — `n + 1` vertices, matching the Theorem-3 lower bound.
+//! Because of the row chaining, the whole seed is a single `k`-block (every
+//! member has two `k`-neighbours), so no seed vertex can ever flip.
+//!
+//! The filler uses period-3 column stripes when `n ≡ 0 (mod 3)` (exactly
+//! four colours, as the paper claims) and a randomized local search
+//! otherwise (usually succeeding with four colours, always with five); see
+//! the reproduction note in [`crate::construct`].
+
+use super::filler::{fill_free, local_search_fill};
+use super::mesh::colors_excluding;
+use super::{ConstructError, ConstructedDynamo, FillerKind};
+use crate::hypotheses::check_hypotheses;
+use ctori_coloring::{Color, Coloring, ColoringBuilder};
+use ctori_topology::{torus_cordalis, Coord, Torus};
+
+/// The Theorem-4 seed: the whole row `0` plus the vertex `(1, 0)`.
+pub fn theorem4_seed(torus: &Torus, k: Color) -> Coloring {
+    ColoringBuilder::unset(torus)
+        .row(0, k)
+        .cell(1, 0, k)
+        .build_partial()
+}
+
+/// Period-3 column-stripe filler; valid with four total colours whenever
+/// `n ≡ 0 (mod 3)`.
+fn column_stripe_candidate(partial: &Coloring, k: Color) -> Coloring {
+    let p = colors_excluding(k, 3);
+    fill_free(partial, |c: Coord| p[c.col % 3])
+}
+
+/// Builds the Theorem-4 minimum monotone dynamo for an `m × n` torus
+/// cordalis with target colour `k`.
+///
+/// # Errors
+///
+/// Returns [`ConstructError::TooSmall`] when `m < 3` or `n < 3`, and
+/// [`ConstructError::FillerFailed`] if neither the stripe filler nor the
+/// local search produces a hypothesis-satisfying configuration.
+pub fn theorem4_dynamo(m: usize, n: usize, k: Color) -> Result<ConstructedDynamo, ConstructError> {
+    if m < 3 || n < 3 {
+        return Err(ConstructError::TooSmall {
+            min_rows: 3,
+            min_cols: 3,
+            rows: m,
+            cols: n,
+        });
+    }
+    let torus = torus_cordalis(m, n);
+    let partial = theorem4_seed(&torus, k);
+
+    if n % 3 == 0 {
+        let candidate = column_stripe_candidate(&partial, k);
+        if check_hypotheses(&torus, &candidate, k).is_empty() {
+            return ConstructedDynamo::validated(torus, candidate, k, FillerKind::ColumnStripes);
+        }
+    }
+
+    let mut last_violations = Vec::new();
+    for extra in [3u16, 4, 5, 6] {
+        let palette = colors_excluding(k, extra);
+        if let Some(candidate) =
+            local_search_fill(&torus, &partial, k, &palette, 0xD15C0 + extra as u64, 700)
+        {
+            let violations = check_hypotheses(&torus, &candidate, k);
+            if violations.is_empty() {
+                return ConstructedDynamo::validated(
+                    torus,
+                    candidate,
+                    k,
+                    FillerKind::LocalSearch { colors: extra + 1 },
+                );
+            }
+            last_violations = violations;
+        }
+    }
+
+    Err(ConstructError::FillerFailed { last_violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::torus_cordalis_lower_bound;
+    use crate::dynamo::verify_dynamo;
+
+    fn k() -> Color {
+        Color::new(1)
+    }
+
+    #[test]
+    fn seed_has_n_plus_one_vertices_and_is_a_block() {
+        let t = torus_cordalis(5, 7);
+        let seed = theorem4_seed(&t, k());
+        assert_eq!(seed.count(k()), 8);
+        // complete it arbitrarily to test the block structure of the seed
+        let full = seed.clone();
+        let full = super::super::filler::fill_free(&full, |_| Color::new(2));
+        assert!(crate::blocks::seed_is_union_of_k_blocks(&t, &full, k()));
+    }
+
+    #[test]
+    fn stripe_construction_on_divisible_columns() {
+        for (m, n) in [(5usize, 6usize), (6, 9), (4, 12), (9, 6)] {
+            let built = theorem4_dynamo(m, n, k()).unwrap();
+            assert_eq!(built.seed_size(), torus_cordalis_lower_bound(m, n));
+            assert!(built.is_minimum_size());
+            assert_eq!(built.colors_used(), 4, "{m}x{n} should use 4 colours");
+            assert_eq!(built.filler(), FillerKind::ColumnStripes);
+            let report = verify_dynamo(built.torus(), built.coloring(), k());
+            assert!(report.is_monotone_dynamo(), "{m}x{n} must verify");
+        }
+    }
+
+    #[test]
+    fn local_search_construction_on_other_sizes() {
+        for (m, n) in [(5usize, 5usize), (6, 7), (5, 8)] {
+            let built = theorem4_dynamo(m, n, k()).unwrap();
+            assert!(built.is_minimum_size());
+            assert!(built.colors_used() <= 5);
+            assert!(matches!(built.filler(), FillerKind::LocalSearch { .. }));
+            let report = verify_dynamo(built.torus(), built.coloring(), k());
+            assert!(report.is_monotone_dynamo(), "{m}x{n} must verify");
+        }
+    }
+
+    #[test]
+    fn too_small_is_rejected() {
+        assert!(matches!(
+            theorem4_dynamo(2, 6, k()),
+            Err(ConstructError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn alternative_target_color() {
+        let built = theorem4_dynamo(6, 6, Color::new(4)).unwrap();
+        assert_eq!(built.k(), Color::new(4));
+        let report = verify_dynamo(built.torus(), built.coloring(), Color::new(4));
+        assert!(report.is_monotone_dynamo());
+    }
+}

@@ -1,0 +1,287 @@
+//! Fillers: assigning colours to the non-seed vertices.
+//!
+//! The construction theorems only constrain the *non-k* vertices through
+//! two local conditions (forest + distinct neighbour colours) plus the
+//! implicit requirement that no seed vertex can flip.  The deterministic
+//! stripe patterns live in the per-topology modules (they depend on the
+//! seed geometry); this module provides the shared machinery:
+//!
+//! * [`fill_free`] — apply a coordinate→colour function to every unset
+//!   cell of a partial configuration;
+//! * [`local_search_fill`] — a randomized repair procedure that colours the
+//!   free cells so that a slightly *stronger*, purely local version of the
+//!   hypotheses holds: every free cell has at most one neighbour of its own
+//!   colour (which forces each colour class to be a union of vertices and
+//!   single edges — trivially a forest), no two neighbours of a free cell
+//!   share a colour outside `{own, k}`, and no seed vertex sees a unique
+//!   non-`k` plurality of two or more.
+
+use ctori_coloring::{Color, Coloring};
+use ctori_protocols::{LocalRule, SmpProtocol};
+use ctori_topology::{Coord, NodeId, Torus};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Fills every unset cell of `partial` using the supplied pattern
+/// function.
+pub fn fill_free(partial: &Coloring, pattern: impl Fn(Coord) -> Color) -> Coloring {
+    let mut out = partial.clone();
+    for row in 0..out.rows() {
+        for col in 0..out.cols() {
+            if out.at(row, col).is_unset() {
+                let c = pattern(Coord::new(row, col));
+                assert!(!c.is_unset(), "pattern returned the unset sentinel");
+                out.set_at(row, col, c);
+            }
+        }
+    }
+    out
+}
+
+/// The local violation score of a single vertex under the strengthened
+/// hypotheses described in the module documentation.  Zero for every
+/// vertex ⇒ the configuration satisfies the hypotheses of Theorems 2/4/6.
+fn vertex_violations(torus: &Torus, coloring: &Coloring, k: Color, v: NodeId) -> usize {
+    let own = coloring.get(v);
+    let nbr_colors: Vec<Color> = torus
+        .neighbor_ids(v)
+        .into_iter()
+        .map(|u| coloring.get(u))
+        .collect();
+    if own == k {
+        // Seed immortality: the SMP rule must keep the vertex at k.
+        if SmpProtocol.next_color(own, &nbr_colors) != k {
+            1
+        } else {
+            0
+        }
+    } else {
+        let mut score = 0usize;
+        // At most one neighbour of the own colour.
+        let own_count = nbr_colors.iter().filter(|&&c| c == own).count();
+        score += own_count.saturating_sub(1);
+        // Colours outside {own, k} must not repeat.
+        let mut others: Vec<Color> = nbr_colors
+            .iter()
+            .copied()
+            .filter(|&c| c != own && c != k)
+            .collect();
+        others.sort_unstable();
+        for w in others.windows(2) {
+            if w[0] == w[1] {
+                score += 1;
+            }
+        }
+        score
+    }
+}
+
+/// Total violation score of a configuration (0 ⇒ valid).
+pub fn total_violations(torus: &Torus, coloring: &Coloring, k: Color) -> usize {
+    (0..coloring.len())
+        .map(|v| vertex_violations(torus, coloring, k, NodeId::new(v)))
+        .sum()
+}
+
+/// Randomized local-search filler.
+///
+/// * `partial` — the configuration with the seed already placed and every
+///   other cell unset;
+/// * `non_k` — the palette of colours available for the free cells;
+/// * `seed` — RNG seed (the procedure is deterministic given the seed);
+/// * `max_sweeps` — bound on repair sweeps before giving up.
+///
+/// Returns a fully-coloured configuration with zero violations, or `None`
+/// if the search did not converge within the budget.
+pub fn local_search_fill(
+    torus: &Torus,
+    partial: &Coloring,
+    k: Color,
+    non_k: &[Color],
+    seed: u64,
+    max_sweeps: usize,
+) -> Option<Coloring> {
+    assert!(!non_k.is_empty(), "need at least one non-k colour");
+    assert!(
+        !non_k.contains(&k),
+        "the non-k palette must not contain the target colour"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Free cells are the ones the search may modify.
+    let free: Vec<NodeId> = (0..partial.len())
+        .map(NodeId::new)
+        .filter(|&v| partial.get(v).is_unset())
+        .collect();
+
+    // Initial random assignment.
+    let mut coloring = partial.clone();
+    for &v in &free {
+        coloring.set(v, non_k[rng.gen_range(0..non_k.len())]);
+    }
+
+    // The violation score of a vertex only depends on its own colour and
+    // its neighbours' colours, so changing one cell only affects the scores
+    // of the cell itself and its four neighbours.
+    let local_score = |coloring: &Coloring, v: NodeId| -> usize {
+        let mut s = vertex_violations(torus, coloring, k, v);
+        for u in torus.neighbor_ids(v) {
+            s += vertex_violations(torus, coloring, k, u);
+        }
+        s
+    };
+
+    let mut order = free.clone();
+    for sweep in 0..max_sweeps {
+        if total_violations(torus, &coloring, k) == 0 {
+            return Some(coloring);
+        }
+        order.shuffle(&mut rng);
+        let mut improved = false;
+        for &v in &order {
+            let current = coloring.get(v);
+            let mut best_color = current;
+            let mut best_score = local_score(&coloring, v);
+            if best_score == 0 {
+                continue;
+            }
+            for &candidate in non_k {
+                if candidate == current {
+                    continue;
+                }
+                coloring.set(v, candidate);
+                let score = local_score(&coloring, v);
+                // Break ties randomly to escape plateaus.
+                if score < best_score || (score == best_score && rng.gen_bool(0.25)) {
+                    best_score = score;
+                    best_color = candidate;
+                }
+            }
+            coloring.set(v, best_color);
+            if best_color != current {
+                improved = true;
+            }
+        }
+        // Occasionally perturb if stuck on a plateau.
+        if !improved && sweep + 1 < max_sweeps {
+            for _ in 0..(free.len() / 10).max(1) {
+                let v = free[rng.gen_range(0..free.len())];
+                coloring.set(v, non_k[rng.gen_range(0..non_k.len())]);
+            }
+        }
+    }
+
+    (total_violations(torus, &coloring, k) == 0).then_some(coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypotheses::check_hypotheses;
+    use ctori_coloring::ColoringBuilder;
+    use ctori_topology::{toroidal_mesh, torus_cordalis};
+
+    fn k() -> Color {
+        Color::new(1)
+    }
+
+    fn non_k(n: u16) -> Vec<Color> {
+        (2..2 + n).map(Color::new).collect()
+    }
+
+    #[test]
+    fn fill_free_respects_existing_cells() {
+        let t = toroidal_mesh(4, 4);
+        let partial = ColoringBuilder::unset(&t).row(0, k()).build_partial();
+        let filled = fill_free(&partial, |c| Color::new(2 + (c.col % 2) as u16));
+        assert_eq!(filled.at(0, 2), k());
+        assert_eq!(filled.at(2, 0), Color::new(2));
+        assert_eq!(filled.at(2, 1), Color::new(3));
+        assert!(!filled.has_unset_cells());
+    }
+
+    #[test]
+    fn zero_violations_matches_hypothesis_checker() {
+        // Build a known-good configuration (all k except isolated distinct
+        // cells) and check both measures agree.
+        let t = toroidal_mesh(5, 5);
+        let good = ColoringBuilder::filled(&t, k())
+            .cell(1, 1, Color::new(2))
+            .cell(3, 3, Color::new(3))
+            .build();
+        assert_eq!(total_violations(&t, &good, k()), 0);
+        assert!(check_hypotheses(&t, &good, k()).is_empty());
+
+        // And a known-bad one (two adjacent same-coloured vertices next to
+        // a third neighbour of the same colour).
+        let bad = ColoringBuilder::filled(&t, k())
+            .cell(2, 1, Color::new(2))
+            .cell(2, 3, Color::new(2))
+            .cell(2, 2, Color::new(3))
+            .build();
+        // vertex (2,2) sees colour 2 twice
+        assert!(total_violations(&t, &bad, k()) > 0);
+        assert!(!check_hypotheses(&t, &bad, k()).is_empty());
+    }
+
+    #[test]
+    fn local_search_fills_mesh_complement_of_a_cross() {
+        // Seed: full row 0 and full column 0 (a comfortably large seed);
+        // the search must colour the rest with 4 non-k colours such that
+        // the hypotheses hold.
+        let t = toroidal_mesh(7, 7);
+        let partial = ColoringBuilder::unset(&t)
+            .row(0, k())
+            .column(0, k())
+            .build_partial();
+        let filled = local_search_fill(&t, &partial, k(), &non_k(4), 42, 200)
+            .expect("local search should converge on a 7x7 torus");
+        assert!(check_hypotheses(&t, &filled, k()).is_empty());
+        assert_eq!(filled.count(k()), 13);
+    }
+
+    #[test]
+    fn local_search_on_cordalis_theorem4_seed() {
+        // Seed: full row 0 plus (1,0) — the Theorem 4 shape.
+        let t = torus_cordalis(6, 7);
+        let partial = ColoringBuilder::unset(&t)
+            .row(0, k())
+            .cell(1, 0, k())
+            .build_partial();
+        let filled = local_search_fill(&t, &partial, k(), &non_k(4), 7, 300)
+            .expect("local search should converge on a 6x7 cordalis");
+        assert!(check_hypotheses(&t, &filled, k()).is_empty());
+        assert_eq!(filled.count(k()), 8);
+    }
+
+    #[test]
+    fn local_search_is_deterministic_given_seed() {
+        let t = toroidal_mesh(5, 5);
+        let partial = ColoringBuilder::unset(&t)
+            .row(0, k())
+            .column(0, k())
+            .build_partial();
+        let a = local_search_fill(&t, &partial, k(), &non_k(4), 1, 200);
+        let b = local_search_fill(&t, &partial, k(), &non_k(4), 1, 200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        // One sweep with a single non-k colour cannot satisfy the
+        // distinctness constraints in the interior of a large torus.
+        let t = toroidal_mesh(8, 8);
+        let partial = ColoringBuilder::unset(&t).row(0, k()).build_partial();
+        let result = local_search_fill(&t, &partial, k(), &non_k(1), 3, 2);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain the target colour")]
+    fn palette_containing_k_is_rejected() {
+        let t = toroidal_mesh(4, 4);
+        let partial = ColoringBuilder::unset(&t).row(0, k()).build_partial();
+        let _ = local_search_fill(&t, &partial, k(), &[k()], 0, 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Theorem 2: minimum-size monotone dynamos on the toroidal mesh.
+//!
+//! The seed `S^k` is a full `k`-coloured column plus a `k`-coloured row
+//! missing one vertex (or the transposed arrangement), for a total of
+//! `m + n − 2` vertices — exactly the Theorem-1 lower bound.  The remaining
+//! vertices are coloured so that the hypotheses of Theorem 2 hold; see the
+//! module documentation of [`crate::construct`] for the filler strategies
+//! and their palette sizes.
+
+use super::filler::{fill_free, local_search_fill};
+use super::{ConstructError, ConstructedDynamo, FillerKind};
+use crate::hypotheses::check_hypotheses;
+use ctori_coloring::{Color, Coloring, ColoringBuilder};
+use ctori_topology::{toroidal_mesh, Coord, Torus};
+
+/// Returns `count` colours different from `k`, using the smallest indices
+/// available.
+pub(crate) fn colors_excluding(k: Color, count: u16) -> Vec<Color> {
+    (1..)
+        .map(Color::new)
+        .filter(|&c| c != k)
+        .take(count as usize)
+        .collect()
+}
+
+/// The seed of Theorem 2 in the "column + row" orientation: the full
+/// column 0 plus row 0 without its last vertex `(0, n−1)`.
+pub fn theorem2_seed_column_row(torus: &Torus, k: Color) -> Coloring {
+    ColoringBuilder::unset(torus)
+        .column(0, k)
+        .row_except(0, &[torus.cols() - 1], k)
+        .build_partial()
+}
+
+/// The seed of Theorem 2 in the transposed "row + column" orientation: the
+/// full row 0 plus column 0 without its last vertex `(m−1, 0)`.
+pub fn theorem2_seed_row_column(torus: &Torus, k: Color) -> Coloring {
+    ColoringBuilder::unset(torus)
+        .row(0, k)
+        .column_except(0, &[torus.rows() - 1], k)
+        .build_partial()
+}
+
+/// Row-stripe filler for the column+row orientation.  Valid (with exactly
+/// three non-`k` colours) when `m ≡ 0 (mod 3)`; the caller validates.
+fn row_stripe_candidate(torus: &Torus, partial: &Coloring, k: Color) -> Coloring {
+    let p = colors_excluding(k, 3);
+    let n = torus.cols();
+    fill_free(partial, |c: Coord| {
+        if c.row == 0 && c.col == n - 1 {
+            // The vertex excluded from the seed row takes the third stripe
+            // colour, which the stripe phase never places adjacent to it.
+            p[2]
+        } else {
+            p[(c.row - 1) % 3]
+        }
+    })
+}
+
+/// Column-stripe filler for the row+column orientation.  Valid (with
+/// exactly three non-`k` colours) when `n ≡ 0 (mod 3)`.
+fn column_stripe_candidate(torus: &Torus, partial: &Coloring, k: Color) -> Coloring {
+    let p = colors_excluding(k, 3);
+    let m = torus.rows();
+    fill_free(partial, |c: Coord| {
+        if c.col == 0 && c.row == m - 1 {
+            p[2]
+        } else {
+            p[(c.col - 1) % 3]
+        }
+    })
+}
+
+/// Brick filler for the column+row orientation: five colours, any size.
+///
+/// Row `i ≥ 2` uses phase 2, row 1 uses phase 0; cell `(i, j)` gets colour
+/// `P[(j + phase) mod 4]`, and the excluded vertex `(0, n−1)` gets
+/// `P[(n − 1) mod 4]` (the colour of its southern neighbour's class, which
+/// the analysis in DESIGN.md shows is always safe).
+fn brick_candidate(torus: &Torus, partial: &Coloring, k: Color) -> Coloring {
+    let p = colors_excluding(k, 4);
+    let n = torus.cols();
+    fill_free(partial, |c: Coord| {
+        if c.row == 0 && c.col == n - 1 {
+            p[(n - 1) % 4]
+        } else {
+            let phase = if c.row == 1 { 0 } else { 2 };
+            p[(c.col + phase) % 4]
+        }
+    })
+}
+
+/// Builds the Theorem-2 minimum monotone dynamo for an `m × n` toroidal
+/// mesh with target colour `k`.
+///
+/// Tries, in order: the 4-colour row-stripe filler (`m ≡ 0 mod 3`), the
+/// 4-colour column-stripe filler on the transposed seed (`n ≡ 0 mod 3`),
+/// the deterministic 5-colour brick filler, and finally a randomized
+/// local search.  Every candidate is validated against the theorem
+/// hypotheses before being returned.
+///
+/// # Errors
+///
+/// Returns [`ConstructError::TooSmall`] when `m < 3` or `n < 3` and
+/// [`ConstructError::FillerFailed`] if no filler satisfies the hypotheses
+/// (not expected for any `m, n ≥ 3`).
+pub fn theorem2_dynamo(m: usize, n: usize, k: Color) -> Result<ConstructedDynamo, ConstructError> {
+    if m < 3 || n < 3 {
+        return Err(ConstructError::TooSmall {
+            min_rows: 3,
+            min_cols: 3,
+            rows: m,
+            cols: n,
+        });
+    }
+    let torus = toroidal_mesh(m, n);
+
+    // 1. Four-colour row stripes (column+row orientation).
+    if m % 3 == 0 {
+        let partial = theorem2_seed_column_row(&torus, k);
+        let candidate = row_stripe_candidate(&torus, &partial, k);
+        if check_hypotheses(&torus, &candidate, k).is_empty() {
+            return ConstructedDynamo::validated(torus, candidate, k, FillerKind::RowStripes);
+        }
+    }
+
+    // 2. Four-colour column stripes (row+column orientation).
+    if n % 3 == 0 {
+        let partial = theorem2_seed_row_column(&torus, k);
+        let candidate = column_stripe_candidate(&torus, &partial, k);
+        if check_hypotheses(&torus, &candidate, k).is_empty() {
+            return ConstructedDynamo::validated(torus, candidate, k, FillerKind::ColumnStripes);
+        }
+    }
+
+    // 3. Five-colour brick pattern (column+row orientation), any size.
+    let mut last_violations;
+    {
+        let partial = theorem2_seed_column_row(&torus, k);
+        let candidate = brick_candidate(&torus, &partial, k);
+        let violations = check_hypotheses(&torus, &candidate, k);
+        if violations.is_empty() {
+            return ConstructedDynamo::validated(torus, candidate, k, FillerKind::Brick);
+        }
+        last_violations = violations;
+    }
+
+    // 4. Local search with progressively larger palettes (3, 4, then 5
+    // non-k colours).  With 4 non-k colours the strengthened local
+    // constraints force every interior vertex to have exactly one
+    // neighbour of its own colour, which the randomized repair does not
+    // always find; the 5-colour palette gives it slack.
+    for extra in [3u16, 4, 5, 6] {
+        let partial = theorem2_seed_column_row(&torus, k);
+        let palette = colors_excluding(k, extra);
+        if let Some(candidate) =
+            local_search_fill(&torus, &partial, k, &palette, 0xC0FFEE + extra as u64, 700)
+        {
+            let violations = check_hypotheses(&torus, &candidate, k);
+            if violations.is_empty() {
+                return ConstructedDynamo::validated(
+                    torus,
+                    candidate,
+                    k,
+                    FillerKind::LocalSearch { colors: extra + 1 },
+                );
+            }
+            last_violations = violations;
+        }
+    }
+
+    Err(ConstructError::FillerFailed { last_violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::toroidal_mesh_lower_bound;
+    use crate::dynamo::verify_dynamo;
+
+    fn k() -> Color {
+        Color::new(1)
+    }
+
+    #[test]
+    fn seed_shapes_have_the_right_size() {
+        let t = toroidal_mesh(6, 8);
+        let a = theorem2_seed_column_row(&t, k());
+        assert_eq!(a.count(k()), 6 + 8 - 2);
+        assert!(a.at(0, 7).is_unset(), "the last row vertex is excluded");
+        let b = theorem2_seed_row_column(&t, k());
+        assert_eq!(b.count(k()), 6 + 8 - 2);
+        assert!(b.at(5, 0).is_unset(), "the last column vertex is excluded");
+    }
+
+    #[test]
+    fn construction_is_minimum_size_and_verified() {
+        for (m, n) in [(6usize, 6usize), (6, 7), (7, 6), (9, 5), (5, 9)] {
+            let built = theorem2_dynamo(m, n, k()).unwrap_or_else(|e| {
+                panic!("construction failed for {m}x{n}: {e}");
+            });
+            assert_eq!(built.seed_size(), toroidal_mesh_lower_bound(m, n));
+            assert!(built.is_minimum_size());
+            let report = verify_dynamo(built.torus(), built.coloring(), k());
+            assert!(
+                report.is_monotone_dynamo(),
+                "{m}x{n} construction must be a monotone dynamo (filler {})",
+                built.filler()
+            );
+        }
+    }
+
+    #[test]
+    fn four_colors_when_a_dimension_is_divisible_by_three() {
+        for (m, n) in [(6usize, 7usize), (9, 8), (7, 6), (8, 9), (6, 6)] {
+            let built = theorem2_dynamo(m, n, k()).unwrap();
+            assert_eq!(
+                built.colors_used(),
+                4,
+                "{m}x{n} should admit a 4-colour construction"
+            );
+            assert!(matches!(
+                built.filler(),
+                FillerKind::RowStripes | FillerKind::ColumnStripes
+            ));
+        }
+    }
+
+    #[test]
+    fn awkward_sizes_still_construct() {
+        // Neither dimension divisible by 3: the brick or local-search
+        // filler must take over.
+        for (m, n) in [(5usize, 5usize), (7, 7), (8, 7), (10, 11)] {
+            let built = theorem2_dynamo(m, n, k()).unwrap();
+            assert!(built.is_minimum_size());
+            assert!(built.colors_used() <= 5);
+            let report = verify_dynamo(built.torus(), built.coloring(), k());
+            assert!(report.is_monotone_dynamo(), "{m}x{n} must verify");
+        }
+    }
+
+    #[test]
+    fn different_target_colors_are_supported() {
+        let built = theorem2_dynamo(6, 6, Color::new(3)).unwrap();
+        assert_eq!(built.k(), Color::new(3));
+        assert_eq!(built.coloring().count(Color::new(3)), 10);
+        let report = verify_dynamo(built.torus(), built.coloring(), Color::new(3));
+        assert!(report.is_monotone_dynamo());
+    }
+
+    #[test]
+    fn too_small_sizes_are_rejected() {
+        assert!(matches!(
+            theorem2_dynamo(2, 5, k()),
+            Err(ConstructError::TooSmall { .. })
+        ));
+        assert!(matches!(
+            theorem2_dynamo(5, 2, k()),
+            Err(ConstructError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn colors_excluding_skips_target() {
+        assert_eq!(
+            colors_excluding(Color::new(2), 3),
+            vec![Color::new(1), Color::new(3), Color::new(4)]
+        );
+        assert_eq!(
+            colors_excluding(Color::new(1), 2),
+            vec![Color::new(2), Color::new(3)]
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Theorem 6: minimum-size monotone dynamos on the torus serpentinus.
+//!
+//! With `N = min(m, n)` the seed has `N + 1` vertices (the Theorem-5 lower
+//! bound): a whole row plus the first vertex of the next row when `N = n`,
+//! or a whole column plus the first vertex of the next column when
+//! `N = m < n`.
+//!
+//! The row-seed case admits the same period-3 column-stripe filler as the
+//! torus cordalis when `n ≡ 0 (mod 3)` (four colours); all other cases use
+//! the local-search filler.
+
+use super::filler::{fill_free, local_search_fill};
+use super::mesh::colors_excluding;
+use super::{ConstructError, ConstructedDynamo, FillerKind};
+use crate::hypotheses::check_hypotheses;
+use ctori_coloring::{Color, Coloring, ColoringBuilder};
+use ctori_topology::{torus_serpentinus, Coord, Torus};
+
+/// The Theorem-6 seed for `N = n ≤ m`: the whole row 0 plus `(1, 0)`.
+pub fn theorem6_seed_row(torus: &Torus, k: Color) -> Coloring {
+    ColoringBuilder::unset(torus)
+        .row(0, k)
+        .cell(1, 0, k)
+        .build_partial()
+}
+
+/// The Theorem-6 seed for `N = m < n`: the whole column 0 plus `(0, 1)`.
+pub fn theorem6_seed_column(torus: &Torus, k: Color) -> Coloring {
+    ColoringBuilder::unset(torus)
+        .column(0, k)
+        .cell(0, 1, k)
+        .build_partial()
+}
+
+/// Period-3 column stripes for the row-seed case.
+fn column_stripe_candidate(partial: &Coloring, k: Color) -> Coloring {
+    let p = colors_excluding(k, 3);
+    fill_free(partial, |c: Coord| p[c.col % 3])
+}
+
+/// Period-3 row stripes for the column-seed case (`N = m`).
+fn row_stripe_candidate(partial: &Coloring, k: Color) -> Coloring {
+    let p = colors_excluding(k, 3);
+    fill_free(partial, |c: Coord| p[c.row % 3])
+}
+
+/// Builds the Theorem-6 minimum monotone dynamo for an `m × n` torus
+/// serpentinus with target colour `k`.
+///
+/// # Errors
+///
+/// Returns [`ConstructError::TooSmall`] when `m < 3` or `n < 3`, and
+/// [`ConstructError::FillerFailed`] if no hypothesis-satisfying filler is
+/// found.
+pub fn theorem6_dynamo(m: usize, n: usize, k: Color) -> Result<ConstructedDynamo, ConstructError> {
+    if m < 3 || n < 3 {
+        return Err(ConstructError::TooSmall {
+            min_rows: 3,
+            min_cols: 3,
+            rows: m,
+            cols: n,
+        });
+    }
+    let torus = torus_serpentinus(m, n);
+    let row_seeded = n <= m;
+    let partial = if row_seeded {
+        theorem6_seed_row(&torus, k)
+    } else {
+        theorem6_seed_column(&torus, k)
+    };
+    // Deterministic stripe candidates (cheap to try even when the
+    // divisibility condition does not hold — the checker decides).
+    let stripe = if row_seeded {
+        column_stripe_candidate(&partial, k)
+    } else {
+        row_stripe_candidate(&partial, k)
+    };
+    let violations = check_hypotheses(&torus, &stripe, k);
+    if violations.is_empty() {
+        let kind = if row_seeded {
+            FillerKind::ColumnStripes
+        } else {
+            FillerKind::RowStripes
+        };
+        return ConstructedDynamo::validated(torus, stripe, k, kind);
+    }
+    let mut last_violations = violations;
+
+    for extra in [3u16, 4, 5, 6] {
+        let palette = colors_excluding(k, extra);
+        if let Some(candidate) =
+            local_search_fill(&torus, &partial, k, &palette, 0x5E49 + extra as u64, 700)
+        {
+            let violations = check_hypotheses(&torus, &candidate, k);
+            if violations.is_empty() {
+                return ConstructedDynamo::validated(
+                    torus,
+                    candidate,
+                    k,
+                    FillerKind::LocalSearch { colors: extra + 1 },
+                );
+            }
+            last_violations = violations;
+        }
+    }
+
+    Err(ConstructError::FillerFailed { last_violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::torus_serpentinus_lower_bound;
+    use crate::dynamo::verify_dynamo;
+
+    fn k() -> Color {
+        Color::new(1)
+    }
+
+    #[test]
+    fn seed_sizes_follow_the_smaller_dimension() {
+        let t = torus_serpentinus(8, 5);
+        assert_eq!(theorem6_seed_row(&t, k()).count(k()), 6);
+        let t = torus_serpentinus(5, 8);
+        assert_eq!(theorem6_seed_column(&t, k()).count(k()), 6);
+    }
+
+    #[test]
+    fn row_seeded_construction_verifies() {
+        // n <= m: seed is a row plus one vertex.
+        for (m, n) in [(6usize, 6usize), (9, 6), (7, 6), (8, 5)] {
+            let built = theorem6_dynamo(m, n, k()).unwrap();
+            assert_eq!(built.seed_size(), torus_serpentinus_lower_bound(m, n));
+            assert!(built.is_minimum_size());
+            let report = verify_dynamo(built.torus(), built.coloring(), k());
+            assert!(report.is_monotone_dynamo(), "{m}x{n} must verify");
+        }
+    }
+
+    #[test]
+    fn column_seeded_construction_verifies() {
+        // m < n: seed is a column plus one vertex.
+        for (m, n) in [(5usize, 7usize), (6, 9), (5, 8)] {
+            let built = theorem6_dynamo(m, n, k()).unwrap();
+            assert_eq!(built.seed_size(), m + 1);
+            assert!(built.is_minimum_size());
+            let report = verify_dynamo(built.torus(), built.coloring(), k());
+            assert!(report.is_monotone_dynamo(), "{m}x{n} must verify");
+        }
+    }
+
+    #[test]
+    fn four_colors_when_columns_divisible_by_three() {
+        for (m, n) in [(6usize, 6usize), (9, 6), (7, 3)] {
+            let built = theorem6_dynamo(m, n, k()).unwrap();
+            assert_eq!(built.colors_used(), 4, "{m}x{n}");
+            assert_eq!(built.filler(), FillerKind::ColumnStripes);
+        }
+    }
+
+    #[test]
+    fn too_small_is_rejected() {
+        assert!(matches!(
+            theorem6_dynamo(6, 2, k()),
+            Err(ConstructError::TooSmall { .. })
+        ));
+    }
+}

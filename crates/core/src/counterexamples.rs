@@ -1,0 +1,116 @@
+//! Non-dynamo configurations (Figures 3 and 4 of the paper).
+//!
+//! The paper uses two pictures to show that the hypotheses of Theorem 2
+//! cannot be weakened:
+//!
+//! * **Figure 3** — a set of black vertices of the right size and shape
+//!   that nevertheless is *not* a dynamo, because the colours around it do
+//!   not satisfy the distinct-neighbour condition;
+//! * **Figure 4** — a configuration in which *no recolouring can arise at
+//!   all*: every vertex is blocked by a 2–2 tie (or worse), so the system
+//!   is frozen at a non-monochromatic fixed point from the start.
+//!
+//! The published figures are images whose exact cell values are not
+//! recoverable from the text, so the constructors below produce
+//! *representative* configurations with the same stated properties, which
+//! the accompanying tests verify by simulation:
+//!
+//! * [`figure3_configuration`] places the Theorem-2 seed (a column plus a
+//!   row missing one vertex, `m + n − 2` black vertices) on an otherwise
+//!   white torus.  With only two colours the black region cannot grow
+//!   (every white vertex next to it sees a 2–2 tie) and the thin end of the
+//!   black row even erodes, so the seed — although it has the minimum
+//!   dynamo *size* — is not a dynamo.  This is also the phenomenon behind
+//!   Remark 1 and Proposition 3 (two colours are not enough).
+//! * [`figure4_configuration`] colours a full cross (row 0 and column 0)
+//!   with `k` and every other vertex with one single other colour: every
+//!   vertex of the torus, seed included, keeps its colour forever, i.e.
+//!   "no recoloring can arise".
+
+use ctori_coloring::{Color, Coloring, ColoringBuilder};
+use ctori_topology::{toroidal_mesh, Torus};
+
+/// A representative of Figure 3: a minimum-size black seed that is not a
+/// dynamo because the remaining vertices violate the Theorem-2 conditions
+/// (they all share one colour).
+pub fn figure3_configuration(m: usize, n: usize, k: Color) -> (Torus, Coloring) {
+    assert!(m >= 3 && n >= 3, "the counterexample needs m, n >= 3");
+    let torus = toroidal_mesh(m, n);
+    let other = if k == Color::new(1) {
+        Color::new(2)
+    } else {
+        Color::new(1)
+    };
+    let coloring = ColoringBuilder::filled(&torus, other)
+        .column(0, k)
+        .row_except(0, &[n - 1], k)
+        .build();
+    (torus, coloring)
+}
+
+/// A representative of Figure 4: a configuration in which no vertex ever
+/// recolours (a frozen, non-monochromatic fixed point).
+pub fn figure4_configuration(m: usize, n: usize, k: Color) -> (Torus, Coloring) {
+    assert!(m >= 3 && n >= 3, "the counterexample needs m, n >= 3");
+    let torus = toroidal_mesh(m, n);
+    let other = if k == Color::new(1) {
+        Color::new(2)
+    } else {
+        Color::new(1)
+    };
+    let coloring = ColoringBuilder::filled(&torus, other)
+        .row(0, k)
+        .column(0, k)
+        .build();
+    (torus, coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamo::verify_dynamo;
+    use crate::hypotheses::check_hypotheses;
+    use ctori_engine::{RunConfig, Simulator, Termination};
+    use ctori_protocols::SmpProtocol;
+
+    fn k() -> Color {
+        Color::new(2)
+    }
+
+    #[test]
+    fn figure3_has_minimum_size_but_is_not_a_dynamo() {
+        let (torus, coloring) = figure3_configuration(9, 9, k());
+        assert_eq!(coloring.count(k()), 9 + 9 - 2, "the seed has the Theorem-1 size");
+        let report = verify_dynamo(&torus, &coloring, k());
+        assert!(!report.is_dynamo(), "Figure 3: black nodes do not constitute a dynamo");
+        // And the reason: the Theorem-2 hypotheses are violated.
+        assert!(!check_hypotheses(&torus, &coloring, k()).is_empty());
+    }
+
+    #[test]
+    fn figure4_has_no_recoloring_at_all() {
+        let (torus, coloring) = figure4_configuration(7, 7, k());
+        let mut sim = Simulator::new(&torus, SmpProtocol, coloring.clone());
+        let step = sim.step();
+        assert_eq!(step.changed, 0, "Figure 4: no recoloring can arise");
+        let mut sim = Simulator::new(&torus, SmpProtocol, coloring);
+        let report = sim.run(&RunConfig::default());
+        assert_eq!(report.termination, Termination::FixedPoint);
+        assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn counterexamples_work_for_other_target_colors() {
+        let (torus, coloring) = figure3_configuration(6, 6, Color::new(1));
+        assert_eq!(coloring.count(Color::new(1)), 10);
+        assert!(!verify_dynamo(&torus, &coloring, Color::new(1)).is_dynamo());
+        let (_torus, coloring) = figure4_configuration(6, 6, Color::new(1));
+        assert_eq!(coloring.distinct_colors().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "m, n >= 3")]
+    fn tiny_counterexamples_are_rejected() {
+        let _ = figure3_configuration(2, 9, k());
+    }
+}

@@ -1,0 +1,221 @@
+//! Reproductions of the paper's figures.
+//!
+//! Each function rebuilds the artefact one of the six figures displays —
+//! either an initial configuration (Figures 1–4) or a matrix of
+//! recolouring times (Figures 5 and 6) — so the experiment binary can print
+//! paper-comparable output and the tests can assert the exact values where
+//! the paper states them.
+
+use crate::construct::mesh::theorem2_dynamo;
+use crate::construct::{ConstructError, ConstructedDynamo};
+use crate::counterexamples;
+use ctori_coloring::{render_highlight, Color, Coloring, ColoringBuilder};
+use ctori_engine::{run_with_trace, RecoloringTimes, RunConfig};
+use ctori_protocols::SmpProtocol;
+use ctori_topology::{toroidal_mesh, torus_cordalis, Torus};
+
+/// The default size used by the paper's figures (the printed grids are
+/// 9×9 for Figures 1–4 and 5×5 for Figures 5 and 6).
+pub const FIGURE_GRID: usize = 9;
+
+/// Figure 1: a monotone dynamo seed of size `m + n − 2` (black vertices
+/// only; the remaining colours are the subject of Figure 2).
+///
+/// Returns the torus, the partial configuration (seed placed, the rest
+/// unset) and the rendered black/white picture.
+pub fn figure1(m: usize, n: usize, k: Color) -> (Torus, Coloring, String) {
+    let torus = toroidal_mesh(m, n);
+    let seed = ColoringBuilder::unset(&torus)
+        .column(0, k)
+        .row_except(0, &[n - 1], k)
+        .build_partial();
+    let picture = render_highlight(&seed, k);
+    (torus, seed, picture)
+}
+
+/// Figure 2: the full Theorem-2 minimum monotone dynamo colouring.
+pub fn figure2(m: usize, n: usize, k: Color) -> Result<ConstructedDynamo, ConstructError> {
+    theorem2_dynamo(m, n, k)
+}
+
+/// Figure 3: black vertices of the minimum size that do **not** form a
+/// dynamo.
+pub fn figure3(m: usize, n: usize, k: Color) -> (Torus, Coloring) {
+    counterexamples::figure3_configuration(m, n, k)
+}
+
+/// Figure 4: a configuration in which no recolouring can arise.
+pub fn figure4(m: usize, n: usize, k: Color) -> (Torus, Coloring) {
+    counterexamples::figure4_configuration(m, n, k)
+}
+
+/// Fills every unset cell with a fresh, pairwise distinct colour.
+///
+/// With pairwise distinct non-`k` colours no vertex can ever adopt a
+/// non-`k` colour (no colour other than `k` can reach a plurality of two),
+/// so the dynamics reduce to pure threshold-2 growth of the `k` region —
+/// the "ideal" propagation whose per-vertex times the paper tabulates in
+/// Figures 5 and 6.
+pub fn fill_with_distinct_colors(partial: &Coloring, k: Color) -> Coloring {
+    let mut next = k.index() + 1;
+    let mut out = partial.clone();
+    for row in 0..out.rows() {
+        for col in 0..out.cols() {
+            if out.at(row, col).is_unset() {
+                if Color::new(next) == k {
+                    next += 1;
+                }
+                out.set_at(row, col, Color::new(next));
+                next += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Runs the "ideal" propagation (every non-seed vertex gets a pairwise
+/// distinct colour) from a partially-specified seed configuration and
+/// returns the number of rounds to reach the `k`-monochromatic
+/// configuration, or `None` if it is never reached.
+///
+/// This isolates the *structural* convergence time of a seed — the
+/// quantity the round-complexity formulas of Theorems 7 and 8 describe —
+/// from the one-round delays a specific four-colour filler can introduce.
+pub fn ideal_rounds_for_partial(torus: &Torus, partial: &Coloring, k: Color) -> Option<usize> {
+    let initial = fill_with_distinct_colors(partial, k);
+    let mut sim = ctori_engine::Simulator::new(torus, SmpProtocol, initial);
+    let report = sim.run(&RunConfig::for_dynamo(k));
+    report.termination.is_monochromatic_in(k).then_some(report.rounds)
+}
+
+/// Figure 5: the recolouring-time matrix of a toroidal mesh whose entire
+/// row 0 and column 0 start with colour `k` (the configuration whose times
+/// the paper prints for a 5×5 mesh).
+pub fn figure5(m: usize, n: usize, k: Color) -> RecoloringTimes {
+    let torus = toroidal_mesh(m, n);
+    let partial = ColoringBuilder::unset(&torus)
+        .row(0, k)
+        .column(0, k)
+        .build_partial();
+    let initial = fill_with_distinct_colors(&partial, k);
+    let (trace, _report) = run_with_trace(&torus, SmpProtocol, initial, &RunConfig::for_dynamo(k));
+    RecoloringTimes::from_trace(&trace, k)
+}
+
+/// Figure 6: the recolouring-time matrix of a torus cordalis seeded with
+/// the Theorem-4 configuration (row 0 plus the vertex `(1, 0)`).
+pub fn figure6(m: usize, n: usize, k: Color) -> RecoloringTimes {
+    let torus = torus_cordalis(m, n);
+    let partial = ColoringBuilder::unset(&torus)
+        .row(0, k)
+        .cell(1, 0, k)
+        .build_partial();
+    let initial = fill_with_distinct_colors(&partial, k);
+    let (trace, _report) = run_with_trace(&torus, SmpProtocol, initial, &RunConfig::for_dynamo(k));
+    RecoloringTimes::from_trace(&trace, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamo::verify_dynamo;
+    use crate::rounds::{theorem7_rounds, theorem8_rounds};
+
+    fn k() -> Color {
+        Color::new(1)
+    }
+
+    #[test]
+    fn figure1_seed_size_matches_paper() {
+        // The paper's Figure 1 caption: a monotone dynamo of size
+        // m + n - 2 = 16, i.e. a 9x9 torus.
+        let (_, seed, picture) = figure1(9, 9, k());
+        assert_eq!(seed.count(k()), 16);
+        assert_eq!(picture.matches('B').count(), 16);
+        assert_eq!(picture.lines().count(), 9);
+    }
+
+    #[test]
+    fn figure2_is_a_verified_minimum_dynamo() {
+        let built = figure2(9, 9, k()).unwrap();
+        assert_eq!(built.seed_size(), 16);
+        assert_eq!(built.colors_used(), 4);
+        let report = verify_dynamo(built.torus(), built.coloring(), k());
+        assert!(report.is_monotone_dynamo());
+    }
+
+    #[test]
+    fn figure3_and_figure4_reproduce_their_captions() {
+        let (torus, coloring) = figure3(9, 9, k());
+        assert!(!verify_dynamo(&torus, &coloring, k()).is_dynamo());
+        let (torus, coloring) = figure4(9, 9, k());
+        let report = verify_dynamo(&torus, &coloring, k());
+        assert!(!report.is_dynamo());
+        assert_eq!(report.rounds, 1, "Figure 4 freezes immediately");
+    }
+
+    #[test]
+    fn figure5_matches_the_printed_matrix() {
+        // Figure 5 of the paper (5x5):
+        //   0 0 0 0 0
+        //   0 1 2 2 1
+        //   0 2 3 3 2
+        //   0 2 3 3 2
+        //   0 1 2 2 1
+        let times = figure5(5, 5, k());
+        let expected: [[usize; 5]; 5] = [
+            [0, 0, 0, 0, 0],
+            [0, 1, 2, 2, 1],
+            [0, 2, 3, 3, 2],
+            [0, 2, 3, 3, 2],
+            [0, 1, 2, 2, 1],
+        ];
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &value) in row.iter().enumerate() {
+                assert_eq!(
+                    times.at(i, j),
+                    Some(value),
+                    "figure 5 mismatch at ({i}, {j})"
+                );
+            }
+        }
+        // The slowest vertex matches the Theorem-7 formula.
+        assert_eq!(times.max_time(), Some(theorem7_rounds(5, 5) as usize));
+    }
+
+    #[test]
+    fn figure6_matches_the_printed_matrix() {
+        // Figure 6 of the paper (5x5 torus cordalis):
+        //   0 0 0 0 0
+        //   0 1 2 3 4
+        //   5 6 7 8 7
+        //   6 7 8 7 6
+        //   5 4 3 2 1
+        let times = figure6(5, 5, k());
+        let expected: [[usize; 5]; 5] = [
+            [0, 0, 0, 0, 0],
+            [0, 1, 2, 3, 4],
+            [5, 6, 7, 8, 7],
+            [6, 7, 8, 7, 6],
+            [5, 4, 3, 2, 1],
+        ];
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &value) in row.iter().enumerate() {
+                assert_eq!(
+                    times.at(i, j),
+                    Some(value),
+                    "figure 6 mismatch at ({i}, {j})"
+                );
+            }
+        }
+        assert_eq!(times.max_time(), Some(theorem8_rounds(5, 5) as usize));
+    }
+
+    #[test]
+    fn figure_renders_are_printable() {
+        let times = figure5(5, 5, k());
+        let text = times.render();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains('3'));
+    }
+}

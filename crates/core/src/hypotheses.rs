@@ -1,0 +1,285 @@
+//! Machine-checkable hypotheses of Theorems 2, 4 and 6.
+//!
+//! All three construction theorems share the same two conditions on the
+//! colours *other than* the target colour `k`:
+//!
+//! 1. **Forest condition** — for every colour `k' ≠ k`, the set `S^{k'}` of
+//!    `k'`-coloured vertices induces a forest in the torus;
+//! 2. **Distinct-neighbour condition** — for every vertex `x` with colour
+//!    `k' ≠ k`, the vertices in `N(x) \ (V^{k'} ∪ V^k)` have pairwise
+//!    different colours.
+//!
+//! Together these guarantee that no `k'`-block can ever form, so the
+//! `k`-coloured region grows monotonically until it covers the torus.
+//!
+//! In addition, this module provides the **seed immortality** check: every
+//! `k`-coloured vertex must be unable to lose its colour in the first
+//! round, i.e. no other colour may have a unique plurality of at least two
+//! in its neighbourhood.  (For seed vertices with two `k`-neighbours this
+//! is automatic; the Theorem-2 seed has one vertex with a single
+//! `k`-neighbour, for which the condition constrains the filler.)
+
+use ctori_coloring::{Color, Coloring, Palette};
+use ctori_protocols::{LocalRule, SmpProtocol};
+use ctori_topology::{is_forest, NodeId, Torus};
+
+/// A violation of one of the construction hypotheses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HypothesisViolation {
+    /// Some non-`k` colour class contains a cycle.
+    NotAForest {
+        /// The offending colour.
+        color: Color,
+    },
+    /// A non-`k` vertex sees two neighbours of the same colour outside its
+    /// own class and `k`.
+    RepeatedNeighborColor {
+        /// The vertex at which the violation occurs.
+        vertex: NodeId,
+        /// The repeated colour.
+        color: Color,
+    },
+    /// A `k`-coloured seed vertex would lose its colour in the first round.
+    SeedNotImmortal {
+        /// The seed vertex that would recolour.
+        vertex: NodeId,
+        /// The colour it would adopt.
+        adopts: Color,
+    },
+}
+
+impl std::fmt::Display for HypothesisViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HypothesisViolation::NotAForest { color } => {
+                write!(f, "colour class {color} is not a forest")
+            }
+            HypothesisViolation::RepeatedNeighborColor { vertex, color } => write!(
+                f,
+                "vertex {vertex} sees two neighbours of colour {color} outside its class and k"
+            ),
+            HypothesisViolation::SeedNotImmortal { vertex, adopts } => write!(
+                f,
+                "seed vertex {vertex} would recolour to {adopts} in the first round"
+            ),
+        }
+    }
+}
+
+/// Checks the forest condition for every colour other than `k`.
+pub fn check_forest_condition(
+    torus: &Torus,
+    coloring: &Coloring,
+    k: Color,
+) -> Result<(), HypothesisViolation> {
+    for color in coloring.distinct_colors() {
+        if color == k {
+            continue;
+        }
+        let class = ctori_coloring::color_class(coloring, color);
+        if !is_forest(torus, &class) {
+            return Err(HypothesisViolation::NotAForest { color });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the distinct-neighbour condition for every non-`k` vertex.
+pub fn check_distinct_neighbor_condition(
+    torus: &Torus,
+    coloring: &Coloring,
+    k: Color,
+) -> Result<(), HypothesisViolation> {
+    for v in 0..coloring.len() {
+        let v = NodeId::new(v);
+        let own = coloring.get(v);
+        if own == k {
+            continue;
+        }
+        let mut seen: Vec<Color> = Vec::with_capacity(4);
+        for u in torus.neighbor_ids(v) {
+            let c = coloring.get(u);
+            if c == k || c == own {
+                continue;
+            }
+            if seen.contains(&c) {
+                return Err(HypothesisViolation::RepeatedNeighborColor { vertex: v, color: c });
+            }
+            seen.push(c);
+        }
+    }
+    Ok(())
+}
+
+/// Checks that no `k`-coloured vertex recolours in the first round under
+/// the SMP-Protocol (a necessary condition for monotonicity).
+pub fn check_seed_immortal(
+    torus: &Torus,
+    coloring: &Coloring,
+    k: Color,
+) -> Result<(), HypothesisViolation> {
+    let rule = SmpProtocol;
+    for v in 0..coloring.len() {
+        let v = NodeId::new(v);
+        if coloring.get(v) != k {
+            continue;
+        }
+        let nbrs: Vec<Color> = torus
+            .neighbor_ids(v)
+            .into_iter()
+            .map(|u| coloring.get(u))
+            .collect();
+        let next = rule.next_color(k, &nbrs);
+        if next != k {
+            return Err(HypothesisViolation::SeedNotImmortal { vertex: v, adopts: next });
+        }
+    }
+    Ok(())
+}
+
+/// Runs all three checks.  Returns every violation found (empty = the
+/// configuration satisfies the hypotheses of Theorems 2 / 4 / 6).
+pub fn check_hypotheses(torus: &Torus, coloring: &Coloring, k: Color) -> Vec<HypothesisViolation> {
+    let mut violations = Vec::new();
+    if let Err(v) = check_forest_condition(torus, coloring, k) {
+        violations.push(v);
+    }
+    if let Err(v) = check_distinct_neighbor_condition(torus, coloring, k) {
+        violations.push(v);
+    }
+    if let Err(v) = check_seed_immortal(torus, coloring, k) {
+        violations.push(v);
+    }
+    violations
+}
+
+/// Counts how many distinct colours a configuration uses, as a convenience
+/// for reporting "this construction needed |C| = …" in the experiments.
+pub fn palette_size_used(coloring: &Coloring) -> u16 {
+    coloring.distinct_colors().len() as u16
+}
+
+/// Builds the smallest palette containing every colour used by the
+/// configuration.
+pub fn palette_of(coloring: &Coloring) -> Palette {
+    let max = coloring
+        .distinct_colors()
+        .into_iter()
+        .map(|c| c.index())
+        .max()
+        .unwrap_or(1);
+    Palette::new(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_coloring::ColoringBuilder;
+    use ctori_topology::toroidal_mesh;
+
+    fn k() -> Color {
+        Color::new(1)
+    }
+
+    #[test]
+    fn forest_condition_rejects_full_non_k_row() {
+        // A full row of colour 2 on a toroidal mesh wraps into a cycle.
+        let t = toroidal_mesh(5, 5);
+        let coloring = ColoringBuilder::filled(&t, k()).row(2, Color::new(2)).build();
+        assert_eq!(
+            check_forest_condition(&t, &coloring, k()),
+            Err(HypothesisViolation::NotAForest { color: Color::new(2) })
+        );
+        // A partial row (a path, not a cycle) of colour 2 is fine.
+        let coloring = ColoringBuilder::filled(&t, k())
+            .row_except(2, &[4], Color::new(2))
+            .build();
+        assert!(check_forest_condition(&t, &coloring, k()).is_ok());
+    }
+
+    #[test]
+    fn distinct_neighbor_condition_detects_repeats() {
+        let t = toroidal_mesh(5, 5);
+        // Vertex (2,2) has colour 3; neighbours (1,2) and (3,2) both have
+        // colour 4 (not k, not 3): violation at (2,2).
+        let coloring = ColoringBuilder::filled(&t, k())
+            .cell(2, 2, Color::new(3))
+            .cell(1, 2, Color::new(4))
+            .cell(3, 2, Color::new(4))
+            .build();
+        let err = check_distinct_neighbor_condition(&t, &coloring, k()).unwrap_err();
+        match err {
+            HypothesisViolation::RepeatedNeighborColor { color, .. } => {
+                assert_eq!(color, Color::new(4));
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeats_of_k_or_own_color_are_allowed() {
+        let t = toroidal_mesh(5, 5);
+        // (2,2) has colour 3; two neighbours are k and two are colour 3
+        // (its own class): no violation.
+        let coloring = ColoringBuilder::filled(&t, k())
+            .cell(2, 2, Color::new(3))
+            .cell(1, 2, Color::new(3))
+            .cell(3, 2, Color::new(3))
+            .build();
+        assert!(check_distinct_neighbor_condition(&t, &coloring, k()).is_ok());
+    }
+
+    #[test]
+    fn seed_immortality_detects_flippable_seed() {
+        let t = toroidal_mesh(5, 5);
+        // A single k vertex surrounded by three vertices of colour 2 flips
+        // to 2 in the first round.
+        let coloring = ColoringBuilder::filled(&t, Color::new(3))
+            .cell(2, 2, k())
+            .cell(1, 2, Color::new(2))
+            .cell(3, 2, Color::new(2))
+            .cell(2, 1, Color::new(2))
+            .build();
+        let err = check_seed_immortal(&t, &coloring, k()).unwrap_err();
+        assert!(matches!(
+            err,
+            HypothesisViolation::SeedNotImmortal { adopts, .. } if adopts == Color::new(2)
+        ));
+    }
+
+    #[test]
+    fn seed_with_two_k_neighbors_is_always_immortal() {
+        let t = toroidal_mesh(5, 5);
+        // A full k column: every member has two k neighbours.
+        let coloring = ColoringBuilder::filled(&t, Color::new(2)).column(0, k()).build();
+        assert!(check_seed_immortal(&t, &coloring, k()).is_ok());
+    }
+
+    #[test]
+    fn check_all_collects_violations() {
+        let t = toroidal_mesh(5, 5);
+        // Both a non-forest class and a repeated-neighbour violation.
+        let coloring = ColoringBuilder::filled(&t, k())
+            .row(2, Color::new(2))
+            .cell(0, 0, Color::new(3))
+            .cell(4, 0, Color::new(4))
+            .cell(1, 0, Color::new(4))
+            .build();
+        let violations = check_hypotheses(&t, &coloring, k());
+        assert!(!violations.is_empty());
+        // display does not panic
+        for v in &violations {
+            let _ = v.to_string();
+        }
+    }
+
+    #[test]
+    fn palette_helpers() {
+        let t = toroidal_mesh(3, 3);
+        let coloring = ColoringBuilder::filled(&t, Color::new(1))
+            .cell(0, 0, Color::new(4))
+            .build();
+        assert_eq!(palette_size_used(&coloring), 2);
+        assert_eq!(palette_of(&coloring).size(), 4);
+    }
+}

@@ -1,0 +1,76 @@
+//! # ctori-core
+//!
+//! Dynamic monopolies (dynamos) in multi-coloured tori — the primary
+//! contribution of *Dynamic Monopolies in Colored Tori* (Brunetti, Lodi &
+//! Quattrociocchi, IPPS 2011), built on the topology / colouring /
+//! protocol / engine substrates of this workspace.
+//!
+//! The crate covers every definition and result of the paper:
+//!
+//! * [`blocks`] — `k`-blocks and non-`k`-blocks (Definitions 4 and 5), the
+//!   immortal structures that drive all lower bounds;
+//! * [`dynamo`] — dynamo and monotone-dynamo verification by simulation
+//!   (Definitions 2 and 3), with full reports;
+//! * [`bounds`] — the lower bounds of Theorems 1, 3 and 5 and the
+//!   colour-count necessity of Proposition 3;
+//! * [`hypotheses`] — machine-checkable forms of the hypotheses of
+//!   Theorems 2, 4 and 6 (seed shape, forest condition, distinct-neighbour
+//!   condition);
+//! * [`construct`] — constructions of minimum-size monotone dynamos for the
+//!   toroidal mesh (Theorem 2), torus cordalis (Theorem 4) and torus
+//!   serpentinus (Theorem 6), including the stripe fillers and a
+//!   local-search filler for sizes the closed-form patterns do not cover;
+//! * [`rounds`] — the round-complexity formulas of Theorems 7 and 8 and
+//!   helpers to compare them against measured convergence times;
+//! * [`phi`] — the colour-collapsing transformation φ behind Propositions 1
+//!   and 2, connecting the multi-coloured problem to the bi-coloured
+//!   baselines of Flocchini et al.;
+//! * [`search`] — exhaustive minimum monotone-dynamo search on small tori
+//!   (the empirical check that the lower bounds are tight);
+//! * [`counterexamples`] — the non-dynamo configurations of Figures 3
+//!   and 4;
+//! * [`figures`] — one constructor per paper figure, producing the exact
+//!   artefact (configuration or recolouring-time matrix) the paper prints.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ctori_coloring::Color;
+//! use ctori_core::construct::mesh::theorem2_dynamo;
+//! use ctori_core::dynamo::verify_dynamo;
+//! use ctori_topology::{toroidal_mesh, TorusKind};
+//!
+//! let k = Color::new(1);
+//! // Build the Theorem-2 minimum monotone dynamo on a 6x6 toroidal mesh.
+//! let built = theorem2_dynamo(6, 6, k).expect("constructible");
+//! assert_eq!(built.seed_size(), 6 + 6 - 2);
+//!
+//! // Verify by simulation that it converges monotonically to all-k.
+//! let torus = toroidal_mesh(6, 6);
+//! let report = verify_dynamo(&torus, built.coloring(), k);
+//! assert!(report.is_monotone_dynamo());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod blocks;
+pub mod bounds;
+pub mod construct;
+pub mod counterexamples;
+pub mod dynamo;
+pub mod figures;
+pub mod hypotheses;
+pub mod phi;
+pub mod rounds;
+pub mod search;
+
+pub use blocks::{find_k_blocks, find_non_k_blocks, has_non_k_block, is_k_block};
+pub use bounds::{lower_bound, prop3_minimum_colors};
+pub use construct::{ConstructError, ConstructedDynamo};
+pub use dynamo::{verify_dynamo, verify_dynamo_with_rule, DynamoReport};
+pub use hypotheses::{check_hypotheses, HypothesisViolation};
+pub use phi::phi_collapse;
+pub use rounds::{theorem7_rounds, theorem8_rounds};
+pub use search::{search_minimum_monotone_dynamo, SearchOutcome};

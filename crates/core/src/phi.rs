@@ -1,0 +1,115 @@
+//! The colour-collapsing transformation φ (Propositions 1 and 2).
+//!
+//! The paper defines `φ : C → C` with `φ(i) = 1` for every `i ≠ k` and
+//! `φ(k) = 2`, mapping a multi-coloured torus onto a bi-coloured one in
+//! which colour 1 plays "white" and colour 2 plays "black".  Under φ:
+//!
+//! * a non-`k`-block of the multi-coloured configuration becomes a *simple
+//!   white block* of the bi-coloured one (Proposition 1), so any lower
+//!   bound for bi-coloured dynamos under the reverse simple majority rule
+//!   is also a lower bound for multi-coloured dynamos under the
+//!   SMP-Protocol;
+//! * strong white blocks correspond to `i`-blocks, and the reverse strong
+//!   majority rule is more demanding than the SMP-Protocol, so bi-coloured
+//!   upper bounds under reverse strong majority transfer as upper bounds
+//!   (Proposition 2) — albeit far from tight, which is why Theorems 2/4/6
+//!   construct better ones directly.
+
+use ctori_coloring::{Color, Coloring};
+use ctori_topology::{NodeSet, Torus};
+
+/// Applies φ to a configuration: every `k`-coloured vertex becomes black
+/// (colour 2), every other vertex becomes white (colour 1).
+pub fn phi_collapse(coloring: &Coloring, k: Color) -> Coloring {
+    coloring.map_colors(|c| if c == k { Color::BLACK } else { Color::WHITE })
+}
+
+/// A *simple white block* in the bi-coloured terminology of [15]: a
+/// connected set of white vertices each with at least three white
+/// neighbours inside the set.  Under φ this is exactly the image of a
+/// non-`k`-block.
+pub fn find_simple_white_blocks(torus: &Torus, bicolored: &Coloring) -> Vec<NodeSet> {
+    crate::blocks::find_non_k_blocks(torus, bicolored, Color::BLACK)
+}
+
+/// Empirical check of the correspondence behind Proposition 1: the
+/// multi-coloured configuration has a non-`k`-block iff its φ-image has a
+/// simple white block.
+pub fn non_k_blocks_correspond_to_white_blocks(
+    torus: &Torus,
+    coloring: &Coloring,
+    k: Color,
+) -> bool {
+    let multi = crate::blocks::has_non_k_block(torus, coloring, k);
+    let collapsed = phi_collapse(coloring, k);
+    let bi = !find_simple_white_blocks(torus, &collapsed).is_empty();
+    multi == bi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_coloring::ColoringBuilder;
+    use ctori_topology::toroidal_mesh;
+
+    fn k() -> Color {
+        Color::new(5)
+    }
+
+    #[test]
+    fn collapse_maps_k_to_black_and_rest_to_white() {
+        let t = toroidal_mesh(3, 3);
+        let coloring = ColoringBuilder::filled(&t, Color::new(3))
+            .cell(0, 0, k())
+            .cell(1, 1, Color::new(7))
+            .build();
+        let collapsed = phi_collapse(&coloring, k());
+        assert_eq!(collapsed.at(0, 0), Color::BLACK);
+        assert_eq!(collapsed.at(1, 1), Color::WHITE);
+        assert_eq!(collapsed.at(2, 2), Color::WHITE);
+        assert_eq!(collapsed.count(Color::BLACK), 1);
+        assert_eq!(collapsed.count(Color::WHITE), 8);
+    }
+
+    #[test]
+    fn collapse_is_idempotent_on_bicolored_input() {
+        let t = toroidal_mesh(3, 3);
+        let coloring = ColoringBuilder::filled(&t, Color::WHITE)
+            .row(0, Color::BLACK)
+            .build();
+        let collapsed = phi_collapse(&coloring, Color::BLACK);
+        assert_eq!(collapsed, coloring);
+    }
+
+    #[test]
+    fn correspondence_on_block_and_blockless_configurations() {
+        let t = toroidal_mesh(6, 6);
+        // Two non-k rows form a non-k-block; the correspondence must hold.
+        let with_block = ColoringBuilder::filled(&t, k())
+            .row(2, Color::new(1))
+            .row(3, Color::new(2))
+            .build();
+        assert!(crate::blocks::has_non_k_block(&t, &with_block, k()));
+        assert!(non_k_blocks_correspond_to_white_blocks(&t, &with_block, k()));
+
+        // A configuration with no non-k structure at all.
+        let without_block = ColoringBuilder::filled(&t, k())
+            .cell(2, 2, Color::new(1))
+            .cell(4, 4, Color::new(3))
+            .build();
+        assert!(!crate::blocks::has_non_k_block(&t, &without_block, k()));
+        assert!(non_k_blocks_correspond_to_white_blocks(&t, &without_block, k()));
+    }
+
+    #[test]
+    fn white_blocks_found_directly_on_bicolored_torus() {
+        let t = toroidal_mesh(6, 6);
+        let bicolored = ColoringBuilder::filled(&t, Color::BLACK)
+            .row(1, Color::WHITE)
+            .row(2, Color::WHITE)
+            .build();
+        let blocks = find_simple_white_blocks(&t, &bicolored);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].count(), 12);
+    }
+}

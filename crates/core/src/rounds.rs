@@ -1,0 +1,145 @@
+//! Round-complexity formulas (Theorems 7 and 8).
+//!
+//! Theorem 7 (toroidal mesh, Theorem-2 initial configuration):
+//!
+//! ```text
+//! rounds = 2 · max(⌈(n−1)/2⌉ − 1, ⌈(m−1)/2⌉ − 1) + 1
+//! ```
+//!
+//! Theorem 8 (torus cordalis with the Theorem-4 configuration, and torus
+//! serpentinus with the Theorem-6 configuration and `N = n`):
+//!
+//! ```text
+//! rounds = (⌊(m−1)/2⌋ − 1) · n + ⌈n/2⌉   if m is odd
+//! rounds = (⌊(m−1)/2⌋ − 1) · n + 1        if m is even
+//! ```
+//!
+//! Both formulas are returned as `i64`: for very small tori (`m ≤ 3`) the
+//! bracketed factors go negative, which simply signals that the formula is
+//! outside its intended range (the constructions themselves require
+//! `m, n ≥ 4` for the four-colour pattern).  The experiment harness
+//! compares these predictions against the measured convergence rounds and
+//! records both.
+
+/// Ceiling of `a / b` for non-negative integers.
+fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Theorem 7: predicted number of rounds for the Theorem-2 dynamo on an
+/// `m × n` toroidal mesh to reach the monochromatic configuration.
+pub fn theorem7_rounds(m: usize, n: usize) -> i64 {
+    let half_n = ceil_div(n.saturating_sub(1), 2) as i64 - 1;
+    let half_m = ceil_div(m.saturating_sub(1), 2) as i64 - 1;
+    2 * half_n.max(half_m) + 1
+}
+
+/// Theorem 8: predicted number of rounds for the Theorem-4 dynamo on an
+/// `m × n` torus cordalis (equivalently the Theorem-6 dynamo on a torus
+/// serpentinus with `N = n`).
+pub fn theorem8_rounds(m: usize, n: usize) -> i64 {
+    let prefix = ((m.saturating_sub(1) / 2) as i64 - 1) * n as i64;
+    if m % 2 == 1 {
+        prefix + ceil_div(n, 2) as i64
+    } else {
+        prefix + 1
+    }
+}
+
+/// A comparison between a predicted and a measured round count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundComparison {
+    /// Rows of the torus.
+    pub m: usize,
+    /// Columns of the torus.
+    pub n: usize,
+    /// Rounds predicted by the paper's formula.
+    pub predicted: i64,
+    /// Rounds measured by simulation.
+    pub measured: usize,
+}
+
+impl RoundComparison {
+    /// Difference `measured − predicted`.
+    pub fn delta(&self) -> i64 {
+        self.measured as i64 - self.predicted
+    }
+
+    /// Whether prediction and measurement agree exactly.
+    pub fn exact(&self) -> bool {
+        self.delta() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem7_matches_figure5() {
+        // Figure 5 of the paper is a 5x5 toroidal mesh whose slowest
+        // vertices recolor after 3 rounds; formula (1) gives 3.
+        assert_eq!(theorem7_rounds(5, 5), 3);
+    }
+
+    #[test]
+    fn theorem7_square_examples() {
+        assert_eq!(theorem7_rounds(7, 7), 5);
+        assert_eq!(theorem7_rounds(9, 9), 7);
+        assert_eq!(theorem7_rounds(4, 4), 3);
+        assert_eq!(theorem7_rounds(6, 6), 5);
+    }
+
+    #[test]
+    fn theorem7_rectangular_uses_the_larger_dimension() {
+        assert_eq!(theorem7_rounds(5, 9), 7);
+        assert_eq!(theorem7_rounds(9, 5), 7);
+        assert_eq!(theorem7_rounds(4, 12), 2 * (6 - 1) + 1);
+    }
+
+    #[test]
+    fn theorem8_matches_figure6() {
+        // Figure 6 of the paper is a 5x5 matrix whose largest entry is 8;
+        // formula (2) with m = n = 5 (m odd) gives (2-1)*5 + 3 = 8.
+        assert_eq!(theorem8_rounds(5, 5), 8);
+    }
+
+    #[test]
+    fn theorem8_even_and_odd_rows() {
+        // m odd
+        assert_eq!(theorem8_rounds(7, 6), (3 - 1) * 6 + 3);
+        assert_eq!(theorem8_rounds(9, 4), (4 - 1) * 4 + 2);
+        // m even
+        assert_eq!(theorem8_rounds(6, 6), (2 - 1) * 6 + 1);
+        assert_eq!(theorem8_rounds(8, 5), (3 - 1) * 5 + 1);
+    }
+
+    #[test]
+    fn small_sizes_do_not_panic() {
+        // Outside the intended range the formulas may be non-positive but
+        // must not overflow or panic.
+        assert_eq!(theorem7_rounds(2, 2), 2 * (1 - 1) + 1);
+        assert!(theorem8_rounds(2, 2) <= 1);
+        assert!(theorem8_rounds(3, 3) <= 3);
+    }
+
+    #[test]
+    fn comparison_helpers() {
+        let c = RoundComparison {
+            m: 5,
+            n: 5,
+            predicted: 3,
+            measured: 3,
+        };
+        assert!(c.exact());
+        assert_eq!(c.delta(), 0);
+        let c = RoundComparison {
+            m: 5,
+            n: 9,
+            predicted: 7,
+            measured: 5,
+        };
+        assert!(!c.exact());
+        assert_eq!(c.delta(), -2);
+    }
+}

@@ -1,0 +1,330 @@
+//! Exhaustive search for minimum monotone dynamos on small tori.
+//!
+//! The lower bounds of Theorems 1, 3 and 5 state that *no* initial
+//! configuration with fewer than the bound's number of `k`-coloured
+//! vertices can be a monotone dynamo — over all placements of the seed
+//! *and* all colourings of the remaining vertices.  On small tori this is
+//! directly checkable: enumerate seed placements, enumerate fillers over
+//! `C \ {k}`, and simulate.  Two necessary conditions from the paper prune
+//! the enumeration drastically:
+//!
+//! * Lemma 1 — the bounding rectangle of a dynamo must span at least
+//!   `(m−1) × (n−1)`;
+//! * Lemma 2 — a monotone dynamo is a union of `k`-blocks (every seed
+//!   vertex has at least two seed neighbours).
+//!
+//! The searches stay exponential, of course; they are meant for the
+//! `3×3 … 4×5`-scale instances used by the `thm1`/`thm3`/`thm5`/`prop3`
+//! experiments and the corresponding benches.
+
+use crate::blocks::seed_is_union_of_k_blocks;
+use crate::dynamo::verify_dynamo;
+use ctori_coloring::{Color, Coloring, Palette};
+use ctori_engine::parallel_runs;
+use ctori_topology::{bounding_rectangle, NodeId, NodeSet, Topology, Torus};
+
+/// Options controlling the exhaustive search.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// The colour set `C` (the target colour `k` must belong to it).
+    pub palette: Palette,
+    /// Require the dynamo to be monotone (the paper's setting).  When
+    /// `false`, any dynamo is accepted.
+    pub require_monotone: bool,
+    /// Apply the Lemma-1 bounding-rectangle pruning.
+    pub prune_rectangle: bool,
+    /// Apply the Lemma-2 union-of-blocks pruning (only sound when
+    /// `require_monotone` is set).
+    pub prune_blocks: bool,
+}
+
+impl SearchConfig {
+    /// The default configuration used by the experiments: monotone dynamos
+    /// with both prunings enabled.
+    pub fn monotone(palette: Palette) -> Self {
+        SearchConfig {
+            palette,
+            require_monotone: true,
+            prune_rectangle: true,
+            prune_blocks: true,
+        }
+    }
+}
+
+/// Result of an exhaustive search over seeds of a fixed size.
+#[derive(Clone, Debug)]
+pub enum SearchOutcome {
+    /// A dynamo of the given seed size exists; an example configuration
+    /// and its convergence time are returned.
+    Found {
+        /// Seed size of the example.
+        size: usize,
+        /// The witnessing initial configuration.
+        example: Coloring,
+        /// Rounds it needed to become monochromatic.
+        rounds: usize,
+    },
+    /// No dynamo with a seed of the given size exists (for the given
+    /// palette).
+    NoneOfSize(usize),
+}
+
+impl SearchOutcome {
+    /// Whether a dynamo was found.
+    pub fn found(&self) -> bool {
+        matches!(self, SearchOutcome::Found { .. })
+    }
+}
+
+/// Iterator over all `size`-subsets of `0..n`, as index vectors.
+fn combinations(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if size > n {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(idx.clone());
+        // advance
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - size {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..size {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Enumerates every filler of the `free` cells over `colors`, invoking the
+/// callback until it returns `true` ("stop, found").  Returns the
+/// configuration for which the callback stopped, if any.
+fn enumerate_fillers(
+    base: &Coloring,
+    free: &[NodeId],
+    colors: &[Color],
+    mut callback: impl FnMut(&Coloring) -> bool,
+) -> Option<Coloring> {
+    if colors.is_empty() {
+        // Nothing to fill with: only valid if there is nothing to fill.
+        if free.is_empty() {
+            let candidate = base.clone();
+            return callback(&candidate).then_some(candidate);
+        }
+        return None;
+    }
+    let mut digits = vec![0usize; free.len()];
+    let mut candidate = base.clone();
+    loop {
+        for (slot, &v) in free.iter().enumerate() {
+            candidate.set(v, colors[digits[slot]]);
+        }
+        if callback(&candidate) {
+            return Some(candidate);
+        }
+        // increment mixed-radix counter
+        let mut pos = 0;
+        loop {
+            if pos == digits.len() {
+                return None;
+            }
+            digits[pos] += 1;
+            if digits[pos] < colors.len() {
+                break;
+            }
+            digits[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Searches for a (monotone) dynamo with exactly `seed_size` `k`-coloured
+/// vertices.
+pub fn search_dynamo_of_size(
+    torus: &Torus,
+    k: Color,
+    seed_size: usize,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    assert!(config.palette.contains(k), "palette must contain k");
+    let total = torus.node_count();
+    let non_k: Vec<Color> = config.palette.colors_except(k).collect();
+
+    let seeds: Vec<Vec<usize>> = combinations(total, seed_size)
+        .into_iter()
+        .filter(|subset| {
+            let set = NodeSet::from_iter(total, subset.iter().map(|&i| NodeId::new(i)));
+            if config.prune_rectangle {
+                let rect = bounding_rectangle(torus, &set);
+                if rect.m_f() + 1 < torus.rows() || rect.n_f() + 1 < torus.cols() {
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+
+    let results: Vec<Option<(Coloring, usize)>> = parallel_runs(seeds, |subset| {
+        // Base configuration: seed cells are k, the rest unset.
+        let mut base = Coloring::uniform_dims(torus.rows(), torus.cols(), Color::UNSET);
+        for &i in subset {
+            base.set(NodeId::new(i), k);
+        }
+        if config.prune_blocks && config.require_monotone {
+            // Lemma 2: check the union-of-blocks condition on the seed
+            // alone (it does not depend on the filler).
+            let probe = base.map_colors(|c| if c == k { k } else { non_k.first().copied().unwrap_or(k) });
+            if !seed_is_union_of_k_blocks(torus, &probe, k) {
+                return None;
+            }
+        }
+        let free: Vec<NodeId> = (0..total)
+            .map(NodeId::new)
+            .filter(|&v| base.get(v).is_unset())
+            .collect();
+        let mut witness_rounds = 0usize;
+        let witness = enumerate_fillers(&base, &free, &non_k, |candidate| {
+            let report = verify_dynamo(torus, candidate, k);
+            let ok = if config.require_monotone {
+                report.is_monotone_dynamo()
+            } else {
+                report.is_dynamo()
+            };
+            if ok {
+                witness_rounds = report.rounds;
+            }
+            ok
+        });
+        witness.map(|w| (w, witness_rounds))
+    });
+
+    for result in results.into_iter().flatten() {
+        return SearchOutcome::Found {
+            size: seed_size,
+            example: result.0,
+            rounds: result.1,
+        };
+    }
+    SearchOutcome::NoneOfSize(seed_size)
+}
+
+/// Searches seed sizes `1..=max_size` in increasing order and returns the
+/// first size admitting a (monotone) dynamo, together with a witness.
+pub fn search_minimum_monotone_dynamo(
+    torus: &Torus,
+    k: Color,
+    config: &SearchConfig,
+    max_size: usize,
+) -> SearchOutcome {
+    for size in 1..=max_size {
+        let outcome = search_dynamo_of_size(torus, k, size, config);
+        if outcome.found() {
+            return outcome;
+        }
+    }
+    SearchOutcome::NoneOfSize(max_size)
+}
+
+/// Convenience used by the lower-bound experiments: verifies that no
+/// monotone dynamo with fewer than `bound` seed vertices exists.
+pub fn verify_lower_bound(torus: &Torus, k: Color, palette: Palette, bound: usize) -> bool {
+    if bound <= 1 {
+        return true;
+    }
+    let config = SearchConfig::monotone(palette);
+    !search_minimum_monotone_dynamo(torus, k, &config, bound - 1).found()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use ctori_topology::{toroidal_mesh, torus_cordalis, TorusKind};
+
+    fn k() -> Color {
+        Color::new(1)
+    }
+
+    #[test]
+    fn combinations_enumerate_all_subsets() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(5, 0).len(), 1);
+        assert_eq!(combinations(3, 3).len(), 1);
+        assert_eq!(combinations(2, 3).len(), 0);
+        // no duplicates
+        let combos = combinations(6, 3);
+        let unique: std::collections::HashSet<_> = combos.iter().cloned().collect();
+        assert_eq!(unique.len(), combos.len());
+        assert_eq!(combos.len(), 20);
+    }
+
+    #[test]
+    fn no_monotone_dynamo_below_theorem1_bound_on_3x3() {
+        // Theorem 1: the bound for a 3x3 toroidal mesh is 3 + 3 - 2 = 4.
+        let t = toroidal_mesh(3, 3);
+        let palette = Palette::new(4);
+        assert!(
+            verify_lower_bound(&t, k(), palette, bounds::toroidal_mesh_lower_bound(3, 3)),
+            "no monotone dynamo of size < 4 may exist on the 3x3 mesh"
+        );
+    }
+
+    #[test]
+    fn a_dynamo_of_the_bound_size_exists_on_3x3() {
+        let t = toroidal_mesh(3, 3);
+        let config = SearchConfig::monotone(Palette::new(4));
+        let outcome = search_dynamo_of_size(&t, k(), 4, &config);
+        assert!(outcome.found(), "a monotone dynamo of size 4 exists on 3x3");
+        if let SearchOutcome::Found { example, rounds, .. } = outcome {
+            assert_eq!(example.count(k()), 4);
+            assert!(rounds >= 1);
+            let report = verify_dynamo(&t, &example, k());
+            assert!(report.is_monotone_dynamo());
+        }
+    }
+
+    #[test]
+    fn cordalis_bound_is_tight_on_3x3() {
+        // Theorem 3: bound n + 1 = 4 on a 3x3 cordalis.
+        let t = torus_cordalis(3, 3);
+        let palette = Palette::new(4);
+        assert!(verify_lower_bound(
+            &t,
+            k(),
+            palette,
+            bounds::lower_bound(TorusKind::TorusCordalis, 3, 3)
+        ));
+        let config = SearchConfig::monotone(Palette::new(4));
+        assert!(search_dynamo_of_size(&t, k(), 4, &config).found());
+    }
+
+    #[test]
+    fn two_colors_admit_no_small_monotone_dynamo_on_3x3() {
+        // Proposition 3 / Remark 1: with only two colours the minimum-size
+        // dynamo of size m+n-2 cannot exist (three colours are needed when
+        // min(m,n) = 3).
+        let t = toroidal_mesh(3, 3);
+        let config = SearchConfig::monotone(Palette::bicolor());
+        let outcome = search_minimum_monotone_dynamo(&t, Color::new(2), &config, 4);
+        assert!(
+            !outcome.found(),
+            "two colours cannot produce a monotone dynamo of size <= 4 on 3x3"
+        );
+    }
+
+    #[test]
+    fn search_outcome_accessors() {
+        let o = SearchOutcome::NoneOfSize(3);
+        assert!(!o.found());
+    }
+}

@@ -1,0 +1,58 @@
+//! # ctori-engine
+//!
+//! Synchronous simulation engine for the *Dynamic Monopolies in Colored
+//! Tori* reproduction.
+//!
+//! The paper's model (Section III.D) is fully synchronous: every vertex
+//! reads its neighbours' colours and all vertices update simultaneously,
+//! one round per unit of time.  The engine provides:
+//!
+//! * [`Simulator`] — a double-buffered synchronous stepper over any
+//!   [`ctori_topology::Topology`] and any [`ctori_protocols::LocalRule`];
+//! * [`RunConfig`] / [`RunReport`] / [`Termination`] — run-to-convergence
+//!   with fixed-point detection, optional cycle detection, optional
+//!   monotonicity tracking and optional per-vertex recolouring times (the
+//!   data behind Figures 5 and 6 and Theorems 7 and 8);
+//! * [`trace`] — full configuration traces for figure rendering;
+//! * [`metrics`] — per-round colour histograms;
+//! * [`sweep`] — parallel parameter sweeps over many simulations using
+//!   `crossbeam` scoped threads.
+//!
+//! # Example
+//!
+//! ```
+//! use ctori_topology::toroidal_mesh;
+//! use ctori_coloring::{Color, ColoringBuilder};
+//! use ctori_protocols::SmpProtocol;
+//! use ctori_engine::{RunConfig, Simulator, Termination};
+//!
+//! // A 4x4 toroidal mesh, all colour 2 except a small patch of pairwise
+//! // different colours: the patch is absorbed and the system converges to
+//! // the 2-monochromatic configuration under the SMP protocol.
+//! let torus = toroidal_mesh(4, 4);
+//! let coloring = ColoringBuilder::filled(&torus, Color::new(2))
+//!     .cell(1, 1, Color::new(1))
+//!     .cell(1, 2, Color::new(3))
+//!     .cell(2, 1, Color::new(4))
+//!     .cell(2, 2, Color::new(5))
+//!     .build();
+//! let mut sim = Simulator::new(&torus, SmpProtocol, coloring);
+//! let report = sim.run(&RunConfig::default());
+//! assert_eq!(report.termination, Termination::Monochromatic(Color::new(2)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod adjacency;
+pub mod metrics;
+pub mod simulator;
+pub mod sweep;
+pub mod trace;
+
+pub use adjacency::Adjacency;
+pub use metrics::{round_histogram, ColorHistogram};
+pub use simulator::{RunConfig, RunReport, Simulator, StepReport, Termination};
+pub use sweep::{parallel_map, parallel_runs};
+pub use trace::{run_with_trace, RecoloringTimes, Trace};

@@ -1,0 +1,134 @@
+//! Per-round metrics.
+//!
+//! The experiments plot how the population of each colour evolves round by
+//! round (e.g. to show the monotone growth of `V^k` for a dynamo, or the
+//! stagnation of a non-dynamo configuration).
+
+use crate::simulator::Simulator;
+use ctori_coloring::{Color, Coloring, Palette};
+use ctori_protocols::LocalRule;
+
+/// A colour histogram at a specific round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColorHistogram {
+    /// The round the histogram was taken at (0 = initial configuration).
+    pub round: usize,
+    /// `(colour, number of vertices)` pairs, one per palette colour.
+    pub counts: Vec<(Color, usize)>,
+}
+
+impl ColorHistogram {
+    /// The count for a specific colour (0 if the colour is not listed).
+    pub fn count(&self, color: Color) -> usize {
+        self.counts
+            .iter()
+            .find(|(c, _)| *c == color)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Total number of vertices covered by the histogram.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The colour with the largest population (ties broken by colour
+    /// index).
+    pub fn dominant(&self) -> Option<Color> {
+        self.counts
+            .iter()
+            .max_by_key(|(c, n)| (*n, std::cmp::Reverse(c.index())))
+            .map(|(c, _)| *c)
+    }
+}
+
+/// Takes a histogram of a colouring over a palette.
+pub fn round_histogram(coloring: &Coloring, palette: &Palette, round: usize) -> ColorHistogram {
+    ColorHistogram {
+        round,
+        counts: coloring.histogram(palette),
+    }
+}
+
+/// Runs a simulation for up to `max_rounds` rounds, collecting a histogram
+/// after every round (including the initial configuration), and stopping
+/// early on a fixed point or a monochromatic configuration.
+pub fn histogram_series<R: LocalRule>(
+    sim: &mut Simulator<R>,
+    palette: &Palette,
+    max_rounds: usize,
+) -> Vec<ColorHistogram> {
+    let mut series = vec![round_histogram(&sim.coloring(), palette, sim.round())];
+    for _ in 0..max_rounds {
+        if sim.monochromatic().is_some() {
+            break;
+        }
+        let step = sim.step();
+        series.push(round_histogram(&sim.coloring(), palette, sim.round()));
+        if step.changed == 0 {
+            break;
+        }
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_coloring::ColoringBuilder;
+    use ctori_protocols::SmpProtocol;
+    use ctori_topology::toroidal_mesh;
+
+    #[test]
+    fn histogram_counts_and_dominant() {
+        let t = toroidal_mesh(3, 3);
+        let coloring = ColoringBuilder::filled(&t, Color::new(1))
+            .cell(0, 0, Color::new(2))
+            .cell(0, 1, Color::new(2))
+            .build();
+        let p = Palette::new(3);
+        let h = round_histogram(&coloring, &p, 0);
+        assert_eq!(h.count(Color::new(1)), 7);
+        assert_eq!(h.count(Color::new(2)), 2);
+        assert_eq!(h.count(Color::new(3)), 0);
+        assert_eq!(h.count(Color::new(9)), 0);
+        assert_eq!(h.total(), 9);
+        assert_eq!(h.dominant(), Some(Color::new(1)));
+        assert_eq!(h.round, 0);
+    }
+
+    #[test]
+    fn series_tracks_monotone_growth() {
+        let t = toroidal_mesh(5, 5);
+        let k = Color::new(2);
+        let coloring = ColoringBuilder::filled(&t, k)
+            .cell(1, 1, Color::new(1))
+            .cell(1, 2, Color::new(3))
+            .cell(2, 1, Color::new(4))
+            .cell(2, 2, Color::new(5))
+            .build();
+        let p = Palette::new(5);
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        let series = histogram_series(&mut sim, &p, 100);
+        assert!(series.len() >= 2);
+        // k-population is non-decreasing and ends at 25.
+        let counts: Vec<usize> = series.iter().map(|h| h.count(k)).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), 25);
+        // every histogram covers all the vertices
+        assert!(series.iter().all(|h| h.total() == 25));
+    }
+
+    #[test]
+    fn series_stops_at_fixed_point() {
+        let t = toroidal_mesh(4, 4);
+        let coloring =
+            ctori_coloring::patterns::column_stripes(&t, &[Color::new(1), Color::new(2)]);
+        let p = Palette::new(2);
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        let series = histogram_series(&mut sim, &p, 100);
+        // initial + one idle round
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].counts, series[1].counts);
+    }
+}

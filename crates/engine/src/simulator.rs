@@ -1,0 +1,577 @@
+//! The synchronous simulator.
+
+use crate::adjacency::Adjacency;
+use ctori_coloring::{Color, Coloring};
+use ctori_protocols::LocalRule;
+use ctori_topology::{NodeId, NodeSet, Topology, Torus};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// How a run terminated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// Every vertex holds the given colour (the paper's monochromatic
+    /// configuration).  This is also a fixed point of every rule in the
+    /// workspace.
+    Monochromatic(Color),
+    /// No vertex changed colour in the last round, but the configuration is
+    /// not monochromatic.
+    FixedPoint,
+    /// The configuration repeated an earlier one: the system entered a
+    /// limit cycle of the given period (period 1 would have been reported
+    /// as a fixed point instead).
+    Cycle {
+        /// Length of the cycle.
+        period: usize,
+    },
+    /// The round limit of the [`RunConfig`] was reached first.
+    RoundLimit,
+}
+
+impl Termination {
+    /// Whether the run ended in a monochromatic configuration of colour `k`.
+    pub fn is_monochromatic_in(&self, k: Color) -> bool {
+        matches!(self, Termination::Monochromatic(c) if *c == k)
+    }
+}
+
+/// Configuration of a [`Simulator::run`] call.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Hard cap on the number of rounds.  The theorems' round counts are
+    /// O(m·n), so the default (`4·|V| + 16`) is far above anything a
+    /// converging configuration needs.
+    pub max_rounds: usize,
+    /// Detect limit cycles by hashing configurations (costs one hash of the
+    /// state per round plus a hash-map entry).
+    pub detect_cycles: bool,
+    /// Record, for this colour, the round at which each vertex most
+    /// recently adopted it (the matrices of Figures 5 and 6).
+    pub track_times_for: Option<Color>,
+    /// Verify monotonicity with respect to this colour: the set of
+    /// `k`-coloured vertices must never lose a member (Definition 3).
+    pub check_monotone_for: Option<Color>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_rounds: 0, // 0 = auto (4·|V| + 16), resolved in run()
+            detect_cycles: true,
+            track_times_for: None,
+            check_monotone_for: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A config that tracks everything needed to verify a monotone dynamo
+    /// of colour `k` and reproduce its recolouring-time matrix.
+    pub fn for_dynamo(k: Color) -> Self {
+        RunConfig {
+            max_rounds: 0,
+            detect_cycles: true,
+            track_times_for: Some(k),
+            check_monotone_for: Some(k),
+        }
+    }
+
+    /// Sets an explicit round limit.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Disables cycle detection (slightly faster for throughput benches).
+    pub fn without_cycle_detection(mut self) -> Self {
+        self.detect_cycles = false;
+        self
+    }
+}
+
+/// Result of a single synchronous round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepReport {
+    /// Number of vertices that changed colour this round.
+    pub changed: usize,
+    /// The round index that was just completed (1-based).
+    pub round: usize,
+}
+
+/// Result of a [`Simulator::run`] call.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub termination: Termination,
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// For each vertex, the round at which it most recently adopted the
+    /// tracked colour (0 for vertices that started with it); `None` for
+    /// vertices that do not currently hold it.  Present only when
+    /// [`RunConfig::track_times_for`] was set.
+    pub recoloring_times: Option<Vec<Option<usize>>>,
+    /// Whether the run was monotone in the checked colour.  Present only
+    /// when [`RunConfig::check_monotone_for`] was set.
+    pub monotone: Option<bool>,
+    /// Number of vertices holding the tracked/checked colour at the end
+    /// (equals the vertex count iff the run ended `Monochromatic` in it).
+    pub final_target_count: Option<usize>,
+}
+
+impl RunReport {
+    /// Whether the run converged to the `k`-monochromatic configuration.
+    pub fn reached_monochromatic(&self, k: Color) -> bool {
+        self.termination.is_monochromatic_in(k)
+    }
+}
+
+/// A double-buffered synchronous simulator.
+///
+/// The simulator owns two colour buffers and swaps them each round; no
+/// allocation happens after construction.
+pub struct Simulator<R> {
+    adjacency: Adjacency,
+    rule: R,
+    rows: usize,
+    cols: usize,
+    current: Vec<Color>,
+    next: Vec<Color>,
+    round: usize,
+    scratch: Vec<Color>,
+}
+
+impl<R: LocalRule> Simulator<R> {
+    /// Creates a simulator for a torus and an initial colouring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the colouring's dimensions do not match the torus.
+    pub fn new(torus: &Torus, rule: R, initial: Coloring) -> Self {
+        assert_eq!(
+            (initial.rows(), initial.cols()),
+            (torus.rows(), torus.cols()),
+            "colouring dimensions do not match the torus"
+        );
+        assert!(
+            !initial.has_unset_cells(),
+            "initial colouring contains unset cells"
+        );
+        let adjacency = Adjacency::build(torus);
+        let cells = initial.cells().to_vec();
+        Simulator {
+            adjacency,
+            rule,
+            rows: torus.rows(),
+            cols: torus.cols(),
+            next: cells.clone(),
+            current: cells,
+            round: 0,
+            scratch: Vec::with_capacity(8),
+        }
+    }
+
+    /// Creates a simulator over an arbitrary topology with a flat state
+    /// vector (used by the TSS substrate on general graphs).
+    pub fn from_topology<T: Topology + ?Sized>(topology: &T, rule: R, initial: Vec<Color>) -> Self {
+        assert_eq!(
+            initial.len(),
+            topology.node_count(),
+            "state length does not match the topology"
+        );
+        let adjacency = Adjacency::build(topology);
+        Simulator {
+            adjacency,
+            rule,
+            rows: 1,
+            cols: initial.len(),
+            next: initial.clone(),
+            current: initial,
+            round: 0,
+            scratch: Vec::with_capacity(8),
+        }
+    }
+
+    /// The number of rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The rule driving the simulation.
+    pub fn rule(&self) -> &R {
+        &self.rule
+    }
+
+    /// The current colour of a vertex.
+    pub fn color_of(&self, v: NodeId) -> Color {
+        self.current[v.index()]
+    }
+
+    /// Read-only view of the current state.
+    pub fn state(&self) -> &[Color] {
+        &self.current
+    }
+
+    /// The current state as a [`Coloring`] (grid-shaped).
+    pub fn coloring(&self) -> Coloring {
+        Coloring::from_cells(self.rows, self.cols, self.current.clone())
+    }
+
+    /// The set of vertices currently holding `k`.
+    pub fn class_of(&self, k: Color) -> NodeSet {
+        let mut set = NodeSet::new(self.current.len());
+        for (i, &c) in self.current.iter().enumerate() {
+            if c == k {
+                set.insert(NodeId::new(i));
+            }
+        }
+        set
+    }
+
+    /// Number of vertices currently holding `k`.
+    pub fn count_of(&self, k: Color) -> usize {
+        self.current.iter().filter(|&&c| c == k).count()
+    }
+
+    /// Whether the current configuration is monochromatic, and in which
+    /// colour.
+    pub fn monochromatic(&self) -> Option<Color> {
+        let first = *self.current.first()?;
+        self.current
+            .iter()
+            .all(|&c| c == first)
+            .then_some(first)
+    }
+
+    /// Executes one synchronous round and returns how many vertices
+    /// changed.
+    pub fn step(&mut self) -> StepReport {
+        let n = self.current.len();
+        let mut changed = 0usize;
+        for v in 0..n {
+            self.scratch.clear();
+            for &u in self.adjacency.neighbors_raw(v) {
+                self.scratch.push(self.current[u as usize]);
+            }
+            let own = self.current[v];
+            let new = self.rule.next_color(own, &self.scratch);
+            self.next[v] = new;
+            if new != own {
+                changed += 1;
+            }
+        }
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.round += 1;
+        StepReport {
+            changed,
+            round: self.round,
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.current.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Runs until convergence (monochromatic or fixed point), a detected
+    /// cycle, or the round limit.
+    pub fn run(&mut self, config: &RunConfig) -> RunReport {
+        let n = self.current.len();
+        let max_rounds = if config.max_rounds == 0 {
+            4 * n + 16
+        } else {
+            config.max_rounds
+        };
+
+        let mut times: Option<Vec<Option<usize>>> = config.track_times_for.map(|k| {
+            self.current
+                .iter()
+                .map(|&c| if c == k { Some(0) } else { None })
+                .collect()
+        });
+        let mut monotone = config.check_monotone_for.map(|_| true);
+        let mut prev_k_set: Option<Vec<bool>> = config
+            .check_monotone_for
+            .map(|k| self.current.iter().map(|&c| c == k).collect());
+
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        if config.detect_cycles {
+            seen.insert(self.state_hash(), self.round);
+        }
+
+        let termination = loop {
+            if let Some(c) = self.monochromatic() {
+                break Termination::Monochromatic(c);
+            }
+            if self.round >= max_rounds {
+                break Termination::RoundLimit;
+            }
+
+            let before: Option<Vec<Color>> = if config.track_times_for.is_some()
+                || config.check_monotone_for.is_some()
+            {
+                Some(self.current.clone())
+            } else {
+                None
+            };
+
+            let report = self.step();
+
+            if let (Some(k), Some(times), Some(before)) =
+                (config.track_times_for, times.as_mut(), before.as_ref())
+            {
+                for v in 0..n {
+                    let now = self.current[v];
+                    let was = before[v];
+                    if now == k && was != k {
+                        times[v] = Some(self.round);
+                    } else if now != k && was == k {
+                        times[v] = None;
+                    }
+                }
+            }
+            if let (Some(k), Some(mono), Some(prev)) = (
+                config.check_monotone_for,
+                monotone.as_mut(),
+                prev_k_set.as_mut(),
+            ) {
+                for v in 0..n {
+                    let now_k = self.current[v] == k;
+                    if prev[v] && !now_k {
+                        *mono = false;
+                    }
+                    prev[v] = now_k;
+                }
+            }
+
+            if report.changed == 0 {
+                break Termination::FixedPoint;
+            }
+            if config.detect_cycles {
+                let h = self.state_hash();
+                if let Some(&first) = seen.get(&h) {
+                    break Termination::Cycle {
+                        period: self.round - first,
+                    };
+                }
+                seen.insert(h, self.round);
+            }
+        };
+
+        let final_target_count = config
+            .track_times_for
+            .or(config.check_monotone_for)
+            .map(|k| self.count_of(k));
+
+        RunReport {
+            termination,
+            rounds: self.round,
+            recoloring_times: times,
+            monotone,
+            final_target_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_coloring::ColoringBuilder;
+    use ctori_protocols::{ReverseSimpleMajority, SmpProtocol};
+    use ctori_topology::{toroidal_mesh, torus_cordalis, Coord};
+
+    fn k() -> Color {
+        Color::new(2)
+    }
+
+    #[test]
+    fn absorbed_patch_converges_monotonically() {
+        // All colour 2 except a 2x2 patch of pairwise different colours:
+        // every patch vertex sees at least two 2-coloured neighbours with
+        // the other two different, so the patch is absorbed.
+        let t = toroidal_mesh(5, 5);
+        let coloring = ColoringBuilder::filled(&t, k())
+            .cell(1, 1, Color::new(1))
+            .cell(1, 2, Color::new(3))
+            .cell(2, 1, Color::new(4))
+            .cell(2, 2, Color::new(5))
+            .build();
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        let report = sim.run(&RunConfig::for_dynamo(k()));
+        assert_eq!(report.termination, Termination::Monochromatic(k()));
+        assert_eq!(report.monotone, Some(true));
+        assert_eq!(report.final_target_count, Some(25));
+        assert!(report.reached_monochromatic(k()));
+        // every vertex has a recolouring time
+        let times = report.recoloring_times.unwrap();
+        assert!(times.iter().all(|t| t.is_some()));
+        // vertices that started with colour 2 have time 0
+        assert_eq!(times[t.id(Coord::new(0, 3)).index()], Some(0));
+        // the patch recoloured strictly later
+        assert!(times[t.id(Coord::new(1, 1)).index()].unwrap() > 0);
+    }
+
+    #[test]
+    fn two_two_ties_freeze_the_configuration_under_smp() {
+        // Vertical stripes of period 2 on an even torus: every vertex sees
+        // two neighbours of its own colour (above/below) and two of the
+        // other colour (left/right) — a 2-2 tie, so the SMP protocol never
+        // changes anything.
+        let t = toroidal_mesh(4, 4);
+        let coloring = ctori_coloring::patterns::column_stripes(
+            &t,
+            &[Color::new(1), Color::new(2)],
+        );
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring.clone());
+        let report = sim.run(&RunConfig::default());
+        assert_eq!(report.termination, Termination::FixedPoint);
+        assert_eq!(report.rounds, 1, "fixed point is detected after one idle round");
+        assert_eq!(sim.coloring(), coloring);
+    }
+
+    #[test]
+    fn stripes_converge_under_prefer_black_but_freeze_under_smp() {
+        // The same 2-2 tie that freezes the SMP protocol makes the
+        // prefer-black rule recolour every white vertex black — this is
+        // exactly the behavioural difference the paper's introduction
+        // emphasises.
+        let t = toroidal_mesh(4, 4);
+        let coloring = ctori_coloring::patterns::column_stripes(&t, &[Color::WHITE, Color::BLACK]);
+        let mut pb = Simulator::new(
+            &t,
+            ReverseSimpleMajority::prefer_black(),
+            coloring.clone(),
+        );
+        let report = pb.run(&RunConfig::default());
+        assert_eq!(report.termination, Termination::Monochromatic(Color::BLACK));
+        assert_eq!(report.rounds, 1);
+
+        let mut smp = Simulator::new(&t, SmpProtocol, coloring);
+        let report = smp.run(&RunConfig::default());
+        assert_eq!(report.termination, Termination::FixedPoint);
+    }
+
+    #[test]
+    fn cycle_detection_finds_period_two_blinker() {
+        // On a checkerboard every vertex's four neighbours all hold the
+        // opposite colour, so under SMP the whole configuration flips each
+        // round: a limit cycle of period 2.
+        let t = toroidal_mesh(4, 4);
+        let coloring = ctori_coloring::patterns::checkerboard(&t, Color::new(1), Color::new(2));
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        let report = sim.run(&RunConfig::default());
+        assert_eq!(report.termination, Termination::Cycle { period: 2 });
+
+        // With detection disabled the same run hits the round limit.
+        let coloring = ctori_coloring::patterns::checkerboard(&t, Color::new(1), Color::new(2));
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        let report = sim.run(
+            &RunConfig::default()
+                .without_cycle_detection()
+                .with_max_rounds(10),
+        );
+        assert_eq!(report.termination, Termination::RoundLimit);
+        assert_eq!(report.rounds, 10);
+    }
+
+    /// All colour `k` except a 3x3 patch of pairwise distinct colours:
+    /// absorbing, but the patch centre needs two rounds.
+    fn slow_absorbing_config(t: &Torus) -> Coloring {
+        let mut b = ColoringBuilder::filled(t, k());
+        let mut next = 3u16;
+        for r in 1..=3 {
+            for c in 1..=3 {
+                let color = if (r, c) == (2, 2) { Color::new(1) } else { Color::new(next) };
+                next += 1;
+                b = b.cell(r, c, color);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn round_limit_is_respected() {
+        let t = torus_cordalis(7, 7);
+        let coloring = slow_absorbing_config(&t);
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring.clone());
+        let full = sim.run(&RunConfig::default());
+        assert_eq!(full.termination, Termination::Monochromatic(k()));
+        assert!(full.rounds >= 2, "patch centre needs at least two rounds");
+
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        let report = sim.run(&RunConfig::default().with_max_rounds(1));
+        assert_eq!(report.termination, Termination::RoundLimit);
+        assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn monotonicity_violation_is_reported() {
+        // Under prefer-black, black can *lose* vertices when surrounded by
+        // white (3 white neighbours) — craft a lone black vertex.
+        let t = toroidal_mesh(4, 4);
+        let coloring = ColoringBuilder::filled(&t, Color::WHITE)
+            .cell(1, 1, Color::BLACK)
+            .build();
+        let mut sim = Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring);
+        let mut cfg = RunConfig::default();
+        cfg.check_monotone_for = Some(Color::BLACK);
+        let report = sim.run(&cfg);
+        assert_eq!(report.monotone, Some(false));
+        assert_eq!(report.termination, Termination::Monochromatic(Color::WHITE));
+    }
+
+    #[test]
+    fn from_topology_runs_on_general_graphs() {
+        use ctori_protocols::ThresholdRule;
+        use ctori_topology::Graph;
+        // A path of 5 vertices, threshold 1, seeded at one end: activation
+        // sweeps across the path one vertex per round.
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1));
+        }
+        let mut state = vec![Color::new(1); 5];
+        state[0] = Color::new(2);
+        let rule = ThresholdRule::new(Color::new(2), 1);
+        let mut sim = Simulator::from_topology(&g, rule, state);
+        let report = sim.run(&RunConfig::default());
+        assert_eq!(report.termination, Termination::Monochromatic(Color::new(2)));
+        assert_eq!(report.rounds, 4);
+    }
+
+    #[test]
+    fn step_counts_changes() {
+        let t = toroidal_mesh(7, 7);
+        let coloring = slow_absorbing_config(&t);
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        let r1 = sim.step();
+        assert!(r1.changed > 0);
+        assert_eq!(r1.round, 1);
+        assert_eq!(sim.round(), 1);
+        assert_eq!(sim.rule().name(), "SMP-Protocol");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions do not match")]
+    fn dimension_mismatch_is_rejected() {
+        let t = toroidal_mesh(4, 4);
+        let other = toroidal_mesh(5, 5);
+        let coloring = Coloring::uniform(&other, Color::new(1));
+        let _ = Simulator::new(&t, SmpProtocol, coloring);
+    }
+
+    #[test]
+    fn state_accessors() {
+        let t = toroidal_mesh(3, 3);
+        let coloring = ColoringBuilder::filled(&t, Color::new(1))
+            .cell(0, 0, k())
+            .build();
+        let sim = Simulator::new(&t, SmpProtocol, coloring);
+        assert_eq!(sim.count_of(k()), 1);
+        assert_eq!(sim.color_of(t.id(Coord::new(0, 0))), k());
+        assert_eq!(sim.class_of(k()).count(), 1);
+        assert_eq!(sim.state().len(), 9);
+        assert_eq!(sim.monochromatic(), None);
+    }
+}

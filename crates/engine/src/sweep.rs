@@ -1,0 +1,124 @@
+//! Parallel parameter sweeps.
+//!
+//! The experiment harness and the exhaustive searches run very many small,
+//! independent simulations (one per torus size, per candidate seed set, per
+//! random replicate).  The per-simulation work is tiny, so the parallelism
+//! lives here: a work queue fanned out over `crossbeam` scoped threads with
+//! `parking_lot`-protected result collection.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every input, in parallel, preserving input order in the
+/// output.
+///
+/// Falls back to a sequential loop when `threads <= 1` or there are fewer
+/// inputs than threads would help with.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if threads <= 1 || inputs.len() <= 1 {
+        return inputs.iter().map(|i| f(i)).collect();
+    }
+
+    let n = inputs.len();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let out = f(&inputs[idx]);
+                results.lock()[idx] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+/// Convenience wrapper: runs `f` for every input with a thread count equal
+/// to the available parallelism (capped at 16).
+pub fn parallel_runs<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16);
+    parallel_map(inputs, threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{RunConfig, Simulator, Termination};
+    use ctori_coloring::{Color, ColoringBuilder};
+    use ctori_protocols::SmpProtocol;
+    use ctori_topology::toroidal_mesh;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs.clone(), 4, |&x| x * x);
+        let expected: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sequential_fallback_matches_parallel() {
+        let inputs: Vec<u64> = (0..37).collect();
+        let seq = parallel_map(inputs.clone(), 1, |&x| x + 1);
+        let par = parallel_map(inputs, 8, |&x| x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(parallel_map(empty, 4, |&x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(vec![7u32], 4, |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn parallel_simulations_agree_with_sequential() {
+        // Run the same family of simulations sequentially and in parallel
+        // and check identical outcomes (the simulations are deterministic).
+        let sizes: Vec<(usize, usize)> = vec![(4, 4), (5, 5), (6, 4), (4, 7), (8, 8)];
+        let run_one = |&(m, n): &(usize, usize)| -> (usize, bool) {
+            let t = toroidal_mesh(m, n);
+            let k = Color::new(2);
+            let coloring = ColoringBuilder::filled(&t, k)
+                .cell(1, 1, Color::new(1))
+                .cell(1, 2, Color::new(3))
+                .cell(2, 1, Color::new(4))
+                .cell(2, 2, Color::new(5))
+                .build();
+            let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+            let report = sim.run(&RunConfig::for_dynamo(k));
+            (
+                report.rounds,
+                report.termination == Termination::Monochromatic(k),
+            )
+        };
+        let seq: Vec<_> = sizes.iter().map(run_one).collect();
+        let par = parallel_runs(sizes, run_one);
+        assert_eq!(seq, par);
+        assert!(par.iter().all(|&(_, mono)| mono));
+    }
+}

@@ -1,0 +1,321 @@
+//! Full configuration traces and recolouring-time matrices.
+//!
+//! Figures 5 and 6 of the paper display, for every vertex, the number of
+//! rounds after which it assumes the target colour `k`.  [`run_with_trace`]
+//! records every intermediate configuration (the grids are small), and
+//! [`RecoloringTimes`] extracts the per-vertex adoption times in the same
+//! matrix form the paper prints.
+
+use crate::simulator::{RunConfig, RunReport, Simulator};
+use ctori_coloring::{render_time_matrix, Color, Coloring};
+use ctori_protocols::LocalRule;
+use ctori_topology::Torus;
+
+/// A recorded run: the initial configuration and every configuration after
+/// each round, in order.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    configurations: Vec<Coloring>,
+}
+
+impl Trace {
+    /// The configuration before any round was executed.
+    pub fn initial(&self) -> &Coloring {
+        &self.configurations[0]
+    }
+
+    /// The configuration after the last executed round.
+    pub fn last(&self) -> &Coloring {
+        self.configurations.last().expect("trace is never empty")
+    }
+
+    /// The configuration after `round` rounds (`0` = initial).
+    pub fn after_round(&self, round: usize) -> Option<&Coloring> {
+        self.configurations.get(round)
+    }
+
+    /// Number of recorded rounds (excluding the initial configuration).
+    pub fn rounds(&self) -> usize {
+        self.configurations.len() - 1
+    }
+
+    /// Iterates over all recorded configurations, starting with the
+    /// initial one.
+    pub fn iter(&self) -> impl Iterator<Item = &Coloring> {
+        self.configurations.iter()
+    }
+}
+
+/// Per-vertex adoption times of a target colour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoloringTimes {
+    rows: usize,
+    cols: usize,
+    times: Vec<Option<usize>>,
+}
+
+impl RecoloringTimes {
+    /// Builds the adoption-time matrix from a run report that tracked
+    /// times (`RunConfig::track_times_for`).
+    pub fn from_report(rows: usize, cols: usize, report: &RunReport) -> Option<Self> {
+        report.recoloring_times.as_ref().map(|times| RecoloringTimes {
+            rows,
+            cols,
+            times: times.clone(),
+        })
+    }
+
+    /// Builds the matrix directly from a trace: the adoption time of a
+    /// vertex is the first round after which its colour is `k` and stays
+    /// `k` until the end of the trace.
+    pub fn from_trace(trace: &Trace, k: Color) -> Self {
+        let last = trace.last();
+        let (rows, cols) = (last.rows(), last.cols());
+        let total_rounds = trace.rounds();
+        let mut times = vec![None; rows * cols];
+        for idx in 0..rows * cols
+        {
+            let (r, c) = (idx / cols, idx % cols);
+            // Walk backwards: find the latest round at which the vertex was
+            // NOT k; its adoption time is the next round, provided it is k
+            // from there to the end.
+            if last.at(r, c) != k {
+                continue;
+            }
+            let mut adoption = 0;
+            for round in (0..=total_rounds).rev() {
+                let conf = trace.after_round(round).expect("round within trace");
+                if conf.at(r, c) != k {
+                    adoption = round + 1;
+                    break;
+                }
+            }
+            times[idx] = Some(adoption);
+        }
+        RecoloringTimes { rows, cols, times }
+    }
+
+    /// The adoption time of the vertex at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> Option<usize> {
+        self.times[row * self.cols + col]
+    }
+
+    /// The largest adoption time — i.e. the round at which the
+    /// configuration became monochromatic, if every vertex adopted.
+    pub fn max_time(&self) -> Option<usize> {
+        if self.times.iter().any(|t| t.is_none()) {
+            return None;
+        }
+        self.times.iter().filter_map(|t| *t).max()
+    }
+
+    /// Number of rows of the matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The raw time vector (row-major).
+    pub fn as_slice(&self) -> &[Option<usize>] {
+        &self.times
+    }
+
+    /// Renders the matrix in the style of Figures 5 and 6.
+    pub fn render(&self) -> String {
+        render_time_matrix(self.rows, self.cols, &self.times)
+    }
+}
+
+/// Runs a simulation recording every configuration, and returns the trace
+/// together with the run report.
+pub fn run_with_trace<R: LocalRule>(
+    torus: &Torus,
+    rule: R,
+    initial: Coloring,
+    config: &RunConfig,
+) -> (Trace, RunReport) {
+    use crate::simulator::Termination;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
+
+    let mut sim = Simulator::new(torus, rule, initial);
+    let mut configurations = vec![sim.coloring()];
+    let n = sim.state().len();
+    let max_rounds = if config.max_rounds == 0 {
+        4 * n + 16
+    } else {
+        config.max_rounds
+    };
+
+    let hash_state = |state: &[Color]| -> u64 {
+        let mut hasher = DefaultHasher::new();
+        state.hash(&mut hasher);
+        hasher.finish()
+    };
+
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    if config.detect_cycles {
+        seen.insert(hash_state(sim.state()), 0);
+    }
+
+    // The round loop is re-implemented here (rather than delegating to
+    // `Simulator::run`) so that every intermediate configuration is
+    // recorded.
+    let termination = loop {
+        if let Some(c) = sim.monochromatic() {
+            break Termination::Monochromatic(c);
+        }
+        if sim.round() >= max_rounds {
+            break Termination::RoundLimit;
+        }
+        let step = sim.step();
+        configurations.push(sim.coloring());
+        if step.changed == 0 {
+            break Termination::FixedPoint;
+        }
+        if config.detect_cycles {
+            let h = hash_state(sim.state());
+            if let Some(&first) = seen.get(&h) {
+                break Termination::Cycle {
+                    period: sim.round() - first,
+                };
+            }
+            seen.insert(h, sim.round());
+        }
+    };
+
+    let trace = Trace { configurations };
+
+    let recoloring_times = config.track_times_for.map(|k| {
+        RecoloringTimes::from_trace(&trace, k)
+            .as_slice()
+            .to_vec()
+    });
+    let monotone = config.check_monotone_for.map(|k| {
+        let mut monotone = true;
+        for w in trace.configurations.windows(2) {
+            let (before, after) = (&w[0], &w[1]);
+            for idx in 0..before.len() {
+                let (r, c) = (idx / before.cols(), idx % before.cols());
+                if before.at(r, c) == k && after.at(r, c) != k {
+                    monotone = false;
+                }
+            }
+        }
+        monotone
+    });
+    let final_target_count = config
+        .track_times_for
+        .or(config.check_monotone_for)
+        .map(|k| trace.last().count(k));
+
+    let report = RunReport {
+        termination,
+        rounds: trace.rounds(),
+        recoloring_times,
+        monotone,
+        final_target_count,
+    };
+
+    (trace, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Termination;
+    use ctori_coloring::ColoringBuilder;
+    use ctori_protocols::SmpProtocol;
+    use ctori_topology::toroidal_mesh;
+
+    fn k() -> Color {
+        Color::new(2)
+    }
+
+    fn absorbing_config(t: &Torus) -> Coloring {
+        ColoringBuilder::filled(t, k())
+            .cell(1, 1, Color::new(1))
+            .cell(1, 2, Color::new(3))
+            .cell(2, 1, Color::new(4))
+            .cell(2, 2, Color::new(5))
+            .build()
+    }
+
+    #[test]
+    fn trace_records_every_round() {
+        let t = toroidal_mesh(5, 5);
+        let (trace, report) = run_with_trace(
+            &t,
+            SmpProtocol,
+            absorbing_config(&t),
+            &RunConfig::for_dynamo(k()),
+        );
+        assert_eq!(report.termination, Termination::Monochromatic(k()));
+        assert_eq!(trace.rounds(), report.rounds);
+        assert!(trace.rounds() >= 1);
+        assert_eq!(trace.initial().count(k()), 21);
+        assert!(trace.last().is_monochromatic_in(k()));
+        assert_eq!(trace.iter().count(), trace.rounds() + 1);
+        assert!(trace.after_round(trace.rounds() + 5).is_none());
+    }
+
+    #[test]
+    fn recoloring_times_from_trace_match_report() {
+        let t = toroidal_mesh(5, 5);
+        let cfg = RunConfig::for_dynamo(k());
+        let (trace, report) = run_with_trace(&t, SmpProtocol, absorbing_config(&t), &cfg);
+        let from_trace = RecoloringTimes::from_trace(&trace, k());
+        let from_report = RecoloringTimes::from_report(5, 5, &report).unwrap();
+        assert_eq!(from_trace, from_report);
+        // Seeds have time 0; the patch has positive times.
+        assert_eq!(from_trace.at(0, 0), Some(0));
+        assert!(from_trace.at(1, 1).unwrap() >= 1);
+        assert_eq!(from_trace.max_time(), Some(report.rounds));
+        assert_eq!(from_trace.rows(), 5);
+        assert_eq!(from_trace.cols(), 5);
+    }
+
+    #[test]
+    fn render_produces_matrix_text() {
+        let t = toroidal_mesh(5, 5);
+        let cfg = RunConfig::for_dynamo(k());
+        let (trace, _) = run_with_trace(&t, SmpProtocol, absorbing_config(&t), &cfg);
+        let times = RecoloringTimes::from_trace(&trace, k());
+        let text = times.render();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains('0'));
+    }
+
+    #[test]
+    fn frozen_configuration_gives_zero_round_trace() {
+        let t = toroidal_mesh(4, 4);
+        let coloring =
+            ctori_coloring::patterns::column_stripes(&t, &[Color::new(1), Color::new(2)]);
+        let (trace, report) = run_with_trace(&t, SmpProtocol, coloring, &RunConfig::default());
+        assert_eq!(report.termination, Termination::FixedPoint);
+        assert_eq!(trace.rounds(), 1, "the single idle round is recorded");
+        assert_eq!(trace.initial(), trace.last());
+    }
+
+    #[test]
+    fn unconverged_vertices_have_no_time() {
+        let t = toroidal_mesh(4, 4);
+        let coloring =
+            ctori_coloring::patterns::column_stripes(&t, &[Color::new(1), Color::new(2)]);
+        let (trace, _) = run_with_trace(
+            &t,
+            SmpProtocol,
+            coloring,
+            &RunConfig::for_dynamo(Color::new(2)),
+        );
+        let times = RecoloringTimes::from_trace(&trace, Color::new(2));
+        assert_eq!(times.max_time(), None);
+        assert_eq!(times.at(0, 0), None); // colour-1 column never adopts
+        assert_eq!(times.at(0, 1), Some(0)); // colour-2 column held it from the start
+    }
+}

@@ -1,0 +1,178 @@
+//! Neighbourhood colour counting.
+//!
+//! All the rules in this crate reduce to questions about the multiset of
+//! neighbour colours: "is there a unique colour held by at least two
+//! neighbours?", "how many neighbours are black?".  [`ColorCounts`] answers
+//! them without allocating: the paper's vertices have only four neighbours,
+//! so a tiny fixed-capacity table is enough (it grows on the stack up to 8
+//! distinct colours which covers every rule in the workspace, and falls
+//! back to linear scanning beyond that).
+
+use ctori_coloring::Color;
+
+/// Maximum number of distinct colours a degree-4 vertex can see, plus slack
+/// for the general-graph rules used by the TSS substrate.
+const INLINE_CAPACITY: usize = 8;
+
+/// A small multiset of colours with their multiplicities.
+#[derive(Clone, Debug, Default)]
+pub struct ColorCounts {
+    entries: Vec<(Color, usize)>,
+}
+
+impl ColorCounts {
+    /// Counts the colours of a neighbour slice.
+    pub fn from_neighbors(neighbors: &[Color]) -> Self {
+        let mut counts = ColorCounts {
+            entries: Vec::with_capacity(INLINE_CAPACITY.min(neighbors.len())),
+        };
+        for &c in neighbors {
+            counts.add(c);
+        }
+        counts
+    }
+
+    /// Adds one occurrence of a colour.
+    pub fn add(&mut self, color: Color) {
+        if let Some(e) = self.entries.iter_mut().find(|(c, _)| *c == color) {
+            e.1 += 1;
+        } else {
+            self.entries.push((color, 1));
+        }
+    }
+
+    /// Multiplicity of a colour.
+    pub fn count(&self, color: Color) -> usize {
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == color)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct colours seen.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The highest multiplicity.
+    pub fn max_count(&self) -> usize {
+        self.entries.iter().map(|(_, n)| *n).max().unwrap_or(0)
+    }
+
+    /// The colour with the strictly highest multiplicity, if it is unique.
+    ///
+    /// Returns `None` when two or more colours tie for the maximum — the
+    /// situation in which the SMP-Protocol leaves the vertex unchanged.
+    pub fn unique_plurality(&self) -> Option<(Color, usize)> {
+        let max = self.max_count();
+        if max == 0 {
+            return None;
+        }
+        let mut winner = None;
+        for &(c, n) in &self.entries {
+            if n == max {
+                if winner.is_some() {
+                    return None;
+                }
+                winner = Some((c, n));
+            }
+        }
+        winner
+    }
+
+    /// Iterates over `(colour, multiplicity)` pairs in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (Color, usize)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// The colour held by a unique plurality of at least `min_count`
+/// neighbours, if any.
+///
+/// This is the core decision of the SMP-Protocol (with `min_count = 2`):
+/// the patterns 4-0-0-0, 3-1-0-0 and 2-1-1-0 have such a colour, the
+/// patterns 2-2-0-0 and 1-1-1-1 do not.
+pub fn plurality(neighbors: &[Color], min_count: usize) -> Option<Color> {
+    let counts = ColorCounts::from_neighbors(neighbors);
+    match counts.unique_plurality() {
+        Some((c, n)) if n >= min_count => Some(c),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u16) -> Color {
+        Color::new(i)
+    }
+
+    #[test]
+    fn counts_and_distinct() {
+        let counts = ColorCounts::from_neighbors(&[c(1), c(2), c(1), c(3)]);
+        assert_eq!(counts.count(c(1)), 2);
+        assert_eq!(counts.count(c(2)), 1);
+        assert_eq!(counts.count(c(9)), 0);
+        assert_eq!(counts.distinct(), 3);
+        assert_eq!(counts.max_count(), 2);
+    }
+
+    #[test]
+    fn unique_plurality_cases() {
+        // 4-0: unique
+        assert_eq!(
+            ColorCounts::from_neighbors(&[c(5); 4]).unique_plurality(),
+            Some((c(5), 4))
+        );
+        // 3-1: unique
+        assert_eq!(
+            ColorCounts::from_neighbors(&[c(1), c(1), c(1), c(2)]).unique_plurality(),
+            Some((c(1), 3))
+        );
+        // 2-1-1: unique
+        assert_eq!(
+            ColorCounts::from_neighbors(&[c(1), c(1), c(2), c(3)]).unique_plurality(),
+            Some((c(1), 2))
+        );
+        // 2-2: tie
+        assert_eq!(
+            ColorCounts::from_neighbors(&[c(1), c(1), c(2), c(2)]).unique_plurality(),
+            None
+        );
+        // 1-1-1-1: four-way tie
+        assert_eq!(
+            ColorCounts::from_neighbors(&[c(1), c(2), c(3), c(4)]).unique_plurality(),
+            None
+        );
+        // empty
+        assert_eq!(ColorCounts::from_neighbors(&[]).unique_plurality(), None);
+    }
+
+    #[test]
+    fn plurality_threshold() {
+        assert_eq!(plurality(&[c(1), c(1), c(2), c(3)], 2), Some(c(1)));
+        assert_eq!(plurality(&[c(1), c(1), c(2), c(3)], 3), None);
+        assert_eq!(plurality(&[c(1), c(1), c(1), c(3)], 3), Some(c(1)));
+        assert_eq!(plurality(&[c(1), c(2), c(3), c(4)], 1), None, "four-way tie");
+        assert_eq!(plurality(&[c(7)], 1), Some(c(7)));
+    }
+
+    #[test]
+    fn iteration_preserves_first_seen_order() {
+        let counts = ColorCounts::from_neighbors(&[c(3), c(1), c(3), c(2)]);
+        let order: Vec<Color> = counts.iter().map(|(col, _)| col).collect();
+        assert_eq!(order, vec![c(3), c(1), c(2)]);
+    }
+
+    #[test]
+    fn add_after_construction() {
+        let mut counts = ColorCounts::default();
+        counts.add(c(1));
+        counts.add(c(1));
+        counts.add(c(2));
+        assert_eq!(counts.count(c(1)), 2);
+        assert_eq!(counts.unique_plurality(), Some((c(1), 2)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the local rules.
+
+use ctori_coloring::Color;
+use ctori_protocols::{
+    Irreversible, LocalRule, ReverseSimpleMajority, ReverseStrongMajority, SmpProtocol,
+    ThresholdRule,
+};
+use proptest::prelude::*;
+
+fn color() -> impl Strategy<Value = Color> {
+    (1u16..=6).prop_map(Color::new)
+}
+
+fn neighborhood() -> impl Strategy<Value = Vec<Color>> {
+    prop::collection::vec(color(), 4)
+}
+
+proptest! {
+    /// The SMP rule is invariant under permutations of the neighbour list
+    /// (Algorithm 1 only talks about the multiset of neighbour colours).
+    #[test]
+    fn smp_ignores_neighbor_order(own in color(), nbrs in neighborhood(), rotation in 0usize..4) {
+        let mut rotated = nbrs.clone();
+        rotated.rotate_left(rotation);
+        prop_assert_eq!(
+            SmpProtocol.next_color(own, &nbrs),
+            SmpProtocol.next_color(own, &rotated)
+        );
+    }
+
+    /// The SMP rule either keeps the vertex's colour or adopts a colour
+    /// held by at least two neighbours — never anything else.
+    #[test]
+    fn smp_output_is_own_or_a_neighbor_pair(own in color(), nbrs in neighborhood()) {
+        let next = SmpProtocol.next_color(own, &nbrs);
+        if next != own {
+            let count = nbrs.iter().filter(|&&c| c == next).count();
+            prop_assert!(count >= 2, "adopted colour {next} appears only {count} times");
+        }
+    }
+
+    /// The SMP rule commutes with colour relabelling.
+    #[test]
+    fn smp_commutes_with_relabelling(own in color(), nbrs in neighborhood(), shift in 1u16..5) {
+        let relabel = |c: Color| Color::new(((c.index() - 1 + shift) % 7) + 1);
+        let direct = relabel(SmpProtocol.next_color(own, &nbrs));
+        let relabeled: Vec<Color> = nbrs.iter().map(|&c| relabel(c)).collect();
+        let mapped = SmpProtocol.next_color(relabel(own), &relabeled);
+        prop_assert_eq!(direct, mapped);
+    }
+
+    /// Whenever reverse strong majority recolours a vertex, the SMP rule
+    /// recolours it to the same colour (the ordering behind Proposition 2).
+    #[test]
+    fn strong_majority_decisions_are_smp_decisions(own in color(), nbrs in neighborhood()) {
+        let strong = ReverseStrongMajority.next_color(own, &nbrs);
+        if strong != own {
+            prop_assert_eq!(SmpProtocol.next_color(own, &nbrs), strong);
+        }
+    }
+
+    /// Prefer-black and prefer-current only ever differ on configurations
+    /// where black ties for the plurality.
+    #[test]
+    fn tie_break_only_matters_on_black_ties(own in color(), nbrs in neighborhood()) {
+        let pb = ReverseSimpleMajority::prefer_black().next_color(own, &nbrs);
+        let pc = ReverseSimpleMajority::prefer_current().next_color(own, &nbrs);
+        if pb != pc {
+            prop_assert_eq!(pb, Color::BLACK);
+            let black_count = nbrs.iter().filter(|&&c| c == Color::BLACK).count();
+            prop_assert!(black_count >= 2);
+        }
+    }
+
+    /// An irreversible rule never lets a vertex leave the target colour,
+    /// and otherwise agrees with the wrapped rule.
+    #[test]
+    fn irreversible_locks_the_target(own in color(), nbrs in neighborhood(), target in color()) {
+        let rule = Irreversible::new(SmpProtocol, target);
+        let next = rule.next_color(own, &nbrs);
+        if own == target {
+            prop_assert_eq!(next, target);
+        } else {
+            prop_assert_eq!(next, SmpProtocol.next_color(own, &nbrs));
+        }
+    }
+
+    /// The threshold rule is monotone: it never deactivates, and it
+    /// activates exactly when enough neighbours are active.
+    #[test]
+    fn threshold_rule_activation(own in color(), nbrs in neighborhood(), threshold in 1usize..5) {
+        let active = Color::new(1);
+        let rule = ThresholdRule::new(active, threshold);
+        let next = rule.next_color(own, &nbrs);
+        let active_nbrs = nbrs.iter().filter(|&&c| c == active).count();
+        if own == active {
+            prop_assert_eq!(next, active);
+        } else if active_nbrs >= threshold {
+            prop_assert_eq!(next, active);
+        } else {
+            prop_assert_eq!(next, own);
+        }
+    }
+}

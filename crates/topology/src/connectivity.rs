@@ -1,0 +1,205 @@
+//! Connectivity and acyclicity helpers.
+//!
+//! The paper's central combinatorial objects — `k`-blocks, non-`k`-blocks
+//! (Definitions 4 and 5) and the "forest" hypothesis of Theorems 2, 4
+//! and 6 — are all statements about *induced subgraphs*: take the vertices
+//! of one colour class and look at the edges of the torus between them.
+//! This module provides connected components and forest (acyclicity)
+//! detection restricted to an arbitrary vertex subset.
+
+use crate::node::NodeId;
+use crate::nodeset::NodeSet;
+use crate::topology::Topology;
+
+/// The result of a connected-components computation.
+#[derive(Clone, Debug)]
+pub struct ComponentLabels {
+    /// `labels[v] == usize::MAX` for vertices outside the analysed subset,
+    /// otherwise the component index in `0..count`.
+    pub labels: Vec<usize>,
+    /// Number of components found.
+    pub count: usize,
+    /// Size of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl ComponentLabels {
+    /// The component index of `v`, or `None` if `v` was outside the subset.
+    pub fn component_of(&self, v: NodeId) -> Option<usize> {
+        match self.labels.get(v.index()) {
+            Some(&l) if l != usize::MAX => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The vertices of component `c`.
+    pub fn members(&self, c: usize) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+}
+
+/// Connected components of the subgraph induced by `subset`.
+pub fn induced_components<T: Topology + ?Sized>(topology: &T, subset: &NodeSet) -> ComponentLabels {
+    let n = topology.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut sizes = Vec::new();
+    let mut count = 0;
+    let mut stack = Vec::new();
+
+    for start in subset.iter() {
+        if labels[start.index()] != usize::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        labels[start.index()] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            size += 1;
+            for u in topology.neighbors(v) {
+                if subset.contains(u) && labels[u.index()] == usize::MAX {
+                    labels[u.index()] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        sizes.push(size);
+        count += 1;
+    }
+
+    ComponentLabels {
+        labels,
+        count,
+        sizes,
+    }
+}
+
+/// Connected components of the whole topology.
+pub fn connected_components<T: Topology + ?Sized>(topology: &T) -> ComponentLabels {
+    let all = NodeSet::full(topology.node_count());
+    induced_components(topology, &all)
+}
+
+/// Whether the subgraph induced by `subset` is a forest (contains no
+/// cycle).
+///
+/// This is the hypothesis "`S^{k'}` is a forest" of Theorems 2, 4 and 6.
+/// A subgraph with `v` vertices, `e` edges and `c` components is a forest
+/// iff `e = v - c`.
+pub fn is_forest<T: Topology + ?Sized>(topology: &T, subset: &NodeSet) -> bool {
+    let comps = induced_components(topology, subset);
+    let vertices = subset.count();
+    // Count induced edges once: for each vertex, count neighbours inside
+    // the subset with a larger id.
+    let mut edges = 0usize;
+    for v in subset.iter() {
+        for u in topology.neighbors(v) {
+            if u.index() > v.index() && subset.contains(u) {
+                edges += 1;
+            }
+        }
+    }
+    edges == vertices.saturating_sub(comps.count)
+}
+
+/// Whether the subgraph induced by `subset` is connected (and non-empty).
+pub fn is_connected_subset<T: Topology + ?Sized>(topology: &T, subset: &NodeSet) -> bool {
+    if subset.is_empty() {
+        return false;
+    }
+    induced_components(topology, subset).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{Torus, TorusKind};
+    use crate::Coord;
+
+    fn set_of(t: &Torus, coords: &[(usize, usize)]) -> NodeSet {
+        NodeSet::from_iter(
+            t.node_count(),
+            coords.iter().map(|&(r, c)| t.id(Coord::new(r, c))),
+        )
+    }
+
+    #[test]
+    fn whole_torus_is_one_component() {
+        for kind in TorusKind::ALL {
+            let t = Torus::new(kind, 4, 5);
+            let comps = connected_components(&t);
+            assert_eq!(comps.count, 1, "{kind} should be connected");
+            assert_eq!(comps.sizes, vec![20]);
+        }
+    }
+
+    #[test]
+    fn induced_components_of_two_islands() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 6, 6);
+        let subset = set_of(&t, &[(0, 0), (0, 1), (3, 3), (3, 4), (4, 3)]);
+        let comps = induced_components(&t, &subset);
+        assert_eq!(comps.count, 2);
+        let mut sizes = comps.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+        assert_eq!(
+            comps.component_of(t.id(Coord::new(0, 0))),
+            comps.component_of(t.id(Coord::new(0, 1)))
+        );
+        assert_ne!(
+            comps.component_of(t.id(Coord::new(0, 0))),
+            comps.component_of(t.id(Coord::new(3, 3)))
+        );
+        assert_eq!(comps.component_of(t.id(Coord::new(5, 5))), None);
+    }
+
+    #[test]
+    fn component_members_are_exact() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 4, 4);
+        let subset = set_of(&t, &[(1, 1), (1, 2)]);
+        let comps = induced_components(&t, &subset);
+        let c = comps.component_of(t.id(Coord::new(1, 1))).unwrap();
+        let mut members = comps.members(c);
+        members.sort_unstable();
+        assert_eq!(members, vec![t.id(Coord::new(1, 1)), t.id(Coord::new(1, 2))]);
+    }
+
+    #[test]
+    fn path_is_forest_cycle_is_not() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 5, 5);
+        // A straight path of 4 vertices in one row: forest.
+        let path = set_of(&t, &[(2, 0), (2, 1), (2, 2), (2, 3)]);
+        assert!(is_forest(&t, &path));
+        // A whole row on a toroidal mesh wraps around: a cycle, not a forest.
+        let row = set_of(&t, &[(2, 0), (2, 1), (2, 2), (2, 3), (2, 4)]);
+        assert!(!is_forest(&t, &row));
+        // A 2x2 square is a 4-cycle.
+        let square = set_of(&t, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert!(!is_forest(&t, &square));
+        // Empty set is trivially a forest.
+        assert!(is_forest(&t, &NodeSet::new(t.node_count())));
+    }
+
+    #[test]
+    fn full_row_is_forest_in_cordalis_but_not_in_mesh() {
+        // In the torus cordalis a single row is *not* a cycle (its wrap
+        // edge goes to the next row), so a full row induces a path.
+        let mesh = Torus::new(TorusKind::ToroidalMesh, 5, 5);
+        let cord = Torus::new(TorusKind::TorusCordalis, 5, 5);
+        let row_coords: Vec<(usize, usize)> = (0..5).map(|j| (2, j)).collect();
+        assert!(!is_forest(&mesh, &set_of(&mesh, &row_coords)));
+        assert!(is_forest(&cord, &set_of(&cord, &row_coords)));
+    }
+
+    #[test]
+    fn connectedness_of_subsets() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 4, 4);
+        assert!(is_connected_subset(&t, &set_of(&t, &[(0, 0), (0, 1)])));
+        assert!(!is_connected_subset(&t, &set_of(&t, &[(0, 0), (2, 2)])));
+        assert!(!is_connected_subset(&t, &NodeSet::new(t.node_count())));
+    }
+}

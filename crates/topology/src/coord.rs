@@ -1,0 +1,168 @@
+//! Grid coordinates.
+//!
+//! A vertex of an `m × n` torus is addressed by its row `i` (`0 ≤ i < m`)
+//! and column `j` (`0 ≤ j < n`), matching the `v[i][j]` notation of the
+//! paper.  [`Coord`] also provides the cyclic displacement helpers used by
+//! the bounding-rectangle computation of Lemma 1.
+
+/// A `(row, col)` coordinate on an `m × n` grid.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Coord {
+    /// Row index `i`, `0 ≤ i < m`.
+    pub row: usize,
+    /// Column index `j`, `0 ≤ j < n`.
+    pub col: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate from a row and a column index.
+    #[inline]
+    pub const fn new(row: usize, col: usize) -> Self {
+        Coord { row, col }
+    }
+
+    /// Row-major linear index of this coordinate on an `m × n` grid.
+    #[inline]
+    pub fn to_index(self, n: usize) -> usize {
+        self.row * n + self.col
+    }
+
+    /// Inverse of [`Coord::to_index`].
+    #[inline]
+    pub fn from_index(index: usize, n: usize) -> Self {
+        Coord {
+            row: index / n,
+            col: index % n,
+        }
+    }
+
+    /// The coordinate one row up (toward row 0), wrapping around modulo `m`.
+    #[inline]
+    pub fn up(self, m: usize) -> Self {
+        Coord::new((self.row + m - 1) % m, self.col)
+    }
+
+    /// The coordinate one row down, wrapping around modulo `m`.
+    #[inline]
+    pub fn down(self, m: usize) -> Self {
+        Coord::new((self.row + 1) % m, self.col)
+    }
+
+    /// The coordinate one column to the left, wrapping around modulo `n`.
+    #[inline]
+    pub fn left(self, n: usize) -> Self {
+        Coord::new(self.row, (self.col + n - 1) % n)
+    }
+
+    /// The coordinate one column to the right, wrapping around modulo `n`.
+    #[inline]
+    pub fn right(self, n: usize) -> Self {
+        Coord::new(self.row, (self.col + 1) % n)
+    }
+
+    /// Cyclic distance between two row indices on a cycle of length `m`.
+    #[inline]
+    pub fn cyclic_row_distance(a: usize, b: usize, m: usize) -> usize {
+        let d = a.abs_diff(b) % m;
+        d.min(m - d)
+    }
+
+    /// Cyclic distance between two column indices on a cycle of length `n`.
+    #[inline]
+    pub fn cyclic_col_distance(a: usize, b: usize, n: usize) -> usize {
+        Self::cyclic_row_distance(a, b, n)
+    }
+
+    /// Toroidal (wrap-around Manhattan) distance between two coordinates on
+    /// an `m × n` toroidal mesh.
+    #[inline]
+    pub fn toroidal_distance(self, other: Coord, m: usize, n: usize) -> usize {
+        Self::cyclic_row_distance(self.row, other.row, m)
+            + Self::cyclic_col_distance(self.col, other.col, n)
+    }
+}
+
+impl From<(usize, usize)> for Coord {
+    #[inline]
+    fn from((row, col): (usize, usize)) -> Self {
+        Coord::new(row, col)
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let n = 7;
+        for row in 0..5 {
+            for col in 0..n {
+                let c = Coord::new(row, col);
+                assert_eq!(Coord::from_index(c.to_index(n), n), c);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_wrap_around() {
+        let m = 4;
+        let n = 5;
+        assert_eq!(Coord::new(0, 0).up(m), Coord::new(3, 0));
+        assert_eq!(Coord::new(3, 0).down(m), Coord::new(0, 0));
+        assert_eq!(Coord::new(0, 0).left(n), Coord::new(0, 4));
+        assert_eq!(Coord::new(0, 4).right(n), Coord::new(0, 0));
+    }
+
+    #[test]
+    fn interior_moves_do_not_wrap() {
+        let m = 4;
+        let n = 5;
+        let c = Coord::new(2, 2);
+        assert_eq!(c.up(m), Coord::new(1, 2));
+        assert_eq!(c.down(m), Coord::new(3, 2));
+        assert_eq!(c.left(n), Coord::new(2, 1));
+        assert_eq!(c.right(n), Coord::new(2, 3));
+    }
+
+    #[test]
+    fn cyclic_distance_is_symmetric_and_short() {
+        assert_eq!(Coord::cyclic_row_distance(0, 4, 5), 1);
+        assert_eq!(Coord::cyclic_row_distance(4, 0, 5), 1);
+        assert_eq!(Coord::cyclic_row_distance(1, 3, 8), 2);
+        assert_eq!(Coord::cyclic_row_distance(0, 0, 8), 0);
+        assert_eq!(Coord::cyclic_row_distance(0, 4, 8), 4);
+    }
+
+    #[test]
+    fn toroidal_distance_examples() {
+        let m = 6;
+        let n = 6;
+        assert_eq!(
+            Coord::new(0, 0).toroidal_distance(Coord::new(5, 5), m, n),
+            2
+        );
+        assert_eq!(
+            Coord::new(2, 2).toroidal_distance(Coord::new(2, 2), m, n),
+            0
+        );
+        assert_eq!(
+            Coord::new(0, 0).toroidal_distance(Coord::new(3, 3), m, n),
+            6
+        );
+    }
+
+    #[test]
+    fn from_tuple() {
+        let c: Coord = (3, 4).into();
+        assert_eq!(c, Coord::new(3, 4));
+        assert_eq!(c.to_string(), "(3, 4)");
+    }
+}

@@ -1,0 +1,180 @@
+//! A general adjacency-list graph.
+//!
+//! The paper's results are all on tori, but its introduction (and its
+//! "future work" section) motivates the protocol with diffusion on general
+//! social networks.  The target-set-selection substrate (`ctori-tss`) and a
+//! few internal algorithms (forest checks on induced colour classes) operate
+//! on this representation.
+
+use crate::node::NodeId;
+use crate::topology::Topology;
+
+/// An undirected graph stored as adjacency lists.
+///
+/// Parallel edges and self-loops are rejected; vertex identifiers are dense
+/// (`0..node_count()`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with no vertices.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` isolated vertices.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Adds a new isolated vertex and returns its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        NodeId::new(self.adjacency.len() - 1)
+    }
+
+    /// Adds an undirected edge between `u` and `v`.
+    ///
+    /// Returns `true` if the edge was newly added, `false` if it already
+    /// existed.  Self-loops panic: none of the models in this workspace use
+    /// them and they would silently distort the majority rules.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert_ne!(u, v, "self-loops are not supported");
+        assert!(
+            u.index() < self.adjacency.len() && v.index() < self.adjacency.len(),
+            "edge endpoint out of range"
+        );
+        if self.adjacency[u.index()].contains(&v) {
+            return false;
+        }
+        self.adjacency[u.index()].push(v);
+        self.adjacency[v.index()].push(u);
+        self.edges += 1;
+        true
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency
+            .get(u.index())
+            .map(|a| a.contains(&v))
+            .unwrap_or(false)
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The neighbours of `v` as a slice (no allocation).
+    pub fn neighbors_slice(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Iterates over every undirected edge once, as `(u, v)` with
+    /// `u.index() < v.index()`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |v| v.index() > u)
+                .map(move |&v| (NodeId::new(u), v))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average degree (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges as f64 / self.adjacency.len() as f64
+        }
+    }
+}
+
+impl Topology for Graph {
+    fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.adjacency[v.index()].clone()
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_graph() {
+        let mut g = Graph::with_nodes(4);
+        assert!(g.add_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.add_edge(NodeId::new(1), NodeId::new(2)));
+        assert!(!g.add_edge(NodeId::new(0), NodeId::new(1)), "duplicate edge");
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 4);
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+        assert_eq!(g.degree(NodeId::new(1)), 2);
+        assert_eq!(g.degree(NodeId::new(3)), 0);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId::new(0), NodeId::new(0));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(2), NodeId::new(1));
+        g.add_edge(NodeId::new(3), NodeId::new(0));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u.index() < v.index());
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(0), NodeId::new(2));
+        g.add_edge(NodeId::new(0), NodeId::new(3));
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 1.2).abs() < 1e-12);
+        assert_eq!(Graph::new().max_degree(), 0);
+        assert_eq!(Graph::new().average_degree(), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Dense vertex identifiers.
+//!
+//! All topologies in this workspace number their vertices `0..node_count()`
+//! in row-major order, so a vertex can be stored as a single `u32`-backed
+//! [`NodeId`].  Keeping the identifier at 4 bytes (instead of `usize`)
+//! matters for the exhaustive searches in `ctori-core`, which hold millions
+//! of candidate vertex sets in memory.
+
+/// A dense vertex identifier, valid for a specific topology instance.
+///
+/// `NodeId` is just an index; it carries no reference to the topology that
+/// produced it.  Mixing identifiers across topologies of different sizes is
+/// a logic error that the debug assertions in [`crate::Torus`] will catch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node identifier from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+
+    /// Returns the raw index as a `usize`, suitable for indexing slices.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        for i in [0usize, 1, 17, 65_535, 1_000_000] {
+            let id = NodeId::new(i);
+            assert_eq!(id.index(), i);
+            assert_eq!(usize::from(id), i);
+            assert_eq!(NodeId::from(i), id);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(42).to_string(), "v42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(3) < NodeId::new(10));
+        assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+}

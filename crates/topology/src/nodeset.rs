@@ -1,0 +1,264 @@
+//! A compact bit set over the vertices of a topology.
+//!
+//! Sets of vertices appear everywhere in the paper — the initial set `S^k`,
+//! blocks, non-blocks, sets derivable from `F` — and the exhaustive searches
+//! in `ctori-core` iterate over very many of them, so the representation is
+//! a plain `Vec<u64>` bit set rather than a hash set.
+
+use crate::node::NodeId;
+
+/// A set of vertices of a topology with `len` vertices, stored as a bit set.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over a universe of `len` vertices.
+    pub fn new(len: usize) -> Self {
+        NodeSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a set containing every vertex of the universe.
+    pub fn full(len: usize) -> Self {
+        let mut s = NodeSet::new(len);
+        for i in 0..len {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of vertices.
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(len: usize, iter: I) -> Self {
+        let mut s = NodeSet::new(len);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Size of the universe this set ranges over.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts a vertex; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        debug_assert!(i < self.len, "vertex out of universe");
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        *word |= mask;
+        !was
+    }
+
+    /// Removes a vertex; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        debug_assert!(i < self.len, "vertex out of universe");
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        *word &= !mask;
+        was
+    }
+
+    /// Whether the set contains `v`.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.index();
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of vertices in the set.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all vertices.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterates over the vertices in the set in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(NodeId::new(wi * 64 + b))
+                }
+            })
+        })
+    }
+
+    /// Whether `self` is a subset of `other` (universes must match).
+    pub fn is_subset_of(&self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.len, other.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The complement of this set within its universe.
+    pub fn complement(&self) -> NodeSet {
+        let mut out = NodeSet::new(self.len);
+        for i in 0..self.len {
+            let v = NodeId::new(i);
+            if !self.contains(v) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Builds a set whose universe is just large enough for the largest
+    /// vertex seen.  Prefer [`NodeSet::from_iter`] (the inherent method)
+    /// when the universe size is known.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let items: Vec<NodeId> = iter.into_iter().collect();
+        let len = items.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        NodeSet::from_iter(len, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId::new(7)));
+        assert!(!s.insert(NodeId::new(7)));
+        assert!(s.contains(NodeId::new(7)));
+        assert!(!s.contains(NodeId::new(8)));
+        assert_eq!(s.count(), 1);
+        assert!(s.remove(NodeId::new(7)));
+        assert!(!s.remove(NodeId::new(7)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = NodeSet::new(200);
+        for &i in &[5usize, 190, 63, 64, 65, 0] {
+            s.insert(NodeId::new(i));
+        }
+        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 190]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_iter(50, ids(&[1, 2, 3, 10]));
+        let b = NodeSet::from_iter(50, ids(&[3, 10, 20]));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 5);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        let got: Vec<usize> = i.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![3, 10]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        let got: Vec<usize> = d.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![1, 2]);
+
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn complement_and_full() {
+        let a = NodeSet::from_iter(10, ids(&[0, 9, 4]));
+        let c = a.complement();
+        assert_eq!(c.count(), 7);
+        for i in 0..10 {
+            assert_ne!(a.contains(NodeId::new(i)), c.contains(NodeId::new(i)));
+        }
+        assert_eq!(NodeSet::full(10).count(), 10);
+        let mut f = NodeSet::full(10);
+        f.clear();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_trait_sizes_universe() {
+        let s: NodeSet = ids(&[3, 7]).into_iter().collect();
+        assert_eq!(s.universe(), 8);
+        assert!(s.contains(NodeId::new(7)));
+        assert!(!s.contains(NodeId::new(100)));
+    }
+
+    #[test]
+    fn word_boundary_behaviour() {
+        let mut s = NodeSet::new(129);
+        s.insert(NodeId::new(63));
+        s.insert(NodeId::new(64));
+        s.insert(NodeId::new(127));
+        s.insert(NodeId::new(128));
+        assert_eq!(s.count(), 4);
+        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![63, 64, 127, 128]);
+    }
+}

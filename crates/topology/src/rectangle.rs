@@ -1,0 +1,228 @@
+//! Bounding rectangles of vertex sets (the `R_F` of the paper).
+//!
+//! Lemma 1 and Theorem 1 reason about "the smallest rectangle containing
+//! `F`", written `R_F`, of size `m_F × n_F`.  On a torus the rows occupied
+//! by `F` live on the cycle `Z_m` and the columns on `Z_n`, so the smallest
+//! enclosing rectangle is determined by the *largest empty cyclic gap* in
+//! each dimension: `m_F = m - (largest run of consecutive unoccupied
+//! rows)`, and symmetrically for columns.
+
+use crate::coord::Coord;
+use crate::node::NodeId;
+use crate::nodeset::NodeSet;
+use crate::topology::Topology;
+use crate::torus::Torus;
+
+/// The smallest (cyclic) bounding rectangle of a vertex set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rectangle {
+    /// First row of the rectangle (inclusive, may wrap).
+    pub row_start: usize,
+    /// Number of rows spanned (`m_F`).
+    pub row_extent: usize,
+    /// First column of the rectangle (inclusive, may wrap).
+    pub col_start: usize,
+    /// Number of columns spanned (`n_F`).
+    pub col_extent: usize,
+}
+
+impl Rectangle {
+    /// `m_F`, the number of rows spanned.
+    pub fn m_f(&self) -> usize {
+        self.row_extent
+    }
+
+    /// `n_F`, the number of columns spanned.
+    pub fn n_f(&self) -> usize {
+        self.col_extent
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> usize {
+        self.row_extent * self.col_extent
+    }
+
+    /// Whether the rectangle contains the given coordinate on an `m × n`
+    /// torus (taking wrap-around into account).
+    pub fn contains(&self, c: Coord, m: usize, n: usize) -> bool {
+        let row_off = (c.row + m - self.row_start) % m;
+        let col_off = (c.col + n - self.col_start) % n;
+        row_off < self.row_extent && col_off < self.col_extent
+    }
+}
+
+/// Computes the minimal extent and starting index covering the marked
+/// positions on a cycle of length `len`.
+///
+/// Returns `(start, extent)`.  If nothing is marked, the extent is 0.
+fn minimal_cyclic_cover(marked: &[bool]) -> (usize, usize) {
+    let len = marked.len();
+    let occupied: Vec<usize> = (0..len).filter(|&i| marked[i]).collect();
+    if occupied.is_empty() {
+        return (0, 0);
+    }
+    if occupied.len() == len {
+        return (0, len);
+    }
+    // Find the largest cyclic gap of unoccupied positions between two
+    // consecutive occupied positions; the cover is everything else.
+    let mut best_gap = 0usize;
+    let mut best_start_after_gap = occupied[0];
+    for (idx, &pos) in occupied.iter().enumerate() {
+        let next = occupied[(idx + 1) % occupied.len()];
+        // Cyclic step from `pos` to `next`; a single occupied position wraps
+        // all the way around (step of `len`).
+        let gap = ((next + len - pos - 1) % len) + 1;
+        // gap counts the step from pos to next; unoccupied cells between
+        // them are gap - 1.
+        if gap > best_gap {
+            best_gap = gap;
+            best_start_after_gap = next;
+        }
+    }
+    let extent = len - (best_gap - 1);
+    (best_start_after_gap, extent)
+}
+
+/// The smallest rectangle `R_F` containing the vertex set `F` on the given
+/// torus, in the cyclic sense described in the module documentation.
+pub fn bounding_rectangle(torus: &Torus, f: &NodeSet) -> Rectangle {
+    let m = torus.rows();
+    let n = torus.cols();
+    let mut rows = vec![false; m];
+    let mut cols = vec![false; n];
+    for v in f.iter() {
+        let c = torus.coord(v);
+        rows[c.row] = true;
+        cols[c.col] = true;
+    }
+    let (row_start, row_extent) = minimal_cyclic_cover(&rows);
+    let (col_start, col_extent) = minimal_cyclic_cover(&cols);
+    Rectangle {
+        row_start,
+        row_extent,
+        col_start,
+        col_extent,
+    }
+}
+
+/// Convenience: bounding rectangle of an explicit list of coordinates.
+pub fn bounding_rectangle_of_coords(torus: &Torus, coords: &[Coord]) -> Rectangle {
+    let set = NodeSet::from_iter(
+        torus.node_count(),
+        coords.iter().map(|&c| torus.id(c)),
+    );
+    bounding_rectangle(torus, &set)
+}
+
+/// Convenience: bounding rectangle of an explicit list of node ids.
+pub fn bounding_rectangle_of_ids(torus: &Torus, ids: &[NodeId]) -> Rectangle {
+    let set = NodeSet::from_iter(torus.node_count(), ids.iter().copied());
+    bounding_rectangle(torus, &set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::TorusKind;
+
+    fn torus() -> Torus {
+        Torus::new(TorusKind::ToroidalMesh, 6, 8)
+    }
+
+    fn rect_of(t: &Torus, coords: &[(usize, usize)]) -> Rectangle {
+        let cs: Vec<Coord> = coords.iter().map(|&(r, c)| Coord::new(r, c)).collect();
+        bounding_rectangle_of_coords(t, &cs)
+    }
+
+    #[test]
+    fn empty_set_has_zero_extent() {
+        let t = torus();
+        let r = bounding_rectangle(&t, &NodeSet::new(t.node_count()));
+        assert_eq!(r.m_f(), 0);
+        assert_eq!(r.n_f(), 0);
+        assert_eq!(r.area(), 0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let t = torus();
+        let r = rect_of(&t, &[(2, 3)]);
+        assert_eq!((r.m_f(), r.n_f()), (1, 1));
+        assert_eq!((r.row_start, r.col_start), (2, 3));
+        assert!(r.contains(Coord::new(2, 3), 6, 8));
+        assert!(!r.contains(Coord::new(2, 4), 6, 8));
+    }
+
+    #[test]
+    fn axis_aligned_block() {
+        let t = torus();
+        let r = rect_of(&t, &[(1, 1), (1, 4), (3, 2)]);
+        assert_eq!((r.m_f(), r.n_f()), (3, 4));
+        assert_eq!((r.row_start, r.col_start), (1, 1));
+    }
+
+    #[test]
+    fn wrapping_cover_is_detected() {
+        let t = torus();
+        // Rows 5 and 0 are adjacent on the cycle; the minimal cover spans 2
+        // rows starting at row 5, not 6 rows starting at row 0.
+        let r = rect_of(&t, &[(5, 0), (0, 0)]);
+        assert_eq!(r.m_f(), 2);
+        assert_eq!(r.row_start, 5);
+        // Columns 7 and 0 similarly.
+        let r = rect_of(&t, &[(2, 7), (2, 0)]);
+        assert_eq!(r.n_f(), 2);
+        assert_eq!(r.col_start, 7);
+    }
+
+    #[test]
+    fn full_row_spans_all_columns() {
+        let t = torus();
+        let coords: Vec<(usize, usize)> = (0..8).map(|j| (3, j)).collect();
+        let r = rect_of(&t, &coords);
+        assert_eq!(r.m_f(), 1);
+        assert_eq!(r.n_f(), 8);
+    }
+
+    #[test]
+    fn theorem1_style_row_plus_column() {
+        // The Sk of Theorem 2: column 0 plus row 0 minus one vertex spans
+        // the whole torus minus nothing in terms of rectangle: m_F = m,
+        // n_F = n - it covers every row and every column except none.
+        let t = torus();
+        let mut coords: Vec<(usize, usize)> = (0..6).map(|i| (i, 0)).collect();
+        coords.extend((0..7).map(|j| (0, j)));
+        let r = rect_of(&t, &coords);
+        assert_eq!(r.m_f(), 6);
+        assert_eq!(r.n_f(), 7);
+    }
+
+    #[test]
+    fn contains_handles_wrapping_rectangles() {
+        let r = Rectangle {
+            row_start: 4,
+            row_extent: 3,
+            col_start: 6,
+            col_extent: 3,
+        };
+        // rows 4,5,0 and cols 6,7,0 on a 6x8 torus
+        assert!(r.contains(Coord::new(5, 7), 6, 8));
+        assert!(r.contains(Coord::new(0, 0), 6, 8));
+        assert!(!r.contains(Coord::new(1, 1), 6, 8));
+        assert!(!r.contains(Coord::new(3, 6), 6, 8));
+    }
+
+    #[test]
+    fn scattered_set_prefers_largest_gap() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 10, 10);
+        // occupied rows 0, 1, 7 -> gaps: 1->7 is 5 empty rows (2..6),
+        // 7->0 is 2 empty rows (8, 9). Largest gap 2..6, cover starts at 7,
+        // extent 10 - 5 = 5 (rows 7,8,9,0,1... wait cover excludes the gap:
+        // rows 7,8,9,0,1 -> 5 rows).
+        let r = rect_of(&t, &[(0, 0), (1, 0), (7, 0)]);
+        assert_eq!(r.m_f(), 5);
+        assert_eq!(r.row_start, 7);
+    }
+}

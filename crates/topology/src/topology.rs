@@ -1,0 +1,78 @@
+//! The minimal topology interface consumed by the simulation engine.
+
+use crate::node::NodeId;
+
+/// A finite undirected graph whose vertices are densely numbered
+/// `0..node_count()`.
+///
+/// This is the only interface the simulation engine and the dynamo
+/// machinery need.  [`crate::Torus`] implements it arithmetically (nothing
+/// stored per vertex); [`crate::Graph`] implements it with adjacency lists.
+pub trait Topology {
+    /// Number of vertices.
+    fn node_count(&self) -> usize;
+
+    /// The neighbours of `v`.
+    ///
+    /// For the paper's tori this always has length 4; general graphs may
+    /// have arbitrary degrees.
+    fn neighbors(&self, v: NodeId) -> Vec<NodeId>;
+
+    /// Degree of `v`; default implementation counts the neighbour list.
+    fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Iterates over all vertex identifiers.
+    fn nodes(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new((0..self.node_count()).map(NodeId::new))
+    }
+
+    /// Total number of undirected edges (each edge counted once).
+    fn edge_count_total(&self) -> usize {
+        let twice: usize = (0..self.node_count())
+            .map(|v| self.degree(NodeId::new(v)))
+            .sum();
+        twice / 2
+    }
+}
+
+impl<T: Topology + ?Sized> Topology for &T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        (**self).neighbors(v)
+    }
+    fn degree(&self, v: NodeId) -> usize {
+        (**self).degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{Torus, TorusKind};
+
+    #[test]
+    fn trait_object_usable() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 3, 3);
+        let dyn_t: &dyn Topology = &t;
+        assert_eq!(dyn_t.node_count(), 9);
+        assert_eq!(dyn_t.degree(NodeId::new(0)), 4);
+        assert_eq!(dyn_t.nodes().count(), 9);
+        assert_eq!(dyn_t.edge_count_total(), 18);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let t = Torus::new(TorusKind::TorusCordalis, 4, 4);
+        let r = &t;
+        assert_eq!(Topology::node_count(&r), 16);
+        assert_eq!(Topology::degree(&r, NodeId::new(5)), 4);
+        assert_eq!(
+            Topology::neighbors(&r, NodeId::new(5)),
+            t.neighbors(NodeId::new(5))
+        );
+    }
+}

@@ -1,0 +1,471 @@
+//! The three torus topologies of the paper.
+//!
+//! All three are 4-regular graphs on the vertex set
+//! `{ v[i][j] : 0 ≤ i < m, 0 ≤ j < n }`.  They differ only in how the
+//! "border" vertices wrap around (Definition 1 of the paper):
+//!
+//! * **toroidal mesh** — `v[i][j]` is adjacent to `v[(i±1) mod m][j]` and
+//!   `v[i][(j±1) mod n]`;
+//! * **torus cordalis** — as above, except the horizontal wrap edge
+//!   `(i, n-1)–(i, 0)` is replaced by `(i, n-1)–((i+1) mod m, 0)`: the rows
+//!   chain into a single cycle of length `m·n`;
+//! * **torus serpentinus** — as the cordalis, and additionally the vertical
+//!   wrap edge `(m-1, j)–(0, j)` is replaced by
+//!   `(m-1, j)–(0, (j-1) mod n)`: the columns also chain into a single
+//!   cycle of length `m·n`.
+//!
+//! Neighbourhoods are computed arithmetically; a [`Torus`] value is three
+//! words regardless of its size.
+
+use crate::coord::Coord;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::topology::Topology;
+
+/// Which of the three torus variants of Definition 1 a [`Torus`] represents.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TorusKind {
+    /// Standard 2-dimensional torus: both dimensions wrap onto themselves.
+    ToroidalMesh,
+    /// Rows chained into a single horizontal cycle (`(i, n-1)` connects to
+    /// `((i+1) mod m, 0)`); columns wrap as in the toroidal mesh.
+    TorusCordalis,
+    /// Rows chained as in the cordalis *and* columns chained into a single
+    /// vertical cycle (`(m-1, j)` connects to `(0, (j-1) mod n)`).
+    TorusSerpentinus,
+}
+
+impl TorusKind {
+    /// All three kinds, in the order the paper discusses them.
+    pub const ALL: [TorusKind; 3] = [
+        TorusKind::ToroidalMesh,
+        TorusKind::TorusCordalis,
+        TorusKind::TorusSerpentinus,
+    ];
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            TorusKind::ToroidalMesh => "toroidal mesh",
+            TorusKind::TorusCordalis => "torus cordalis",
+            TorusKind::TorusSerpentinus => "torus serpentinus",
+        }
+    }
+}
+
+impl std::fmt::Display for TorusKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An `m × n` torus of one of the three kinds of Definition 1.
+///
+/// Vertices are numbered row-major: `v[i][j]` has [`NodeId`] `i·n + j`.
+///
+/// # Panics
+///
+/// [`Torus::new`] panics if `m < 2` or `n < 2`: with a single row or column
+/// the "four neighbours" of a vertex would degenerate into repeated
+/// vertices, and the paper explicitly restricts itself to `m, n ≥ 2`
+/// (Section III.A).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Torus {
+    kind: TorusKind,
+    m: usize,
+    n: usize,
+}
+
+impl Torus {
+    /// Creates an `m × n` torus of the given kind.
+    pub fn new(kind: TorusKind, m: usize, n: usize) -> Self {
+        assert!(
+            m >= 2 && n >= 2,
+            "the paper's tori require m, n >= 2 (got {m} x {n})"
+        );
+        Torus { kind, m, n }
+    }
+
+    /// The torus variant.
+    #[inline]
+    pub fn kind(&self) -> TorusKind {
+        self.kind
+    }
+
+    /// Number of rows `m`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns `n`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// `min(m, n)`, written `N` in the paper (Proposition 3, Theorems 5/6).
+    #[inline]
+    pub fn min_dimension(&self) -> usize {
+        self.m.min(self.n)
+    }
+
+    /// Converts a coordinate to its dense row-major identifier.
+    #[inline]
+    pub fn id(&self, c: Coord) -> NodeId {
+        debug_assert!(c.row < self.m && c.col < self.n, "coordinate out of range");
+        NodeId::new(c.to_index(self.n))
+    }
+
+    /// Converts a dense identifier back to its coordinate.
+    #[inline]
+    pub fn coord(&self, v: NodeId) -> Coord {
+        debug_assert!(v.index() < self.m * self.n, "node id out of range");
+        Coord::from_index(v.index(), self.n)
+    }
+
+    /// Iterates over all coordinates in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        let n = self.n;
+        (0..self.m).flat_map(move |row| (0..n).map(move |col| Coord::new(row, col)))
+    }
+
+    /// The vertex "above" `c`, i.e. the neighbour reached by decreasing the
+    /// row index, following the wrap rule of this torus kind.
+    #[inline]
+    pub fn north(&self, c: Coord) -> Coord {
+        match self.kind {
+            TorusKind::ToroidalMesh | TorusKind::TorusCordalis => c.up(self.m),
+            TorusKind::TorusSerpentinus => {
+                if c.row == 0 {
+                    // Row 0 going up lands on the bottom of the *next*
+                    // column: the serpentinus edge (m-1, j) – (0, (j-1) mod n)
+                    // read in the other direction.
+                    Coord::new(self.m - 1, (c.col + 1) % self.n)
+                } else {
+                    Coord::new(c.row - 1, c.col)
+                }
+            }
+        }
+    }
+
+    /// The vertex "below" `c` (increasing row index, with wrap).
+    #[inline]
+    pub fn south(&self, c: Coord) -> Coord {
+        match self.kind {
+            TorusKind::ToroidalMesh | TorusKind::TorusCordalis => c.down(self.m),
+            TorusKind::TorusSerpentinus => {
+                if c.row == self.m - 1 {
+                    // (m-1, j) connects down to (0, (j-1) mod n).
+                    Coord::new(0, (c.col + self.n - 1) % self.n)
+                } else {
+                    Coord::new(c.row + 1, c.col)
+                }
+            }
+        }
+    }
+
+    /// The vertex to the "left" of `c` (decreasing column index, with wrap).
+    #[inline]
+    pub fn west(&self, c: Coord) -> Coord {
+        match self.kind {
+            TorusKind::ToroidalMesh => c.left(self.n),
+            TorusKind::TorusCordalis | TorusKind::TorusSerpentinus => {
+                if c.col == 0 {
+                    // (i, 0) connects left to ((i-1) mod m, n-1): the chain
+                    // edge (i-1, n-1) – (i, 0) read backwards.
+                    Coord::new((c.row + self.m - 1) % self.m, self.n - 1)
+                } else {
+                    Coord::new(c.row, c.col - 1)
+                }
+            }
+        }
+    }
+
+    /// The vertex to the "right" of `c` (increasing column index, with wrap).
+    #[inline]
+    pub fn east(&self, c: Coord) -> Coord {
+        match self.kind {
+            TorusKind::ToroidalMesh => c.right(self.n),
+            TorusKind::TorusCordalis | TorusKind::TorusSerpentinus => {
+                if c.col == self.n - 1 {
+                    // (i, n-1) connects right to ((i+1) mod m, 0).
+                    Coord::new((c.row + 1) % self.m, 0)
+                } else {
+                    Coord::new(c.row, c.col + 1)
+                }
+            }
+        }
+    }
+
+    /// The four neighbours of a coordinate, in `[north, south, west, east]`
+    /// order.  Every vertex of every torus kind has exactly four
+    /// neighbours (`|N(x)| = 4` in the paper).
+    #[inline]
+    pub fn neighbor_coords(&self, c: Coord) -> [Coord; 4] {
+        [self.north(c), self.south(c), self.west(c), self.east(c)]
+    }
+
+    /// The four neighbours of a vertex as dense identifiers.
+    #[inline]
+    pub fn neighbor_ids(&self, v: NodeId) -> [NodeId; 4] {
+        let c = self.coord(v);
+        let [a, b, w, e] = self.neighbor_coords(c);
+        [self.id(a), self.id(b), self.id(w), self.id(e)]
+    }
+
+    /// Whether two vertices are adjacent in this torus.
+    pub fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbor_ids(u).contains(&v)
+    }
+
+    /// Materialises this torus as a general adjacency-list [`Graph`].
+    ///
+    /// Useful for code paths (connectivity, forests, TSS heuristics) that
+    /// work on arbitrary graphs.  Note that on tori with a dimension of
+    /// exactly 2 a vertex's neighbour list contains a repeated vertex
+    /// (its north and south, or west and east, coincide); the simple graph
+    /// collapses such multi-edges into one.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.node_count());
+        for v in 0..self.node_count() {
+            let v = NodeId::new(v);
+            for u in self.neighbor_ids(v) {
+                if u.index() > v.index() {
+                    g.add_edge(v, u);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl Topology for Torus {
+    fn node_count(&self) -> usize {
+        self.m * self.n
+    }
+
+    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.neighbor_ids(v).to_vec()
+    }
+
+    fn degree(&self, _v: NodeId) -> usize {
+        4
+    }
+}
+
+impl std::fmt::Display for Torus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}x{}", self.kind.name(), self.m, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn degree_map(t: &Torus) -> HashMap<NodeId, usize> {
+        // Count undirected edge endpoints; in a well-formed 4-regular graph
+        // every vertex appears in exactly 4 neighbour lists.
+        let mut deg: HashMap<NodeId, usize> = HashMap::new();
+        for v in 0..t.node_count() {
+            for u in t.neighbor_ids(NodeId::new(v)) {
+                *deg.entry(u).or_insert(0) += 1;
+            }
+        }
+        deg
+    }
+
+    #[test]
+    fn toroidal_mesh_neighbors_match_definition() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 4, 5);
+        let c = Coord::new(0, 0);
+        let nbrs: HashSet<_> = t.neighbor_coords(c).into_iter().collect();
+        let expected: HashSet<_> = [
+            Coord::new(3, 0), // (i-1) mod m
+            Coord::new(1, 0), // (i+1) mod m
+            Coord::new(0, 4), // (j-1) mod n
+            Coord::new(0, 1), // (j+1) mod n
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(nbrs, expected);
+    }
+
+    #[test]
+    fn cordalis_row_end_connects_to_next_row_start() {
+        let t = Torus::new(TorusKind::TorusCordalis, 4, 5);
+        // (1, 4) -> east is (2, 0)
+        assert_eq!(t.east(Coord::new(1, 4)), Coord::new(2, 0));
+        // last row wraps to row 0
+        assert_eq!(t.east(Coord::new(3, 4)), Coord::new(0, 0));
+        // and the reverse direction
+        assert_eq!(t.west(Coord::new(2, 0)), Coord::new(1, 4));
+        assert_eq!(t.west(Coord::new(0, 0)), Coord::new(3, 4));
+        // vertical edges still wrap straight up/down
+        assert_eq!(t.north(Coord::new(0, 2)), Coord::new(3, 2));
+        assert_eq!(t.south(Coord::new(3, 2)), Coord::new(0, 2));
+    }
+
+    #[test]
+    fn serpentinus_column_end_connects_to_previous_column_start() {
+        let t = Torus::new(TorusKind::TorusSerpentinus, 4, 5);
+        // (3, j) -> south is (0, (j-1) mod n)
+        assert_eq!(t.south(Coord::new(3, 2)), Coord::new(0, 1));
+        assert_eq!(t.south(Coord::new(3, 0)), Coord::new(0, 4));
+        // reverse direction: north of row 0 is the bottom of the next column
+        assert_eq!(t.north(Coord::new(0, 1)), Coord::new(3, 2));
+        assert_eq!(t.north(Coord::new(0, 4)), Coord::new(3, 0));
+        // horizontal edges behave like the cordalis
+        assert_eq!(t.east(Coord::new(1, 4)), Coord::new(2, 0));
+    }
+
+    #[test]
+    fn all_kinds_are_4_regular() {
+        for kind in TorusKind::ALL {
+            for (m, n) in [(2, 2), (2, 5), (3, 3), (4, 5), (5, 4), (7, 3)] {
+                let t = Torus::new(kind, m, n);
+                let deg = degree_map(&t);
+                for v in 0..t.node_count() {
+                    assert_eq!(
+                        deg.get(&NodeId::new(v)).copied().unwrap_or(0),
+                        4,
+                        "{kind} {m}x{n} vertex {v} is not 4-regular"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        for kind in TorusKind::ALL {
+            let t = Torus::new(kind, 5, 6);
+            for v in 0..t.node_count() {
+                let v = NodeId::new(v);
+                for u in t.neighbor_ids(v) {
+                    assert!(
+                        t.neighbor_ids(u).contains(&v),
+                        "{kind}: edge {v}-{u} is not symmetric"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directional_moves_are_inverses() {
+        for kind in TorusKind::ALL {
+            let t = Torus::new(kind, 5, 7);
+            for c in t.coords() {
+                assert_eq!(t.south(t.north(c)), c, "{kind}: north/south at {c}");
+                assert_eq!(t.north(t.south(c)), c, "{kind}: south/north at {c}");
+                assert_eq!(t.east(t.west(c)), c, "{kind}: west/east at {c}");
+                assert_eq!(t.west(t.east(c)), c, "{kind}: east/west at {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn cordalis_horizontal_chain_is_a_single_cycle() {
+        let t = Torus::new(TorusKind::TorusCordalis, 4, 5);
+        // Following east repeatedly from (0,0) must visit all m*n vertices
+        // before returning to the start.
+        let start = Coord::new(0, 0);
+        let mut c = start;
+        let mut seen = 0;
+        loop {
+            c = t.east(c);
+            seen += 1;
+            if c == start {
+                break;
+            }
+            assert!(seen <= t.node_count(), "chain did not close properly");
+        }
+        assert_eq!(seen, t.node_count());
+    }
+
+    #[test]
+    fn serpentinus_vertical_chain_is_a_single_cycle() {
+        let t = Torus::new(TorusKind::TorusSerpentinus, 4, 5);
+        let start = Coord::new(0, 0);
+        let mut c = start;
+        let mut seen = 0;
+        loop {
+            c = t.south(c);
+            seen += 1;
+            if c == start {
+                break;
+            }
+            assert!(seen <= t.node_count(), "chain did not close properly");
+        }
+        assert_eq!(seen, t.node_count());
+    }
+
+    #[test]
+    fn toroidal_mesh_rows_and_columns_are_short_cycles() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 4, 5);
+        // A row closes after n steps, a column after m steps.
+        let mut c = Coord::new(2, 0);
+        for _ in 0..t.cols() {
+            c = t.east(c);
+        }
+        assert_eq!(c, Coord::new(2, 0));
+        let mut c = Coord::new(0, 3);
+        for _ in 0..t.rows() {
+            c = t.south(c);
+        }
+        assert_eq!(c, Coord::new(0, 3));
+    }
+
+    #[test]
+    fn id_coord_roundtrip() {
+        for kind in TorusKind::ALL {
+            let t = Torus::new(kind, 6, 4);
+            for c in t.coords() {
+                assert_eq!(t.coord(t.id(c)), c);
+            }
+            for v in 0..t.node_count() {
+                let v = NodeId::new(v);
+                assert_eq!(t.id(t.coord(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn to_graph_preserves_structure() {
+        for kind in TorusKind::ALL {
+            let t = Torus::new(kind, 4, 4);
+            let g = t.to_graph();
+            assert_eq!(g.node_count(), t.node_count());
+            // 4-regular graph on mn vertices has 2mn edges.
+            assert_eq!(g.edge_count(), 2 * t.node_count());
+            for v in 0..t.node_count() {
+                let v = NodeId::new(v);
+                let mut a: Vec<_> = t.neighbor_ids(v).to_vec();
+                let mut b: Vec<_> = g.neighbors(v).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{kind}: adjacency mismatch at {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m, n >= 2")]
+    fn degenerate_torus_is_rejected() {
+        let _ = Torus::new(TorusKind::ToroidalMesh, 1, 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            Torus::new(TorusKind::ToroidalMesh, 3, 4).to_string(),
+            "toroidal mesh 3x4"
+        );
+        assert_eq!(TorusKind::TorusSerpentinus.to_string(), "torus serpentinus");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the torus topologies.
+//!
+//! These check the structural invariants the rest of the workspace relies
+//! on: 4-regularity, symmetry of the adjacency relation, inverse moves and
+//! consistency of the bounding-rectangle computation.
+
+use ctori_topology::{
+    bounding_rectangle, Coord, NodeId, NodeSet, Topology, Torus, TorusKind,
+};
+use proptest::prelude::*;
+
+fn torus_kind() -> impl Strategy<Value = TorusKind> {
+    prop_oneof![
+        Just(TorusKind::ToroidalMesh),
+        Just(TorusKind::TorusCordalis),
+        Just(TorusKind::TorusSerpentinus),
+    ]
+}
+
+fn small_torus() -> impl Strategy<Value = Torus> {
+    (torus_kind(), 2usize..=12, 2usize..=12).prop_map(|(k, m, n)| Torus::new(k, m, n))
+}
+
+proptest! {
+    #[test]
+    fn every_vertex_has_four_neighbors(t in small_torus()) {
+        for v in 0..t.node_count() {
+            let nbrs = t.neighbor_ids(NodeId::new(v));
+            prop_assert_eq!(nbrs.len(), 4);
+            for u in nbrs {
+                prop_assert!(u.index() < t.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(t in small_torus()) {
+        for v in 0..t.node_count() {
+            let v = NodeId::new(v);
+            for u in t.neighbor_ids(v) {
+                prop_assert!(t.neighbor_ids(u).contains(&v),
+                    "asymmetric edge {} - {} on {}", v, u, t);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sum_counts_edges(t in small_torus()) {
+        // 4-regular graph: 2 * |E| = 4 * |V|.
+        prop_assert_eq!(t.edge_count_total(), 2 * t.node_count());
+    }
+
+    #[test]
+    fn directional_moves_are_inverses(t in small_torus()) {
+        for c in t.coords().collect::<Vec<_>>() {
+            prop_assert_eq!(t.south(t.north(c)), c);
+            prop_assert_eq!(t.north(t.south(c)), c);
+            prop_assert_eq!(t.east(t.west(c)), c);
+            prop_assert_eq!(t.west(t.east(c)), c);
+        }
+    }
+
+    #[test]
+    fn id_coord_roundtrip(t in small_torus()) {
+        for c in t.coords().collect::<Vec<_>>() {
+            prop_assert_eq!(t.coord(t.id(c)), c);
+        }
+    }
+
+    #[test]
+    fn bounding_rectangle_contains_its_set(
+        t in small_torus(),
+        picks in prop::collection::vec((0usize..144, 0usize..144), 1..20),
+    ) {
+        let coords: Vec<Coord> = picks
+            .into_iter()
+            .map(|(a, b)| Coord::new(a % t.rows(), b % t.cols()))
+            .collect();
+        let set = NodeSet::from_iter(t.node_count(), coords.iter().map(|&c| t.id(c)));
+        let rect = bounding_rectangle(&t, &set);
+        for &c in &coords {
+            prop_assert!(rect.contains(c, t.rows(), t.cols()),
+                "rectangle {:?} does not contain {}", rect, c);
+        }
+        prop_assert!(rect.m_f() <= t.rows());
+        prop_assert!(rect.n_f() <= t.cols());
+        prop_assert!(rect.m_f() >= 1);
+        prop_assert!(rect.n_f() >= 1);
+    }
+
+    #[test]
+    fn graph_conversion_preserves_adjacency(t in small_torus()) {
+        let g = t.to_graph();
+        prop_assert_eq!(g.node_count(), t.node_count());
+        if t.rows() > 2 && t.cols() > 2 {
+            // With both dimensions above 2 the four neighbours are distinct
+            // vertices, so the simple graph has exactly 2·|V| edges.
+            prop_assert_eq!(g.edge_count(), 2 * t.node_count());
+        }
+        for v in 0..t.node_count() {
+            let v = NodeId::new(v);
+            // On 2-wide tori a vertex's neighbour list contains repeated
+            // vertices (north == south or west == east); the simple-graph
+            // conversion collapses them, so compare the deduplicated sets.
+            let mut a = t.neighbors(v);
+            a.sort_unstable();
+            a.dedup();
+            let mut b = g.neighbors(v);
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

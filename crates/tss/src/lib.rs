@@ -1,0 +1,51 @@
+//! # ctori-tss
+//!
+//! Target-set-selection substrate for the *Dynamic Monopolies in Colored
+//! Tori* reproduction.
+//!
+//! The paper frames dynamos as a multi-coloured generalisation of **target
+//! set selection (TSS)** in the linear threshold model: find a smallest set
+//! of initially-active vertices whose influence eventually activates the
+//! whole graph.  Its introduction motivates the problem with viral
+//! marketing on social ("influential") networks, and its conclusions call
+//! for studying the SMP-Protocol on scale-free networks as future work.
+//! This crate provides that substrate:
+//!
+//! * [`generators`] — random graph models (Barabási–Albert scale-free,
+//!   Erdős–Rényi, ring lattices) used as synthetic social networks;
+//! * [`diffusion`] — the linear-threshold activation process on general
+//!   graphs (monotone, threshold per vertex), plus an SMP-Protocol runner
+//!   on arbitrary graphs for the future-work experiment;
+//! * [`selection`] — seed-selection heuristics (highest degree, greedy
+//!   marginal gain, random) and an exact brute-force optimum for small
+//!   graphs, so the experiments can compare them the way the TSS
+//!   literature does.
+//!
+//! # Example
+//!
+//! ```
+//! use ctori_tss::generators::barabasi_albert;
+//! use ctori_tss::diffusion::{simple_majority_thresholds, spread};
+//! use ctori_tss::selection::highest_degree_seeds;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = barabasi_albert(200, 3, &mut rng);
+//! let thresholds = simple_majority_thresholds(&g);
+//! let seeds = highest_degree_seeds(&g, 20);
+//! let result = spread(&g, &thresholds, &seeds);
+//! assert!(result.activated_count >= 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod diffusion;
+pub mod generators;
+pub mod selection;
+
+pub use diffusion::{spread, SpreadResult};
+pub use generators::{barabasi_albert, erdos_renyi, ring_lattice};
+pub use selection::{greedy_seeds, highest_degree_seeds, random_seeds};

@@ -1,0 +1,189 @@
+//! Seed-selection heuristics for target set selection.
+//!
+//! Finding a minimum perfect target set is NP-hard (the paper cites the
+//! reduction of Kempe–Kleinberg–Tardos [20]), so practice uses heuristics.
+//! The experiments compare three standard ones plus, on small graphs, the
+//! exact optimum by exhaustive search:
+//!
+//! * [`highest_degree_seeds`] — pick the `k` highest-degree vertices;
+//! * [`greedy_seeds`] — repeatedly add the vertex giving the largest
+//!   marginal increase in spread (the classic greedy of [20]);
+//! * [`random_seeds`] — a uniform random baseline;
+//! * [`exact_minimum_target_set`] — smallest perfect target set by
+//!   exhaustive search (exponential; small graphs only).
+
+use crate::diffusion::{spread, Thresholds};
+use ctori_topology::{Graph, NodeId, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The `count` vertices of highest degree (ties broken by index).
+pub fn highest_degree_seeds(graph: &Graph, count: usize) -> Vec<NodeId> {
+    let mut by_degree: Vec<NodeId> = (0..graph.node_count()).map(NodeId::new).collect();
+    by_degree.sort_by_key(|v| (std::cmp::Reverse(graph.degree(*v)), v.index()));
+    by_degree.truncate(count);
+    by_degree
+}
+
+/// Uniformly random seeds.
+pub fn random_seeds<R: Rng + ?Sized>(graph: &Graph, count: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = (0..graph.node_count()).map(NodeId::new).collect();
+    all.shuffle(rng);
+    all.truncate(count);
+    all
+}
+
+/// Greedy marginal-gain selection: grow the seed set one vertex at a time,
+/// always adding the vertex that maximises the resulting spread.
+pub fn greedy_seeds(graph: &Graph, thresholds: &Thresholds, count: usize) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(count);
+    for _ in 0..count.min(n) {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in 0..n {
+            let v = NodeId::new(v);
+            if seeds.contains(&v) {
+                continue;
+            }
+            let mut candidate = seeds.clone();
+            candidate.push(v);
+            let gain = spread(graph, thresholds, &candidate).activated_count;
+            if best.map(|(g, _)| gain > g).unwrap_or(true) {
+                best = Some((gain, v));
+            }
+        }
+        match best {
+            Some((_, v)) => seeds.push(v),
+            None => break,
+        }
+    }
+    seeds
+}
+
+/// The smallest perfect target set, found by exhaustive search over
+/// subsets in increasing size.  Exponential — intended for graphs of at
+/// most ~20 vertices (the experiments use it to calibrate the heuristics).
+pub fn exact_minimum_target_set(graph: &Graph, thresholds: &Thresholds) -> Option<Vec<NodeId>> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    assert!(n <= 24, "exhaustive search is limited to 24 vertices");
+    for size in 1..=n {
+        let mut indices: Vec<usize> = (0..size).collect();
+        loop {
+            let seeds: Vec<NodeId> = indices.iter().map(|&i| NodeId::new(i)).collect();
+            if spread(graph, thresholds, &seeds).complete {
+                return Some(seeds);
+            }
+            // next combination
+            let mut i = size;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if indices[i] != i + n - size {
+                    indices[i] += 1;
+                    for j in i + 1..size {
+                        indices[j] = indices[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    // exhausted this size
+                    indices.clear();
+                    break;
+                }
+            }
+            if indices.is_empty() {
+                break;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diffusion::{simple_majority_thresholds, uniform_thresholds};
+    use crate::generators::{barabasi_albert, ring_lattice};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn highest_degree_picks_hubs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(120, 2, &mut rng);
+        let seeds = highest_degree_seeds(&g, 5);
+        assert_eq!(seeds.len(), 5);
+        let min_seed_degree = seeds.iter().map(|v| g.degree(*v)).min().unwrap();
+        // Every selected vertex has degree at least as high as every
+        // non-selected vertex.
+        for v in 0..g.node_count() {
+            let v = NodeId::new(v);
+            if !seeds.contains(&v) {
+                assert!(g.degree(v) <= min_seed_degree);
+            }
+        }
+    }
+
+    #[test]
+    fn random_seeds_have_requested_size_and_no_duplicates() {
+        let g = ring_lattice(30, 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let seeds = random_seeds(&g, 10, &mut rng);
+        assert_eq!(seeds.len(), 10);
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn greedy_beats_or_matches_random_on_spread() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(80, 2, &mut rng);
+        let thresholds = simple_majority_thresholds(&g);
+        let budget = 6;
+        let greedy = greedy_seeds(&g, &thresholds, budget);
+        let random = random_seeds(&g, budget, &mut rng);
+        let greedy_spread = spread(&g, &thresholds, &greedy).activated_count;
+        let random_spread = spread(&g, &thresholds, &random).activated_count;
+        assert!(
+            greedy_spread >= random_spread,
+            "greedy ({greedy_spread}) must not lose to random ({random_spread})"
+        );
+        assert_eq!(greedy.len(), budget);
+    }
+
+    #[test]
+    fn exact_minimum_on_a_small_ring() {
+        // Degree-2 ring with threshold 1: one seed suffices.
+        let g = ring_lattice(8, 1);
+        let t1 = uniform_thresholds(&g, 1);
+        let opt = exact_minimum_target_set(&g, &t1).unwrap();
+        assert_eq!(opt.len(), 1);
+        // Threshold 2 on a degree-2 ring: a vertex activates only when both
+        // neighbours are active; the optimum must alternate — 4 seeds.
+        let t2 = uniform_thresholds(&g, 2);
+        let opt = exact_minimum_target_set(&g, &t2).unwrap();
+        assert_eq!(opt.len(), 4);
+    }
+
+    #[test]
+    fn exact_search_reports_infeasible_as_full_set() {
+        // With thresholds above the degree, only seeding everything works.
+        let g = ring_lattice(6, 1);
+        let t = uniform_thresholds(&g, 5);
+        let opt = exact_minimum_target_set(&g, &t).unwrap();
+        assert_eq!(opt.len(), 6);
+    }
+
+    #[test]
+    fn greedy_with_budget_larger_than_graph() {
+        let g = ring_lattice(5, 1);
+        let t = uniform_thresholds(&g, 1);
+        let seeds = greedy_seeds(&g, &t, 50);
+        assert_eq!(seeds.len(), 5);
+    }
+}

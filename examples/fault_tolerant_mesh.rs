@@ -1,0 +1,93 @@
+//! Fault propagation in a processor mesh — the dynamo literature's original
+//! motivation (catastrophic fault patterns in VLSI arrays, Peleg's dynamic
+//! monopolies).
+//!
+//! The example treats colour `k` as the *faulty* state of a processor in an
+//! `m × n` toroidal mesh and asks three questions the paper answers:
+//!
+//! 1. how many well-placed faulty processors can corrupt the whole mesh
+//!    (the Theorem-1/2 minimum dynamo);
+//! 2. how long the corruption takes (Theorem 7);
+//! 3. how much harder corruption is under the tie-neutral SMP rule than
+//!    under the classical prefer-black majority of Flocchini et al.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fault_tolerant_mesh
+//! ```
+
+use colored_tori::coloring::random::random_with_seed_count;
+use colored_tori::dynamo::verify_dynamo_with_rule;
+use colored_tori::prelude::*;
+use colored_tori::protocols::ReverseSimpleMajority;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let faulty = Color::new(1);
+    println!("fault propagation in toroidal processor meshes (faulty colour = {faulty})\n");
+
+    // 1 & 2: minimum catastrophic fault patterns and their propagation time.
+    println!(
+        "{:<12} {:>18} {:>12} {:>18} {:>14}",
+        "mesh", "min faulty (m+n-2)", "achieved", "predicted rounds", "measured"
+    );
+    for (m, n) in [(9usize, 9usize), (12, 12), (15, 15), (21, 21)] {
+        let built = theorem2_dynamo(m, n, faulty).expect("construction");
+        let report = verify_dynamo(built.torus(), built.coloring(), faulty);
+        println!(
+            "{:<12} {:>18} {:>12} {:>18} {:>14}",
+            format!("{m}x{n}"),
+            lower_bound(TorusKind::ToroidalMesh, m, n),
+            built.seed_size(),
+            theorem7_rounds(m, n),
+            report.rounds
+        );
+    }
+
+    // 3: random faults under SMP vs prefer-black on a bi-coloured mesh.
+    println!("\nrandom faults: fraction of trials in which the whole 12x12 mesh becomes faulty");
+    println!(
+        "{:<28} {:>10} {:>14} {:>14}",
+        "initial faulty fraction", "trials", "SMP rule", "prefer-black"
+    );
+    let torus = toroidal_mesh(12, 12);
+    let palette = Palette::bicolor();
+    let mut rng = StdRng::seed_from_u64(7);
+    let trials = 200;
+    for fraction in [0.30f64, 0.45, 0.55, 0.65, 0.80] {
+        let faults = ((12 * 12) as f64 * fraction).round() as usize;
+        let mut smp_wins = 0usize;
+        let mut pb_wins = 0usize;
+        for _ in 0..trials {
+            let coloring =
+                random_with_seed_count(&torus, &palette, Color::BLACK, faults, &mut rng);
+            if verify_dynamo(&torus, &coloring, Color::BLACK).is_dynamo() {
+                smp_wins += 1;
+            }
+            if verify_dynamo_with_rule(
+                &torus,
+                &coloring,
+                Color::BLACK,
+                ReverseSimpleMajority::prefer_black(),
+            )
+            .is_dynamo()
+            {
+                pb_wins += 1;
+            }
+        }
+        println!(
+            "{:<28} {:>10} {:>13.1}% {:>13.1}%",
+            format!("{:.0}%", fraction * 100.0),
+            trials,
+            100.0 * smp_wins as f64 / trials as f64,
+            100.0 * pb_wins as f64 / trials as f64,
+        );
+    }
+    println!(
+        "\nThe prefer-black tie-break corrupts the mesh from far smaller random fault densities \
+         than the paper's tie-neutral SMP rule — exactly the robustness gap the paper's \
+         introduction attributes to removing the colour priority."
+    );
+}

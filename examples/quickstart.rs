@@ -1,0 +1,63 @@
+//! Quickstart: build the paper's minimum-size monotone dynamo on each of
+//! the three torus topologies, verify it by simulation, and print the
+//! initial configuration together with its recolouring-time matrix.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use colored_tori::coloring::render_coloring;
+use colored_tori::engine::RecoloringTimes;
+use colored_tori::prelude::*;
+
+fn main() {
+    let k = Color::new(1);
+    let (m, n) = (9, 9);
+
+    println!("Dynamic Monopolies in Colored Tori — quickstart ({m}x{n} tori, target colour {k})\n");
+
+    for kind in TorusKind::ALL {
+        let bound = lower_bound(kind, m, n);
+        let built = minimum_dynamo(kind, m, n, k)
+            .unwrap_or_else(|e| panic!("construction failed on the {kind}: {e}"));
+        let report = verify_dynamo(built.torus(), built.coloring(), k);
+
+        println!("== {kind} ==");
+        println!(
+            "  lower bound {bound}, seed size {}, colours used {}, filler: {}",
+            built.seed_size(),
+            built.colors_used(),
+            built.filler()
+        );
+        println!(
+            "  monotone dynamo: {}, rounds to monochromatic: {}",
+            report.is_monotone_dynamo(),
+            report.rounds
+        );
+        println!("  initial configuration (colour {k} is the spreading colour):");
+        for line in render_coloring(built.coloring()).lines() {
+            println!("    {line}");
+        }
+        let times = RecoloringTimes::from_report(m, n, &to_run_report(&report))
+            .expect("times tracked");
+        println!("  recolouring times (rounds until each vertex adopts {k}):");
+        for line in times.render().lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+}
+
+/// Adapts a [`DynamoReport`] into the engine's run report shape so the
+/// recolouring-time matrix helper can consume it.
+fn to_run_report(report: &DynamoReport) -> colored_tori::engine::RunReport {
+    colored_tori::engine::RunReport {
+        termination: report.termination,
+        rounds: report.rounds,
+        recoloring_times: Some(report.recoloring_times.clone()),
+        monotone: Some(report.monotone),
+        final_target_count: None,
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-crate property-based tests: invariants that tie the protocol, the
+//! engine and the dynamo machinery together on random inputs.
+
+use colored_tori::coloring::random::uniform_random;
+use colored_tori::dynamo::blocks::{find_k_blocks, find_non_k_blocks};
+use colored_tori::dynamo::phi::phi_collapse;
+use colored_tori::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn torus_kind() -> impl Strategy<Value = TorusKind> {
+    prop_oneof![
+        Just(TorusKind::ToroidalMesh),
+        Just(TorusKind::TorusCordalis),
+        Just(TorusKind::TorusSerpentinus),
+    ]
+}
+
+fn small_case() -> impl Strategy<Value = (TorusKind, usize, usize, u64, u16)> {
+    (torus_kind(), 3usize..=7, 3usize..=7, any::<u64>(), 2u16..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Vertices inside a k-block never change colour, no matter what the
+    /// rest of the configuration does (Definition 4's defining property).
+    #[test]
+    fn k_block_members_are_immortal((kind, m, n, seed, colors) in small_case()) {
+        let torus = Torus::new(kind, m, n);
+        let palette = Palette::new(colors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = uniform_random(&torus, &palette, &mut rng);
+        let k = Color::new(1 + (seed % colors as u64) as u16);
+
+        let blocks = find_k_blocks(&torus, &coloring, k);
+        let mut sim = Simulator::new(&torus, SmpProtocol, coloring);
+        sim.run(&RunConfig::default().with_max_rounds(4 * m * n));
+        for block in blocks {
+            for v in block.iter() {
+                prop_assert_eq!(sim.color_of(v), k,
+                    "k-block member {} lost its colour", v);
+            }
+        }
+    }
+
+    /// Vertices inside a non-k-block never adopt k (Definition 5's defining
+    /// property), so a configuration with a non-k-block is never a k-dynamo.
+    #[test]
+    fn non_k_block_members_never_adopt_k((kind, m, n, seed, colors) in small_case()) {
+        let torus = Torus::new(kind, m, n);
+        let palette = Palette::new(colors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = uniform_random(&torus, &palette, &mut rng);
+        let k = Color::new(1);
+
+        let nblocks = find_non_k_blocks(&torus, &coloring, k);
+        let has_nblock = !nblocks.is_empty();
+        let mut sim = Simulator::new(&torus, SmpProtocol, coloring.clone());
+        let report = sim.run(&RunConfig::default().with_max_rounds(4 * m * n));
+        for block in nblocks {
+            for v in block.iter() {
+                prop_assert_ne!(sim.color_of(v), k,
+                    "non-k-block member {} adopted k", v);
+            }
+        }
+        if has_nblock {
+            prop_assert!(!report.termination.is_monochromatic_in(k));
+        }
+    }
+
+    /// The SMP protocol commutes with colour permutations: relabelling the
+    /// colours of the initial configuration relabels the final one.
+    #[test]
+    fn smp_commutes_with_color_permutations((kind, m, n, seed, colors) in small_case()) {
+        let torus = Torus::new(kind, m, n);
+        let palette = Palette::new(colors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = uniform_random(&torus, &palette, &mut rng);
+
+        // the permutation shifts every colour index by one, cyclically
+        let permute = |c: Color| Color::new(1 + (c.index() % colors));
+        let rounds = 3usize;
+
+        let mut sim_a = Simulator::new(&torus, SmpProtocol, coloring.clone());
+        for _ in 0..rounds {
+            sim_a.step();
+        }
+        let then_permuted = sim_a.coloring().map_colors(permute);
+
+        let mut sim_b = Simulator::new(&torus, SmpProtocol, coloring.map_colors(permute));
+        for _ in 0..rounds {
+            sim_b.step();
+        }
+        prop_assert_eq!(then_permuted, sim_b.coloring());
+    }
+
+    /// The φ collapse maps k to black and everything else to white, and
+    /// preserves the k-census.
+    #[test]
+    fn phi_collapse_preserves_the_k_census((kind, m, n, seed, colors) in small_case()) {
+        let torus = Torus::new(kind, m, n);
+        let palette = Palette::new(colors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = uniform_random(&torus, &palette, &mut rng);
+        let k = Color::new(colors);
+        let collapsed = phi_collapse(&coloring, k);
+        prop_assert_eq!(collapsed.count(Color::BLACK), coloring.count(k));
+        prop_assert_eq!(
+            collapsed.count(Color::WHITE),
+            m * n - coloring.count(k)
+        );
+    }
+
+    /// A simulation under a monotone-wrapped rule never loses k vertices.
+    #[test]
+    fn irreversible_rule_is_monotone((kind, m, n, seed, colors) in small_case()) {
+        use colored_tori::protocols::Irreversible;
+        let torus = Torus::new(kind, m, n);
+        let palette = Palette::new(colors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coloring = uniform_random(&torus, &palette, &mut rng);
+        let k = Color::new(1);
+        let rule = Irreversible::new(SmpProtocol, k);
+        let mut sim = Simulator::new(&torus, rule, coloring);
+        let mut cfg = RunConfig::default().with_max_rounds(4 * m * n);
+        cfg.check_monotone_for = Some(k);
+        let report = sim.run(&cfg);
+        prop_assert_eq!(report.monotone, Some(true));
+    }
+}

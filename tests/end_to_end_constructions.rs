@@ -1,0 +1,105 @@
+//! End-to-end integration tests: construction → hypothesis check →
+//! simulation → round-count comparison, across all three topologies.
+
+use colored_tori::dynamo::figures::ideal_rounds_for_partial;
+use colored_tori::dynamo::hypotheses::check_hypotheses;
+use colored_tori::dynamo::construct::mesh::theorem2_seed_column_row;
+use colored_tori::prelude::*;
+
+#[test]
+fn every_topology_produces_a_verified_minimum_dynamo() {
+    let k = Color::new(1);
+    for kind in TorusKind::ALL {
+        for (m, n) in [(6usize, 6usize), (9, 9), (9, 12), (12, 9)] {
+            let built = minimum_dynamo(kind, m, n, k)
+                .unwrap_or_else(|e| panic!("{kind} {m}x{n}: construction failed: {e}"));
+            assert_eq!(
+                built.seed_size(),
+                lower_bound(kind, m, n),
+                "{kind} {m}x{n}: seed size must equal the lower bound"
+            );
+            assert!(
+                check_hypotheses(built.torus(), built.coloring(), k).is_empty(),
+                "{kind} {m}x{n}: theorem hypotheses must hold"
+            );
+            let report = verify_dynamo(built.torus(), built.coloring(), k);
+            assert!(
+                report.is_monotone_dynamo(),
+                "{kind} {m}x{n}: construction must be a monotone dynamo"
+            );
+            // The k-population never decreases and ends at m*n.
+            assert_eq!(report.recoloring_times.len(), m * n);
+            assert!(report.recoloring_times.iter().all(|t| t.is_some()));
+        }
+    }
+}
+
+#[test]
+fn mesh_round_counts_track_theorem7_on_square_tori() {
+    let k = Color::new(1);
+    for s in [6usize, 9, 12, 15] {
+        let torus = toroidal_mesh(s, s);
+        let predicted = theorem7_rounds(s, s);
+        // The full-cross configuration of Figure 5 matches the formula
+        // exactly; the Theorem-2 seed may need one extra round for odd s.
+        let cross = ColoringBuilder::unset(&torus)
+            .row(0, k)
+            .column(0, k)
+            .build_partial();
+        let cross_rounds = ideal_rounds_for_partial(&torus, &cross, k).expect("converges");
+        assert_eq!(cross_rounds as i64, predicted, "full cross on {s}x{s}");
+
+        let seed = theorem2_seed_column_row(&torus, k);
+        let seed_rounds = ideal_rounds_for_partial(&torus, &seed, k).expect("converges");
+        let shift = seed_rounds as i64 - predicted;
+        assert!(
+            (0..=1).contains(&shift),
+            "{s}x{s}: Theorem-2 seed propagation {seed_rounds} vs formula {predicted}"
+        );
+    }
+}
+
+#[test]
+fn cordalis_round_counts_match_theorem8_for_odd_rows() {
+    let k = Color::new(1);
+    for (m, n) in [(5usize, 6usize), (7, 6), (9, 9), (7, 12)] {
+        let built = minimum_dynamo(TorusKind::TorusCordalis, m, n, k).unwrap();
+        let report = verify_dynamo(built.torus(), built.coloring(), k);
+        assert!(report.is_monotone_dynamo());
+        let predicted = theorem8_rounds(m, n);
+        let delta = report.rounds as i64 - predicted;
+        assert!(
+            delta.abs() <= 1,
+            "cordalis {m}x{n}: measured {} vs predicted {predicted}",
+            report.rounds
+        );
+    }
+}
+
+#[test]
+fn counterexamples_fail_while_constructions_succeed() {
+    let k = Color::new(2);
+    let (torus, bad) = colored_tori::dynamo::counterexamples::figure3_configuration(9, 9, k);
+    assert!(!verify_dynamo(&torus, &bad, k).is_dynamo());
+
+    let built = theorem2_dynamo(9, 9, k).unwrap();
+    assert!(verify_dynamo(built.torus(), built.coloring(), k).is_monotone_dynamo());
+}
+
+#[test]
+fn facade_simulator_runs_the_paper_protocol() {
+    // Drive the engine directly through the facade: a torus that is all k
+    // except one small patch converges monotonically.
+    let torus = torus_serpentinus(8, 8);
+    let k = Color::new(3);
+    let coloring = ColoringBuilder::filled(&torus, k)
+        .cell(3, 3, Color::new(1))
+        .cell(3, 4, Color::new(2))
+        .cell(4, 3, Color::new(4))
+        .cell(4, 4, Color::new(5))
+        .build();
+    let mut sim = Simulator::new(&torus, SmpProtocol, coloring);
+    let report = sim.run(&RunConfig::for_dynamo(k));
+    assert_eq!(report.termination, Termination::Monochromatic(k));
+    assert_eq!(report.monotone, Some(true));
+}

@@ -1,0 +1,32 @@
+//! Integration test: every registered experiment reproduces its paper claim
+//! in quick mode.  (The full sweeps are exercised by the `ctori-experiments`
+//! binary and the benchmark harness.)
+
+use colored_tori::analysis::{all_experiments, Mode};
+
+#[test]
+fn every_experiment_reproduces_in_quick_mode() {
+    let mut failures = Vec::new();
+    for experiment in all_experiments() {
+        let record = experiment.run(Mode::Quick);
+        if !record.passed {
+            failures.push(format!("{}\n{}", experiment.id(), record.render()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "experiments failed to reproduce:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn experiment_ids_cover_every_figure_and_theorem() {
+    let ids: Vec<&str> = all_experiments().iter().map(|e| e.id()).collect();
+    for required in [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "thm1", "thm2", "thm3", "thm4", "thm5",
+        "thm6", "thm7", "thm8", "prop3", "prop12", "tss",
+    ] {
+        assert!(ids.contains(&required), "missing experiment {required}");
+    }
+}
