@@ -50,8 +50,7 @@ impl Experiment for Propositions1And2 {
         for seed_fraction in [0.3f64, 0.5, 0.7] {
             let per_fraction = samples / 3;
             for _ in 0..per_fraction {
-                let seed_count =
-                    ((grid * grid) as f64 * seed_fraction).round() as usize;
+                let seed_count = ((grid * grid) as f64 * seed_fraction).round() as usize;
                 let coloring = ctori_coloring::random::random_with_seed_count(
                     &torus, &palette, k, seed_count, &mut rng,
                 );
@@ -63,8 +62,7 @@ impl Experiment for Propositions1And2 {
 
                 // Rule ordering on the same configuration.
                 let smp = verify_dynamo_with_rule(&torus, &coloring, k, SmpProtocol);
-                let strong =
-                    verify_dynamo_with_rule(&torus, &coloring, k, ReverseStrongMajority);
+                let strong = verify_dynamo_with_rule(&torus, &coloring, k, ReverseStrongMajority);
                 if strong.is_dynamo() {
                     strong_converged += 1;
                     if smp.is_dynamo() {

@@ -70,13 +70,10 @@ fn bound_experiment(
         let none_below = verify_lower_bound(&torus, k(), palette, bound);
         let at_bound = match minimum_dynamo(kind, m, n, k()) {
             Ok(built) => built.seed_size() == bound,
-            Err(_) => search_dynamo_of_size(
-                &torus,
-                k(),
-                bound,
-                &SearchConfig::monotone(Palette::new(4)),
-            )
-            .found(),
+            Err(_) => {
+                search_dynamo_of_size(&torus, k(), bound, &SearchConfig::monotone(Palette::new(4)))
+                    .found()
+            }
         };
         passed &= none_below && at_bound;
         table.add_row(vec![

@@ -45,9 +45,7 @@ fn construction_experiment(
                 let hypotheses_ok =
                     check_hypotheses(built.torus(), built.coloring(), k()).is_empty();
                 let report = verify_dynamo(built.torus(), built.coloring(), k());
-                let ok = hypotheses_ok
-                    && report.is_monotone_dynamo()
-                    && built.seed_size() == bound;
+                let ok = hypotheses_ok && report.is_monotone_dynamo() && built.seed_size() == bound;
                 passed &= ok;
                 table.add_row(vec![
                     format!("{kind} {m}x{n}"),

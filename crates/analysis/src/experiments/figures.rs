@@ -161,8 +161,8 @@ impl Experiment for Figure4 {
         ExperimentRecord {
             id: self.id(),
             title: self.title(),
-            paper_claim: "Figure 4 shows an initial configuration in which no recolouring can arise."
-                .into(),
+            paper_claim:
+                "Figure 4 shows an initial configuration in which no recolouring can arise.".into(),
             table,
             observations: vec![],
             passed,

@@ -63,7 +63,10 @@ impl Experiment for ScaleFreeExtension {
                         ("random", random.clone()),
                     ]
                 } else {
-                    vec![("highest degree", degree.clone()), ("random", random.clone())]
+                    vec![
+                        ("highest degree", degree.clone()),
+                        ("random", random.clone()),
+                    ]
                 };
 
             let mut spreads = std::collections::HashMap::new();

@@ -32,17 +32,20 @@ fn bench_rule_convergence(c: &mut Criterion) {
             black_box(report.rounds)
         });
     });
-    group.bench_function(BenchmarkId::from_parameter("reverse_simple_prefer_black"), |b| {
-        b.iter(|| {
-            let report = verify_dynamo_with_rule(
-                &torus,
-                &collapsed,
-                Color::BLACK,
-                ReverseSimpleMajority::prefer_black(),
-            );
-            black_box(report.rounds)
-        });
-    });
+    group.bench_function(
+        BenchmarkId::from_parameter("reverse_simple_prefer_black"),
+        |b| {
+            b.iter(|| {
+                let report = verify_dynamo_with_rule(
+                    &torus,
+                    &collapsed,
+                    Color::BLACK,
+                    ReverseSimpleMajority::prefer_black(),
+                );
+                black_box(report.rounds)
+            });
+        },
+    );
     group.bench_function(BenchmarkId::from_parameter("reverse_strong"), |b| {
         b.iter(|| {
             let report =
@@ -58,8 +61,7 @@ fn bench_phi_collapse(c: &mut Criterion) {
     for &size in &[64usize, 256] {
         let torus = toroidal_mesh(size, size);
         let mut rng = StdRng::seed_from_u64(5);
-        let coloring =
-            ctori_coloring::random::uniform_random(&torus, &Palette::new(6), &mut rng);
+        let coloring = ctori_coloring::random::uniform_random(&torus, &Palette::new(6), &mut rng);
         group.throughput(Throughput::Elements((size * size) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| black_box(phi_collapse(&coloring, Color::new(3)).count(Color::BLACK)));
@@ -107,7 +109,6 @@ fn bench_single_round_rule_costs(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration shared by this file: shorter warm-up and
 /// measurement windows so the full `cargo bench --workspace` sweep stays
 /// within a few minutes while still producing stable estimates.
@@ -117,7 +118,7 @@ fn configured() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = configured();
     targets =

@@ -4,11 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ctori_bench::target_color;
-use ctori_coloring::{Palette, Color};
+use ctori_coloring::random::uniform_random;
+use ctori_coloring::{Color, Palette};
 use ctori_core::blocks::{find_k_blocks, find_non_k_blocks};
 use ctori_core::bounds;
 use ctori_core::search::verify_lower_bound;
-use ctori_coloring::random::uniform_random;
 use ctori_topology::{Torus, TorusKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,7 +83,6 @@ fn bench_bound_formulas(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration shared by this file: shorter warm-up and
 /// measurement windows so the full `cargo bench --workspace` sweep stays
 /// within a few minutes while still producing stable estimates.
@@ -93,7 +92,7 @@ fn configured() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = configured();
     targets =

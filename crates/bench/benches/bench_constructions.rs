@@ -74,7 +74,6 @@ fn bench_local_search_filler(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration shared by this file: shorter warm-up and
 /// measurement windows so the full `cargo bench --workspace` sweep stays
 /// within a few minutes while still producing stable estimates.
@@ -84,7 +83,7 @@ fn configured() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = configured();
     targets =

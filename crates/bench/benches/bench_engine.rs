@@ -7,10 +7,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use ctori_bench::{absorbing_patch, target_color};
 use ctori_coloring::patterns::column_stripes;
 use ctori_coloring::Color;
+use ctori_engine::naive::NaiveSimulator;
 use ctori_engine::{RunConfig, Simulator};
 use ctori_protocols::{ReverseSimpleMajority, ReverseStrongMajority, SmpProtocol};
 use ctori_topology::{Torus, TorusKind};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_single_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/single_round");
@@ -77,6 +79,62 @@ fn bench_run_to_convergence(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance comparison for the shared CSR kernel: SMP round
+/// throughput on a 256×256 toroidal mesh, the zero-allocation CSR stepper
+/// versus the `Vec<NodeId>`-per-vertex baseline kept behind the engine's
+/// bench-only `naive-baseline` feature.  Fails loudly if the CSR path is
+/// not at least 2× faster, so a regression in the hot loop cannot hide
+/// behind absolute numbers.
+fn bench_csr_vs_naive_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/csr_vs_naive_smp_256x256");
+    let size = 256usize;
+    let torus = Torus::new(TorusKind::ToroidalMesh, size, size);
+    let coloring = absorbing_patch(&torus, size / 2);
+    let cells = size as u64 * size as u64;
+    group.throughput(Throughput::Elements(cells));
+
+    group.bench_function("csr", |b| {
+        let mut sim = Simulator::new(&torus, SmpProtocol, coloring.clone());
+        b.iter(|| black_box(sim.step()));
+    });
+    group.bench_function("naive_vec_per_vertex", |b| {
+        let mut sim = NaiveSimulator::new(&torus, SmpProtocol, coloring.cells().to_vec());
+        b.iter(|| black_box(sim.step()));
+    });
+    group.finish();
+
+    // Direct ratio measurement (independent of the harness bookkeeping).
+    // 100 rounds per stepper keeps the timing windows long enough
+    // (~0.1 s / ~0.3 s) that scheduler noise cannot push the observed
+    // ratio across the 2x acceptance line.
+    let rounds = 100u32;
+    let time_rounds = |mut step: Box<dyn FnMut() -> usize>| {
+        for _ in 0..5 {
+            black_box(step());
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(step());
+        }
+        start.elapsed()
+    };
+    let mut csr = Simulator::new(&torus, SmpProtocol, coloring.clone());
+    let csr_time = time_rounds(Box::new(move || csr.step().changed));
+    let mut naive = NaiveSimulator::new(&torus, SmpProtocol, coloring.cells().to_vec());
+    let naive_time = time_rounds(Box::new(move || naive.step()));
+
+    let speedup = naive_time.as_secs_f64() / csr_time.as_secs_f64();
+    let rate = |t: std::time::Duration| cells as f64 * rounds as f64 / t.as_secs_f64() / 1e6;
+    println!(
+        "csr_vs_naive (256x256 toroidal mesh, SMP): csr {:.1} Mcell/s, naive {:.1} Mcell/s, speedup {speedup:.2}x",
+        rate(csr_time),
+        rate(naive_time),
+    );
+    assert!(
+        speedup >= 2.0,
+        "CSR hot loop must be >= 2x the naive Vec-per-vertex baseline, got {speedup:.2}x"
+    );
+}
 
 /// Criterion configuration shared by this file: shorter warm-up and
 /// measurement windows so the full `cargo bench --workspace` sweep stays
@@ -87,9 +145,9 @@ fn configured() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_single_round, bench_rules, bench_run_to_convergence
+    targets = bench_single_round, bench_rules, bench_run_to_convergence, bench_csr_vs_naive_baseline
 }
 criterion_main!(benches);

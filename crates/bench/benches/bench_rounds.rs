@@ -45,8 +45,7 @@ fn bench_chained_rounds(c: &mut Criterion) {
                 &size,
                 |b, &s| {
                     b.iter(|| {
-                        let report =
-                            verify_dynamo(built.torus(), built.coloring(), target_color());
+                        let report = verify_dynamo(built.torus(), built.coloring(), target_color());
                         assert!(report.is_monotone_dynamo());
                         let predicted = theorem8_rounds(s, s);
                         // shape check: Theta(m*n/2) rounds, never more than a
@@ -62,7 +61,6 @@ fn bench_chained_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration shared by this file: shorter warm-up and
 /// measurement windows so the full `cargo bench --workspace` sweep stays
 /// within a few minutes while still producing stable estimates.
@@ -72,7 +70,7 @@ fn configured() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = configured();
     targets = bench_mesh_rounds, bench_chained_rounds

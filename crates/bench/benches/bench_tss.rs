@@ -80,7 +80,6 @@ fn bench_seed_selection(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration shared by this file: shorter warm-up and
 /// measurement windows so the full `cargo bench --workspace` sweep stays
 /// within a few minutes while still producing stable estimates.
@@ -90,7 +89,7 @@ fn configured() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = configured();
     targets = bench_generators, bench_diffusion, bench_seed_selection

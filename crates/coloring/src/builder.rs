@@ -240,7 +240,8 @@ mod tests {
     #[test]
     fn node_setter_and_peek() {
         let t = toroidal_mesh(2, 2);
-        let b = ColoringBuilder::filled(&t, Color::new(1)).node(t.id(Coord::new(1, 1)), Color::new(2));
+        let b =
+            ColoringBuilder::filled(&t, Color::new(1)).node(t.id(Coord::new(1, 1)), Color::new(2));
         assert_eq!(b.peek().at(1, 1), Color::new(2));
         let c = b.build();
         assert_eq!(c.count(Color::new(2)), 1);

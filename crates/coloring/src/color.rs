@@ -10,7 +10,6 @@
 /// The value 0 is reserved as "uncoloured" sentinel used only inside
 /// builders; a fully-built [`crate::Coloring`] never contains it.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Color(pub u16);
 
 impl Color {
@@ -30,7 +29,10 @@ impl Color {
     /// Panics if `index == 0`; use [`Color::UNSET`] for the sentinel.
     #[inline]
     pub fn new(index: u16) -> Self {
-        assert!(index > 0, "colour indices are 1-based; 0 is the unset sentinel");
+        assert!(
+            index > 0,
+            "colour indices are 1-based; 0 is the unset sentinel"
+        );
         Color(index)
     }
 
@@ -70,7 +72,6 @@ impl std::fmt::Display for Color {
 
 /// The finite colour set `C = {1, …, k}`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Palette {
     size: u16,
 }

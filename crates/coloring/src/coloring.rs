@@ -10,7 +10,6 @@ use ctori_topology::{Coord, NodeId, Torus};
 /// writes one cell per vertex per round, and everything else (blocks,
 /// dynamos, hypotheses) is derived from it.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Coloring {
     rows: usize,
     cols: usize,
@@ -241,11 +240,7 @@ mod tests {
         let h = c.histogram(&p);
         assert_eq!(
             h,
-            vec![
-                (Color::new(1), 3),
-                (Color::new(2), 1),
-                (Color::new(3), 0)
-            ]
+            vec![(Color::new(1), 3), (Color::new(2), 1), (Color::new(3), 0)]
         );
     }
 

@@ -36,7 +36,10 @@ pub fn random_with_seed_count<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Coloring {
     let total = torus.rows() * torus.cols();
-    assert!(seed_count <= total, "seed count exceeds the number of vertices");
+    assert!(
+        seed_count <= total,
+        "seed count exceeds the number of vertices"
+    );
     let others: Vec<Color> = palette.colors_except(k).collect();
     assert!(
         !others.is_empty() || seed_count == total,

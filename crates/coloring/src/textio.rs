@@ -43,7 +43,10 @@ impl std::fmt::Display for ParseError {
                 "row {row} has {got} cells but the first row has {expected}"
             ),
             ParseError::BadGlyph { glyph, row, col } => {
-                write!(f, "invalid colour glyph {glyph:?} at row {row}, column {col}")
+                write!(
+                    f,
+                    "invalid colour glyph {glyph:?} at row {row}, column {col}"
+                )
             }
         }
     }
@@ -82,7 +85,11 @@ pub fn from_text(text: &str) -> Result<Coloring, ParseError> {
             continue;
         }
         let mut row = Vec::new();
-        for (col_idx, ch) in line.split_whitespace().flat_map(|tok| tok.chars()).enumerate() {
+        for (col_idx, ch) in line
+            .split_whitespace()
+            .flat_map(|tok| tok.chars())
+            .enumerate()
+        {
             match glyph_to_color(ch) {
                 Some(c) => row.push(c),
                 None => {

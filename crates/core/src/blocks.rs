@@ -32,19 +32,20 @@ fn peel_to_core<T: Topology + ?Sized>(
         if !core.contains(v) {
             continue;
         }
-        let internal = topology
-            .neighbors(v)
-            .into_iter()
-            .filter(|u| core.contains(*u))
-            .count();
+        let mut internal = 0usize;
+        topology.for_each_neighbor(v, &mut |u| {
+            if core.contains(u) {
+                internal += 1;
+            }
+        });
         if internal < min_internal {
             core.remove(v);
             // Removing v may invalidate its neighbours.
-            for u in topology.neighbors(v) {
+            topology.for_each_neighbor(v, &mut |u| {
                 if core.contains(u) {
                     queue.push(u);
                 }
-            }
+            });
         }
     }
     core
@@ -329,7 +330,9 @@ mod tests {
         assert!(!is_k_block(&t, &coloring, Color::new(3), &square));
         let disconnected = NodeSet::from_iter(
             t.node_count(),
-            [(1, 1), (3, 3)].into_iter().map(|(r, c)| t.id(Coord::new(r, c))),
+            [(1, 1), (3, 3)]
+                .into_iter()
+                .map(|(r, c)| t.id(Coord::new(r, c))),
         );
         assert!(!is_k_block(&t, &coloring, k(), &disconnected));
         let empty = NodeSet::new(t.node_count());

@@ -52,7 +52,7 @@ pub fn theorem4_dynamo(m: usize, n: usize, k: Color) -> Result<ConstructedDynamo
     let torus = torus_cordalis(m, n);
     let partial = theorem4_seed(&torus, k);
 
-    if n % 3 == 0 {
+    if n.is_multiple_of(3) {
         let candidate = column_stripe_candidate(&partial, k);
         if check_hypotheses(&torus, &candidate, k).is_empty() {
             return ConstructedDynamo::validated(torus, candidate, k, FillerKind::ColumnStripes);

@@ -116,7 +116,7 @@ pub fn theorem2_dynamo(m: usize, n: usize, k: Color) -> Result<ConstructedDynamo
     let torus = toroidal_mesh(m, n);
 
     // 1. Four-colour row stripes (column+row orientation).
-    if m % 3 == 0 {
+    if m.is_multiple_of(3) {
         let partial = theorem2_seed_column_row(&torus, k);
         let candidate = row_stripe_candidate(&torus, &partial, k);
         if check_hypotheses(&torus, &candidate, k).is_empty() {
@@ -125,7 +125,7 @@ pub fn theorem2_dynamo(m: usize, n: usize, k: Color) -> Result<ConstructedDynamo
     }
 
     // 2. Four-colour column stripes (row+column orientation).
-    if n % 3 == 0 {
+    if n.is_multiple_of(3) {
         let partial = theorem2_seed_row_column(&torus, k);
         let candidate = column_stripe_candidate(&torus, &partial, k);
         if check_hypotheses(&torus, &candidate, k).is_empty() {

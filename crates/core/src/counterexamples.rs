@@ -80,9 +80,16 @@ mod tests {
     #[test]
     fn figure3_has_minimum_size_but_is_not_a_dynamo() {
         let (torus, coloring) = figure3_configuration(9, 9, k());
-        assert_eq!(coloring.count(k()), 9 + 9 - 2, "the seed has the Theorem-1 size");
+        assert_eq!(
+            coloring.count(k()),
+            9 + 9 - 2,
+            "the seed has the Theorem-1 size"
+        );
         let report = verify_dynamo(&torus, &coloring, k());
-        assert!(!report.is_dynamo(), "Figure 3: black nodes do not constitute a dynamo");
+        assert!(
+            !report.is_dynamo(),
+            "Figure 3: black nodes do not constitute a dynamo"
+        );
         // And the reason: the Theorem-2 hypotheses are violated.
         assert!(!check_hypotheses(&torus, &coloring, k()).is_empty());
     }

@@ -132,7 +132,10 @@ mod tests {
         let coloring = ctori_coloring::patterns::checkerboard(&t, Color::new(1), Color::new(2));
         let report = verify_dynamo(&t, &coloring, k());
         assert!(!report.is_dynamo());
-        assert!(matches!(report.termination, Termination::Cycle { period: 2 }));
+        assert!(matches!(
+            report.termination,
+            Termination::Cycle { period: 2 }
+        ));
     }
 
     #[test]
@@ -147,7 +150,10 @@ mod tests {
         assert!(!report.is_dynamo());
         assert_eq!(report.seed_size, 1);
         // it *does* converge, just to the other colour
-        assert_eq!(report.termination, Termination::Monochromatic(Color::new(1)));
+        assert_eq!(
+            report.termination,
+            Termination::Monochromatic(Color::new(1))
+        );
     }
 
     #[test]
@@ -172,8 +178,7 @@ mod tests {
         // majority either. Use the classic: alternating black/white columns
         // converge to black (every white vertex sees 2 black + 2 white).
         let t = toroidal_mesh(6, 6);
-        let coloring =
-            ctori_coloring::patterns::column_stripes(&t, &[Color::BLACK, Color::WHITE]);
+        let coloring = ctori_coloring::patterns::column_stripes(&t, &[Color::BLACK, Color::WHITE]);
         let report = verify_dynamo_with_rule(
             &t,
             &coloring,

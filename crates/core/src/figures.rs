@@ -85,7 +85,10 @@ pub fn ideal_rounds_for_partial(torus: &Torus, partial: &Coloring, k: Color) -> 
     let initial = fill_with_distinct_colors(partial, k);
     let mut sim = ctori_engine::Simulator::new(torus, SmpProtocol, initial);
     let report = sim.run(&RunConfig::for_dynamo(k));
-    report.termination.is_monochromatic_in(k).then_some(report.rounds)
+    report
+        .termination
+        .is_monochromatic_in(k)
+        .then_some(report.rounds)
 }
 
 /// Figure 5: the recolouring-time matrix of a toroidal mesh whose entire

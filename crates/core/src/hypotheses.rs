@@ -103,7 +103,10 @@ pub fn check_distinct_neighbor_condition(
                 continue;
             }
             if seen.contains(&c) {
-                return Err(HypothesisViolation::RepeatedNeighborColor { vertex: v, color: c });
+                return Err(HypothesisViolation::RepeatedNeighborColor {
+                    vertex: v,
+                    color: c,
+                });
             }
             seen.push(c);
         }
@@ -131,7 +134,10 @@ pub fn check_seed_immortal(
             .collect();
         let next = rule.next_color(k, &nbrs);
         if next != k {
-            return Err(HypothesisViolation::SeedNotImmortal { vertex: v, adopts: next });
+            return Err(HypothesisViolation::SeedNotImmortal {
+                vertex: v,
+                adopts: next,
+            });
         }
     }
     Ok(())
@@ -185,10 +191,14 @@ mod tests {
     fn forest_condition_rejects_full_non_k_row() {
         // A full row of colour 2 on a toroidal mesh wraps into a cycle.
         let t = toroidal_mesh(5, 5);
-        let coloring = ColoringBuilder::filled(&t, k()).row(2, Color::new(2)).build();
+        let coloring = ColoringBuilder::filled(&t, k())
+            .row(2, Color::new(2))
+            .build();
         assert_eq!(
             check_forest_condition(&t, &coloring, k()),
-            Err(HypothesisViolation::NotAForest { color: Color::new(2) })
+            Err(HypothesisViolation::NotAForest {
+                color: Color::new(2)
+            })
         );
         // A partial row (a path, not a cycle) of colour 2 is fine.
         let coloring = ColoringBuilder::filled(&t, k())
@@ -251,7 +261,9 @@ mod tests {
     fn seed_with_two_k_neighbors_is_always_immortal() {
         let t = toroidal_mesh(5, 5);
         // A full k column: every member has two k neighbours.
-        let coloring = ColoringBuilder::filled(&t, Color::new(2)).column(0, k()).build();
+        let coloring = ColoringBuilder::filled(&t, Color::new(2))
+            .column(0, k())
+            .build();
         assert!(check_seed_immortal(&t, &coloring, k()).is_ok());
     }
 

@@ -90,7 +90,11 @@ mod tests {
             .row(3, Color::new(2))
             .build();
         assert!(crate::blocks::has_non_k_block(&t, &with_block, k()));
-        assert!(non_k_blocks_correspond_to_white_blocks(&t, &with_block, k()));
+        assert!(non_k_blocks_correspond_to_white_blocks(
+            &t,
+            &with_block,
+            k()
+        ));
 
         // A configuration with no non-k structure at all.
         let without_block = ColoringBuilder::filled(&t, k())
@@ -98,7 +102,11 @@ mod tests {
             .cell(4, 4, Color::new(3))
             .build();
         assert!(!crate::blocks::has_non_k_block(&t, &without_block, k()));
-        assert!(non_k_blocks_correspond_to_white_blocks(&t, &without_block, k()));
+        assert!(non_k_blocks_correspond_to_white_blocks(
+            &t,
+            &without_block,
+            k()
+        ));
     }
 
     #[test]

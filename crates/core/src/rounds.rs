@@ -110,7 +110,7 @@ mod tests {
         assert_eq!(theorem8_rounds(7, 6), (3 - 1) * 6 + 3);
         assert_eq!(theorem8_rounds(9, 4), (4 - 1) * 4 + 2);
         // m even
-        assert_eq!(theorem8_rounds(6, 6), (2 - 1) * 6 + 1);
+        assert_eq!(theorem8_rounds(6, 6), 6 + 1);
         assert_eq!(theorem8_rounds(8, 5), (3 - 1) * 5 + 1);
     }
 
@@ -118,7 +118,7 @@ mod tests {
     fn small_sizes_do_not_panic() {
         // Outside the intended range the formulas may be non-positive but
         // must not overflow or panic.
-        assert_eq!(theorem7_rounds(2, 2), 2 * (1 - 1) + 1);
+        assert_eq!(theorem7_rounds(2, 2), 1);
         assert!(theorem8_rounds(2, 2) <= 1);
         assert!(theorem8_rounds(3, 3) <= 3);
     }

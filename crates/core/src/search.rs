@@ -183,7 +183,13 @@ pub fn search_dynamo_of_size(
         if config.prune_blocks && config.require_monotone {
             // Lemma 2: check the union-of-blocks condition on the seed
             // alone (it does not depend on the filler).
-            let probe = base.map_colors(|c| if c == k { k } else { non_k.first().copied().unwrap_or(k) });
+            let probe = base.map_colors(|c| {
+                if c == k {
+                    k
+                } else {
+                    non_k.first().copied().unwrap_or(k)
+                }
+            });
             if !seed_is_union_of_k_blocks(torus, &probe, k) {
                 return None;
             }
@@ -208,7 +214,7 @@ pub fn search_dynamo_of_size(
         witness.map(|w| (w, witness_rounds))
     });
 
-    for result in results.into_iter().flatten() {
+    if let Some(result) = results.into_iter().flatten().next() {
         return SearchOutcome::Found {
             size: seed_size,
             example: result.0,
@@ -285,7 +291,10 @@ mod tests {
         let config = SearchConfig::monotone(Palette::new(4));
         let outcome = search_dynamo_of_size(&t, k(), 4, &config);
         assert!(outcome.found(), "a monotone dynamo of size 4 exists on 3x3");
-        if let SearchOutcome::Found { example, rounds, .. } = outcome {
+        if let SearchOutcome::Found {
+            example, rounds, ..
+        } = outcome
+        {
             assert_eq!(example.count(k()), 4);
             assert!(rounds >= 1);
             let report = verify_dynamo(&t, &example, k());

@@ -1,108 +1,9 @@
-//! Precomputed adjacency in compressed sparse row (CSR) form.
+//! Historical location of the CSR adjacency.
 //!
-//! The simulation hot loop touches every vertex's neighbourhood once per
-//! round.  Asking the [`Topology`] trait for a fresh `Vec<NodeId>` each time
-//! would allocate per vertex per round, so the simulator flattens the
-//! adjacency once at construction into a CSR structure and the hot loop is
-//! pure slice indexing.
+//! The CSR kernel moved down into [`ctori_topology::adjacency`] so that the
+//! topology crate, the simulator, the diffusion processes and the
+//! connectivity helpers all share one sparse substrate.  This module
+//! re-exports it so `ctori_engine::Adjacency` keeps compiling; new code
+//! should import [`ctori_topology::Adjacency`] directly.
 
-use ctori_topology::{NodeId, Topology};
-
-/// Flattened adjacency lists of a topology.
-#[derive(Clone, Debug)]
-pub struct Adjacency {
-    offsets: Vec<u32>,
-    targets: Vec<u32>,
-}
-
-impl Adjacency {
-    /// Builds the CSR adjacency of a topology.
-    pub fn build<T: Topology + ?Sized>(topology: &T) -> Self {
-        let n = topology.node_count();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::new();
-        offsets.push(0u32);
-        for v in 0..n {
-            for u in topology.neighbors(NodeId::new(v)) {
-                targets.push(u.index() as u32);
-            }
-            offsets.push(targets.len() as u32);
-        }
-        Adjacency { offsets, targets }
-    }
-
-    /// Number of vertices.
-    #[inline]
-    pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
-    }
-
-    /// The neighbour indices of vertex `v` as a slice of raw indices.
-    #[inline]
-    pub fn neighbors_raw(&self, v: usize) -> &[u32] {
-        let start = self.offsets[v] as usize;
-        let end = self.offsets[v + 1] as usize;
-        &self.targets[start..end]
-    }
-
-    /// Degree of vertex `v`.
-    #[inline]
-    pub fn degree(&self, v: usize) -> usize {
-        (self.offsets[v + 1] - self.offsets[v]) as usize
-    }
-
-    /// The maximum degree over all vertices.
-    pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ctori_topology::{toroidal_mesh, torus_serpentinus, Graph};
-
-    #[test]
-    fn csr_matches_torus_neighbors() {
-        let t = toroidal_mesh(4, 5);
-        let adj = Adjacency::build(&t);
-        assert_eq!(adj.node_count(), 20);
-        assert_eq!(adj.max_degree(), 4);
-        for v in 0..t.node_count() {
-            let mut a: Vec<u32> = adj.neighbors_raw(v).to_vec();
-            let mut b: Vec<u32> = t
-                .neighbors(NodeId::new(v))
-                .iter()
-                .map(|u| u.index() as u32)
-                .collect();
-            a.sort_unstable();
-            b.sort_unstable();
-            assert_eq!(a, b, "adjacency mismatch at vertex {v}");
-            assert_eq!(adj.degree(v), 4);
-        }
-    }
-
-    #[test]
-    fn csr_handles_irregular_graphs() {
-        let mut g = Graph::with_nodes(4);
-        g.add_edge(NodeId::new(0), NodeId::new(1));
-        g.add_edge(NodeId::new(1), NodeId::new(2));
-        g.add_edge(NodeId::new(1), NodeId::new(3));
-        let adj = Adjacency::build(&g);
-        assert_eq!(adj.degree(0), 1);
-        assert_eq!(adj.degree(1), 3);
-        assert_eq!(adj.degree(2), 1);
-        assert_eq!(adj.max_degree(), 3);
-        assert_eq!(adj.neighbors_raw(0), &[1]);
-    }
-
-    #[test]
-    fn csr_on_serpentinus() {
-        let t = torus_serpentinus(3, 3);
-        let adj = Adjacency::build(&t);
-        assert_eq!(adj.node_count(), 9);
-        for v in 0..9 {
-            assert_eq!(adj.degree(v), 4);
-        }
-    }
-}
+pub use ctori_topology::Adjacency;

@@ -8,7 +8,9 @@
 //! one round per unit of time.  The engine provides:
 //!
 //! * [`Simulator`] — a double-buffered synchronous stepper over any
-//!   [`ctori_topology::Topology`] and any [`ctori_protocols::LocalRule`];
+//!   [`ctori_topology::Topology`] and any [`ctori_protocols::LocalRule`],
+//!   flattened onto the shared [`ctori_topology::Adjacency`] CSR kernel so
+//!   the per-round loop allocates nothing;
 //! * [`RunConfig`] / [`RunReport`] / [`Termination`] — run-to-convergence
 //!   with fixed-point detection, optional cycle detection, optional
 //!   monotonicity tracking and optional per-vertex recolouring times (the
@@ -47,6 +49,8 @@
 
 pub mod adjacency;
 pub mod metrics;
+#[cfg(feature = "naive-baseline")]
+pub mod naive;
 pub mod simulator;
 pub mod sweep;
 pub mod trace;

@@ -1,0 +1,99 @@
+//! Bench-only allocating baseline for the CSR hot loop.
+//!
+//! This module is compiled only with the `naive-baseline` feature and
+//! exists solely so the benchmarks can quantify what the shared
+//! [`ctori_topology::Adjacency`] kernel buys: it steps the same synchronous
+//! dynamics through the deprecated `Vec`-returning [`Topology::neighbors`]
+//! path, allocating a fresh neighbour list (and a fresh colour list) per
+//! vertex per round — exactly the data path the workspace had before the
+//! CSR refactor.  Never use it outside benchmarks.
+
+use ctori_coloring::Color;
+use ctori_protocols::LocalRule;
+use ctori_topology::{NodeId, Topology};
+
+/// A synchronous stepper that re-materialises every neighbourhood as a
+/// fresh `Vec` each visit.
+pub struct NaiveSimulator<T, R> {
+    topology: T,
+    rule: R,
+    current: Vec<Color>,
+    next: Vec<Color>,
+    round: usize,
+}
+
+impl<T: Topology, R: LocalRule> NaiveSimulator<T, R> {
+    /// Creates a naive stepper over a topology and a flat state vector.
+    pub fn new(topology: T, rule: R, initial: Vec<Color>) -> Self {
+        assert_eq!(
+            initial.len(),
+            topology.node_count(),
+            "state length does not match the topology"
+        );
+        NaiveSimulator {
+            topology,
+            rule,
+            next: initial.clone(),
+            current: initial,
+            round: 0,
+        }
+    }
+
+    /// Executes one synchronous round and returns how many vertices
+    /// changed.
+    pub fn step(&mut self) -> usize {
+        let n = self.current.len();
+        let mut changed = 0usize;
+        for v in 0..n {
+            #[allow(deprecated)]
+            let neighbors = self.topology.neighbors(NodeId::new(v));
+            let colors: Vec<Color> = neighbors.iter().map(|u| self.current[u.index()]).collect();
+            let own = self.current[v];
+            let new = self.rule.next_color(own, &colors);
+            self.next[v] = new;
+            if new != own {
+                changed += 1;
+            }
+        }
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.round += 1;
+        changed
+    }
+
+    /// Read-only view of the current state.
+    pub fn state(&self) -> &[Color] {
+        &self.current
+    }
+
+    /// The number of rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use ctori_coloring::{Color, ColoringBuilder};
+    use ctori_protocols::SmpProtocol;
+    use ctori_topology::toroidal_mesh;
+
+    #[test]
+    fn naive_and_csr_steppers_agree() {
+        let t = toroidal_mesh(6, 7);
+        let coloring = ColoringBuilder::filled(&t, Color::new(2))
+            .cell(1, 1, Color::new(1))
+            .cell(1, 2, Color::new(3))
+            .cell(2, 1, Color::new(4))
+            .cell(2, 2, Color::new(5))
+            .build();
+        let mut naive = NaiveSimulator::new(&t, SmpProtocol, coloring.cells().to_vec());
+        let mut csr = Simulator::new(&t, SmpProtocol, coloring);
+        for _ in 0..5 {
+            naive.step();
+            csr.step();
+            assert_eq!(naive.state(), csr.state());
+        }
+    }
+}

@@ -1,9 +1,8 @@
 //! The synchronous simulator.
 
-use crate::adjacency::Adjacency;
 use ctori_coloring::{Color, Coloring};
 use ctori_protocols::LocalRule;
-use ctori_topology::{NodeId, NodeSet, Topology, Torus};
+use ctori_topology::{Adjacency, NodeId, NodeSet, Topology, Torus};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -126,10 +125,15 @@ impl RunReport {
     }
 }
 
-/// A double-buffered synchronous simulator.
+/// A double-buffered synchronous simulator over the shared CSR kernel.
 ///
-/// The simulator owns two colour buffers and swaps them each round; no
-/// allocation happens after construction.
+/// The simulator flattens its topology once into a
+/// [`ctori_topology::Adjacency`] (or borrows a prebuilt one through
+/// [`Simulator::from_adjacency`]), owns two dense colour buffers and swaps
+/// them each round.  The stepper is monomorphised per [`LocalRule`] and the
+/// neighbour-colour scratch buffer is sized to the maximum degree at
+/// construction, so **no heap allocation happens per round** — the hot
+/// loop is pure slice indexing.
 pub struct Simulator<R> {
     adjacency: Adjacency,
     rule: R,
@@ -139,6 +143,7 @@ pub struct Simulator<R> {
     next: Vec<Color>,
     round: usize,
     scratch: Vec<Color>,
+    regular4: bool,
 }
 
 impl<R: LocalRule> Simulator<R> {
@@ -157,18 +162,9 @@ impl<R: LocalRule> Simulator<R> {
             !initial.has_unset_cells(),
             "initial colouring contains unset cells"
         );
-        let adjacency = Adjacency::build(torus);
+        let adjacency = Adjacency::from_torus(torus);
         let cells = initial.cells().to_vec();
-        Simulator {
-            adjacency,
-            rule,
-            rows: torus.rows(),
-            cols: torus.cols(),
-            next: cells.clone(),
-            current: cells,
-            round: 0,
-            scratch: Vec::with_capacity(8),
-        }
+        Simulator::assemble(adjacency, rule, torus.rows(), torus.cols(), cells)
     }
 
     /// Creates a simulator over an arbitrary topology with a flat state
@@ -180,16 +176,51 @@ impl<R: LocalRule> Simulator<R> {
             "state length does not match the topology"
         );
         let adjacency = Adjacency::build(topology);
+        Simulator::from_adjacency(adjacency, rule, initial)
+    }
+
+    /// Creates a simulator over a prebuilt CSR adjacency, sharing the
+    /// flattening cost across many runs on the same topology.
+    ///
+    /// The state is treated as a flat vector: [`Simulator::coloring`] will
+    /// report a `1 × n` grid.  For grid-shaped reporting on a torus, use
+    /// [`Simulator::new`] (which builds the CSR arithmetically via
+    /// [`Adjacency::from_torus`] and keeps the torus dimensions).
+    pub fn from_adjacency(adjacency: Adjacency, rule: R, initial: Vec<Color>) -> Self {
+        assert_eq!(
+            initial.len(),
+            adjacency.node_count(),
+            "state length does not match the topology"
+        );
+        let cols = initial.len();
+        Simulator::assemble(adjacency, rule, 1, cols, initial)
+    }
+
+    fn assemble(
+        adjacency: Adjacency,
+        rule: R,
+        rows: usize,
+        cols: usize,
+        cells: Vec<Color>,
+    ) -> Self {
+        let scratch = Vec::with_capacity(adjacency.max_degree());
+        let regular4 = adjacency.uniform_degree() == Some(4);
         Simulator {
             adjacency,
             rule,
-            rows: 1,
-            cols: initial.len(),
-            next: initial.clone(),
-            current: initial,
+            rows,
+            cols,
+            next: cells.clone(),
+            current: cells,
             round: 0,
-            scratch: Vec::with_capacity(8),
+            scratch,
+            regular4,
         }
+    }
+
+    /// The CSR adjacency driving the hot loop.
+    pub fn adjacency(&self) -> &Adjacency {
+        &self.adjacency
     }
 
     /// The number of rounds executed so far.
@@ -237,27 +268,42 @@ impl<R: LocalRule> Simulator<R> {
     /// colour.
     pub fn monochromatic(&self) -> Option<Color> {
         let first = *self.current.first()?;
-        self.current
-            .iter()
-            .all(|&c| c == first)
-            .then_some(first)
+        self.current.iter().all(|&c| c == first).then_some(first)
     }
 
     /// Executes one synchronous round and returns how many vertices
     /// changed.
+    ///
+    /// The loop allocates nothing: on 4-regular topologies (all the
+    /// paper's tori) the neighbour colours are gathered into a stack
+    /// array, and on general graphs into the preallocated scratch buffer.
     pub fn step(&mut self) -> StepReport {
         let n = self.current.len();
         let mut changed = 0usize;
-        for v in 0..n {
-            self.scratch.clear();
-            for &u in self.adjacency.neighbors_raw(v) {
-                self.scratch.push(self.current[u as usize]);
+        if self.regular4 {
+            for v in 0..n {
+                let nb = self.adjacency.neighbors_raw(v);
+                let colors = [
+                    self.current[nb[0] as usize],
+                    self.current[nb[1] as usize],
+                    self.current[nb[2] as usize],
+                    self.current[nb[3] as usize],
+                ];
+                let own = self.current[v];
+                let new = self.rule.next_color(own, &colors);
+                self.next[v] = new;
+                changed += usize::from(new != own);
             }
-            let own = self.current[v];
-            let new = self.rule.next_color(own, &self.scratch);
-            self.next[v] = new;
-            if new != own {
-                changed += 1;
+        } else {
+            for v in 0..n {
+                self.scratch.clear();
+                for &u in self.adjacency.neighbors_raw(v) {
+                    self.scratch.push(self.current[u as usize]);
+                }
+                let own = self.current[v];
+                let new = self.rule.next_color(own, &self.scratch);
+                self.next[v] = new;
+                changed += usize::from(new != own);
             }
         }
         std::mem::swap(&mut self.current, &mut self.next);
@@ -308,26 +354,18 @@ impl<R: LocalRule> Simulator<R> {
                 break Termination::RoundLimit;
             }
 
-            let before: Option<Vec<Color>> = if config.track_times_for.is_some()
-                || config.check_monotone_for.is_some()
-            {
-                Some(self.current.clone())
-            } else {
-                None
-            };
-
             let report = self.step();
 
-            if let (Some(k), Some(times), Some(before)) =
-                (config.track_times_for, times.as_mut(), before.as_ref())
-            {
-                for v in 0..n {
+            // After the swap in step(), `self.next` still holds the
+            // previous round's state, so tracking needs no snapshot clone.
+            if let (Some(k), Some(times)) = (config.track_times_for, times.as_mut()) {
+                for (v, slot) in times.iter_mut().enumerate() {
                     let now = self.current[v];
-                    let was = before[v];
+                    let was = self.next[v];
                     if now == k && was != k {
-                        times[v] = Some(self.round);
+                        *slot = Some(self.round);
                     } else if now != k && was == k {
-                        times[v] = None;
+                        *slot = None;
                     }
                 }
             }
@@ -336,12 +374,12 @@ impl<R: LocalRule> Simulator<R> {
                 monotone.as_mut(),
                 prev_k_set.as_mut(),
             ) {
-                for v in 0..n {
+                for (v, was_k) in prev.iter_mut().enumerate() {
                     let now_k = self.current[v] == k;
-                    if prev[v] && !now_k {
+                    if *was_k && !now_k {
                         *mono = false;
                     }
-                    prev[v] = now_k;
+                    *was_k = now_k;
                 }
             }
 
@@ -419,14 +457,15 @@ mod tests {
         // other colour (left/right) — a 2-2 tie, so the SMP protocol never
         // changes anything.
         let t = toroidal_mesh(4, 4);
-        let coloring = ctori_coloring::patterns::column_stripes(
-            &t,
-            &[Color::new(1), Color::new(2)],
-        );
+        let coloring =
+            ctori_coloring::patterns::column_stripes(&t, &[Color::new(1), Color::new(2)]);
         let mut sim = Simulator::new(&t, SmpProtocol, coloring.clone());
         let report = sim.run(&RunConfig::default());
         assert_eq!(report.termination, Termination::FixedPoint);
-        assert_eq!(report.rounds, 1, "fixed point is detected after one idle round");
+        assert_eq!(
+            report.rounds, 1,
+            "fixed point is detected after one idle round"
+        );
         assert_eq!(sim.coloring(), coloring);
     }
 
@@ -438,11 +477,7 @@ mod tests {
         // emphasises.
         let t = toroidal_mesh(4, 4);
         let coloring = ctori_coloring::patterns::column_stripes(&t, &[Color::WHITE, Color::BLACK]);
-        let mut pb = Simulator::new(
-            &t,
-            ReverseSimpleMajority::prefer_black(),
-            coloring.clone(),
-        );
+        let mut pb = Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring.clone());
         let report = pb.run(&RunConfig::default());
         assert_eq!(report.termination, Termination::Monochromatic(Color::BLACK));
         assert_eq!(report.rounds, 1);
@@ -482,7 +517,11 @@ mod tests {
         let mut next = 3u16;
         for r in 1..=3 {
             for c in 1..=3 {
-                let color = if (r, c) == (2, 2) { Color::new(1) } else { Color::new(next) };
+                let color = if (r, c) == (2, 2) {
+                    Color::new(1)
+                } else {
+                    Color::new(next)
+                };
                 next += 1;
                 b = b.cell(r, c, color);
             }
@@ -514,8 +553,10 @@ mod tests {
             .cell(1, 1, Color::BLACK)
             .build();
         let mut sim = Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring);
-        let mut cfg = RunConfig::default();
-        cfg.check_monotone_for = Some(Color::BLACK);
+        let cfg = RunConfig {
+            check_monotone_for: Some(Color::BLACK),
+            ..RunConfig::default()
+        };
         let report = sim.run(&cfg);
         assert_eq!(report.monotone, Some(false));
         assert_eq!(report.termination, Termination::Monochromatic(Color::WHITE));
@@ -536,7 +577,10 @@ mod tests {
         let rule = ThresholdRule::new(Color::new(2), 1);
         let mut sim = Simulator::from_topology(&g, rule, state);
         let report = sim.run(&RunConfig::default());
-        assert_eq!(report.termination, Termination::Monochromatic(Color::new(2)));
+        assert_eq!(
+            report.termination,
+            Termination::Monochromatic(Color::new(2))
+        );
         assert_eq!(report.rounds, 4);
     }
 

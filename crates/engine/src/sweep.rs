@@ -3,10 +3,12 @@
 //! The experiment harness and the exhaustive searches run very many small,
 //! independent simulations (one per torus size, per candidate seed set, per
 //! random replicate).  The per-simulation work is tiny, so the parallelism
-//! lives here: a work queue fanned out over `crossbeam` scoped threads with
-//! `parking_lot`-protected result collection.
+//! lives here: an atomic work queue fanned out over `std::thread::scope`
+//! workers.  Each worker accumulates `(index, output)` pairs in its own
+//! local buffer and the results are scattered into the output vector after
+//! the workers are joined — no shared lock is ever taken, so threads never
+//! serialize on result collection.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Applies `f` to every input, in parallel, preserving input order in the
@@ -21,29 +23,39 @@ where
     F: Fn(&I) -> O + Sync,
 {
     if threads <= 1 || inputs.len() <= 1 {
-        return inputs.iter().map(|i| f(i)).collect();
+        return inputs.iter().map(&f).collect();
     }
 
     let n = inputs.len();
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    let mut results: Vec<Option<O>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let out = f(&inputs[idx]);
-                results.lock()[idx] = Some(out);
-            });
+    let (inputs, next, f) = (&inputs, &next, &f);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        local.push((idx, f(&inputs[idx])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (idx, out) in worker.join().expect("sweep worker panicked") {
+                results[idx] = Some(out);
+            }
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
-        .into_inner()
         .into_iter()
         .map(|o| o.expect("every slot filled"))
         .collect()
@@ -93,6 +105,29 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert_eq!(parallel_map(empty, 4, |&x| x), Vec::<u32>::new());
         assert_eq!(parallel_map(vec![7u32], 4, |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn more_threads_than_inputs() {
+        let out = parallel_map(vec![1u32, 2, 3], 16, |&x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn uneven_workloads_are_balanced_dynamically() {
+        // A mix of heavy and light items: the work queue hands items to
+        // whichever thread is free, so the result must still be in order.
+        let inputs: Vec<u64> = (0..64).collect();
+        let out = parallel_map(inputs, 4, |&x| {
+            if x % 7 == 0 {
+                (0..10_000u64).fold(x, |a, b| a.wrapping_add(b))
+            } else {
+                x
+            }
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], 1);
+        assert_eq!(out[0], (0..10_000u64).fold(0u64, |a, b| a.wrapping_add(b)));
     }
 
     #[test]

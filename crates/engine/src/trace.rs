@@ -58,11 +58,14 @@ impl RecoloringTimes {
     /// Builds the adoption-time matrix from a run report that tracked
     /// times (`RunConfig::track_times_for`).
     pub fn from_report(rows: usize, cols: usize, report: &RunReport) -> Option<Self> {
-        report.recoloring_times.as_ref().map(|times| RecoloringTimes {
-            rows,
-            cols,
-            times: times.clone(),
-        })
+        report
+            .recoloring_times
+            .as_ref()
+            .map(|times| RecoloringTimes {
+                rows,
+                cols,
+                times: times.clone(),
+            })
     }
 
     /// Builds the matrix directly from a trace: the adoption time of a
@@ -72,9 +75,8 @@ impl RecoloringTimes {
         let last = trace.last();
         let (rows, cols) = (last.rows(), last.cols());
         let total_rounds = trace.rounds();
-        let mut times = vec![None; rows * cols];
-        for idx in 0..rows * cols
-        {
+        let mut times: Vec<Option<usize>> = vec![None; rows * cols];
+        for (idx, slot) in times.iter_mut().enumerate() {
             let (r, c) = (idx / cols, idx % cols);
             // Walk backwards: find the latest round at which the vertex was
             // NOT k; its adoption time is the next round, provided it is k
@@ -90,7 +92,7 @@ impl RecoloringTimes {
                     break;
                 }
             }
-            times[idx] = Some(adoption);
+            *slot = Some(adoption);
         }
         RecoloringTimes { rows, cols, times }
     }
@@ -191,11 +193,9 @@ pub fn run_with_trace<R: LocalRule>(
 
     let trace = Trace { configurations };
 
-    let recoloring_times = config.track_times_for.map(|k| {
-        RecoloringTimes::from_trace(&trace, k)
-            .as_slice()
-            .to_vec()
-    });
+    let recoloring_times = config
+        .track_times_for
+        .map(|k| RecoloringTimes::from_trace(&trace, k).as_slice().to_vec());
     let monotone = config.check_monotone_for.map(|k| {
         let mut monotone = true;
         for w in trace.configurations.windows(2) {

@@ -12,20 +12,36 @@ use ctori_coloring::Color;
 
 /// Maximum number of distinct colours a degree-4 vertex can see, plus slack
 /// for the general-graph rules used by the TSS substrate.
-const INLINE_CAPACITY: usize = 8;
+pub(crate) const INLINE_CAPACITY: usize = 8;
 
 /// A small multiset of colours with their multiplicities.
-#[derive(Clone, Debug, Default)]
+///
+/// The first [`INLINE_CAPACITY`] distinct colours live in a fixed array on
+/// the stack, so the simulation hot loop (degree-4 tori: at most 4 distinct
+/// colours per neighbourhood) never touches the heap.  Only neighbourhoods
+/// with more distinct colours — large-degree hubs in the TSS substrate —
+/// spill into a heap-allocated overflow vector.
+#[derive(Clone, Debug)]
 pub struct ColorCounts {
-    entries: Vec<(Color, usize)>,
+    inline: [(Color, usize); INLINE_CAPACITY],
+    inline_len: usize,
+    spill: Vec<(Color, usize)>,
+}
+
+impl Default for ColorCounts {
+    fn default() -> Self {
+        ColorCounts {
+            inline: [(Color::UNSET, 0); INLINE_CAPACITY],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
 }
 
 impl ColorCounts {
     /// Counts the colours of a neighbour slice.
     pub fn from_neighbors(neighbors: &[Color]) -> Self {
-        let mut counts = ColorCounts {
-            entries: Vec::with_capacity(INLINE_CAPACITY.min(neighbors.len())),
-        };
+        let mut counts = ColorCounts::default();
         for &c in neighbors {
             counts.add(c);
         }
@@ -34,30 +50,38 @@ impl ColorCounts {
 
     /// Adds one occurrence of a colour.
     pub fn add(&mut self, color: Color) {
-        if let Some(e) = self.entries.iter_mut().find(|(c, _)| *c == color) {
+        for e in &mut self.inline[..self.inline_len] {
+            if e.0 == color {
+                e.1 += 1;
+                return;
+            }
+        }
+        if let Some(e) = self.spill.iter_mut().find(|(c, _)| *c == color) {
             e.1 += 1;
+        } else if self.inline_len < INLINE_CAPACITY {
+            self.inline[self.inline_len] = (color, 1);
+            self.inline_len += 1;
         } else {
-            self.entries.push((color, 1));
+            self.spill.push((color, 1));
         }
     }
 
     /// Multiplicity of a colour.
     pub fn count(&self, color: Color) -> usize {
-        self.entries
-            .iter()
-            .find(|(c, _)| *c == color)
-            .map(|(_, n)| *n)
+        self.iter()
+            .find(|&(c, _)| c == color)
+            .map(|(_, n)| n)
             .unwrap_or(0)
     }
 
     /// Number of distinct colours seen.
     pub fn distinct(&self) -> usize {
-        self.entries.len()
+        self.inline_len + self.spill.len()
     }
 
     /// The highest multiplicity.
     pub fn max_count(&self) -> usize {
-        self.entries.iter().map(|(_, n)| *n).max().unwrap_or(0)
+        self.iter().map(|(_, n)| n).max().unwrap_or(0)
     }
 
     /// The colour with the strictly highest multiplicity, if it is unique.
@@ -70,7 +94,7 @@ impl ColorCounts {
             return None;
         }
         let mut winner = None;
-        for &(c, n) in &self.entries {
+        for (c, n) in self.iter() {
             if n == max {
                 if winner.is_some() {
                     return None;
@@ -83,7 +107,10 @@ impl ColorCounts {
 
     /// Iterates over `(colour, multiplicity)` pairs in first-seen order.
     pub fn iter(&self) -> impl Iterator<Item = (Color, usize)> + '_ {
-        self.entries.iter().copied()
+        self.inline[..self.inline_len]
+            .iter()
+            .chain(self.spill.iter())
+            .copied()
     }
 }
 
@@ -93,12 +120,72 @@ impl ColorCounts {
 /// This is the core decision of the SMP-Protocol (with `min_count = 2`):
 /// the patterns 4-0-0-0, 3-1-0-0 and 2-1-1-0 have such a colour, the
 /// patterns 2-2-0-0 and 1-1-1-1 do not.
+///
+/// This is the innermost call of the simulation hot loop; it shares the
+/// allocation-aware scan of [`leader_stats`] with the majority rules.
 pub fn plurality(neighbors: &[Color], min_count: usize) -> Option<Color> {
-    let counts = ColorCounts::from_neighbors(neighbors);
-    match counts.unique_plurality() {
-        Some((c, n)) if n >= min_count => Some(c),
-        _ => None,
+    let stats = leader_stats(neighbors);
+    if !stats.tied && stats.max > 0 && stats.max >= min_count {
+        Some(stats.leader)
+    } else {
+        None
     }
+}
+
+/// The outcome of one plurality scan over a neighbour slice.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LeaderStats {
+    /// The first colour reaching the maximum multiplicity
+    /// ([`ctori_coloring::Color::UNSET`] for an empty slice).
+    pub leader: Color,
+    /// The maximum multiplicity (0 for an empty slice).
+    pub max: usize,
+    /// Whether two or more colours tie for the maximum.
+    pub tied: bool,
+    /// Whether black is among the colours reaching the maximum.
+    pub black_leads: bool,
+}
+
+/// Counts the leading colour of a neighbour slice.
+///
+/// Small neighbourhoods (the paper's degree-4 vertices) use a direct
+/// quadratic scan that touches no memory beyond the slice; larger
+/// neighbourhoods (hubs in the TSS substrate) go through the
+/// [`ColorCounts`] table so the cost stays O(d · distinct) instead of
+/// O(d²).  Both the SMP plurality decision and the majority baselines
+/// derive their answers from this single scan.
+pub(crate) fn leader_stats(neighbors: &[Color]) -> LeaderStats {
+    let mut stats = LeaderStats {
+        leader: Color::UNSET,
+        max: 0,
+        tied: false,
+        black_leads: false,
+    };
+    let mut consider = |c: Color, n: usize| {
+        if n > stats.max {
+            stats.leader = c;
+            stats.max = n;
+            stats.tied = false;
+            stats.black_leads = c == Color::BLACK;
+        } else if n == stats.max && n > 0 {
+            stats.tied = true;
+            stats.black_leads |= c == Color::BLACK;
+        }
+    };
+    if neighbors.len() > INLINE_CAPACITY {
+        for (c, n) in ColorCounts::from_neighbors(neighbors).iter() {
+            consider(c, n);
+        }
+    } else {
+        for (i, &c) in neighbors.iter().enumerate() {
+            // Count each distinct colour at its first occurrence only.
+            if neighbors[..i].contains(&c) {
+                continue;
+            }
+            consider(c, neighbors[i..].iter().filter(|&&x| x == c).count());
+        }
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -155,8 +242,30 @@ mod tests {
         assert_eq!(plurality(&[c(1), c(1), c(2), c(3)], 2), Some(c(1)));
         assert_eq!(plurality(&[c(1), c(1), c(2), c(3)], 3), None);
         assert_eq!(plurality(&[c(1), c(1), c(1), c(3)], 3), Some(c(1)));
-        assert_eq!(plurality(&[c(1), c(2), c(3), c(4)], 1), None, "four-way tie");
+        assert_eq!(
+            plurality(&[c(1), c(2), c(3), c(4)], 1),
+            None,
+            "four-way tie"
+        );
         assert_eq!(plurality(&[c(7)], 1), Some(c(7)));
+    }
+
+    #[test]
+    fn plurality_hub_fallback_matches_small_path() {
+        // Above INLINE_CAPACITY neighbours the ColorCounts fallback runs;
+        // it must agree with the direct scan on the same multiset.
+        let mut hub: Vec<Color> = Vec::new();
+        for i in 0..20 {
+            hub.push(c(1 + (i % 3)));
+        }
+        hub.push(c(1)); // colour 1 now has a strict plurality (8 vs 7 vs 6)
+        assert!(hub.len() > INLINE_CAPACITY);
+        assert_eq!(plurality(&hub, 2), Some(c(1)));
+        // A perfect three-way tie stays a tie through the fallback.
+        let tie: Vec<Color> = (0..21).map(|i| c(1 + (i % 3))).collect();
+        assert_eq!(plurality(&tie, 1), None);
+        // Threshold above the plurality count yields None.
+        assert_eq!(plurality(&hub, 9), None);
     }
 
     #[test]

@@ -24,7 +24,6 @@
 //! they can also be run on multi-coloured configurations for comparison
 //! experiments.
 
-use crate::counting::ColorCounts;
 use crate::rule::LocalRule;
 use ctori_coloring::Color;
 
@@ -71,22 +70,15 @@ impl ReverseSimpleMajority {
 
 impl LocalRule for ReverseSimpleMajority {
     fn next_color(&self, own: Color, neighbors: &[Color]) -> Color {
-        let counts = ColorCounts::from_neighbors(neighbors);
-        let max = counts.max_count();
-        if max < Self::THRESHOLD {
+        let stats = crate::counting::leader_stats(neighbors);
+        if stats.max < Self::THRESHOLD {
             return own;
         }
-        // Colours reaching the maximum count.
-        let leaders: Vec<Color> = counts
-            .iter()
-            .filter(|&(_, n)| n == max)
-            .map(|(c, _)| c)
-            .collect();
-        if leaders.len() == 1 {
-            return leaders[0];
+        if !stats.tied {
+            return stats.leader;
         }
         match self.tie_break {
-            TieBreak::PreferBlack if leaders.contains(&Color::BLACK) => Color::BLACK,
+            TieBreak::PreferBlack if stats.black_leads => Color::BLACK,
             TieBreak::PreferBlack => {
                 // Tie not involving black: fall back to keeping the colour
                 // (the bi-coloured setting of [15] never reaches this arm).
@@ -116,10 +108,9 @@ impl ReverseStrongMajority {
 
 impl LocalRule for ReverseStrongMajority {
     fn next_color(&self, own: Color, neighbors: &[Color]) -> Color {
-        let counts = ColorCounts::from_neighbors(neighbors);
-        match counts.unique_plurality() {
-            Some((c, n)) if n >= Self::THRESHOLD => c,
-            _ => own,
+        match crate::counting::plurality(neighbors, Self::THRESHOLD) {
+            Some(c) => c,
+            None => own,
         }
     }
 

@@ -25,7 +25,10 @@ pub struct ThresholdRule {
 impl ThresholdRule {
     /// Creates the rule with an activation colour and a uniform threshold.
     pub fn new(active: Color, threshold: usize) -> Self {
-        assert!(threshold >= 1, "a zero threshold would activate everything at once");
+        assert!(
+            threshold >= 1,
+            "a zero threshold would activate everything at once"
+        );
         ThresholdRule { active, threshold }
     }
 

@@ -93,9 +93,7 @@ proptest! {
         let rule = ThresholdRule::new(active, threshold);
         let next = rule.next_color(own, &nbrs);
         let active_nbrs = nbrs.iter().filter(|&&c| c == active).count();
-        if own == active {
-            prop_assert_eq!(next, active);
-        } else if active_nbrs >= threshold {
+        if own == active || active_nbrs >= threshold {
             prop_assert_eq!(next, active);
         } else {
             prop_assert_eq!(next, own);

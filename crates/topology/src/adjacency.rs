@@ -1,0 +1,284 @@
+//! The shared compressed-sparse-row (CSR) adjacency kernel.
+//!
+//! Every hot loop in the workspace — the synchronous simulator, the
+//! linear-threshold diffusion, the connectivity sweeps — touches each
+//! vertex's neighbourhood once per round.  Asking the [`Topology`] trait
+//! for a fresh `Vec<NodeId>` per visit would allocate per vertex per round,
+//! so all of them flatten the adjacency **once** into this structure and
+//! the inner loops become pure slice indexing.
+//!
+//! [`Adjacency`] is built either generically from any [`Topology`] (via the
+//! non-allocating [`Topology::for_each_neighbor`] walk) or arithmetically
+//! from a [`Torus`] with the O(1) neighbour computation specialised per
+//! [`TorusKind`] — no intermediate allocation in either case beyond the two
+//! CSR arrays themselves.
+
+use crate::node::NodeId;
+use crate::topology::Topology;
+use crate::torus::{Torus, TorusKind};
+
+/// Flattened adjacency lists of a topology in CSR form.
+///
+/// `targets[offsets[v]..offsets[v+1]]` are the neighbour indices of vertex
+/// `v`.  Indices are `u32` (half the footprint of `usize` on 64-bit
+/// machines), which matters when millions of simulations stream over the
+/// structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Adjacency {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Adjacency {
+    /// Builds the CSR adjacency of any topology through the trait's
+    /// non-allocating neighbour walk.
+    pub fn build<T: Topology + ?Sized>(topology: &T) -> Self {
+        let n = topology.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for v in 0..n {
+            topology.for_each_neighbor(NodeId::new(v), &mut |u| {
+                targets.push(u.index() as u32);
+            });
+            offsets.push(targets.len() as u32);
+        }
+        Adjacency { offsets, targets }
+    }
+
+    /// Builds the CSR adjacency of a torus arithmetically.
+    ///
+    /// The wrap rule is specialised per [`TorusKind`]: the kind dispatch is
+    /// hoisted out of the per-vertex loop and each kind's O(1) neighbour
+    /// arithmetic is monomorphised into its own fill loop.  Every vertex
+    /// has exactly four neighbours, so both arrays are sized exactly up
+    /// front.
+    pub fn from_torus(torus: &Torus) -> Self {
+        let (m, n) = (torus.rows(), torus.cols());
+        let count = m * n;
+        let mut offsets = Vec::with_capacity(count + 1);
+        let mut targets = Vec::with_capacity(4 * count);
+        offsets.push(0u32);
+        // [north, south, west, east] per vertex, matching Torus::neighbor_coords.
+        match torus.kind() {
+            TorusKind::ToroidalMesh => fill_torus(m, n, &mut offsets, &mut targets, |i, j| {
+                [
+                    ((i + m - 1) % m, j),
+                    ((i + 1) % m, j),
+                    (i, (j + n - 1) % n),
+                    (i, (j + 1) % n),
+                ]
+            }),
+            TorusKind::TorusCordalis => fill_torus(m, n, &mut offsets, &mut targets, |i, j| {
+                [
+                    ((i + m - 1) % m, j),
+                    ((i + 1) % m, j),
+                    if j == 0 {
+                        ((i + m - 1) % m, n - 1)
+                    } else {
+                        (i, j - 1)
+                    },
+                    if j == n - 1 {
+                        ((i + 1) % m, 0)
+                    } else {
+                        (i, j + 1)
+                    },
+                ]
+            }),
+            TorusKind::TorusSerpentinus => fill_torus(m, n, &mut offsets, &mut targets, |i, j| {
+                [
+                    if i == 0 {
+                        (m - 1, (j + 1) % n)
+                    } else {
+                        (i - 1, j)
+                    },
+                    if i == m - 1 {
+                        (0, (j + n - 1) % n)
+                    } else {
+                        (i + 1, j)
+                    },
+                    if j == 0 {
+                        ((i + m - 1) % m, n - 1)
+                    } else {
+                        (i, j - 1)
+                    },
+                    if j == n - 1 {
+                        ((i + 1) % m, 0)
+                    } else {
+                        (i, j + 1)
+                    },
+                ]
+            }),
+        }
+        Adjacency { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The neighbour indices of vertex `v` as a slice of raw indices.
+    #[inline]
+    pub fn neighbors_raw(&self, v: usize) -> &[u32] {
+        let start = self.offsets[v] as usize;
+        let end = self.offsets[v + 1] as usize;
+        &self.targets[start..end]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree_of(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// The maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree_of(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `Some(d)` if every vertex has degree exactly `d` (e.g. 4 on the
+    /// paper's tori), letting hot loops pick fixed-arity fast paths.
+    pub fn uniform_degree(&self) -> Option<usize> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        let d = self.degree_of(0);
+        (1..n).all(|v| self.degree_of(v) == d).then_some(d)
+    }
+
+    /// Total number of directed neighbour entries (`2·|E|` for graphs
+    /// without repeated neighbours).
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Specialised CSR fill: monomorphised per call site in
+/// [`Adjacency::from_torus`], so each kind's wrap arithmetic inlines into
+/// its own row-major loop without any per-vertex dispatch.
+#[inline(always)]
+fn fill_torus(
+    m: usize,
+    n: usize,
+    offsets: &mut Vec<u32>,
+    targets: &mut Vec<u32>,
+    neighbors: impl Fn(usize, usize) -> [(usize, usize); 4],
+) {
+    for i in 0..m {
+        for j in 0..n {
+            for (r, c) in neighbors(i, j) {
+                targets.push((r * n + c) as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+    }
+}
+
+impl Topology for Adjacency {
+    fn node_count(&self) -> usize {
+        Adjacency::node_count(self)
+    }
+
+    fn for_each_neighbor(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &u in self.neighbors_raw(v.index()) {
+            f(NodeId::new(u as usize));
+        }
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.degree_of(v.index())
+    }
+}
+
+impl From<&Torus> for Adjacency {
+    fn from(torus: &Torus) -> Self {
+        Adjacency::from_torus(torus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::{toroidal_mesh, torus_serpentinus};
+
+    #[test]
+    fn csr_matches_torus_neighbors() {
+        let t = toroidal_mesh(4, 5);
+        let adj = Adjacency::build(&t);
+        assert_eq!(adj.node_count(), 20);
+        assert_eq!(adj.max_degree(), 4);
+        for v in 0..t.node_count() {
+            let mut a: Vec<u32> = adj.neighbors_raw(v).to_vec();
+            let mut b: Vec<u32> = t
+                .neighbor_ids(NodeId::new(v))
+                .iter()
+                .map(|u| u.index() as u32)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "adjacency mismatch at vertex {v}");
+            assert_eq!(adj.degree_of(v), 4);
+        }
+    }
+
+    #[test]
+    fn arithmetic_build_matches_generic_build() {
+        for kind in TorusKind::ALL {
+            for (m, n) in [(2, 2), (2, 5), (3, 3), (4, 5), (7, 3)] {
+                let t = Torus::new(kind, m, n);
+                assert_eq!(
+                    Adjacency::from_torus(&t),
+                    Adjacency::build(&t),
+                    "{kind} {m}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_handles_irregular_graphs() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(1), NodeId::new(2));
+        g.add_edge(NodeId::new(1), NodeId::new(3));
+        let adj = Adjacency::build(&g);
+        assert_eq!(adj.degree_of(0), 1);
+        assert_eq!(adj.degree_of(1), 3);
+        assert_eq!(adj.degree_of(2), 1);
+        assert_eq!(adj.max_degree(), 3);
+        assert_eq!(adj.neighbors_raw(0), &[1]);
+        assert_eq!(adj.entry_count(), 6);
+    }
+
+    #[test]
+    fn csr_on_serpentinus() {
+        let t = torus_serpentinus(3, 3);
+        let adj = Adjacency::from_torus(&t);
+        assert_eq!(adj.node_count(), 9);
+        for v in 0..9 {
+            assert_eq!(adj.degree_of(v), 4);
+        }
+    }
+
+    #[test]
+    fn csr_is_itself_a_topology() {
+        let t = toroidal_mesh(4, 4);
+        let adj = Adjacency::from_torus(&t);
+        assert_eq!(Topology::node_count(&adj), 16);
+        assert_eq!(Topology::degree(&adj, NodeId::new(3)), 4);
+        assert_eq!(adj.edge_count_total(), 2 * 16);
+        let mut nbrs = Vec::new();
+        adj.neighbors_into(NodeId::new(0), &mut nbrs);
+        assert_eq!(nbrs.len(), 4);
+        // Rebuilding the CSR from its own Topology impl is the identity.
+        assert_eq!(Adjacency::build(&adj), adj);
+    }
+}

@@ -60,12 +60,12 @@ pub fn induced_components<T: Topology + ?Sized>(topology: &T, subset: &NodeSet) 
         stack.push(start);
         while let Some(v) = stack.pop() {
             size += 1;
-            for u in topology.neighbors(v) {
+            topology.for_each_neighbor(v, &mut |u| {
                 if subset.contains(u) && labels[u.index()] == usize::MAX {
                     labels[u.index()] = count;
                     stack.push(u);
                 }
-            }
+            });
         }
         sizes.push(size);
         count += 1;
@@ -97,11 +97,11 @@ pub fn is_forest<T: Topology + ?Sized>(topology: &T, subset: &NodeSet) -> bool {
     // the subset with a larger id.
     let mut edges = 0usize;
     for v in subset.iter() {
-        for u in topology.neighbors(v) {
+        topology.for_each_neighbor(v, &mut |u| {
             if u.index() > v.index() && subset.contains(u) {
                 edges += 1;
             }
-        }
+        });
     }
     edges == vertices.saturating_sub(comps.count)
 }
@@ -165,7 +165,10 @@ mod tests {
         let c = comps.component_of(t.id(Coord::new(1, 1))).unwrap();
         let mut members = comps.members(c);
         members.sort_unstable();
-        assert_eq!(members, vec![t.id(Coord::new(1, 1)), t.id(Coord::new(1, 2))]);
+        assert_eq!(
+            members,
+            vec![t.id(Coord::new(1, 1)), t.id(Coord::new(1, 2))]
+        );
     }
 
     #[test]

@@ -7,7 +7,6 @@
 
 /// A `(row, col)` coordinate on an `m × n` grid.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Coord {
     /// Row index `i`, `0 ≤ i < m`.
     pub row: usize,

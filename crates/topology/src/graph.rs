@@ -14,7 +14,6 @@ use crate::topology::Topology;
 /// Parallel edges and self-loops are rejected; vertex identifiers are dense
 /// (`0..node_count()`).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     adjacency: Vec<Vec<NodeId>>,
     edges: usize,
@@ -108,8 +107,15 @@ impl Topology for Graph {
         self.adjacency.len()
     }
 
-    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        self.adjacency[v.index()].clone()
+    fn for_each_neighbor(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &u in &self.adjacency[v.index()] {
+            f(u);
+        }
+    }
+
+    fn neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(&self.adjacency[v.index()]);
     }
 
     fn degree(&self, v: NodeId) -> usize {
@@ -126,7 +132,10 @@ mod tests {
         let mut g = Graph::with_nodes(4);
         assert!(g.add_edge(NodeId::new(0), NodeId::new(1)));
         assert!(g.add_edge(NodeId::new(1), NodeId::new(2)));
-        assert!(!g.add_edge(NodeId::new(0), NodeId::new(1)), "duplicate edge");
+        assert!(
+            !g.add_edge(NodeId::new(0), NodeId::new(1)),
+            "duplicate edge"
+        );
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.node_count(), 4);
         assert!(g.has_edge(NodeId::new(2), NodeId::new(1)));

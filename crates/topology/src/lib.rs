@@ -23,7 +23,9 @@
 //! * [`Torus`] and [`TorusKind`] — the three torus topologies with O(1)
 //!   arithmetic neighbourhood computation (nothing is stored per vertex);
 //! * the [`Topology`] trait — the minimal interface the simulation engine
-//!   needs (vertex count + neighbourhood enumeration);
+//!   needs (vertex count + non-allocating neighbourhood enumeration);
+//! * [`Adjacency`] — the shared CSR kernel every hot loop in the workspace
+//!   (simulator, diffusion, connectivity) flattens its topology into;
 //! * [`Graph`] — a general adjacency-list graph used by the target-set
 //!   selection substrate and by conversions from tori;
 //! * [`NodeSet`] — a compact bit set over vertices;
@@ -43,13 +45,19 @@
 //! assert_eq!(t.node_count(), 20);
 //! // Every vertex of every torus in the paper has exactly four neighbours.
 //! let v = t.id(Coord::new(0, 0));
-//! assert_eq!(t.neighbors(v).len(), 4);
+//! assert_eq!(t.degree(v), 4);
+//!
+//! // Hot loops flatten the torus once into the shared CSR kernel.
+//! use ctori_topology::Adjacency;
+//! let adj = Adjacency::from_torus(&t);
+//! assert_eq!(adj.neighbors_raw(v.index()).len(), 4);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod adjacency;
 pub mod connectivity;
 pub mod coord;
 pub mod graph;
@@ -59,6 +67,7 @@ pub mod rectangle;
 pub mod topology;
 pub mod torus;
 
+pub use adjacency::Adjacency;
 pub use connectivity::{connected_components, induced_components, is_forest, ComponentLabels};
 pub use coord::Coord;
 pub use graph::Graph;

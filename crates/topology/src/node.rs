@@ -12,7 +12,6 @@
 /// produced it.  Mixing identifiers across topologies of different sizes is
 /// a logic error that the debug assertions in [`crate::Torus`] will catch.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {

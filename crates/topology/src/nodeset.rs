@@ -9,7 +9,6 @@ use crate::node::NodeId;
 
 /// A set of vertices of a topology with `len` vertices, stored as a bit set.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeSet {
     words: Vec<u64>,
     len: usize,

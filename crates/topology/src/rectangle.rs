@@ -15,7 +15,6 @@ use crate::torus::Torus;
 
 /// The smallest (cyclic) bounding rectangle of a vertex set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rectangle {
     /// First row of the rectangle (inclusive, may wrap).
     pub row_start: usize,
@@ -109,10 +108,7 @@ pub fn bounding_rectangle(torus: &Torus, f: &NodeSet) -> Rectangle {
 
 /// Convenience: bounding rectangle of an explicit list of coordinates.
 pub fn bounding_rectangle_of_coords(torus: &Torus, coords: &[Coord]) -> Rectangle {
-    let set = NodeSet::from_iter(
-        torus.node_count(),
-        coords.iter().map(|&c| torus.id(c)),
-    );
+    let set = NodeSet::from_iter(torus.node_count(), coords.iter().map(|&c| torus.id(c)));
     bounding_rectangle(torus, &set)
 }
 

@@ -7,20 +7,51 @@ use crate::node::NodeId;
 ///
 /// This is the only interface the simulation engine and the dynamo
 /// machinery need.  [`crate::Torus`] implements it arithmetically (nothing
-/// stored per vertex); [`crate::Graph`] implements it with adjacency lists.
+/// stored per vertex); [`crate::Graph`] implements it with adjacency lists;
+/// [`crate::Adjacency`] implements it over its own CSR arrays.
+///
+/// The neighbour primitive is the **non-allocating**
+/// [`for_each_neighbor`](Topology::for_each_neighbor) callback walk.  Code
+/// that needs the neighbourhood as a list should reuse a scratch buffer
+/// through [`neighbors_into`](Topology::neighbors_into); hot loops should
+/// flatten the topology once into a [`crate::Adjacency`] CSR and index
+/// slices.  The old `Vec`-returning [`neighbors`](Topology::neighbors) is
+/// deprecated.
 pub trait Topology {
     /// Number of vertices.
     fn node_count(&self) -> usize;
 
-    /// The neighbours of `v`.
+    /// Calls `f` once per neighbour of `v`, allocating nothing.
     ///
-    /// For the paper's tori this always has length 4; general graphs may
-    /// have arbitrary degrees.
-    fn neighbors(&self, v: NodeId) -> Vec<NodeId>;
+    /// For the paper's tori this visits exactly 4 vertices; general graphs
+    /// may have arbitrary degrees.  The callback is `&mut dyn FnMut` so the
+    /// trait stays object-safe.
+    fn for_each_neighbor(&self, v: NodeId, f: &mut dyn FnMut(NodeId));
 
-    /// Degree of `v`; default implementation counts the neighbour list.
+    /// Clears `out` and fills it with the neighbours of `v`, reusing the
+    /// buffer's capacity.
+    fn neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.for_each_neighbor(v, &mut |u| out.push(u));
+    }
+
+    /// The neighbours of `v` as a freshly allocated `Vec`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates per call; use `for_each_neighbor`, `neighbors_into`, or an `Adjacency` CSR"
+    )]
+    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(v, &mut out);
+        out
+    }
+
+    /// Degree of `v`; the default implementation counts the neighbour walk
+    /// without materialising it.
     fn degree(&self, v: NodeId) -> usize {
-        self.neighbors(v).len()
+        let mut count = 0;
+        self.for_each_neighbor(v, &mut |_| count += 1);
+        count
     }
 
     /// Iterates over all vertex identifiers.
@@ -28,7 +59,8 @@ pub trait Topology {
         Box::new((0..self.node_count()).map(NodeId::new))
     }
 
-    /// Total number of undirected edges (each edge counted once).
+    /// Total number of undirected edges (each edge counted once), derived
+    /// from the allocation-free degree sum.
     fn edge_count_total(&self) -> usize {
         let twice: usize = (0..self.node_count())
             .map(|v| self.degree(NodeId::new(v)))
@@ -41,8 +73,11 @@ impl<T: Topology + ?Sized> Topology for &T {
     fn node_count(&self) -> usize {
         (**self).node_count()
     }
-    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        (**self).neighbors(v)
+    fn for_each_neighbor(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        (**self).for_each_neighbor(v, f)
+    }
+    fn neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        (**self).neighbors_into(v, out)
     }
     fn degree(&self, v: NodeId) -> usize {
         (**self).degree(v)
@@ -62,6 +97,9 @@ mod tests {
         assert_eq!(dyn_t.degree(NodeId::new(0)), 4);
         assert_eq!(dyn_t.nodes().count(), 9);
         assert_eq!(dyn_t.edge_count_total(), 18);
+        let mut visited = 0;
+        dyn_t.for_each_neighbor(NodeId::new(0), &mut |_| visited += 1);
+        assert_eq!(visited, 4);
     }
 
     #[test]
@@ -70,9 +108,32 @@ mod tests {
         let r = &t;
         assert_eq!(Topology::node_count(&r), 16);
         assert_eq!(Topology::degree(&r, NodeId::new(5)), 4);
-        assert_eq!(
-            Topology::neighbors(&r, NodeId::new(5)),
-            t.neighbors(NodeId::new(5))
-        );
+        let mut via_ref = Vec::new();
+        Topology::neighbors_into(&r, NodeId::new(5), &mut via_ref);
+        assert_eq!(via_ref, t.neighbor_ids(NodeId::new(5)).to_vec());
+    }
+
+    #[test]
+    fn neighbors_into_reuses_the_buffer() {
+        let t = Torus::new(TorusKind::TorusSerpentinus, 4, 4);
+        let mut buf = Vec::with_capacity(4);
+        let capacity = buf.capacity();
+        for v in 0..t.node_count() {
+            t.neighbors_into(NodeId::new(v), &mut buf);
+            assert_eq!(buf.len(), 4);
+            assert_eq!(buf.capacity(), capacity, "buffer must not reallocate");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_vec_path_still_agrees() {
+        let t = Torus::new(TorusKind::ToroidalMesh, 3, 5);
+        for v in 0..t.node_count() {
+            let v = NodeId::new(v);
+            let mut via_into = Vec::new();
+            t.neighbors_into(v, &mut via_into);
+            assert_eq!(t.neighbors(v), via_into);
+        }
     }
 }

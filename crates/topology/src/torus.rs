@@ -24,7 +24,6 @@ use crate::topology::Topology;
 
 /// Which of the three torus variants of Definition 1 a [`Torus`] represents.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TorusKind {
     /// Standard 2-dimensional torus: both dimensions wrap onto themselves.
     ToroidalMesh,
@@ -71,7 +70,6 @@ impl std::fmt::Display for TorusKind {
 /// vertices, and the paper explicitly restricts itself to `m, n ≥ 2`
 /// (Section III.A).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Torus {
     kind: TorusKind,
     m: usize,
@@ -247,8 +245,10 @@ impl Topology for Torus {
         self.m * self.n
     }
 
-    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        self.neighbor_ids(v).to_vec()
+    fn for_each_neighbor(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for u in self.neighbor_ids(v) {
+            f(u);
+        }
     }
 
     fn degree(&self, _v: NodeId) -> usize {
@@ -446,7 +446,7 @@ mod tests {
             for v in 0..t.node_count() {
                 let v = NodeId::new(v);
                 let mut a: Vec<_> = t.neighbor_ids(v).to_vec();
-                let mut b: Vec<_> = g.neighbors(v).to_vec();
+                let mut b: Vec<_> = g.neighbors_slice(v).to_vec();
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "{kind}: adjacency mismatch at {v}");

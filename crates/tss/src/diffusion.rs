@@ -13,7 +13,7 @@
 use ctori_coloring::Color;
 use ctori_engine::{RunConfig, Simulator, Termination};
 use ctori_protocols::{LocalRule, SmpProtocol};
-use ctori_topology::{Graph, NodeId, Topology};
+use ctori_topology::{Adjacency, Graph, NodeId, Topology};
 
 /// Per-vertex activation thresholds.
 pub type Thresholds = Vec<usize>;
@@ -56,41 +56,77 @@ pub struct SpreadResult {
 
 /// Runs the linear-threshold process from the given seed set until no
 /// vertex changes.
+///
+/// Convenience wrapper over [`spread_on`] that flattens the graph into the
+/// shared CSR kernel first; callers running many spreads on one graph
+/// should build the [`Adjacency`] once and call [`spread_on`] directly.
 pub fn spread(graph: &Graph, thresholds: &Thresholds, seeds: &[NodeId]) -> SpreadResult {
-    let n = graph.node_count();
+    spread_on(&Adjacency::build(graph), thresholds, seeds)
+}
+
+/// Runs the linear-threshold process on a prebuilt CSR adjacency.
+///
+/// The implementation is frontier-based: when a vertex activates it
+/// increments an active-neighbour counter on each of its neighbours, and a
+/// vertex activates the round after its counter reaches its threshold.
+/// Every edge is therefore visited at most once in each direction — O(|E|)
+/// total instead of a full re-scan per round — and the frontier buffers
+/// are reused across rounds, so nothing is allocated per round.  The
+/// activation rounds are identical to the synchronous re-scan semantics.
+pub fn spread_on(adjacency: &Adjacency, thresholds: &Thresholds, seeds: &[NodeId]) -> SpreadResult {
+    let n = adjacency.node_count();
     assert_eq!(thresholds.len(), n, "one threshold per vertex");
     let mut active = vec![false; n];
     let mut activation_round = vec![None; n];
+    let mut active_neighbors = vec![0u32; n];
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next_frontier: Vec<u32> = Vec::new();
+
     for &s in seeds {
-        active[s.index()] = true;
-        activation_round[s.index()] = Some(0);
+        if !active[s.index()] {
+            active[s.index()] = true;
+            activation_round[s.index()] = Some(0);
+            frontier.push(s.index() as u32);
+        }
     }
+    // Vertices with a zero threshold need no active neighbour at all: under
+    // the synchronous semantics they self-activate in round 1.
+    let mut zero_threshold: Vec<u32> = (0..n)
+        .filter(|&v| !active[v] && thresholds[v] == 0)
+        .map(|v| v as u32)
+        .collect();
 
     let mut round = 0usize;
     loop {
-        round += 1;
-        let mut newly: Vec<usize> = Vec::new();
-        for v in 0..n {
-            if active[v] {
-                continue;
-            }
-            let active_nbrs = graph
-                .neighbors_slice(NodeId::new(v))
-                .iter()
-                .filter(|u| active[u.index()])
-                .count();
-            if active_nbrs >= thresholds[v] {
-                newly.push(v);
+        next_frontier.clear();
+        for &u in &frontier {
+            for &v in adjacency.neighbors_raw(u as usize) {
+                let v = v as usize;
+                if active[v] {
+                    continue;
+                }
+                active_neighbors[v] += 1;
+                if active_neighbors[v] as usize >= thresholds[v] {
+                    active[v] = true;
+                    next_frontier.push(v as u32);
+                }
             }
         }
-        if newly.is_empty() {
-            round -= 1;
+        for &v in &zero_threshold {
+            if !active[v as usize] {
+                active[v as usize] = true;
+                next_frontier.push(v);
+            }
+        }
+        zero_threshold.clear();
+        if next_frontier.is_empty() {
             break;
         }
-        for v in newly {
-            active[v] = true;
-            activation_round[v] = Some(round);
+        round += 1;
+        for &v in &next_frontier {
+            activation_round[v as usize] = Some(round);
         }
+        std::mem::swap(&mut frontier, &mut next_frontier);
     }
 
     let activated_count = active.iter().filter(|&&a| a).count();
@@ -159,6 +195,93 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// The synchronous re-scan reference implementation the frontier-based
+    /// [`spread_on`] must agree with, round for round.
+    fn spread_reference(graph: &Graph, thresholds: &Thresholds, seeds: &[NodeId]) -> SpreadResult {
+        let n = graph.node_count();
+        let mut active = vec![false; n];
+        let mut activation_round = vec![None; n];
+        for &s in seeds {
+            active[s.index()] = true;
+            activation_round[s.index()] = Some(0);
+        }
+        let mut round = 0usize;
+        loop {
+            round += 1;
+            let mut newly: Vec<usize> = Vec::new();
+            for v in 0..n {
+                if active[v] {
+                    continue;
+                }
+                let active_nbrs = graph
+                    .neighbors_slice(NodeId::new(v))
+                    .iter()
+                    .filter(|u| active[u.index()])
+                    .count();
+                if active_nbrs >= thresholds[v] {
+                    newly.push(v);
+                }
+            }
+            if newly.is_empty() {
+                round -= 1;
+                break;
+            }
+            for v in newly {
+                active[v] = true;
+                activation_round[v] = Some(round);
+            }
+        }
+        let activated_count = active.iter().filter(|&&a| a).count();
+        SpreadResult {
+            activated_count,
+            rounds: round,
+            complete: activated_count == n,
+            activation_round,
+        }
+    }
+
+    #[test]
+    fn frontier_spread_matches_rescan_reference() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for (nodes, m_edges) in [(40usize, 2usize), (120, 3), (250, 4)] {
+            let g = barabasi_albert(nodes, m_edges, &mut rng);
+            for thresholds in [
+                simple_majority_thresholds(&g),
+                strong_majority_thresholds(&g),
+                uniform_thresholds(&g, 2),
+            ] {
+                let seeds = crate::selection::highest_degree_seeds(&g, nodes / 8);
+                assert_eq!(
+                    spread(&g, &thresholds, &seeds),
+                    spread_reference(&g, &thresholds, &seeds),
+                    "mismatch on {nodes}-vertex graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_thresholds_self_activate_in_round_one() {
+        let g = ring_lattice(6, 1);
+        let thresholds = vec![0usize; 6];
+        let result = spread(&g, &thresholds, &[]);
+        assert!(result.complete);
+        assert_eq!(result.rounds, 1);
+        assert!(result.activation_round.iter().all(|&r| r == Some(1)));
+    }
+
+    #[test]
+    fn spread_on_reuses_a_prebuilt_adjacency() {
+        let g = ring_lattice(12, 2);
+        let adjacency = Adjacency::build(&g);
+        let thresholds = simple_majority_thresholds(&g);
+        let seeds = [NodeId::new(0), NodeId::new(1)];
+        assert_eq!(
+            spread_on(&adjacency, &thresholds, &seeds),
+            spread(&g, &thresholds, &seeds)
+        );
+    }
+
     fn ids(v: &[usize]) -> Vec<NodeId> {
         v.iter().copied().map(NodeId::new).collect()
     }
@@ -183,8 +306,8 @@ mod tests {
     fn spread_stops_when_threshold_is_not_met() {
         let g = ring_lattice(12, 2); // degree 4
         let thresholds = simple_majority_thresholds(&g); // threshold 2
-        // A single seed can never activate anyone (its neighbours see one
-        // active vertex but need two).
+                                                         // A single seed can never activate anyone (its neighbours see one
+                                                         // active vertex but need two).
         let result = spread(&g, &thresholds, &ids(&[0]));
         assert_eq!(result.activated_count, 1);
         assert_eq!(result.rounds, 0);
@@ -221,8 +344,7 @@ mod tests {
         // colours the plurality rule fires just like threshold-2 growth.
         let g = ring_lattice(12, 2);
         let others: Vec<Color> = (2..14).map(Color::new).collect();
-        let (count, rounds, reached) =
-            smp_on_graph(&g, &ids(&[0, 1]), Color::new(1), &others);
+        let (count, rounds, reached) = smp_on_graph(&g, &ids(&[0, 1]), Color::new(1), &others);
         assert!(reached, "the ring should become k-monochromatic");
         assert_eq!(count, 12);
         assert!(rounds >= 1);
@@ -232,8 +354,7 @@ mod tests {
     fn run_rule_on_graph_reports_termination() {
         let g = ring_lattice(8, 1);
         let initial = vec![Color::new(1); 8];
-        let (state, rounds, termination) =
-            run_rule_on_graph(&g, SmpProtocol, initial, 100);
+        let (state, rounds, termination) = run_rule_on_graph(&g, SmpProtocol, initial, 100);
         assert_eq!(rounds, 0);
         assert!(matches!(termination, Termination::Monochromatic(_)));
         assert!(state.iter().all(|&c| c == Color::new(1)));

@@ -72,7 +72,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(nodes: usize, p: f64, rng: &mut R) -> Graph 
 /// with `neighbors_per_side = 2` is the 1-dimensional analogue of the
 /// paper's tori).
 pub fn ring_lattice(nodes: usize, neighbors_per_side: usize) -> Graph {
-    assert!(nodes > 2 * neighbors_per_side, "ring too small for that degree");
+    assert!(
+        nodes > 2 * neighbors_per_side,
+        "ring too small for that degree"
+    );
     let mut g = Graph::with_nodes(nodes);
     for u in 0..nodes {
         for d in 1..=neighbors_per_side {
@@ -135,7 +138,11 @@ mod tests {
         assert_eq!(g.edge_count(), 6 + (300 - 4) * 3);
         // Scale-free graphs have hubs: the maximum degree should be well
         // above the attachment parameter.
-        assert!(g.max_degree() >= 10, "expected a hub, got {}", g.max_degree());
+        assert!(
+            g.max_degree() >= 10,
+            "expected a hub, got {}",
+            g.max_degree()
+        );
         // Every attached vertex has degree >= 3.
         for v in 0..300 {
             assert!(g.degree(NodeId::new(v)) >= 3);

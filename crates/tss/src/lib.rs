@@ -46,6 +46,6 @@ pub mod diffusion;
 pub mod generators;
 pub mod selection;
 
-pub use diffusion::{spread, SpreadResult};
+pub use diffusion::{spread, spread_on, SpreadResult};
 pub use generators::{barabasi_albert, erdos_renyi, ring_lattice};
 pub use selection::{greedy_seeds, highest_degree_seeds, random_seeds};

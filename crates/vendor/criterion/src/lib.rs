@@ -1,0 +1,319 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Throughput::Elements`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros (both forms).
+//!
+//! Measurement is a straightforward warm-up + timed-batch loop: no
+//! statistics beyond the mean, no plots, no regression reports.  The
+//! numbers are honest wall-clock means and are what the workspace's
+//! throughput acceptance checks read.
+
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` for benches that import it
+/// from here instead of `std::hint`.
+pub use std::hint::black_box;
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration applied before each measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes its measurement
+    /// by wall-clock windows, not sample counts, so the value is unused.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm_up, measurement) = (self.warm_up, self.measurement);
+        run_one(&name.to_string(), warm_up, measurement, None, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; unused, see [`Criterion::sample_size`].
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            self.throughput,
+            &mut f,
+        );
+    }
+
+    /// Runs a benchmark that receives a reference to its input.
+    pub fn bench_with_input<I, F>(&mut self, id: impl fmt::Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean time per iteration of the last `iter` call.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, first for the warm-up window and then for the
+    /// measurement window, and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if Instant::now() >= warm_deadline {
+                // Size batches so each takes roughly 1/20 of the window.
+                if elapsed < self.measurement / 100 {
+                    batch = batch.saturating_mul(2);
+                    continue;
+                }
+                break;
+            }
+            if elapsed < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        // Divide in f64: a u32 cast of the iteration count would truncate
+        // (and can hit zero) for very cheap benchmark bodies.
+        self.mean = Some(Duration::from_secs_f64(
+            elapsed.as_secs_f64() / iters.max(1) as f64,
+        ));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        warm_up,
+        measurement,
+        mean: None,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => {
+            let per_iter = mean.as_secs_f64();
+            let rate = throughput
+                .map(|t| match t {
+                    Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+                    Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / per_iter),
+                })
+                .unwrap_or_default();
+            println!("bench: {label:<56} {:>12.3?}/iter{rate}", mean);
+        }
+        None => println!("bench: {label:<56} (no measurement)"),
+    }
+}
+
+/// Per-iteration workload declaration used for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A structured benchmark identifier, `function_name/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An identifier with a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_benches_run() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("count", 10), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("in"), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        assert!(count > 0);
+    }
+
+    criterion_group!(plain_group, noop_bench);
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut c = std::mem::replace(
+            c,
+            Criterion::default()
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2)),
+        );
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn macro_generated_groups_run() {
+        plain_group();
+        configured_group();
+    }
+}

@@ -61,8 +61,7 @@ fn main() {
         let mut smp_wins = 0usize;
         let mut pb_wins = 0usize;
         for _ in 0..trials {
-            let coloring =
-                random_with_seed_count(&torus, &palette, Color::BLACK, faults, &mut rng);
+            let coloring = random_with_seed_count(&torus, &palette, Color::BLACK, faults, &mut rng);
             if verify_dynamo(&torus, &coloring, Color::BLACK).is_dynamo() {
                 smp_wins += 1;
             }

@@ -38,13 +38,21 @@ fn main() {
     let (torus, coloring) = figures::figure3(9, 9, k);
     print_indented(&render_highlight(&coloring, k));
     let report = verify_dynamo(&torus, &coloring, k);
-    println!("  is a dynamo: {} (termination: {:?})\n", report.is_dynamo(), report.termination);
+    println!(
+        "  is a dynamo: {} (termination: {:?})\n",
+        report.is_dynamo(),
+        report.termination
+    );
 
     println!("Figure 4 — a configuration where no recolouring can arise (9x9):\n");
     let (torus, coloring) = figures::figure4(9, 9, k);
     print_indented(&render_coloring(&coloring));
     let report = verify_dynamo(&torus, &coloring, k);
-    println!("  is a dynamo: {} (termination: {:?})\n", report.is_dynamo(), report.termination);
+    println!(
+        "  is a dynamo: {} (termination: {:?})\n",
+        report.is_dynamo(),
+        report.termination
+    );
 
     println!("Figure 5 — recolouring times, 5x5 toroidal mesh seeded with a full cross:\n");
     print_indented(&figures::figure5(5, 5, k).render());

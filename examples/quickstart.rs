@@ -40,8 +40,8 @@ fn main() {
         for line in render_coloring(built.coloring()).lines() {
             println!("    {line}");
         }
-        let times = RecoloringTimes::from_report(m, n, &to_run_report(&report))
-            .expect("times tracked");
+        let times =
+            RecoloringTimes::from_report(m, n, &to_run_report(&report)).expect("times tracked");
         println!("  recolouring times (rounds until each vertex adopts {k}):");
         for line in times.render().lines() {
             println!("    {line}");

@@ -84,8 +84,7 @@ pub mod prelude {
     pub use ctori_engine::{RunConfig, Simulator, Termination};
     pub use ctori_protocols::{LocalRule, SmpProtocol};
     pub use ctori_topology::{
-        toroidal_mesh, torus_cordalis, torus_serpentinus, Coord, NodeId, Topology, Torus,
-        TorusKind,
+        toroidal_mesh, torus_cordalis, torus_serpentinus, Coord, NodeId, Topology, Torus, TorusKind,
     };
 }
 
@@ -98,7 +97,10 @@ mod tests {
         let torus = toroidal_mesh(6, 6);
         let k = Color::new(2);
         let built = minimum_dynamo(TorusKind::ToroidalMesh, 6, 6, k).unwrap();
-        assert_eq!(built.seed_size(), lower_bound(TorusKind::ToroidalMesh, 6, 6));
+        assert_eq!(
+            built.seed_size(),
+            lower_bound(TorusKind::ToroidalMesh, 6, 6)
+        );
         let report = verify_dynamo(&torus, built.coloring(), k);
         assert!(report.is_monotone_dynamo());
     }

@@ -1,9 +1,9 @@
 //! End-to-end integration tests: construction → hypothesis check →
 //! simulation → round-count comparison, across all three topologies.
 
+use colored_tori::dynamo::construct::mesh::theorem2_seed_column_row;
 use colored_tori::dynamo::figures::ideal_rounds_for_partial;
 use colored_tori::dynamo::hypotheses::check_hypotheses;
-use colored_tori::dynamo::construct::mesh::theorem2_seed_column_row;
 use colored_tori::prelude::*;
 
 #[test]
