@@ -97,6 +97,7 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(rounds::Theorem8),
         Box::new(baselines::Propositions1And2),
         Box::new(tss_ext::ScaleFreeExtension),
+        Box::new(engine_lanes::EngineLanes),
     ]
 }
 
@@ -115,7 +116,7 @@ mod tests {
     #[test]
     fn registry_has_unique_ids_in_paper_order() {
         let experiments = all_experiments();
-        assert_eq!(experiments.len(), 17);
+        assert_eq!(experiments.len(), 18);
         let ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
         let unique: std::collections::HashSet<&&str> = ids.iter().collect();
         assert_eq!(unique.len(), ids.len(), "duplicate experiment ids");

@@ -1,0 +1,143 @@
+//! Experiment `lanes`: cross-checking the engine's simulation lanes.
+//!
+//! Not a figure of the paper — an engineering experiment guarding the
+//! refactor that introduced incremental frontier stepping and the
+//! bit-packed two-colour lane.  For every torus kind it runs the same
+//! bi-coloured prefer-black workload (the paper's baseline rule, chosen
+//! because it is non-monotone and keeps the frontier moving) through the
+//! three data paths and checks that they terminate identically:
+//!
+//! * the **packed lane** (auto-selected: two colours + a
+//!   [`ctori_protocols::TwoStateThreshold`]-capable rule);
+//! * the **generic frontier** (colour vector, incremental candidates);
+//! * the **full sweep** (the PR-1 exhaustive stepper, kept as fallback).
+//!
+//! The sweep itself fans out over `ctori_engine::sweep::parallel_runs`, so
+//! the experiment also exercises the scheduler under the thread pool.
+
+use crate::experiment::{Experiment, ExperimentRecord, Mode};
+use crate::table::Table;
+use ctori_coloring::{Color, ColoringBuilder};
+use ctori_engine::{parallel_runs, RunConfig, Simulator, Termination};
+use ctori_protocols::ReverseSimpleMajority;
+use ctori_topology::{Torus, TorusKind};
+
+/// Outcome of one size/kind cell, for all three lanes.
+struct LaneOutcome {
+    kind: TorusKind,
+    size: usize,
+    packed_selected: bool,
+    agree: bool,
+    termination: Termination,
+    rounds: usize,
+}
+
+fn run_cell(kind: TorusKind, size: usize) -> LaneOutcome {
+    let torus = Torus::new(kind, size, size);
+    // A black square block plus a lone black vertex: the block grows under
+    // prefer-black while the lone vertex is erased, so both flip
+    // directions of the packed lane are exercised.
+    let mut builder = ColoringBuilder::filled(&torus, Color::WHITE);
+    for r in 1..=size / 3 {
+        for c in 1..=size / 3 {
+            builder = builder.cell(r, c, Color::BLACK);
+        }
+    }
+    let coloring = builder.cell(size - 1, size - 1, Color::BLACK).build();
+
+    let rule = ReverseSimpleMajority::prefer_black;
+    let config = RunConfig::default();
+    let mut packed = Simulator::new(&torus, rule(), coloring.clone());
+    let packed_selected = packed.uses_packed_lane();
+    let a = packed.run(&config);
+    let mut generic = Simulator::new(&torus, rule(), coloring.clone()).without_packed_lane();
+    let b = generic.run(&config);
+    let mut sweep = Simulator::new(&torus, rule(), coloring)
+        .without_packed_lane()
+        .with_full_sweep();
+    let c = sweep.run(&config);
+
+    let agree = a.termination == b.termination
+        && b.termination == c.termination
+        && a.rounds == b.rounds
+        && b.rounds == c.rounds
+        && packed.snapshot() == generic.snapshot()
+        && generic.snapshot() == sweep.snapshot();
+    LaneOutcome {
+        kind,
+        size,
+        packed_selected,
+        agree,
+        termination: a.termination,
+        rounds: a.rounds,
+    }
+}
+
+/// `lanes`: engine lane equivalence sweep.
+pub struct EngineLanes;
+
+impl Experiment for EngineLanes {
+    fn id(&self) -> &'static str {
+        "lanes"
+    }
+    fn title(&self) -> &'static str {
+        "Engine lanes: packed two-colour, generic frontier and full sweep agree on every torus"
+    }
+    fn run(&self, mode: Mode) -> ExperimentRecord {
+        let sizes: Vec<usize> = match mode {
+            Mode::Quick => vec![6, 9],
+            Mode::Full => vec![6, 9, 12, 16, 24, 32, 48],
+        };
+        let cells: Vec<(TorusKind, usize)> = TorusKind::ALL
+            .into_iter()
+            .flat_map(|kind| sizes.iter().map(move |&s| (kind, s)))
+            .collect();
+        let outcomes = parallel_runs(cells, |&(kind, size)| run_cell(kind, size));
+
+        let mut table = Table::new(vec![
+            "torus",
+            "packed lane selected",
+            "lanes agree",
+            "termination",
+            "rounds",
+        ]);
+        let mut passed = true;
+        for o in &outcomes {
+            passed &= o.agree && o.packed_selected;
+            table.add_row(vec![
+                format!("{} {}x{}", o.kind, o.size, o.size),
+                o.packed_selected.to_string(),
+                o.agree.to_string(),
+                format!("{:?}", o.termination),
+                o.rounds.to_string(),
+            ]);
+        }
+
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title(),
+            paper_claim: "Engineering invariant (no paper claim): the incremental frontier \
+                          scheduler and the bit-packed two-colour lane are exact optimisations \
+                          of the synchronous full-sweep semantics."
+                .into(),
+            table,
+            observations: vec![
+                "the packed lane is auto-selected for every bi-coloured prefer-black run; all \
+                 three data paths terminate identically with identical final configurations."
+                    .into(),
+            ],
+            passed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_quick_reproduces() {
+        let record = EngineLanes.run(Mode::Quick);
+        assert!(record.passed, "{}", record.render());
+    }
+}

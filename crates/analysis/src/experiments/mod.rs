@@ -3,6 +3,7 @@
 pub mod baselines;
 pub mod bounds;
 pub mod constructions;
+pub mod engine_lanes;
 pub mod figures;
 pub mod rounds;
 pub mod tss_ext;

@@ -7,10 +7,17 @@
 //! reads its neighbours' colours and all vertices update simultaneously,
 //! one round per unit of time.  The engine provides:
 //!
-//! * [`Simulator`] — a double-buffered synchronous stepper over any
+//! * [`Simulator`] — an incremental synchronous stepper over any
 //!   [`ctori_topology::Topology`] and any [`ctori_protocols::LocalRule`],
-//!   flattened onto the shared [`ctori_topology::Adjacency`] CSR kernel so
-//!   the per-round loop allocates nothing;
+//!   flattened onto the shared [`ctori_topology::Adjacency`] CSR kernel.
+//!   After the first round only the *frontier* (last round's changed
+//!   vertices and their out-neighbours) is re-evaluated, and two-colour
+//!   runs of rules with a [`ctori_protocols::TwoStateThreshold`] form are
+//!   routed onto a bit-packed lane ([`frontier::PackedFrontier`]) that
+//!   counts neighbours by popcount; the per-round loop allocates nothing
+//!   in either lane;
+//! * [`state`] — the [`state::StateVec`] backends behind the simulator
+//!   (generic colour vector vs. packed bitset);
 //! * [`RunConfig`] / [`RunReport`] / [`Termination`] — run-to-convergence
 //!   with fixed-point detection, optional cycle detection, optional
 //!   monotonicity tracking and optional per-vertex recolouring times (the
@@ -18,7 +25,7 @@
 //! * [`trace`] — full configuration traces for figure rendering;
 //! * [`metrics`] — per-round colour histograms;
 //! * [`sweep`] — parallel parameter sweeps over many simulations using
-//!   `crossbeam` scoped threads.
+//!   `std::thread::scope` workers with lock-free result collection.
 //!
 //! # Example
 //!
@@ -48,15 +55,19 @@
 #![deny(unsafe_code)]
 
 pub mod adjacency;
+pub mod frontier;
 pub mod metrics;
 #[cfg(feature = "naive-baseline")]
 pub mod naive;
 pub mod simulator;
+pub mod state;
 pub mod sweep;
 pub mod trace;
 
 pub use adjacency::Adjacency;
+pub use frontier::PackedFrontier;
 pub use metrics::{round_histogram, ColorHistogram};
 pub use simulator::{RunConfig, RunReport, Simulator, StepReport, Termination};
+pub use state::StateVec;
 pub use sweep::{parallel_map, parallel_runs};
 pub use trace::{run_with_trace, RecoloringTimes, Trace};

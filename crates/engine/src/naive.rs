@@ -3,10 +3,10 @@
 //! This module is compiled only with the `naive-baseline` feature and
 //! exists solely so the benchmarks can quantify what the shared
 //! [`ctori_topology::Adjacency`] kernel buys: it steps the same synchronous
-//! dynamics through the deprecated `Vec`-returning [`Topology::neighbors`]
-//! path, allocating a fresh neighbour list (and a fresh colour list) per
-//! vertex per round — exactly the data path the workspace had before the
-//! CSR refactor.  Never use it outside benchmarks.
+//! dynamics through the [`Topology`] trait with a fresh neighbour list (and
+//! a fresh colour list) allocated per vertex per round — exactly the data
+//! path the workspace had before the CSR refactor.  Never use it outside
+//! benchmarks.
 
 use ctori_coloring::Color;
 use ctori_protocols::LocalRule;
@@ -45,8 +45,10 @@ impl<T: Topology, R: LocalRule> NaiveSimulator<T, R> {
         let n = self.current.len();
         let mut changed = 0usize;
         for v in 0..n {
-            #[allow(deprecated)]
-            let neighbors = self.topology.neighbors(NodeId::new(v));
+            // A fresh buffer per vertex on purpose: this baseline measures
+            // the allocate-per-visit data path the CSR kernel replaced.
+            let mut neighbors = Vec::new();
+            self.topology.neighbors_into(NodeId::new(v), &mut neighbors);
             let colors: Vec<Color> = neighbors.iter().map(|u| self.current[u.index()]).collect();
             let own = self.current[v];
             let new = self.rule.next_color(own, &colors);
@@ -93,7 +95,7 @@ mod tests {
         for _ in 0..5 {
             naive.step();
             csr.step();
-            assert_eq!(naive.state(), csr.state());
+            assert_eq!(naive.state(), csr.snapshot());
         }
     }
 }

@@ -1,11 +1,20 @@
 //! The synchronous simulator.
+//!
+//! The stepper is **incremental**: after the first full round, only the
+//! vertices that could possibly change — last round's changed vertices and
+//! their out-neighbours — are re-evaluated (see [`crate::frontier`]).  The
+//! configuration lives behind the [`StateVec`] abstraction: a generic
+//! colour-per-vertex backend for arbitrary rules and palettes, and a
+//! bit-packed two-colour lane selected automatically when the rule
+//! advertises a [`ctori_protocols::TwoStateThreshold`] degenerate form and
+//! the initial configuration uses at most two colours.
 
+use crate::frontier::{PackedFrontier, Worklist};
+use crate::state::{ColorCensus, StateVec};
 use ctori_coloring::{Color, Coloring};
 use ctori_protocols::LocalRule;
 use ctori_topology::{Adjacency, NodeId, NodeSet, Topology, Torus};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 /// How a run terminated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,8 +51,10 @@ pub struct RunConfig {
     /// O(m·n), so the default (`4·|V| + 16`) is far above anything a
     /// converging configuration needs.
     pub max_rounds: usize,
-    /// Detect limit cycles by hashing configurations (costs one hash of the
-    /// state per round plus a hash-map entry).
+    /// Detect limit cycles by hashing configurations.  A hash match alone
+    /// is never trusted: the candidate round is re-simulated and the
+    /// configurations compared for equality before a cycle is reported, so
+    /// hash collisions cannot produce a false [`Termination::Cycle`].
     pub detect_cycles: bool,
     /// Record, for this colour, the round at which each vertex most
     /// recently adopted it (the matrices of Figures 5 and 6).
@@ -125,25 +136,88 @@ impl RunReport {
     }
 }
 
-/// A double-buffered synchronous simulator over the shared CSR kernel.
+/// SplitMix64 — the per-(vertex, colour) key of the incremental Zobrist
+/// state hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Zobrist key of "vertex `v` holds colour `c`".  The state hash is the
+/// XOR of the keys of all vertices, so a colour change updates it in O(1).
+#[inline]
+fn zkey(v: usize, c: Color) -> u64 {
+    splitmix64(((v as u64) << 16) ^ u64::from(c.index()))
+}
+
+/// Evaluates the rule at one vertex against a frozen configuration.
+///
+/// On 4-regular topologies (all the paper's tori) the neighbour colours
+/// are gathered into a stack array; on general graphs into the caller's
+/// scratch buffer.  Nothing is allocated.
+#[inline]
+fn eval_one<R: LocalRule>(
+    rule: &R,
+    adjacency: &Adjacency,
+    regular4: bool,
+    colors: &[Color],
+    scratch: &mut Vec<Color>,
+    v: usize,
+) -> Color {
+    if regular4 {
+        let nb = adjacency.neighbors_raw(v);
+        let gathered = [
+            colors[nb[0] as usize],
+            colors[nb[1] as usize],
+            colors[nb[2] as usize],
+            colors[nb[3] as usize],
+        ];
+        rule.next_color(colors[v], &gathered)
+    } else {
+        scratch.clear();
+        for &u in adjacency.neighbors_raw(v) {
+            scratch.push(colors[u as usize]);
+        }
+        rule.next_color(colors[v], scratch)
+    }
+}
+
+/// An incremental double-lane synchronous simulator over the shared CSR
+/// kernel.
 ///
 /// The simulator flattens its topology once into a
 /// [`ctori_topology::Adjacency`] (or borrows a prebuilt one through
-/// [`Simulator::from_adjacency`]), owns two dense colour buffers and swaps
-/// them each round.  The stepper is monomorphised per [`LocalRule`] and the
-/// neighbour-colour scratch buffer is sized to the maximum degree at
-/// construction, so **no heap allocation happens per round** — the hot
-/// loop is pure slice indexing.
+/// [`Simulator::from_adjacency`]) and stores the configuration behind a
+/// [`StateVec`]: a dense colour vector for arbitrary rules, or a
+/// bit-packed two-colour lane when the rule advertises a
+/// [`ctori_protocols::TwoStateThreshold`] and at most two colours are
+/// present.  Stepping is **frontier-incremental** for local rules: after
+/// the first full round only last round's changed vertices and their
+/// out-neighbours are re-evaluated, so a thin spreading frontier costs
+/// O(frontier) per round instead of O(|V|).  Non-local rules (and callers
+/// of [`Simulator::with_full_sweep`]) take the exhaustive full-sweep path,
+/// which is the PR-1 behaviour.  **No heap allocation happens per round**
+/// in either lane — the hot loops are pure slice and bit indexing.
 pub struct Simulator<R> {
     adjacency: Adjacency,
     rule: R,
     rows: usize,
     cols: usize,
-    current: Vec<Color>,
-    next: Vec<Color>,
+    state: StateVec,
+    worklist: Worklist,
+    changes: Vec<(u32, Color, Color)>,
     round: usize,
     scratch: Vec<Color>,
     regular4: bool,
+    full_sweep: bool,
+    /// Incremental Zobrist hash of the configuration; maintained only once
+    /// `hash_live` is set (the first `run` with cycle detection), so raw
+    /// stepping pays nothing for it.
+    hash: u64,
+    hash_live: bool,
+    degenerate_hash: bool,
 }
 
 impl<R: LocalRule> Simulator<R> {
@@ -205,17 +279,130 @@ impl<R: LocalRule> Simulator<R> {
     ) -> Self {
         let scratch = Vec::with_capacity(adjacency.max_degree());
         let regular4 = adjacency.uniform_degree() == Some(4);
-        Simulator {
+        let n = cells.len();
+        let state = Self::choose_backend(&adjacency, &rule, cells);
+        let worklist = if state.is_packed() {
+            // The packed lane schedules its own frontier.
+            Worklist::new(0)
+        } else {
+            Worklist::new(n)
+        };
+        let full_sweep = !rule.is_local();
+        let mut sim = Simulator {
             adjacency,
             rule,
             rows,
             cols,
-            next: cells.clone(),
-            current: cells,
+            state,
+            worklist,
+            changes: Vec::new(),
             round: 0,
             scratch,
             regular4,
+            full_sweep: false,
+            hash: 0,
+            hash_live: false,
+            degenerate_hash: false,
+        };
+        if full_sweep {
+            sim.apply_full_sweep();
         }
+        sim
+    }
+
+    /// Selects the state backend: the packed two-colour lane when the rule
+    /// has a two-state degenerate form and at most two colours are
+    /// present, the generic colour vector otherwise.
+    fn choose_backend(adjacency: &Adjacency, rule: &R, cells: Vec<Color>) -> StateVec {
+        let mut distinct: Option<(Color, Option<Color>)> = None;
+        let mut more_than_two = false;
+        for &c in &cells {
+            match distinct {
+                None => distinct = Some((c, None)),
+                Some((a, None)) if c != a => distinct = Some((a, Some(c))),
+                Some((a, Some(b))) if c != a && c != b => {
+                    more_than_two = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !more_than_two {
+            if let (Some((zero, Some(one))), Some(tst)) = (distinct, rule.as_two_state_threshold())
+            {
+                let n = cells.len();
+                let (up, down) = if let Some(d) = adjacency.uniform_degree() {
+                    let (u, dn) = tst.flip_thresholds(zero, one, d);
+                    (vec![u; n], vec![dn; n])
+                } else {
+                    let mut up = Vec::with_capacity(n);
+                    let mut down = Vec::with_capacity(n);
+                    for v in 0..n {
+                        let (u, dn) = tst.flip_thresholds(zero, one, adjacency.degree_of(v));
+                        up.push(u);
+                        down.push(dn);
+                    }
+                    (up, down)
+                };
+                let mut lane = PackedFrontier::new(n, up, down);
+                for (v, &c) in cells.iter().enumerate() {
+                    if c == one {
+                        lane.set_one(v);
+                    }
+                }
+                return StateVec::Packed { lane, zero, one };
+            }
+        }
+        StateVec::Generic {
+            census: ColorCensus::of(&cells),
+            colors: cells,
+        }
+    }
+
+    fn apply_full_sweep(&mut self) {
+        self.full_sweep = true;
+        match &mut self.state {
+            StateVec::Packed { lane, .. } => lane.set_always_full(),
+            StateVec::Generic { .. } => self.worklist.set_always_full(),
+        }
+    }
+
+    /// Disables the incremental frontier: every round re-evaluates every
+    /// vertex, which is the PR-1 full-sweep behaviour.  This is the
+    /// baseline of the frontier benchmarks and the automatic mode for
+    /// rules with [`LocalRule::is_local`]` == false`; results are
+    /// identical for local rules, only slower.
+    pub fn with_full_sweep(mut self) -> Self {
+        self.apply_full_sweep();
+        self
+    }
+
+    /// Forces the generic colour-vector backend even when the packed
+    /// two-colour lane is eligible (used by the equivalence tests and
+    /// benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after stepping has started.
+    pub fn without_packed_lane(mut self) -> Self {
+        assert_eq!(self.round, 0, "backend can only be changed before stepping");
+        if self.state.is_packed() {
+            let colors = self.state.snapshot();
+            self.worklist = Worklist::new(colors.len());
+            self.state = StateVec::Generic {
+                census: ColorCensus::of(&colors),
+                colors,
+            };
+            if self.full_sweep {
+                self.worklist.set_always_full();
+            }
+        }
+        self
+    }
+
+    /// Whether the bit-packed two-colour lane is driving this simulator.
+    pub fn uses_packed_lane(&self) -> bool {
+        self.state.is_packed()
     }
 
     /// The CSR adjacency driving the hot loop.
@@ -235,78 +422,147 @@ impl<R: LocalRule> Simulator<R> {
 
     /// The current colour of a vertex.
     pub fn color_of(&self, v: NodeId) -> Color {
-        self.current[v.index()]
+        self.state.color_of(v.index())
     }
 
-    /// Read-only view of the current state.
-    pub fn state(&self) -> &[Color] {
-        &self.current
+    /// The current state as one colour per vertex (materialised; for
+    /// per-vertex queries prefer [`Simulator::color_of`]).
+    pub fn snapshot(&self) -> Vec<Color> {
+        self.state.snapshot()
     }
 
     /// The current state as a [`Coloring`] (grid-shaped).
     pub fn coloring(&self) -> Coloring {
-        Coloring::from_cells(self.rows, self.cols, self.current.clone())
+        Coloring::from_cells(self.rows, self.cols, self.snapshot())
     }
 
     /// The set of vertices currently holding `k`.
     pub fn class_of(&self, k: Color) -> NodeSet {
-        let mut set = NodeSet::new(self.current.len());
-        for (i, &c) in self.current.iter().enumerate() {
-            if c == k {
-                set.insert(NodeId::new(i));
+        let n = self.state.len();
+        let mut set = NodeSet::new(n);
+        for v in 0..n {
+            if self.state.color_of(v) == k {
+                set.insert(NodeId::new(v));
             }
         }
         set
     }
 
-    /// Number of vertices currently holding `k`.
+    /// Number of vertices currently holding `k` (O(1): the backends keep
+    /// an incremental census).
     pub fn count_of(&self, k: Color) -> usize {
-        self.current.iter().filter(|&&c| c == k).count()
+        self.state.count_of(k)
     }
 
     /// Whether the current configuration is monochromatic, and in which
-    /// colour.
+    /// colour (O(1)).
     pub fn monochromatic(&self) -> Option<Color> {
-        let first = *self.current.first()?;
-        self.current.iter().all(|&c| c == first).then_some(first)
+        self.state.monochromatic()
+    }
+
+    /// Calls `f(vertex, old, new)` for every vertex changed by the last
+    /// [`Simulator::step`] call.
+    fn for_each_last_change(&self, mut f: impl FnMut(usize, Color, Color)) {
+        match &self.state {
+            StateVec::Generic { .. } => {
+                for &(v, old, new) in &self.changes {
+                    f(v as usize, old, new);
+                }
+            }
+            StateVec::Packed { lane, zero, one } => {
+                for &v in lane.flips() {
+                    // The flip is already applied, so the current bit is
+                    // the new colour.
+                    if lane.is_one(v as usize) {
+                        f(v as usize, *zero, *one);
+                    } else {
+                        f(v as usize, *one, *zero);
+                    }
+                }
+            }
+        }
     }
 
     /// Executes one synchronous round and returns how many vertices
     /// changed.
     ///
-    /// The loop allocates nothing: on 4-regular topologies (all the
-    /// paper's tori) the neighbour colours are gathered into a stack
-    /// array, and on general graphs into the preallocated scratch buffer.
+    /// The first call evaluates every vertex; afterwards only the frontier
+    /// candidates (last round's changed vertices and their out-neighbours)
+    /// are evaluated — unless the full-sweep fallback is active.  Results
+    /// are identical either way for local rules.
     pub fn step(&mut self) -> StepReport {
-        let n = self.current.len();
-        let mut changed = 0usize;
-        if self.regular4 {
-            for v in 0..n {
-                let nb = self.adjacency.neighbors_raw(v);
-                let colors = [
-                    self.current[nb[0] as usize],
-                    self.current[nb[1] as usize],
-                    self.current[nb[2] as usize],
-                    self.current[nb[3] as usize],
-                ];
-                let own = self.current[v];
-                let new = self.rule.next_color(own, &colors);
-                self.next[v] = new;
-                changed += usize::from(new != own);
-            }
-        } else {
-            for v in 0..n {
-                self.scratch.clear();
-                for &u in self.adjacency.neighbors_raw(v) {
-                    self.scratch.push(self.current[u as usize]);
+        let changed = match &mut self.state {
+            StateVec::Packed { lane, zero, one } => {
+                let flips = lane.step(&self.adjacency);
+                if self.hash_live {
+                    let (zero, one) = (*zero, *one);
+                    let mut delta = 0u64;
+                    for &v in lane.flips() {
+                        delta ^= zkey(v as usize, zero) ^ zkey(v as usize, one);
+                    }
+                    self.hash ^= delta;
                 }
-                let own = self.current[v];
-                let new = self.rule.next_color(own, &self.scratch);
-                self.next[v] = new;
-                changed += usize::from(new != own);
+                flips
             }
-        }
-        std::mem::swap(&mut self.current, &mut self.next);
+            StateVec::Generic { colors, census } => {
+                self.changes.clear();
+                if self.worklist.is_full_round() {
+                    for v in 0..colors.len() {
+                        let own = colors[v];
+                        let new = eval_one(
+                            &self.rule,
+                            &self.adjacency,
+                            self.regular4,
+                            colors,
+                            &mut self.scratch,
+                            v,
+                        );
+                        if new != own {
+                            self.changes.push((v as u32, own, new));
+                        }
+                    }
+                } else {
+                    for i in 0..self.worklist.candidates().len() {
+                        let v = self.worklist.candidates()[i] as usize;
+                        let own = colors[v];
+                        let new = eval_one(
+                            &self.rule,
+                            &self.adjacency,
+                            self.regular4,
+                            colors,
+                            &mut self.scratch,
+                            v,
+                        );
+                        if new != own {
+                            self.changes.push((v as u32, own, new));
+                        }
+                    }
+                }
+                // Apply after evaluating everything: synchronous semantics.
+                for &(v, old, new) in &self.changes {
+                    colors[v as usize] = new;
+                    census.remove(old);
+                    census.add(new);
+                }
+                if self.hash_live {
+                    for &(v, old, new) in &self.changes {
+                        self.hash ^= zkey(v as usize, old) ^ zkey(v as usize, new);
+                    }
+                }
+                self.worklist.begin_next();
+                if !self.worklist.always_full() {
+                    for i in 0..self.changes.len() {
+                        let v = self.changes[i].0;
+                        self.worklist.mark(v);
+                        for &u in self.adjacency.neighbors_raw(v as usize) {
+                            self.worklist.mark(u);
+                        }
+                    }
+                }
+                self.worklist.finish_round();
+                self.changes.len()
+            }
+        };
         self.round += 1;
         StepReport {
             changed,
@@ -315,15 +571,50 @@ impl<R: LocalRule> Simulator<R> {
     }
 
     fn state_hash(&self) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        self.current.hash(&mut hasher);
-        hasher.finish()
+        if self.degenerate_hash {
+            0
+        } else {
+            self.hash
+        }
+    }
+
+    /// Test hook: makes every configuration hash to the same value, so the
+    /// collision-verification path of [`Simulator::run`] is exercised on
+    /// every round.
+    #[doc(hidden)]
+    pub fn force_degenerate_hash(&mut self) {
+        self.degenerate_hash = true;
+    }
+
+    /// Re-simulates `target_round - start_round` full-sweep rounds from
+    /// `initial` and compares the result with the current configuration.
+    /// Used to confirm that a state-hash match is a genuine repeat and not
+    /// a 64-bit collision.
+    fn replay_matches(&self, initial: &[Color], start_round: usize, target_round: usize) -> bool {
+        let n = initial.len();
+        let mut current = initial.to_vec();
+        let mut next = current.clone();
+        let mut scratch = Vec::with_capacity(self.adjacency.max_degree());
+        for _ in start_round..target_round {
+            for (v, slot) in next.iter_mut().enumerate() {
+                *slot = eval_one(
+                    &self.rule,
+                    &self.adjacency,
+                    self.regular4,
+                    &current,
+                    &mut scratch,
+                    v,
+                );
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        (0..n).all(|v| current[v] == self.state.color_of(v))
     }
 
     /// Runs until convergence (monochromatic or fixed point), a detected
     /// cycle, or the round limit.
     pub fn run(&mut self, config: &RunConfig) -> RunReport {
-        let n = self.current.len();
+        let n = self.state.len();
         let max_rounds = if config.max_rounds == 0 {
             4 * n + 16
         } else {
@@ -331,23 +622,33 @@ impl<R: LocalRule> Simulator<R> {
         };
 
         let mut times: Option<Vec<Option<usize>>> = config.track_times_for.map(|k| {
-            self.current
-                .iter()
-                .map(|&c| if c == k { Some(0) } else { None })
+            (0..n)
+                .map(|v| (self.state.color_of(v) == k).then_some(0))
                 .collect()
         });
         let mut monotone = config.check_monotone_for.map(|_| true);
-        let mut prev_k_set: Option<Vec<bool>> = config
-            .check_monotone_for
-            .map(|k| self.current.iter().map(|&c| c == k).collect());
 
-        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let run_start_round = self.round;
+        // Cycle candidates are verified by replaying from this snapshot,
+        // so a hash collision can never be misreported as a cycle.
+        let run_start_state: Option<Vec<Color>> = config.detect_cycles.then(|| self.snapshot());
+        let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
         if config.detect_cycles {
-            seen.insert(self.state_hash(), self.round);
+            if !self.hash_live {
+                // Switch the incremental Zobrist hash on: seed it from the
+                // current configuration; step() keeps it fresh from here.
+                let snapshot = run_start_state.as_ref().expect("snapshot was taken");
+                self.hash = snapshot
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |h, (v, &c)| h ^ zkey(v, c));
+                self.hash_live = true;
+            }
+            seen.entry(self.state_hash()).or_default().push(self.round);
         }
 
         let termination = loop {
-            if let Some(c) = self.monochromatic() {
+            if let Some(c) = self.state.monochromatic() {
                 break Termination::Monochromatic(c);
             }
             if self.round >= max_rounds {
@@ -355,32 +656,23 @@ impl<R: LocalRule> Simulator<R> {
             }
 
             let report = self.step();
+            let round = self.round;
 
-            // After the swap in step(), `self.next` still holds the
-            // previous round's state, so tracking needs no snapshot clone.
             if let (Some(k), Some(times)) = (config.track_times_for, times.as_mut()) {
-                for (v, slot) in times.iter_mut().enumerate() {
-                    let now = self.current[v];
-                    let was = self.next[v];
-                    if now == k && was != k {
-                        *slot = Some(self.round);
-                    } else if now != k && was == k {
-                        *slot = None;
+                self.for_each_last_change(|v, old, new| {
+                    if new == k {
+                        times[v] = Some(round);
+                    } else if old == k {
+                        times[v] = None;
                     }
-                }
+                });
             }
-            if let (Some(k), Some(mono), Some(prev)) = (
-                config.check_monotone_for,
-                monotone.as_mut(),
-                prev_k_set.as_mut(),
-            ) {
-                for (v, was_k) in prev.iter_mut().enumerate() {
-                    let now_k = self.current[v] == k;
-                    if *was_k && !now_k {
+            if let (Some(k), Some(mono)) = (config.check_monotone_for, monotone.as_mut()) {
+                self.for_each_last_change(|_, old, new| {
+                    if old == k && new != k {
                         *mono = false;
                     }
-                    *was_k = now_k;
-                }
+                });
             }
 
             if report.changed == 0 {
@@ -388,12 +680,18 @@ impl<R: LocalRule> Simulator<R> {
             }
             if config.detect_cycles {
                 let h = self.state_hash();
-                if let Some(&first) = seen.get(&h) {
-                    break Termination::Cycle {
-                        period: self.round - first,
-                    };
+                let initial = run_start_state.as_ref().expect("snapshot was taken");
+                if let Some(previous) = seen.get(&h) {
+                    let repeat = previous
+                        .iter()
+                        .find(|&&r0| self.replay_matches(initial, run_start_round, r0));
+                    if let Some(&r0) = repeat {
+                        break Termination::Cycle {
+                            period: self.round - r0,
+                        };
+                    }
                 }
-                seen.insert(h, self.round);
+                seen.entry(h).or_default().push(self.round);
             }
         };
 
@@ -416,7 +714,7 @@ impl<R: LocalRule> Simulator<R> {
 mod tests {
     use super::*;
     use ctori_coloring::ColoringBuilder;
-    use ctori_protocols::{ReverseSimpleMajority, SmpProtocol};
+    use ctori_protocols::{ReverseSimpleMajority, SmpProtocol, ThresholdRule};
     use ctori_topology::{toroidal_mesh, torus_cordalis, Coord};
 
     fn k() -> Color {
@@ -436,6 +734,7 @@ mod tests {
             .cell(2, 2, Color::new(5))
             .build();
         let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        assert!(!sim.uses_packed_lane(), "five colours stay generic");
         let report = sim.run(&RunConfig::for_dynamo(k()));
         assert_eq!(report.termination, Termination::Monochromatic(k()));
         assert_eq!(report.monotone, Some(true));
@@ -460,6 +759,7 @@ mod tests {
         let coloring =
             ctori_coloring::patterns::column_stripes(&t, &[Color::new(1), Color::new(2)]);
         let mut sim = Simulator::new(&t, SmpProtocol, coloring.clone());
+        assert!(sim.uses_packed_lane(), "two colours + SMP select the lane");
         let report = sim.run(&RunConfig::default());
         assert_eq!(report.termination, Termination::FixedPoint);
         assert_eq!(
@@ -508,6 +808,95 @@ mod tests {
         );
         assert_eq!(report.termination, Termination::RoundLimit);
         assert_eq!(report.rounds, 10);
+    }
+
+    #[test]
+    fn hash_collisions_are_not_reported_as_cycles() {
+        // Regression for the PR-1 behaviour where any 64-bit hash match
+        // was reported as a cycle without comparing states.  With the
+        // degenerate hash every round "collides" with every earlier round,
+        // so only the replay verification separates real repeats from
+        // false ones: a converging run must still converge...
+        let t = toroidal_mesh(5, 5);
+        let coloring = ColoringBuilder::filled(&t, k())
+            .cell(1, 1, Color::new(1))
+            .cell(1, 2, Color::new(3))
+            .cell(2, 1, Color::new(4))
+            .cell(2, 2, Color::new(5))
+            .build();
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        sim.force_degenerate_hash();
+        let report = sim.run(&RunConfig::default());
+        assert_eq!(
+            report.termination,
+            Termination::Monochromatic(k()),
+            "a colliding hash must not fake a cycle"
+        );
+
+        // ...and a genuine period-2 blinker must still be reported with
+        // the right period (checkerboards only blink on even tori).
+        let t = toroidal_mesh(4, 4);
+        let coloring = ctori_coloring::patterns::checkerboard(&t, Color::new(1), Color::new(2));
+        let mut sim = Simulator::new(&t, SmpProtocol, coloring);
+        sim.force_degenerate_hash();
+        let report = sim.run(&RunConfig::default());
+        assert_eq!(report.termination, Termination::Cycle { period: 2 });
+    }
+
+    #[test]
+    fn packed_generic_and_full_sweep_steppers_agree() {
+        // The three data paths — packed lane, generic frontier, generic
+        // full sweep — must produce identical trajectories round for
+        // round (the cross-backend proptests widen this to random
+        // configurations).
+        let t = torus_cordalis(6, 7);
+        let coloring = ColoringBuilder::filled(&t, Color::WHITE)
+            .cell(1, 1, Color::BLACK)
+            .cell(1, 2, Color::BLACK)
+            .cell(2, 1, Color::BLACK)
+            .cell(4, 5, Color::BLACK)
+            .build();
+        let mut packed =
+            Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring.clone());
+        let mut generic =
+            Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring.clone())
+                .without_packed_lane();
+        let mut sweep = Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring)
+            .without_packed_lane()
+            .with_full_sweep();
+        assert!(packed.uses_packed_lane());
+        assert!(!generic.uses_packed_lane());
+        for round in 0..12 {
+            let a = packed.step();
+            let b = generic.step();
+            let c = sweep.step();
+            assert_eq!(a, b, "packed vs generic diverge at round {round}");
+            assert_eq!(b, c, "generic vs full sweep diverge at round {round}");
+            assert_eq!(packed.snapshot(), generic.snapshot());
+            assert_eq!(generic.snapshot(), sweep.snapshot());
+        }
+    }
+
+    #[test]
+    fn packed_lane_run_reports_match_generic() {
+        let t = toroidal_mesh(8, 8);
+        let seed = Color::new(2);
+        let mut builder = ColoringBuilder::filled(&t, Color::new(1));
+        for (r, c) in [(1, 1), (1, 2), (2, 1), (2, 2)] {
+            builder = builder.cell(r, c, seed);
+        }
+        let coloring = builder.build();
+        let rule = ThresholdRule::new(seed, 2);
+        let mut packed = Simulator::new(&t, rule, coloring.clone());
+        let mut generic = Simulator::new(&t, rule, coloring).without_packed_lane();
+        assert!(packed.uses_packed_lane());
+        let a = packed.run(&RunConfig::for_dynamo(seed));
+        let b = generic.run(&RunConfig::for_dynamo(seed));
+        assert_eq!(a.termination, b.termination);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.monotone, b.monotone);
+        assert_eq!(a.recoloring_times, b.recoloring_times);
+        assert_eq!(a.final_target_count, b.final_target_count);
     }
 
     /// All colour `k` except a 3x3 patch of pairwise distinct colours:
@@ -564,7 +953,6 @@ mod tests {
 
     #[test]
     fn from_topology_runs_on_general_graphs() {
-        use ctori_protocols::ThresholdRule;
         use ctori_topology::Graph;
         // A path of 5 vertices, threshold 1, seeded at one end: activation
         // sweeps across the path one vertex per round.
@@ -576,6 +964,10 @@ mod tests {
         state[0] = Color::new(2);
         let rule = ThresholdRule::new(Color::new(2), 1);
         let mut sim = Simulator::from_topology(&g, rule, state);
+        assert!(
+            sim.uses_packed_lane(),
+            "two-colour threshold runs pack even on non-regular graphs"
+        );
         let report = sim.run(&RunConfig::default());
         assert_eq!(
             report.termination,
@@ -615,7 +1007,7 @@ mod tests {
         assert_eq!(sim.count_of(k()), 1);
         assert_eq!(sim.color_of(t.id(Coord::new(0, 0))), k());
         assert_eq!(sim.class_of(k()).count(), 1);
-        assert_eq!(sim.state().len(), 9);
+        assert_eq!(sim.snapshot().len(), 9);
         assert_eq!(sim.monochromatic(), None);
     }
 }

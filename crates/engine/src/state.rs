@@ -1,0 +1,231 @@
+//! State-vector backends of the simulator.
+//!
+//! The simulator stores the configuration behind the [`StateVec`]
+//! abstraction, which has two backends:
+//!
+//! * [`StateVec::Generic`] — one [`Color`] (`u16`) per vertex plus an
+//!   incrementally maintained per-colour census, serving any rule and any
+//!   palette;
+//! * [`StateVec::Packed`] — one **bit** per vertex inside a
+//!   [`PackedFrontier`] lane, used when the initial configuration has at
+//!   most two colours and the rule advertises a two-colour degenerate form
+//!   through [`ctori_protocols::LocalRule::as_two_state_threshold`].
+//!
+//! Both backends keep their aggregate queries (`count_of`,
+//! `monochromatic`) O(1) by updating counters as changes are applied, so
+//! the run loop never re-scans the configuration between rounds.
+
+use crate::frontier::PackedFrontier;
+use ctori_coloring::Color;
+
+/// An incrementally maintained per-colour census.
+///
+/// Counts are indexed by the raw colour value; the table grows on demand
+/// (colours are `u16`, so it is at most 256 KiB even for adversarial
+/// palettes) and tracks how many distinct colours are currently present.
+#[derive(Clone, Debug, Default)]
+pub struct ColorCensus {
+    counts: Vec<u32>,
+    distinct: usize,
+}
+
+impl ColorCensus {
+    /// Builds the census of a configuration.
+    pub fn of(colors: &[Color]) -> Self {
+        let mut census = ColorCensus::default();
+        for &c in colors {
+            census.add(c);
+        }
+        census
+    }
+
+    /// Records one more vertex of colour `c`.
+    pub fn add(&mut self, c: Color) {
+        let idx = c.index() as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        if self.counts[idx] == 0 {
+            self.distinct += 1;
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Records one fewer vertex of colour `c`.
+    pub fn remove(&mut self, c: Color) {
+        let idx = c.index() as usize;
+        self.counts[idx] -= 1;
+        if self.counts[idx] == 0 {
+            self.distinct -= 1;
+        }
+    }
+
+    /// Number of vertices currently holding `c`.
+    pub fn count(&self, c: Color) -> usize {
+        self.counts
+            .get(c.index() as usize)
+            .map(|&n| n as usize)
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct colours currently present.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+}
+
+/// The simulator's configuration storage.
+pub enum StateVec {
+    /// One colour per vertex; works for every rule and palette.
+    Generic {
+        /// The configuration.
+        colors: Vec<Color>,
+        /// Incremental per-colour census of `colors`.
+        census: ColorCensus,
+    },
+    /// One bit per vertex inside a packed two-colour lane.
+    Packed {
+        /// The bit state plus the frontier scheduler and flip thresholds.
+        lane: PackedFrontier,
+        /// The colour a 0-bit stands for.
+        zero: Color,
+        /// The colour a 1-bit stands for.
+        one: Color,
+    },
+}
+
+impl StateVec {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            StateVec::Generic { colors, .. } => colors.len(),
+            StateVec::Packed { lane, .. } => lane.len(),
+        }
+    }
+
+    /// Whether the state is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the packed two-colour backend is in use.
+    pub fn is_packed(&self) -> bool {
+        matches!(self, StateVec::Packed { .. })
+    }
+
+    /// The colour of vertex `v`.
+    #[inline]
+    pub fn color_of(&self, v: usize) -> Color {
+        match self {
+            StateVec::Generic { colors, .. } => colors[v],
+            StateVec::Packed { lane, zero, one } => {
+                if lane.is_one(v) {
+                    *one
+                } else {
+                    *zero
+                }
+            }
+        }
+    }
+
+    /// Materialises the configuration as one colour per vertex.
+    pub fn snapshot(&self) -> Vec<Color> {
+        match self {
+            StateVec::Generic { colors, .. } => colors.clone(),
+            StateVec::Packed { lane, zero, one } => (0..lane.len())
+                .map(|v| if lane.is_one(v) { *one } else { *zero })
+                .collect(),
+        }
+    }
+
+    /// Number of vertices currently holding `k` (O(1)).
+    pub fn count_of(&self, k: Color) -> usize {
+        match self {
+            StateVec::Generic { census, .. } => census.count(k),
+            StateVec::Packed { lane, zero, one } => {
+                if k == *one {
+                    lane.ones()
+                } else if k == *zero {
+                    lane.len() - lane.ones()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// The monochromatic colour, if every vertex holds the same one (O(1)).
+    pub fn monochromatic(&self) -> Option<Color> {
+        if self.is_empty() {
+            return None;
+        }
+        match self {
+            StateVec::Generic { colors, census } => (census.distinct() == 1).then(|| colors[0]),
+            StateVec::Packed { lane, zero, one } => {
+                if lane.ones() == lane.len() {
+                    Some(*one)
+                } else if lane.ones() == 0 {
+                    Some(*zero)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u16) -> Color {
+        Color::new(i)
+    }
+
+    #[test]
+    fn census_tracks_distinct_colors() {
+        let mut census = ColorCensus::of(&[c(1), c(1), c(2)]);
+        assert_eq!(census.count(c(1)), 2);
+        assert_eq!(census.count(c(9)), 0);
+        assert_eq!(census.distinct(), 2);
+        census.remove(c(2));
+        census.add(c(1));
+        assert_eq!(census.distinct(), 1);
+        assert_eq!(census.count(c(1)), 3);
+    }
+
+    #[test]
+    fn generic_state_queries() {
+        let colors = vec![c(1), c(2), c(1)];
+        let state = StateVec::Generic {
+            census: ColorCensus::of(&colors),
+            colors,
+        };
+        assert_eq!(state.len(), 3);
+        assert!(!state.is_packed());
+        assert_eq!(state.color_of(1), c(2));
+        assert_eq!(state.count_of(c(1)), 2);
+        assert_eq!(state.monochromatic(), None);
+        assert_eq!(state.snapshot(), vec![c(1), c(2), c(1)]);
+    }
+
+    #[test]
+    fn packed_state_queries() {
+        let mut lane = PackedFrontier::new(4, vec![u32::MAX; 4], vec![u32::MAX; 4]);
+        lane.set_one(2);
+        let state = StateVec::Packed {
+            lane,
+            zero: c(1),
+            one: c(2),
+        };
+        assert_eq!(state.len(), 4);
+        assert!(state.is_packed());
+        assert_eq!(state.color_of(2), c(2));
+        assert_eq!(state.color_of(0), c(1));
+        assert_eq!(state.count_of(c(2)), 1);
+        assert_eq!(state.count_of(c(1)), 3);
+        assert_eq!(state.count_of(c(7)), 0);
+        assert_eq!(state.monochromatic(), None);
+        assert_eq!(state.snapshot(), vec![c(1), c(1), c(2), c(1)]);
+    }
+}

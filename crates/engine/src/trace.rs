@@ -147,22 +147,27 @@ pub fn run_with_trace<R: LocalRule>(
 
     let mut sim = Simulator::new(torus, rule, initial);
     let mut configurations = vec![sim.coloring()];
-    let n = sim.state().len();
+    let n = ctori_topology::Topology::node_count(torus);
     let max_rounds = if config.max_rounds == 0 {
         4 * n + 16
     } else {
         config.max_rounds
     };
 
-    let hash_state = |state: &[Color]| -> u64 {
+    let hash_coloring = |coloring: &Coloring| -> u64 {
         let mut hasher = DefaultHasher::new();
-        state.hash(&mut hasher);
+        coloring.cells().hash(&mut hasher);
         hasher.finish()
     };
 
-    let mut seen: HashMap<u64, usize> = HashMap::new();
+    // The trace keeps every configuration anyway, so a hash match is
+    // confirmed by comparing the stored configurations — a 64-bit
+    // collision cannot be misreported as a cycle.
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
     if config.detect_cycles {
-        seen.insert(hash_state(sim.state()), 0);
+        seen.entry(hash_coloring(&configurations[0]))
+            .or_default()
+            .push(0);
     }
 
     // The round loop is re-implemented here (rather than delegating to
@@ -181,13 +186,17 @@ pub fn run_with_trace<R: LocalRule>(
             break Termination::FixedPoint;
         }
         if config.detect_cycles {
-            let h = hash_state(sim.state());
-            if let Some(&first) = seen.get(&h) {
+            let current = configurations.last().expect("just pushed");
+            let h = hash_coloring(current);
+            if let Some(&repeat) = seen
+                .get(&h)
+                .and_then(|rounds| rounds.iter().find(|&&r| &configurations[r] == current))
+            {
                 break Termination::Cycle {
-                    period: sim.round() - first,
+                    period: sim.round() - repeat,
                 };
             }
-            seen.insert(h, sim.round());
+            seen.entry(h).or_default().push(sim.round());
         }
     };
 

@@ -49,6 +49,7 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod capability;
 pub mod counting;
 pub mod irreversible;
 pub mod majority;
@@ -56,6 +57,7 @@ pub mod rule;
 pub mod smp;
 pub mod threshold;
 
+pub use capability::TwoStateThreshold;
 pub use counting::{plurality, ColorCounts};
 pub use irreversible::Irreversible;
 pub use majority::{ReverseSimpleMajority, ReverseStrongMajority, TieBreak};

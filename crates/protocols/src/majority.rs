@@ -24,6 +24,7 @@
 //! they can also be run on multi-coloured configurations for comparison
 //! experiments.
 
+use crate::capability::TwoStateThreshold;
 use crate::rule::LocalRule;
 use ctori_coloring::Color;
 
@@ -94,6 +95,16 @@ impl LocalRule for ReverseSimpleMajority {
             TieBreak::PreferCurrent => "reverse simple majority (prefer-current)",
         }
     }
+
+    fn as_two_state_threshold(&self) -> Option<TwoStateThreshold> {
+        // On two colours the leader either has a strict majority (adopt) or
+        // exactly half the neighbourhood; the tie-break decides the rest.
+        let t = TwoStateThreshold::majority(Self::THRESHOLD as u32);
+        Some(match self.tie_break {
+            TieBreak::PreferBlack => t.with_tie_to(Color::BLACK),
+            TieBreak::PreferCurrent => t,
+        })
+    }
 }
 
 /// Reverse strong majority: adopt a colour held by at least
@@ -116,6 +127,10 @@ impl LocalRule for ReverseStrongMajority {
 
     fn name(&self) -> &'static str {
         "reverse strong majority"
+    }
+
+    fn as_two_state_threshold(&self) -> Option<TwoStateThreshold> {
+        Some(TwoStateThreshold::majority(Self::THRESHOLD as u32))
     }
 }
 

@@ -11,7 +11,8 @@
 //!   plurality of at least two neighbours.
 
 use ctori_coloring::Color;
-use ctori_engine::{RunConfig, Simulator, Termination};
+use ctori_engine::{PackedFrontier, RunConfig, Simulator, Termination};
+use ctori_protocols::capability::NEVER;
 use ctori_protocols::{LocalRule, SmpProtocol};
 use ctori_topology::{Adjacency, Graph, NodeId, Topology};
 
@@ -66,73 +67,44 @@ pub fn spread(graph: &Graph, thresholds: &Thresholds, seeds: &[NodeId]) -> Sprea
 
 /// Runs the linear-threshold process on a prebuilt CSR adjacency.
 ///
-/// The implementation is frontier-based: when a vertex activates it
-/// increments an active-neighbour counter on each of its neighbours, and a
-/// vertex activates the round after its counter reaches its threshold.
-/// Every edge is therefore visited at most once in each direction — O(|E|)
-/// total instead of a full re-scan per round — and the frontier buffers
-/// are reused across rounds, so nothing is allocated per round.  The
-/// activation rounds are identical to the synchronous re-scan semantics.
+/// This is a thin wrapper over the engine's packed two-colour frontier
+/// lane ([`ctori_engine::PackedFrontier`]) — the same scheduler the
+/// simulator uses for two-colour runs: active vertices are single bits,
+/// the per-vertex thresholds become the lane's up-thresholds (activation
+/// is monotone, so the down direction is [`NEVER`]), and after the first
+/// full round only the frontier — vertices adjacent to the last
+/// activations — is re-evaluated.  The activation rounds are identical to
+/// the synchronous re-scan semantics; vertices with a zero threshold need
+/// no active neighbour at all and self-activate in round 1.
 pub fn spread_on(adjacency: &Adjacency, thresholds: &Thresholds, seeds: &[NodeId]) -> SpreadResult {
     let n = adjacency.node_count();
     assert_eq!(thresholds.len(), n, "one threshold per vertex");
-    let mut active = vec![false; n];
-    let mut activation_round = vec![None; n];
-    let mut active_neighbors = vec![0u32; n];
-    let mut frontier: Vec<u32> = Vec::new();
-    let mut next_frontier: Vec<u32> = Vec::new();
-
-    for &s in seeds {
-        if !active[s.index()] {
-            active[s.index()] = true;
-            activation_round[s.index()] = Some(0);
-            frontier.push(s.index() as u32);
-        }
-    }
-    // Vertices with a zero threshold need no active neighbour at all: under
-    // the synchronous semantics they self-activate in round 1.
-    let mut zero_threshold: Vec<u32> = (0..n)
-        .filter(|&v| !active[v] && thresholds[v] == 0)
-        .map(|v| v as u32)
+    let up: Vec<u32> = thresholds
+        .iter()
+        .map(|&t| u32::try_from(t).unwrap_or(NEVER))
         .collect();
+    let mut lane = PackedFrontier::new(n, up, vec![NEVER; n]);
+    let mut activation_round = vec![None; n];
+    for &s in seeds {
+        lane.set_one(s.index());
+        activation_round[s.index()] = Some(0);
+    }
 
-    let mut round = 0usize;
+    let mut rounds = 0usize;
     loop {
-        next_frontier.clear();
-        for &u in &frontier {
-            for &v in adjacency.neighbors_raw(u as usize) {
-                let v = v as usize;
-                if active[v] {
-                    continue;
-                }
-                active_neighbors[v] += 1;
-                if active_neighbors[v] as usize >= thresholds[v] {
-                    active[v] = true;
-                    next_frontier.push(v as u32);
-                }
-            }
-        }
-        for &v in &zero_threshold {
-            if !active[v as usize] {
-                active[v as usize] = true;
-                next_frontier.push(v);
-            }
-        }
-        zero_threshold.clear();
-        if next_frontier.is_empty() {
+        if lane.step(adjacency) == 0 {
             break;
         }
-        round += 1;
-        for &v in &next_frontier {
-            activation_round[v as usize] = Some(round);
+        rounds += 1;
+        for &v in lane.flips() {
+            activation_round[v as usize] = Some(rounds);
         }
-        std::mem::swap(&mut frontier, &mut next_frontier);
     }
 
-    let activated_count = active.iter().filter(|&&a| a).count();
+    let activated_count = lane.ones();
     SpreadResult {
         activated_count,
-        rounds: round,
+        rounds,
         complete: activated_count == n,
         activation_round,
     }
@@ -185,7 +157,7 @@ pub fn run_rule_on_graph<R: LocalRule>(
 ) -> (Vec<Color>, usize, Termination) {
     let mut sim = Simulator::from_topology(graph, rule, initial);
     let report = sim.run(&RunConfig::default().with_max_rounds(max_rounds));
-    (sim.state().to_vec(), report.rounds, report.termination)
+    (sim.snapshot(), report.rounds, report.termination)
 }
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! Cross-backend equivalence properties for the incremental engine.
+//!
+//! The simulator has three data paths that must be *exact* optimisations
+//! of each other for local rules:
+//!
+//! * the bit-packed two-colour lane (auto-selected when the rule has a
+//!   [`colored_tori::protocols::TwoStateThreshold`] form and at most two
+//!   colours are present);
+//! * the generic `Vec<Color>` backend with incremental frontier stepping;
+//! * the generic backend with the exhaustive full sweep (the PR-1
+//!   stepper, kept as the fallback for non-local rules).
+//!
+//! These properties pin them together round for round on all three torus
+//! kinds and every two-state-capable rule in the workspace, and pin the
+//! rewritten `tss::diffusion::spread_on` (now a thin wrapper over the
+//! engine's packed lane) to the synchronous re-scan reference semantics.
+
+use colored_tori::engine::{RunConfig, Simulator};
+use colored_tori::prelude::*;
+use colored_tori::protocols::{
+    AnyRule, Irreversible, ReverseSimpleMajority, SmpProtocol, ThresholdRule, TieBreak,
+};
+use colored_tori::topology::Graph;
+use colored_tori::tss::diffusion::{spread, SpreadResult, Thresholds};
+use colored_tori::tss::generators::{barabasi_albert, ring_lattice};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn torus_kind() -> impl Strategy<Value = TorusKind> {
+    prop_oneof![
+        Just(TorusKind::ToroidalMesh),
+        Just(TorusKind::TorusCordalis),
+        Just(TorusKind::TorusSerpentinus),
+    ]
+}
+
+/// Every rule in the workspace with a two-colour degenerate form; boxed
+/// because `Irreversible<SmpProtocol>` is its own type.
+fn two_state_rules() -> Vec<Box<dyn LocalRule>> {
+    vec![
+        Box::new(SmpProtocol),
+        Box::new(ReverseSimpleMajority::new(TieBreak::PreferBlack)),
+        Box::new(ReverseSimpleMajority::new(TieBreak::PreferCurrent)),
+        Box::new(colored_tori::protocols::ReverseStrongMajority),
+        Box::new(ThresholdRule::new(Color::BLACK, 2)),
+        Box::new(Irreversible::new(SmpProtocol, Color::BLACK)),
+    ]
+}
+
+/// A random white/black colouring with roughly `density`% black vertices.
+fn bicolor_config(torus: &Torus, density: u8, seed: u64) -> Coloring {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = ColoringBuilder::filled(torus, Color::WHITE);
+    for r in 0..torus.rows() {
+        for c in 0..torus.cols() {
+            if rng.gen_range(0..100usize) < density as usize {
+                builder = builder.cell(r, c, Color::BLACK);
+            }
+        }
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packed lane ≡ generic frontier ≡ full sweep, round for round, for
+    /// every two-state-capable rule on every torus kind.
+    #[test]
+    fn packed_generic_and_full_sweep_agree_round_for_round(
+        kind in torus_kind(),
+        m in 3usize..=9,
+        n in 3usize..=9,
+        density in 5u8..=60,
+        seed in any::<u64>(),
+    ) {
+        let torus = Torus::new(kind, m, n);
+        let coloring = bicolor_config(&torus, density, seed);
+        for rule in two_state_rules() {
+            let mut packed = Simulator::new(&torus, &*rule, coloring.clone());
+            let mut generic =
+                Simulator::new(&torus, &*rule, coloring.clone()).without_packed_lane();
+            let mut sweep = Simulator::new(&torus, &*rule, coloring.clone())
+                .without_packed_lane()
+                .with_full_sweep();
+            // A genuinely two-coloured configuration must select the lane
+            // (a monochromatic draw legitimately stays generic).
+            if coloring.count(Color::BLACK) > 0 && coloring.count(Color::WHITE) > 0 {
+                prop_assert!(
+                    packed.uses_packed_lane(),
+                    "{} did not select the packed lane", rule.name()
+                );
+            }
+            for round in 0..2 * (m + n) {
+                let a = packed.step();
+                let b = generic.step();
+                let c = sweep.step();
+                prop_assert_eq!(
+                    a, b,
+                    "packed vs generic reports diverge at round {} under {}", round, rule.name()
+                );
+                prop_assert_eq!(
+                    b, c,
+                    "generic vs full-sweep reports diverge at round {} under {}",
+                    round, rule.name()
+                );
+                prop_assert_eq!(packed.snapshot(), generic.snapshot());
+                prop_assert_eq!(generic.snapshot(), sweep.snapshot());
+            }
+        }
+    }
+
+    /// The lanes also agree through `run`: same termination, same round
+    /// count, same tracking output.
+    #[test]
+    fn run_reports_agree_across_lanes(
+        kind in torus_kind(),
+        m in 3usize..=8,
+        n in 3usize..=8,
+        density in 5u8..=60,
+        seed in any::<u64>(),
+        rule_choice in 0usize..3,
+    ) {
+        let torus = Torus::new(kind, m, n);
+        let coloring = bicolor_config(&torus, density, seed);
+        let rule = match rule_choice {
+            0 => AnyRule::smp(),
+            1 => AnyRule::reverse_simple(TieBreak::PreferBlack),
+            _ => AnyRule::Threshold(ThresholdRule::new(Color::BLACK, 2)),
+        };
+        let config = RunConfig::for_dynamo(Color::BLACK);
+        let mut packed = Simulator::new(&torus, rule.clone(), coloring.clone());
+        let a = packed.run(&config);
+        let mut generic = Simulator::new(&torus, rule, coloring).without_packed_lane();
+        let b = generic.run(&config);
+        prop_assert_eq!(a.termination, b.termination);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.monotone, b.monotone);
+        prop_assert_eq!(a.recoloring_times, b.recoloring_times);
+        prop_assert_eq!(a.final_target_count, b.final_target_count);
+        prop_assert_eq!(packed.snapshot(), generic.snapshot());
+    }
+}
+
+/// The synchronous re-scan reference implementation `spread_on` must agree
+/// with, round for round (the pre-refactor hand-rolled frontier obeyed the
+/// same contract).
+fn spread_reference(graph: &Graph, thresholds: &Thresholds, seeds: &[NodeId]) -> SpreadResult {
+    let n = graph.node_count();
+    let mut active = vec![false; n];
+    let mut activation_round = vec![None; n];
+    for &s in seeds {
+        active[s.index()] = true;
+        activation_round[s.index()] = Some(0);
+    }
+    let mut round = 0usize;
+    loop {
+        let mut newly: Vec<usize> = Vec::new();
+        for v in 0..n {
+            if active[v] {
+                continue;
+            }
+            let active_nbrs = graph
+                .neighbors_slice(NodeId::new(v))
+                .iter()
+                .filter(|u| active[u.index()])
+                .count();
+            if active_nbrs >= thresholds[v] {
+                newly.push(v);
+            }
+        }
+        if newly.is_empty() {
+            break;
+        }
+        round += 1;
+        for v in newly {
+            active[v] = true;
+            activation_round[v] = Some(round);
+        }
+    }
+    let activated_count = active.iter().filter(|&&a| a).count();
+    SpreadResult {
+        activated_count,
+        rounds: round,
+        complete: activated_count == n,
+        activation_round,
+    }
+}
+
+fn random_graph(family: u8, nodes: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family % 3 {
+        0 => barabasi_albert(nodes.max(8), 3, &mut rng),
+        1 => ring_lattice(nodes.max(8), 2),
+        _ => {
+            let nodes = nodes.max(8);
+            let mut g = Graph::with_nodes(nodes);
+            for v in 1..nodes {
+                g.add_edge(NodeId::new(v - 1), NodeId::new(v));
+            }
+            for _ in 0..nodes {
+                let u = rng.gen_range(0..nodes);
+                let v = rng.gen_range(0..nodes);
+                if u != v {
+                    g.add_edge(NodeId::new(u), NodeId::new(v));
+                }
+            }
+            g
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The engine-lane `spread_on` is the synchronous re-scan process:
+    /// identical activation sets, rounds and per-vertex activation rounds,
+    /// including zero thresholds (self-activation in round 1).
+    #[test]
+    fn spread_on_matches_rescan_reference(
+        family in 0u8..3,
+        nodes in 8usize..60,
+        seed in any::<u64>(),
+        threshold in 0usize..4,
+        seed_count in 0usize..6,
+    ) {
+        let graph = random_graph(family, nodes, seed);
+        let n = graph.node_count();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+        let seeds: Vec<NodeId> = (0..seed_count.min(n))
+            .map(|_| NodeId::new(rng.gen_range(0..n)))
+            .collect();
+        let thresholds = vec![threshold; n];
+        prop_assert_eq!(
+            spread(&graph, &thresholds, &seeds),
+            spread_reference(&graph, &thresholds, &seeds)
+        );
+    }
+}
