@@ -2,25 +2,55 @@
 //!
 //! Not a figure of the paper — an engineering experiment guarding the
 //! refactor that introduced incremental frontier stepping and the
-//! bit-packed two-colour lane.  For every torus kind it runs the same
+//! bit-packed two-colour lane.  For every torus kind it describes the same
 //! bi-coloured prefer-black workload (the paper's baseline rule, chosen
-//! because it is non-monotone and keeps the frontier moving) through the
-//! three data paths and checks that they terminate identically:
+//! because it is non-monotone and keeps the frontier moving) as a
+//! [`RunSpec`] and executes it under all three [`LaneSpec`] policies:
 //!
-//! * the **packed lane** (auto-selected: two colours + a
+//! * the **packed lane** ([`LaneSpec::Auto`]: two colours + a
 //!   [`ctori_protocols::TwoStateThreshold`]-capable rule);
-//! * the **generic frontier** (colour vector, incremental candidates);
-//! * the **full sweep** (the PR-1 exhaustive stepper, kept as fallback).
+//! * the **generic frontier** ([`LaneSpec::GenericFrontier`]);
+//! * the **full sweep** ([`LaneSpec::FullSweep`], the PR-1 exhaustive
+//!   stepper kept as fallback).
 //!
-//! The sweep itself fans out over `ctori_engine::sweep::parallel_runs`, so
-//! the experiment also exercises the scheduler under the thread pool.
+//! The whole `(kind × size × lane)` grid fans out in **one**
+//! [`Runner::sweep`] call, so the experiment also demonstrates the batch
+//! layer parallelising a parameter grid.
 
 use crate::experiment::{Experiment, ExperimentRecord, Mode};
 use crate::table::Table;
 use ctori_coloring::{Color, ColoringBuilder};
-use ctori_engine::{parallel_runs, RunConfig, Simulator, Termination};
-use ctori_protocols::ReverseSimpleMajority;
+use ctori_engine::{
+    EngineOptions, LaneSpec, RuleSpec, RunOutcome, RunSpec, Runner, SeedSpec, Termination,
+    TopologySpec,
+};
 use ctori_topology::{Torus, TorusKind};
+
+const LANES: [LaneSpec; 3] = [
+    LaneSpec::Auto,
+    LaneSpec::GenericFrontier,
+    LaneSpec::FullSweep,
+];
+
+/// The bi-coloured prefer-black workload for one torus cell, as a spec:
+/// a black square block (grows) plus a lone black vertex (is erased), so
+/// both flip directions of the packed lane are exercised.
+fn cell_spec(kind: TorusKind, size: usize, lane: LaneSpec) -> RunSpec {
+    let torus = Torus::new(kind, size, size);
+    let mut builder = ColoringBuilder::filled(&torus, Color::WHITE);
+    for r in 1..=size / 3 {
+        for c in 1..=size / 3 {
+            builder = builder.cell(r, c, Color::BLACK);
+        }
+    }
+    let coloring = builder.cell(size - 1, size - 1, Color::BLACK).build();
+    RunSpec::new(
+        TopologySpec::torus(kind, size, size),
+        RuleSpec::parse("prefer-black").expect("registry rule"),
+        SeedSpec::Explicit(coloring),
+    )
+    .with_options(EngineOptions::default().with_lane(lane))
+}
 
 /// Outcome of one size/kind cell, for all three lanes.
 struct LaneOutcome {
@@ -32,44 +62,21 @@ struct LaneOutcome {
     rounds: usize,
 }
 
-fn run_cell(kind: TorusKind, size: usize) -> LaneOutcome {
-    let torus = Torus::new(kind, size, size);
-    // A black square block plus a lone black vertex: the block grows under
-    // prefer-black while the lone vertex is erased, so both flip
-    // directions of the packed lane are exercised.
-    let mut builder = ColoringBuilder::filled(&torus, Color::WHITE);
-    for r in 1..=size / 3 {
-        for c in 1..=size / 3 {
-            builder = builder.cell(r, c, Color::BLACK);
-        }
-    }
-    let coloring = builder.cell(size - 1, size - 1, Color::BLACK).build();
-
-    let rule = ReverseSimpleMajority::prefer_black;
-    let config = RunConfig::default();
-    let mut packed = Simulator::new(&torus, rule(), coloring.clone());
-    let packed_selected = packed.uses_packed_lane();
-    let a = packed.run(&config);
-    let mut generic = Simulator::new(&torus, rule(), coloring.clone()).without_packed_lane();
-    let b = generic.run(&config);
-    let mut sweep = Simulator::new(&torus, rule(), coloring)
-        .without_packed_lane()
-        .with_full_sweep();
-    let c = sweep.run(&config);
-
-    let agree = a.termination == b.termination
-        && b.termination == c.termination
-        && a.rounds == b.rounds
-        && b.rounds == c.rounds
-        && packed.snapshot() == generic.snapshot()
-        && generic.snapshot() == sweep.snapshot();
+fn summarize(kind: TorusKind, size: usize, outcomes: &[RunOutcome]) -> LaneOutcome {
+    let auto = &outcomes[0];
+    let agree = outcomes.iter().skip(1).all(|o| {
+        o.termination == auto.termination
+            && o.rounds == auto.rounds
+            && o.final_coloring == auto.final_coloring
+            && !o.used_packed_lane
+    });
     LaneOutcome {
         kind,
         size,
-        packed_selected,
+        packed_selected: auto.used_packed_lane,
         agree,
-        termination: a.termination,
-        rounds: a.rounds,
+        termination: auto.termination,
+        rounds: auto.rounds,
     }
 }
 
@@ -92,7 +99,17 @@ impl Experiment for EngineLanes {
             .into_iter()
             .flat_map(|kind| sizes.iter().map(move |&s| (kind, s)))
             .collect();
-        let outcomes = parallel_runs(cells, |&(kind, size)| run_cell(kind, size));
+        // One flat (kind × size × lane) grid through the batch layer.
+        let grid: Vec<RunSpec> = cells
+            .iter()
+            .flat_map(|&(kind, size)| LANES.iter().map(move |&lane| cell_spec(kind, size, lane)))
+            .collect();
+        let results = Runner::new().sweep(grid);
+        let outcomes: Vec<LaneOutcome> = cells
+            .iter()
+            .zip(results.chunks(LANES.len()))
+            .map(|(&(kind, size), chunk)| summarize(kind, size, chunk))
+            .collect();
 
         let mut table = Table::new(vec![
             "torus",
@@ -123,7 +140,8 @@ impl Experiment for EngineLanes {
             table,
             observations: vec![
                 "the packed lane is auto-selected for every bi-coloured prefer-black run; all \
-                 three data paths terminate identically with identical final configurations."
+                 three data paths terminate identically with identical final configurations.  \
+                 The whole (kind x size x lane) grid executes as one Runner::sweep batch."
                     .into(),
             ],
             passed,

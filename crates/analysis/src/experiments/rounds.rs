@@ -51,6 +51,7 @@ fn measure(kind: TorusKind, m: usize, n: usize) -> Measurement {
                 theorem6_seed_column(&torus, k())
             }
         }
+        other => panic!("no theorem seed for {other}"),
     };
     let ideal = ideal_rounds_for_partial(&torus, &partial, k());
     let ideal_cross = if kind == TorusKind::ToroidalMesh {
@@ -68,7 +69,7 @@ fn measure(kind: TorusKind, m: usize, n: usize) -> Measurement {
     });
     let predicted = match kind {
         TorusKind::ToroidalMesh => theorem7_rounds(m, n),
-        TorusKind::TorusCordalis | TorusKind::TorusSerpentinus => theorem8_rounds(m, n),
+        _ => theorem8_rounds(m, n),
     };
     Measurement {
         predicted,

@@ -1,0 +1,77 @@
+//! Batch-layer throughput: `Runner::sweep` over a declarative parameter
+//! grid, in specs per second.
+//!
+//! The grid is 3 sizes × 3 torus kinds × 2 seed densities = 18 `RunSpec`s
+//! (density × size × kind — the shape a batch/service layer will fan out).
+//! Sequential execution (one thread) is measured next to the parallel
+//! sweep so the scaling of the batch path stays visible over time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ctori_coloring::Color;
+use ctori_engine::{RuleSpec, RunSpec, Runner, SeedSpec, TopologySpec};
+use ctori_topology::TorusKind;
+use std::hint::black_box;
+
+/// The 3 × 3 × 2 scenario grid: size × kind × density.
+fn spec_grid() -> Vec<RunSpec> {
+    let sizes = [16usize, 24, 32];
+    let densities = [0.3f64, 0.6];
+    let mut grid = Vec::with_capacity(sizes.len() * TorusKind::ALL.len() * densities.len());
+    for &size in &sizes {
+        for kind in TorusKind::ALL {
+            for &fraction in &densities {
+                grid.push(RunSpec::new(
+                    TopologySpec::torus(kind, size, size),
+                    RuleSpec::parse("smp").expect("registry rule"),
+                    SeedSpec::Density {
+                        color: Color::new(1),
+                        palette: 4,
+                        fraction,
+                        rng_seed: 2011,
+                    },
+                ));
+            }
+        }
+    }
+    grid
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let grid = spec_grid();
+    let mut group = c.benchmark_group("runner/sweep_grid_3x3x2");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(grid.len() as u64));
+
+    group.bench_function("sequential_1_thread", |b| {
+        let runner = Runner::with_threads(1);
+        b.iter(|| black_box(runner.sweep(grid.clone())));
+    });
+    group.bench_function("parallel_default_threads", |b| {
+        let runner = Runner::new();
+        b.iter(|| black_box(runner.sweep(grid.clone())));
+    });
+    group.finish();
+}
+
+fn bench_single_spec_overhead(c: &mut Criterion) {
+    // One tiny spec, executed alone: the fixed cost of the declarative
+    // path (topology build + seed materialisation + lane selection) on
+    // top of the raw simulator.
+    let spec = RunSpec::new(
+        TopologySpec::toroidal_mesh(8, 8),
+        RuleSpec::parse("smp").expect("registry rule"),
+        SeedSpec::Density {
+            color: Color::new(1),
+            palette: 4,
+            fraction: 0.4,
+            rng_seed: 7,
+        },
+    );
+    let runner = Runner::with_threads(1);
+    c.bench_function("runner/execute_single_8x8", |b| {
+        b.iter(|| black_box(runner.execute(&spec)))
+    });
+}
+
+criterion_group!(benches, bench_sweep_throughput, bench_single_spec_overhead);
+criterion_main!(benches);

@@ -39,6 +39,7 @@ pub fn lower_bound(kind: TorusKind, m: usize, n: usize) -> usize {
         TorusKind::ToroidalMesh => toroidal_mesh_lower_bound(m, n),
         TorusKind::TorusCordalis => torus_cordalis_lower_bound(m, n),
         TorusKind::TorusSerpentinus => torus_serpentinus_lower_bound(m, n),
+        other => panic!("no published lower bound for {other}"),
     }
 }
 
@@ -69,7 +70,7 @@ pub fn prop3_minimum_colors(m: usize, n: usize) -> u16 {
     }
 }
 
-/// Theorem 16 of [15], quoted in the proof of Proposition 3: the
+/// Theorem 16 of \[15\], quoted in the proof of Proposition 3: the
 /// bi-coloured lower bound `⌈(2m + 1) / 2⌉ = m + 1` for an `m × 2` torus.
 /// Returned here because the Proposition-3 experiment compares against it.
 pub fn flocchini_bicolor_bound_two_columns(m: usize) -> usize {

@@ -208,6 +208,7 @@ pub fn minimum_dynamo(
         TorusKind::ToroidalMesh => mesh::theorem2_dynamo(m, n, k),
         TorusKind::TorusCordalis => cordalis::theorem4_dynamo(m, n, k),
         TorusKind::TorusSerpentinus => serpentinus::theorem6_dynamo(m, n, k),
+        other => panic!("no minimum-dynamo construction for {other}"),
     }
 }
 

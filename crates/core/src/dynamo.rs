@@ -13,8 +13,8 @@
 //! procedure, not a heuristic.
 
 use ctori_coloring::{Color, Coloring};
-use ctori_engine::{RunConfig, Simulator, Termination};
-use ctori_protocols::{LocalRule, SmpProtocol};
+use ctori_engine::{RuleSpec, RunSpec, Runner, SeedSpec, Termination, TopologySpec};
+use ctori_protocols::{AnyRule, SmpProtocol};
 use ctori_topology::{NodeSet, Torus};
 
 /// The result of verifying a candidate dynamo.
@@ -64,24 +64,34 @@ pub fn verify_dynamo(torus: &Torus, initial: &Coloring, k: Color) -> DynamoRepor
     verify_dynamo_with_rule(torus, initial, k, SmpProtocol)
 }
 
-/// Verifies a candidate dynamo under an arbitrary local rule (used for the
-/// bi-coloured baselines of Propositions 1 and 2).
-pub fn verify_dynamo_with_rule<R: LocalRule>(
+/// Verifies a candidate dynamo under an arbitrary registry rule (used for
+/// the bi-coloured baselines of Propositions 1 and 2).
+///
+/// The run goes through the declarative execution path: the candidate
+/// becomes a [`RunSpec`] and the engine's [`Runner`] owns lane selection
+/// and termination, so every dynamo check in the workspace exercises the
+/// same machinery a batch sweep would.
+pub fn verify_dynamo_with_rule(
     torus: &Torus,
     initial: &Coloring,
     k: Color,
-    rule: R,
+    rule: impl Into<AnyRule>,
 ) -> DynamoReport {
     let seed_size = initial.count(k);
-    let mut sim = Simulator::new(torus, rule, initial.clone());
-    let report = sim.run(&RunConfig::for_dynamo(k));
+    let spec = RunSpec::new(
+        TopologySpec::torus(torus.kind(), torus.rows(), torus.cols()),
+        RuleSpec::from_rule(rule),
+        SeedSpec::Explicit(initial.clone()),
+    )
+    .for_dynamo(k);
+    let outcome = Runner::new().execute(&spec);
     DynamoReport {
         k,
         seed_size,
-        termination: report.termination,
-        rounds: report.rounds,
-        monotone: report.monotone.unwrap_or(false),
-        recoloring_times: report.recoloring_times.unwrap_or_default(),
+        termination: outcome.termination,
+        rounds: outcome.rounds,
+        monotone: outcome.monotone.unwrap_or(false),
+        recoloring_times: outcome.recoloring_times.unwrap_or_default(),
     }
 }
 

@@ -10,7 +10,9 @@ use crate::construct::mesh::theorem2_dynamo;
 use crate::construct::{ConstructError, ConstructedDynamo};
 use crate::counterexamples;
 use ctori_coloring::{render_highlight, Color, Coloring, ColoringBuilder};
-use ctori_engine::{run_with_trace, RecoloringTimes, RunConfig};
+use ctori_engine::{
+    RecoloringTimes, RuleSpec, RunSpec, Runner, SeedSpec, TopologySpec, Trace, TraceObserver,
+};
 use ctori_protocols::SmpProtocol;
 use ctori_topology::{toroidal_mesh, torus_cordalis, Torus};
 
@@ -73,6 +75,26 @@ pub fn fill_with_distinct_colors(partial: &Coloring, k: Color) -> Coloring {
     out
 }
 
+/// The dynamo-verification [`RunSpec`] for an SMP run of `initial` on
+/// `torus`: the declarative form every figure reproduction executes
+/// through.
+fn smp_spec(torus: &Torus, initial: Coloring, k: Color) -> RunSpec {
+    RunSpec::new(
+        TopologySpec::torus(torus.kind(), torus.rows(), torus.cols()),
+        RuleSpec::from_rule(SmpProtocol),
+        SeedSpec::Explicit(initial),
+    )
+    .for_dynamo(k)
+}
+
+/// Runs an SMP spec recording every configuration, for the recolouring-time
+/// matrices of Figures 5 and 6.
+fn smp_trace(torus: &Torus, initial: Coloring, k: Color) -> Trace {
+    let mut observer = TraceObserver::new();
+    Runner::new().execute_observed(&smp_spec(torus, initial, k), &mut observer);
+    observer.into_trace()
+}
+
 /// Runs the "ideal" propagation (every non-seed vertex gets a pairwise
 /// distinct colour) from a partially-specified seed configuration and
 /// returns the number of rounds to reach the `k`-monochromatic
@@ -83,12 +105,8 @@ pub fn fill_with_distinct_colors(partial: &Coloring, k: Color) -> Coloring {
 /// from the one-round delays a specific four-colour filler can introduce.
 pub fn ideal_rounds_for_partial(torus: &Torus, partial: &Coloring, k: Color) -> Option<usize> {
     let initial = fill_with_distinct_colors(partial, k);
-    let mut sim = ctori_engine::Simulator::new(torus, SmpProtocol, initial);
-    let report = sim.run(&RunConfig::for_dynamo(k));
-    report
-        .termination
-        .is_monochromatic_in(k)
-        .then_some(report.rounds)
+    let outcome = Runner::new().execute(&smp_spec(torus, initial, k));
+    outcome.reached_monochromatic(k).then_some(outcome.rounds)
 }
 
 /// Figure 5: the recolouring-time matrix of a toroidal mesh whose entire
@@ -101,8 +119,7 @@ pub fn figure5(m: usize, n: usize, k: Color) -> RecoloringTimes {
         .column(0, k)
         .build_partial();
     let initial = fill_with_distinct_colors(&partial, k);
-    let (trace, _report) = run_with_trace(&torus, SmpProtocol, initial, &RunConfig::for_dynamo(k));
-    RecoloringTimes::from_trace(&trace, k)
+    RecoloringTimes::from_trace(&smp_trace(&torus, initial, k), k)
 }
 
 /// Figure 6: the recolouring-time matrix of a torus cordalis seeded with
@@ -114,8 +131,7 @@ pub fn figure6(m: usize, n: usize, k: Color) -> RecoloringTimes {
         .cell(1, 0, k)
         .build_partial();
     let initial = fill_with_distinct_colors(&partial, k);
-    let (trace, _report) = run_with_trace(&torus, SmpProtocol, initial, &RunConfig::for_dynamo(k));
-    RecoloringTimes::from_trace(&trace, k)
+    RecoloringTimes::from_trace(&smp_trace(&torus, initial, k), k)
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ pub fn phi_collapse(coloring: &Coloring, k: Color) -> Coloring {
     coloring.map_colors(|c| if c == k { Color::BLACK } else { Color::WHITE })
 }
 
-/// A *simple white block* in the bi-coloured terminology of [15]: a
+/// A *simple white block* in the bi-coloured terminology of \[15\]: a
 /// connected set of white vertices each with at least three white
 /// neighbours inside the set.  Under φ this is exactly the image of a
 /// non-`k`-block.

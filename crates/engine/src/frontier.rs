@@ -11,7 +11,7 @@
 //!
 //! Two pieces live here:
 //!
-//! * [`Worklist`] — the round-stamped candidate dedup shared by both state
+//! * `Worklist` (crate-private) — the round-stamped candidate dedup shared by both state
 //!   backends.  Deduplication uses a `Vec<u32>` of round tags instead of a
 //!   hash set: marking a vertex is one array compare-and-write, and
 //!   clearing between rounds is a single counter increment.

@@ -27,6 +27,36 @@
 //! * [`sweep`] — parallel parameter sweeps over many simulations using
 //!   `std::thread::scope` workers with lock-free result collection.
 //!
+//! # The declarative execution API
+//!
+//! Interactive callers drive a [`Simulator`] directly; everything else —
+//! experiments, batch sweeps, and eventually a service — should describe a
+//! scenario as data and hand it to the runner:
+//!
+//! * [`spec`] — [`RunSpec`]: a plain-data scenario (topology + rule by
+//!   registry name + seed + engine policy) with a human-readable text
+//!   round-trip ([`RunSpec::to_text`] / [`RunSpec::from_text`]);
+//! * [`runner`] — [`Runner::execute`] turns one spec into a
+//!   [`RunOutcome`]; [`Runner::sweep`] fans a parameter grid out over the
+//!   sweep thread pool;
+//! * [`observe`] — [`Observer`] hooks ([`TraceObserver`],
+//!   [`HistogramObserver`], or custom) receive a [`StepView`] after every
+//!   round, replacing bespoke recording loops.
+//!
+//! ```
+//! use ctori_engine::{Runner, RunSpec, RuleSpec, SeedSpec, TopologySpec};
+//! use ctori_coloring::Color;
+//!
+//! let spec = RunSpec::new(
+//!     TopologySpec::toroidal_mesh(6, 6),
+//!     RuleSpec::parse("smp").unwrap(),
+//!     SeedSpec::checkerboard(Color::new(1), Color::new(2)),
+//! );
+//! let outcome = Runner::new().execute(&spec);
+//! // A checkerboard flips entirely every round: a verified period-2 cycle.
+//! assert_eq!(outcome.termination, ctori_engine::Termination::Cycle { period: 2 });
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -59,7 +89,10 @@ pub mod frontier;
 pub mod metrics;
 #[cfg(feature = "naive-baseline")]
 pub mod naive;
+pub mod observe;
+pub mod runner;
 pub mod simulator;
+pub mod spec;
 pub mod state;
 pub mod sweep;
 pub mod trace;
@@ -67,7 +100,13 @@ pub mod trace;
 pub use adjacency::Adjacency;
 pub use frontier::PackedFrontier;
 pub use metrics::{round_histogram, ColorHistogram};
+pub use observe::{HistogramObserver, NullObserver, Observer, StepView, TraceObserver};
+pub use runner::{RunOutcome, Runner};
 pub use simulator::{RunConfig, RunReport, Simulator, StepReport, Termination};
+pub use spec::{
+    BuiltTopology, EngineOptions, LaneSpec, PatternSpec, RuleSpec, RunSpec, SeedSpec,
+    SpecParseError, TopologySpec,
+};
 pub use state::StateVec;
 pub use sweep::{parallel_map, parallel_runs};
 pub use trace::{run_with_trace, RecoloringTimes, Trace};

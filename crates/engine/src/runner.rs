@@ -1,0 +1,348 @@
+//! Scenario execution: one entry point for single runs and batch sweeps.
+//!
+//! [`Runner`] is the execution half of the declarative API: it owns the
+//! whole pipeline from a [`RunSpec`] to a [`RunOutcome`] — materialising
+//! the topology, colouring the seed, resolving the rule, selecting the
+//! simulation lane, and driving the run to termination — so callers never
+//! touch a `Simulator` to run a scenario.  [`Runner::sweep`] fans a batch
+//! of specs out over the [`crate::sweep::parallel_map`] thread pool,
+//! which is the workspace's first end-to-end multi-scenario throughput
+//! path (parameter grids: density × size × rule).
+//!
+//! ```
+//! use ctori_engine::{Runner, RunSpec, RuleSpec, SeedSpec, TopologySpec, Termination};
+//! use ctori_engine::spec::PatternSpec;
+//! use ctori_coloring::Color;
+//!
+//! // Alternating white/black columns: every vertex sees a 2-2 tie, which
+//! // the prefer-black tie-break resolves to black in a single round.
+//! let spec = RunSpec::new(
+//!     TopologySpec::toroidal_mesh(4, 4),
+//!     RuleSpec::parse("prefer-black").unwrap(),
+//!     SeedSpec::Pattern(PatternSpec::ColumnStripes(vec![Color::WHITE, Color::BLACK])),
+//! );
+//! let outcome = Runner::new().execute(&spec);
+//! assert_eq!(outcome.termination, Termination::Monochromatic(Color::BLACK));
+//! assert_eq!(outcome.rounds, 1);
+//! ```
+
+use crate::observe::{NullObserver, Observer};
+use crate::simulator::{RunReport, Simulator, Termination};
+use crate::spec::{BuiltTopology, LaneSpec, RunSpec};
+use crate::sweep::parallel_map;
+use ctori_coloring::{Color, Coloring};
+use ctori_protocols::AnyRule;
+
+/// The result of executing one [`RunSpec`].
+///
+/// Plain data: everything a caller (or a future service response) needs
+/// without keeping the simulator alive.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct RunOutcome {
+    /// Canonical name of the rule that ran (registry form).
+    pub rule: String,
+    /// Why the run stopped.
+    pub termination: Termination,
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// The final configuration (grid-shaped; `1 × n` on general graphs).
+    pub final_coloring: Coloring,
+    /// Per-vertex adoption times of the tracked colour, when
+    /// [`crate::spec::EngineOptions::track_times_for`] was set.
+    pub recoloring_times: Option<Vec<Option<usize>>>,
+    /// Whether the run was monotone in the checked colour, when
+    /// [`crate::spec::EngineOptions::check_monotone_for`] was set.
+    pub monotone: Option<bool>,
+    /// Final count of the tracked/checked colour.
+    pub final_target_count: Option<usize>,
+    /// Whether the bit-packed two-colour lane drove the run.
+    pub used_packed_lane: bool,
+}
+
+impl RunOutcome {
+    /// Whether the run converged to the `k`-monochromatic configuration.
+    pub fn reached_monochromatic(&self, k: Color) -> bool {
+        self.termination.is_monochromatic_in(k)
+    }
+
+    /// Number of vertices holding `k` in the final configuration.
+    pub fn final_count(&self, k: Color) -> usize {
+        self.final_coloring.count(k)
+    }
+
+    /// The outcome in the engine's [`RunReport`] shape (for helpers such
+    /// as [`crate::trace::RecoloringTimes::from_report`]).
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            termination: self.termination,
+            rounds: self.rounds,
+            recoloring_times: self.recoloring_times.clone(),
+            monotone: self.monotone,
+            final_target_count: self.final_target_count,
+        }
+    }
+}
+
+/// Executes [`RunSpec`]s, alone or in parallel batches.
+///
+/// A `Runner` is cheap to create and holds no scenario state — only the
+/// thread budget used by [`Runner::sweep`].
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// A runner with the default thread budget (available parallelism,
+    /// capped at 16 — the same policy as [`crate::sweep::parallel_runs`]).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(16);
+        Runner { threads }
+    }
+
+    /// A runner with an explicit thread budget (`1` = fully sequential).
+    pub fn with_threads(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The thread budget used by [`Runner::sweep`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes one scenario to termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is structurally invalid (seed does not fit the
+    /// topology, torus smaller than 2×2, …) — the same contracts as the
+    /// underlying constructors, surfaced with their messages.
+    pub fn execute(&self, spec: &RunSpec) -> RunOutcome {
+        self.execute_observed(spec, &mut NullObserver)
+    }
+
+    /// Executes one scenario, reporting every round to `observer`.
+    pub fn execute_observed(&self, spec: &RunSpec, observer: &mut dyn Observer) -> RunOutcome {
+        let rule = spec.rule.resolve();
+        let config = spec.options.run_config();
+        let mut sim = build_simulator(spec, rule);
+        observer.on_start(&sim.view());
+        let report = sim.run_with(&config, |view| observer.on_round(view));
+        let outcome = RunOutcome {
+            rule: spec.rule.name(),
+            termination: report.termination,
+            rounds: report.rounds,
+            final_coloring: sim.coloring(),
+            recoloring_times: report.recoloring_times,
+            monotone: report.monotone,
+            final_target_count: report.final_target_count,
+            used_packed_lane: sim.uses_packed_lane(),
+        };
+        observer.on_finish(&outcome);
+        outcome
+    }
+
+    /// Executes a batch of scenarios in parallel, preserving input order.
+    ///
+    /// The specs fan out over the engine's work-stealing sweep pool
+    /// ([`crate::sweep::parallel_map`]); each scenario runs independently
+    /// on one worker, so a grid of small runs scales with the thread
+    /// budget.
+    pub fn sweep(&self, specs: Vec<RunSpec>) -> Vec<RunOutcome> {
+        parallel_map(specs, self.threads, |spec| self.execute(spec))
+    }
+}
+
+/// Builds the simulator for a spec with the lane policy applied.
+fn build_simulator(spec: &RunSpec, rule: AnyRule) -> Simulator<AnyRule> {
+    let initial = spec.initial_coloring();
+    let sim = match spec.topology.build() {
+        BuiltTopology::Torus(torus) => Simulator::new(&torus, rule, initial),
+        BuiltTopology::Graph(graph) => {
+            Simulator::from_topology(&graph, rule, initial.cells().to_vec())
+        }
+    };
+    match spec.options.lane {
+        LaneSpec::Auto => sim,
+        LaneSpec::GenericFrontier => sim.without_packed_lane(),
+        LaneSpec::FullSweep => sim.without_packed_lane().with_full_sweep(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::RunConfig;
+    use crate::spec::{EngineOptions, RuleSpec, SeedSpec, TopologySpec};
+    use ctori_protocols::SmpProtocol;
+    use ctori_topology::{toroidal_mesh, TorusKind};
+
+    fn c(i: u16) -> Color {
+        Color::new(i)
+    }
+
+    /// An absorbing-patch spec: all colour 2 except a 2×2 patch of
+    /// pairwise distinct colours.
+    fn absorbing_spec() -> RunSpec {
+        let torus = toroidal_mesh(5, 5);
+        let coloring = ctori_coloring::ColoringBuilder::filled(&torus, c(2))
+            .cell(1, 1, c(1))
+            .cell(1, 2, c(3))
+            .cell(2, 1, c(4))
+            .cell(2, 2, c(5))
+            .build();
+        RunSpec::new(
+            TopologySpec::toroidal_mesh(5, 5),
+            RuleSpec::from_rule(SmpProtocol),
+            SeedSpec::Explicit(coloring),
+        )
+        .for_dynamo(c(2))
+    }
+
+    #[test]
+    fn execute_matches_hand_built_simulator() {
+        let spec = absorbing_spec();
+        let outcome = Runner::new().execute(&spec);
+
+        let torus = toroidal_mesh(5, 5);
+        let mut sim = Simulator::new(&torus, SmpProtocol, spec.initial_coloring());
+        let report = sim.run(&RunConfig::for_dynamo(c(2)));
+
+        assert_eq!(outcome.termination, report.termination);
+        assert_eq!(outcome.rounds, report.rounds);
+        assert_eq!(outcome.recoloring_times, report.recoloring_times);
+        assert_eq!(outcome.monotone, report.monotone);
+        assert_eq!(outcome.final_target_count, report.final_target_count);
+        assert_eq!(outcome.final_coloring, sim.coloring());
+        assert_eq!(outcome.rule, "smp");
+        assert!(outcome.reached_monochromatic(c(2)));
+        assert_eq!(outcome.final_count(c(2)), 25);
+        assert_eq!(outcome.report().rounds, outcome.rounds);
+    }
+
+    #[test]
+    fn spec_parsed_from_text_reproduces_the_builder_outcome() {
+        let spec = absorbing_spec();
+        let reparsed = RunSpec::from_text(&spec.to_text()).unwrap();
+        let runner = Runner::with_threads(1);
+        let a = runner.execute(&spec);
+        let b = runner.execute(&reparsed);
+        assert_eq!(a.termination, b.termination);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.final_coloring, b.final_coloring);
+        assert_eq!(a.recoloring_times, b.recoloring_times);
+    }
+
+    #[test]
+    fn lane_forcing_changes_the_backend_not_the_result() {
+        let base = RunSpec::new(
+            TopologySpec::torus(TorusKind::TorusCordalis, 6, 6),
+            RuleSpec::parse("prefer-black").unwrap(),
+            SeedSpec::nodes(Color::BLACK, Color::WHITE, [0usize, 1, 6, 7, 35]),
+        );
+        let runner = Runner::with_threads(1);
+        let auto = runner.execute(&base);
+        assert!(auto.used_packed_lane, "two colours select the packed lane");
+        for lane in [LaneSpec::GenericFrontier, LaneSpec::FullSweep] {
+            let forced = runner.execute(
+                &base
+                    .clone()
+                    .with_options(EngineOptions::default().with_lane(lane)),
+            );
+            assert!(!forced.used_packed_lane);
+            assert_eq!(forced.termination, auto.termination, "{lane:?}");
+            assert_eq!(forced.rounds, auto.rounds, "{lane:?}");
+            assert_eq!(forced.final_coloring, auto.final_coloring, "{lane:?}");
+        }
+    }
+
+    #[test]
+    fn graph_specs_run_on_general_topologies() {
+        // Threshold-1 activation sweeping a 5-path, as a pure spec.
+        let spec = RunSpec::new(
+            TopologySpec::Graph {
+                nodes: 5,
+                edges: vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+            },
+            RuleSpec::parse("threshold(2,1)").unwrap(),
+            SeedSpec::nodes(c(2), c(1), [0usize]),
+        );
+        let outcome = Runner::new().execute(&spec);
+        assert_eq!(outcome.termination, Termination::Monochromatic(c(2)));
+        assert_eq!(outcome.rounds, 4);
+        assert!(outcome.used_packed_lane);
+        assert_eq!(outcome.final_coloring.rows(), 1, "graphs report flat");
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_matches_sequential() {
+        let grid: Vec<RunSpec> = [4usize, 5, 6, 7]
+            .into_iter()
+            .flat_map(|size| {
+                TorusKind::ALL.into_iter().map(move |kind| {
+                    RunSpec::new(
+                        TopologySpec::torus(kind, size, size),
+                        RuleSpec::parse("smp").unwrap(),
+                        SeedSpec::checkerboard(c(1), c(2)),
+                    )
+                })
+            })
+            .collect();
+        let sequential: Vec<RunOutcome> = grid
+            .iter()
+            .map(|spec| Runner::with_threads(1).execute(spec))
+            .collect();
+        // An explicit thread budget so the batch path genuinely fans out
+        // even on single-core CI machines.
+        let parallel = Runner::with_threads(4).sweep(grid);
+        assert_eq!(parallel.len(), sequential.len());
+        for (a, b) in parallel.iter().zip(&sequential) {
+            assert_eq!(a.termination, b.termination);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.final_coloring, b.final_coloring);
+        }
+    }
+
+    #[test]
+    fn observers_see_every_round() {
+        struct CountingObserver {
+            starts: usize,
+            rounds: usize,
+            finished: Option<usize>,
+        }
+        impl Observer for CountingObserver {
+            fn on_start(&mut self, view: &crate::observe::StepView<'_>) {
+                assert_eq!(view.round(), 0);
+                self.starts += 1;
+            }
+            fn on_round(&mut self, view: &crate::observe::StepView<'_>) {
+                assert_eq!(view.round(), self.rounds + 1);
+                self.rounds += 1;
+            }
+            fn on_finish(&mut self, outcome: &RunOutcome) {
+                self.finished = Some(outcome.rounds);
+            }
+        }
+        let mut observer = CountingObserver {
+            starts: 0,
+            rounds: 0,
+            finished: None,
+        };
+        let outcome = Runner::new().execute_observed(&absorbing_spec(), &mut observer);
+        assert_eq!(observer.starts, 1);
+        assert_eq!(observer.rounds, outcome.rounds);
+        assert_eq!(observer.finished, Some(outcome.rounds));
+    }
+}

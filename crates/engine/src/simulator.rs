@@ -10,6 +10,7 @@
 //! the initial configuration uses at most two colours.
 
 use crate::frontier::{PackedFrontier, Worklist};
+use crate::observe::StepView;
 use crate::state::{ColorCensus, StateVec};
 use ctori_coloring::{Color, Coloring};
 use ctori_protocols::LocalRule;
@@ -17,7 +18,12 @@ use ctori_topology::{Adjacency, NodeId, NodeSet, Topology, Torus};
 use std::collections::HashMap;
 
 /// How a run terminated.
+///
+/// Marked `#[non_exhaustive]`: future scenario work (e.g. wall-clock
+/// budgets in a service) may add termination causes, so downstream
+/// `match`es must keep a wildcard arm.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Termination {
     /// Every vertex holds the given colour (the paper's monochromatic
     /// configuration).  This is also a fixed point of every rule in the
@@ -611,9 +617,30 @@ impl<R: LocalRule> Simulator<R> {
         (0..n).all(|v| current[v] == self.state.color_of(v))
     }
 
+    /// A read-only [`StepView`] of the current configuration (round =
+    /// rounds executed so far, change count 0 — views handed to run
+    /// callbacks carry the real per-round change count).
+    pub fn view(&self) -> StepView<'_> {
+        StepView::new(&self.state, self.rows, self.cols, self.round, 0)
+    }
+
     /// Runs until convergence (monochromatic or fixed point), a detected
     /// cycle, or the round limit.
     pub fn run(&mut self, config: &RunConfig) -> RunReport {
+        self.run_with(config, |_| {})
+    }
+
+    /// [`Simulator::run`] with a per-round sink: `on_round` receives a
+    /// [`StepView`] after every executed round (including the final idle
+    /// or cycle-closing round).  This is the loop behind the observer API
+    /// ([`crate::observe::Observer`]) and the trace recorder; `run`
+    /// drives it with a no-op sink, so there is exactly one run loop in
+    /// the engine.
+    pub fn run_with<F: FnMut(&StepView<'_>)>(
+        &mut self,
+        config: &RunConfig,
+        mut on_round: F,
+    ) -> RunReport {
         let n = self.state.len();
         let max_rounds = if config.max_rounds == 0 {
             4 * n + 16
@@ -673,6 +700,11 @@ impl<R: LocalRule> Simulator<R> {
                         *mono = false;
                     }
                 });
+            }
+
+            {
+                let view = StepView::new(&self.state, self.rows, self.cols, round, report.changed);
+                on_round(&view);
             }
 
             if report.changed == 0 {

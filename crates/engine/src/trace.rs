@@ -19,6 +19,21 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Builds a trace from recorded configurations (the first entry is the
+    /// initial configuration).  This is how
+    /// [`crate::observe::TraceObserver`] yields its recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configurations` is empty.
+    pub fn from_configurations(configurations: Vec<Coloring>) -> Self {
+        assert!(
+            !configurations.is_empty(),
+            "a trace needs at least the initial configuration"
+        );
+        Trace { configurations }
+    }
+
     /// The configuration before any round was executed.
     pub fn initial(&self) -> &Coloring {
         &self.configurations[0]
@@ -134,104 +149,25 @@ impl RecoloringTimes {
 
 /// Runs a simulation recording every configuration, and returns the trace
 /// together with the run report.
+///
+/// This is a thin composition of the engine's single run loop
+/// ([`Simulator::run_with`]) with a [`crate::observe::TraceObserver`]:
+/// the observer records every intermediate configuration while the
+/// simulator owns termination, verified cycle detection and the tracking
+/// switches of the [`RunConfig`].
 pub fn run_with_trace<R: LocalRule>(
     torus: &Torus,
     rule: R,
     initial: Coloring,
     config: &RunConfig,
 ) -> (Trace, RunReport) {
-    use crate::simulator::Termination;
-    use std::collections::hash_map::DefaultHasher;
-    use std::collections::HashMap;
-    use std::hash::{Hash, Hasher};
+    use crate::observe::{Observer, TraceObserver};
 
     let mut sim = Simulator::new(torus, rule, initial);
-    let mut configurations = vec![sim.coloring()];
-    let n = ctori_topology::Topology::node_count(torus);
-    let max_rounds = if config.max_rounds == 0 {
-        4 * n + 16
-    } else {
-        config.max_rounds
-    };
-
-    let hash_coloring = |coloring: &Coloring| -> u64 {
-        let mut hasher = DefaultHasher::new();
-        coloring.cells().hash(&mut hasher);
-        hasher.finish()
-    };
-
-    // The trace keeps every configuration anyway, so a hash match is
-    // confirmed by comparing the stored configurations — a 64-bit
-    // collision cannot be misreported as a cycle.
-    let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
-    if config.detect_cycles {
-        seen.entry(hash_coloring(&configurations[0]))
-            .or_default()
-            .push(0);
-    }
-
-    // The round loop is re-implemented here (rather than delegating to
-    // `Simulator::run`) so that every intermediate configuration is
-    // recorded.
-    let termination = loop {
-        if let Some(c) = sim.monochromatic() {
-            break Termination::Monochromatic(c);
-        }
-        if sim.round() >= max_rounds {
-            break Termination::RoundLimit;
-        }
-        let step = sim.step();
-        configurations.push(sim.coloring());
-        if step.changed == 0 {
-            break Termination::FixedPoint;
-        }
-        if config.detect_cycles {
-            let current = configurations.last().expect("just pushed");
-            let h = hash_coloring(current);
-            if let Some(&repeat) = seen
-                .get(&h)
-                .and_then(|rounds| rounds.iter().find(|&&r| &configurations[r] == current))
-            {
-                break Termination::Cycle {
-                    period: sim.round() - repeat,
-                };
-            }
-            seen.entry(h).or_default().push(sim.round());
-        }
-    };
-
-    let trace = Trace { configurations };
-
-    let recoloring_times = config
-        .track_times_for
-        .map(|k| RecoloringTimes::from_trace(&trace, k).as_slice().to_vec());
-    let monotone = config.check_monotone_for.map(|k| {
-        let mut monotone = true;
-        for w in trace.configurations.windows(2) {
-            let (before, after) = (&w[0], &w[1]);
-            for idx in 0..before.len() {
-                let (r, c) = (idx / before.cols(), idx % before.cols());
-                if before.at(r, c) == k && after.at(r, c) != k {
-                    monotone = false;
-                }
-            }
-        }
-        monotone
-    });
-    let final_target_count = config
-        .track_times_for
-        .or(config.check_monotone_for)
-        .map(|k| trace.last().count(k));
-
-    let report = RunReport {
-        termination,
-        rounds: trace.rounds(),
-        recoloring_times,
-        monotone,
-        final_target_count,
-    };
-
-    (trace, report)
+    let mut observer = TraceObserver::new();
+    observer.on_start(&sim.view());
+    let report = sim.run_with(config, |view| observer.on_round(view));
+    (observer.into_trace(), report)
 }
 
 #[cfg(test)]

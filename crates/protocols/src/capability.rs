@@ -84,7 +84,7 @@ impl TwoStateThreshold {
     }
 
     /// Resolves exact ties towards `color` when it is one of the two state
-    /// colours (the Prefer-Black tie-break of [15]).
+    /// colours (the Prefer-Black tie-break of \[15\]).
     pub fn with_tie_to(mut self, color: Color) -> Self {
         if let Base::Majority { tie_to, .. } = &mut self.base {
             *tie_to = Some(color);

@@ -16,7 +16,7 @@ pub(crate) const INLINE_CAPACITY: usize = 8;
 
 /// A small multiset of colours with their multiplicities.
 ///
-/// The first [`INLINE_CAPACITY`] distinct colours live in a fixed array on
+/// The first `INLINE_CAPACITY` distinct colours live in a fixed array on
 /// the stack, so the simulation hot loop (degree-4 tori: at most 4 distinct
 /// colours per neighbourhood) never touches the heap.  Only neighbourhoods
 /// with more distinct colours — large-degree hubs in the TSS substrate —
@@ -122,7 +122,7 @@ impl ColorCounts {
 /// patterns 2-2-0-0 and 1-1-1-1 do not.
 ///
 /// This is the innermost call of the simulation hot loop; it shares the
-/// allocation-aware scan of [`leader_stats`] with the majority rules.
+/// allocation-aware scan of `leader_stats` with the majority rules.
 pub fn plurality(neighbors: &[Color], min_count: usize) -> Option<Color> {
     let stats = leader_stats(neighbors);
     if !stats.tied && stats.max > 0 && stats.max >= min_count {

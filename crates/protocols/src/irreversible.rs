@@ -3,7 +3,7 @@
 //! The dynamo literature distinguishes *reversible* processes (vertices may
 //! flip back, the paper's setting) from *irreversible* ones (once a vertex
 //! adopts the spreading colour it keeps it forever — the model of
-//! Chang & Lyuu [9] cited in the related work, and the standard model of
+//! Chang & Lyuu \[9\] cited in the related work, and the standard model of
 //! target set selection).  [`Irreversible`] turns any rule into its
 //! irreversible counterpart with respect to a target colour `k`, which the
 //! experiments use to compare the two regimes.

@@ -17,9 +17,9 @@
 //!   plurality of at least two neighbours; keep the current colour on
 //!   2–2 ties or when all neighbours differ.
 //! * [`ReverseSimpleMajority`] — the bi-coloured baseline of Flocchini et
-//!   al. [15] with the two classical tie-breaking options
+//!   al. \[15\] with the two classical tie-breaking options
 //!   ([`TieBreak::PreferBlack`] and [`TieBreak::PreferCurrent`], the
-//!   Prefer-Black / Prefer-Current rules attributed to Peleg [26]).
+//!   Prefer-Black / Prefer-Current rules attributed to Peleg \[26\]).
 //! * [`ReverseStrongMajority`] — the strong-majority variant (a vertex
 //!   needs at least ⌈(d+1)/2⌉ = 3 equal-coloured neighbours to recolour),
 //!   used by Proposition 2 for the upper-bound transfer.
@@ -28,6 +28,10 @@
 //!   "irreversible dynamo" model referenced in the related work.
 //! * [`ThresholdRule`] — the linear threshold rule used by the
 //!   target-set-selection substrate.
+//!
+//! Rules are also selectable **by string** through the [`registry`]
+//! (`"smp"`, `"prefer-black"`, `"threshold(2,2)"`, …), which is how the
+//! engine's declarative `RunSpec` scenarios name them.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ pub mod capability;
 pub mod counting;
 pub mod irreversible;
 pub mod majority;
+pub mod registry;
 pub mod rule;
 pub mod smp;
 pub mod threshold;
@@ -61,6 +66,7 @@ pub use capability::TwoStateThreshold;
 pub use counting::{plurality, ColorCounts};
 pub use irreversible::Irreversible;
 pub use majority::{ReverseSimpleMajority, ReverseStrongMajority, TieBreak};
+pub use registry::RuleParseError;
 pub use rule::{AnyRule, LocalRule};
 pub use smp::SmpProtocol;
 pub use threshold::ThresholdRule;

@@ -1,4 +1,4 @@
-//! Bi-coloured majority baselines (Flocchini et al. [15], Peleg [26]).
+//! Bi-coloured majority baselines (Flocchini et al. \[15\], Peleg \[26\]).
 //!
 //! Propositions 1 and 2 of the paper transfer lower/upper bounds from the
 //! bi-coloured *reverse simple majority* and *reverse strong majority*
@@ -8,9 +8,9 @@
 //! * **reverse simple majority** — a vertex recolours to the colour held by
 //!   at least ⌈d/2⌉ = 2 of its 4 neighbours.  When both colours reach the
 //!   threshold (a 2–2 split) a tie-break is needed:
-//!   [`TieBreak::PreferBlack`] recolours black (the choice made in [15]),
+//!   [`TieBreak::PreferBlack`] recolours black (the choice made in \[15\]),
 //!   [`TieBreak::PreferCurrent`] keeps the current colour (the PC option of
-//!   [26]).
+//!   \[26\]).
 //! * **reverse strong majority** — a vertex recolours to a colour only if
 //!   at least ⌈(d+1)/2⌉ = 3 of its neighbours hold it; otherwise it keeps
 //!   its colour.  With threshold 3 no tie is possible.
@@ -18,7 +18,7 @@
 //! "Reverse" refers to the non-monotone character of the process: vertices
 //! may flip back and forth, exactly as in the SMP-Protocol.
 //!
-//! Although stated for two colours in [15], both rules are implemented here
+//! Although stated for two colours in \[15\], both rules are implemented here
 //! for arbitrary palettes (threshold on the count of any single colour,
 //! black preference only applying to [`ctori_coloring::Color::BLACK`]), so
 //! they can also be run on multi-coloured configurations for comparison
@@ -31,9 +31,9 @@ use ctori_coloring::Color;
 /// Tie-breaking policy for the reverse simple majority rule on a 2–2 split.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TieBreak {
-    /// Recolour black (colour 2) on ties involving black — the rule of [15].
+    /// Recolour black (colour 2) on ties involving black — the rule of \[15\].
     PreferBlack,
-    /// Keep the current colour on ties — the PC option of [26].
+    /// Keep the current colour on ties — the PC option of \[26\].
     PreferCurrent,
 }
 
@@ -53,7 +53,7 @@ impl ReverseSimpleMajority {
         ReverseSimpleMajority { tie_break }
     }
 
-    /// The rule exactly as used in [15]: prefer black on ties.
+    /// The rule exactly as used in \[15\]: prefer black on ties.
     pub fn prefer_black() -> Self {
         Self::new(TieBreak::PreferBlack)
     }

@@ -93,9 +93,15 @@ impl<R: LocalRule + ?Sized> LocalRule for Box<R> {
     }
 }
 
-/// A closed enumeration of the rules shipped with this workspace, for
-/// callers that need to store heterogeneous rules without boxing.
+/// An enumeration of the rules shipped with this workspace, for callers
+/// that need to store heterogeneous rules without boxing.  This is the
+/// value a [`crate::registry`] rule string resolves to, and therefore the
+/// rule representation of declarative scenario descriptions.
+///
+/// Marked `#[non_exhaustive]`: new protocols will be added as scenarios
+/// grow, so downstream `match`es must keep a wildcard arm.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum AnyRule {
     /// The paper's SMP-Protocol.
     Smp(SmpProtocol),
@@ -124,6 +130,36 @@ impl AnyRule {
     /// Convenience constructor for reverse strong majority.
     pub fn reverse_strong() -> Self {
         AnyRule::ReverseStrong(ReverseStrongMajority)
+    }
+}
+
+impl From<SmpProtocol> for AnyRule {
+    fn from(rule: SmpProtocol) -> Self {
+        AnyRule::Smp(rule)
+    }
+}
+
+impl From<ReverseSimpleMajority> for AnyRule {
+    fn from(rule: ReverseSimpleMajority) -> Self {
+        AnyRule::ReverseSimple(rule)
+    }
+}
+
+impl From<ReverseStrongMajority> for AnyRule {
+    fn from(rule: ReverseStrongMajority) -> Self {
+        AnyRule::ReverseStrong(rule)
+    }
+}
+
+impl From<Irreversible<SmpProtocol>> for AnyRule {
+    fn from(rule: Irreversible<SmpProtocol>) -> Self {
+        AnyRule::IrreversibleSmp(rule)
+    }
+}
+
+impl From<ThresholdRule> for AnyRule {
+    fn from(rule: ThresholdRule) -> Self {
+        AnyRule::Threshold(rule)
     }
 }
 

@@ -24,9 +24,9 @@
 //! | 1-1-1-1 | `a b c d` | no change (no pair exists) |
 //!
 //! The 2-2 case is precisely where the paper departs from the
-//! Prefer-Black / Prefer-Current rules of [15]/[26]: the SMP-Protocol gives
+//! Prefer-Black / Prefer-Current rules of \[15\]/\[26\]: the SMP-Protocol gives
 //! no colour priority, so restricted to two colours it does **not** reduce
-//! to the rule of [15] (Remark 1 of the paper builds on this).
+//! to the rule of \[15\] (Remark 1 of the paper builds on this).
 
 use crate::capability::TwoStateThreshold;
 use crate::counting::plurality;

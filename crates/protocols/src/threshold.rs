@@ -1,8 +1,8 @@
 //! The linear threshold rule.
 //!
 //! The paper's introduction frames dynamos as a generalisation of *target
-//! set selection* in the linear threshold model (Granovetter [17],
-//! Kempe-Kleinberg-Tardos [20]): a vertex becomes *active* once the number
+//! set selection* in the linear threshold model (Granovetter \[17\],
+//! Kempe-Kleinberg-Tardos \[20\]): a vertex becomes *active* once the number
 //! of its active neighbours reaches its threshold, and never deactivates.
 //! The TSS substrate (`ctori-tss`) runs this rule on general graphs; it is
 //! defined here so that it shares the [`LocalRule`] interface and can also

@@ -28,6 +28,9 @@
 //!   (simulator, diffusion, connectivity) flattens its topology into;
 //! * [`Graph`] — a general adjacency-list graph used by the target-set
 //!   selection substrate and by conversions from tori;
+//! * [`generators`] — random graph models (Barabási–Albert, Erdős–Rényi,
+//!   ring lattices, small worlds) shared by the TSS substrate and the
+//!   engine's declarative topology specifications;
 //! * [`NodeSet`] — a compact bit set over vertices;
 //! * [`Rectangle`] and [`bounding_rectangle`] — the "smallest rectangle
 //!   containing F" notion (`R_F`, `m_F × n_F`) used by Lemma 1 and
@@ -60,6 +63,7 @@
 pub mod adjacency;
 pub mod connectivity;
 pub mod coord;
+pub mod generators;
 pub mod graph;
 pub mod node;
 pub mod nodeset;

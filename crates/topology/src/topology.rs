@@ -15,8 +15,8 @@ use crate::node::NodeId;
 /// that needs the neighbourhood as a list should reuse a scratch buffer
 /// through [`neighbors_into`](Topology::neighbors_into); hot loops should
 /// flatten the topology once into a [`crate::Adjacency`] CSR and index
-/// slices.  The old `Vec`-returning [`neighbors`](Topology::neighbors) is
-/// deprecated.
+/// slices.  (The old `Vec`-returning `neighbors` accessor was deprecated
+/// in favour of these and has been removed.)
 pub trait Topology {
     /// Number of vertices.
     fn node_count(&self) -> usize;
@@ -33,17 +33,6 @@ pub trait Topology {
     fn neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
         out.clear();
         self.for_each_neighbor(v, &mut |u| out.push(u));
-    }
-
-    /// The neighbours of `v` as a freshly allocated `Vec`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates per call; use `for_each_neighbor`, `neighbors_into`, or an `Adjacency` CSR"
-    )]
-    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        self.neighbors_into(v, &mut out);
-        out
     }
 
     /// Degree of `v`; the default implementation counts the neighbour walk
@@ -122,18 +111,6 @@ mod tests {
             t.neighbors_into(NodeId::new(v), &mut buf);
             assert_eq!(buf.len(), 4);
             assert_eq!(buf.capacity(), capacity, "buffer must not reallocate");
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_vec_path_still_agrees() {
-        let t = Torus::new(TorusKind::ToroidalMesh, 3, 5);
-        for v in 0..t.node_count() {
-            let v = NodeId::new(v);
-            let mut via_into = Vec::new();
-            t.neighbors_into(v, &mut via_into);
-            assert_eq!(t.neighbors(v), via_into);
         }
     }
 }

@@ -23,7 +23,11 @@ use crate::node::NodeId;
 use crate::topology::Topology;
 
 /// Which of the three torus variants of Definition 1 a [`Torus`] represents.
+///
+/// Marked `#[non_exhaustive]`: future scenario work may add further wrap
+/// variants, so downstream `match`es must keep a wildcard arm.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
 pub enum TorusKind {
     /// Standard 2-dimensional torus: both dimensions wrap onto themselves.
     ToroidalMesh,

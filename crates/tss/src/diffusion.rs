@@ -3,17 +3,19 @@
 //! Two processes are provided:
 //!
 //! * the **linear-threshold activation** process of the TSS literature
-//!   (Granovetter [17], Kempe–Kleinberg–Tardos [20]): a vertex activates
+//!   (Granovetter \[17\], Kempe–Kleinberg–Tardos \[20\]): a vertex activates
 //!   once the number of its active neighbours reaches its threshold and
 //!   never deactivates;
 //! * the **SMP-Protocol on a general graph**, the paper's future-work
 //!   question: vertices carry colours and adopt the colour of a unique
 //!   plurality of at least two neighbours.
 
-use ctori_coloring::Color;
-use ctori_engine::{PackedFrontier, RunConfig, Simulator, Termination};
+use ctori_coloring::{Color, Coloring};
+use ctori_engine::{
+    EngineOptions, PackedFrontier, RuleSpec, RunSpec, Runner, SeedSpec, Termination, TopologySpec,
+};
 use ctori_protocols::capability::NEVER;
-use ctori_protocols::{LocalRule, SmpProtocol};
+use ctori_protocols::{AnyRule, SmpProtocol};
 use ctori_topology::{Adjacency, Graph, NodeId, Topology};
 
 /// Per-vertex activation thresholds.
@@ -122,6 +124,11 @@ pub fn is_perfect_target_set(graph: &Graph, thresholds: &Thresholds, seeds: &[No
 /// growth, mirroring the torus constructions).
 ///
 /// Returns `(final k-count, rounds, reached k-monochromatic)`.
+///
+/// The graph is snapshotted into the spec's edge list and rebuilt by the
+/// runner (specs are plain data) — an `O(|E|)` cost per call that is
+/// negligible next to the simulation itself; callers needing to amortise
+/// it across very many runs should drive a `Simulator` directly.
 pub fn smp_on_graph(
     graph: &Graph,
     seeds: &[NodeId],
@@ -141,23 +148,39 @@ pub fn smp_on_graph(
             idx += 1;
         }
     }
-    let mut sim = Simulator::from_topology(graph, SmpProtocol, state);
-    let report = sim.run(&RunConfig::default().with_max_rounds(4 * n + 16));
-    let reached = matches!(report.termination, Termination::Monochromatic(c) if c == k);
-    (sim.count_of(k), report.rounds, reached)
+    let spec = RunSpec::new(
+        TopologySpec::from_graph(graph),
+        RuleSpec::from_rule(SmpProtocol),
+        SeedSpec::Explicit(Coloring::from_cells(1, n, state)),
+    )
+    .with_options(EngineOptions::default().with_max_rounds(4 * n + 16));
+    let outcome = Runner::new().execute(&spec);
+    let reached = outcome.reached_monochromatic(k);
+    (outcome.final_count(k), outcome.rounds, reached)
 }
 
-/// Runs an arbitrary local rule on a general graph from an explicit
+/// Runs an arbitrary registry rule on a general graph from an explicit
 /// initial colour vector; convenience wrapper used by the experiments.
-pub fn run_rule_on_graph<R: LocalRule>(
+/// Executes through the declarative [`Runner`] path.
+pub fn run_rule_on_graph(
     graph: &Graph,
-    rule: R,
+    rule: impl Into<AnyRule>,
     initial: Vec<Color>,
     max_rounds: usize,
 ) -> (Vec<Color>, usize, Termination) {
-    let mut sim = Simulator::from_topology(graph, rule, initial);
-    let report = sim.run(&RunConfig::default().with_max_rounds(max_rounds));
-    (sim.snapshot(), report.rounds, report.termination)
+    let n = graph.node_count();
+    let spec = RunSpec::new(
+        TopologySpec::from_graph(graph),
+        RuleSpec::from_rule(rule),
+        SeedSpec::Explicit(Coloring::from_cells(1, n, initial)),
+    )
+    .with_options(EngineOptions::default().with_max_rounds(max_rounds));
+    let outcome = Runner::new().execute(&spec);
+    (
+        outcome.final_coloring.cells().to_vec(),
+        outcome.rounds,
+        outcome.termination,
+    )
 }
 
 #[cfg(test)]

@@ -1,196 +1,10 @@
-//! Random graph generators used as synthetic social networks.
+//! Random graph generators (re-export).
 //!
-//! The paper's future-work section asks how the SMP-Protocol behaves on
-//! scale-free networks; since no real social-network trace ships with this
-//! repository, the experiments use the standard synthetic models below
-//! (documented as a substitution in DESIGN.md).
+//! The generator implementations moved to [`ctori_topology::generators`] so
+//! the engine's declarative [`TopologySpec`] can construct the same models
+//! without a dependency cycle; this module keeps the historical
+//! `ctori_tss::generators` path working.
+//!
+//! [`TopologySpec`]: ctori_engine::TopologySpec
 
-use ctori_topology::{Graph, NodeId};
-use rand::seq::SliceRandom;
-use rand::Rng;
-
-/// Barabási–Albert preferential-attachment graph.
-///
-/// Starts from a clique of `m_edges + 1` vertices and attaches each new
-/// vertex to `m_edges` distinct existing vertices chosen with probability
-/// proportional to their degree.
-///
-/// # Panics
-///
-/// Panics if `nodes <= m_edges` or `m_edges == 0`.
-pub fn barabasi_albert<R: Rng + ?Sized>(nodes: usize, m_edges: usize, rng: &mut R) -> Graph {
-    assert!(m_edges >= 1, "each new vertex needs at least one edge");
-    assert!(nodes > m_edges, "need more vertices than edges per step");
-
-    let mut g = Graph::with_nodes(nodes);
-    // Repeated-endpoints list: picking a uniform element of this list is
-    // equivalent to degree-proportional sampling.
-    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * nodes * m_edges);
-
-    let core = m_edges + 1;
-    for u in 0..core {
-        for v in (u + 1)..core {
-            g.add_edge(NodeId::new(u), NodeId::new(v));
-            endpoints.push(u);
-            endpoints.push(v);
-        }
-    }
-
-    for v in core..nodes {
-        let mut targets: Vec<usize> = Vec::with_capacity(m_edges);
-        while targets.len() < m_edges {
-            let candidate = endpoints[rng.gen_range(0..endpoints.len())];
-            if candidate != v && !targets.contains(&candidate) {
-                targets.push(candidate);
-            }
-        }
-        for &t in &targets {
-            g.add_edge(NodeId::new(v), NodeId::new(t));
-            endpoints.push(v);
-            endpoints.push(t);
-        }
-    }
-    g
-}
-
-/// Erdős–Rényi `G(n, p)` graph.
-pub fn erdos_renyi<R: Rng + ?Sized>(nodes: usize, p: f64, rng: &mut R) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let mut g = Graph::with_nodes(nodes);
-    for u in 0..nodes {
-        for v in (u + 1)..nodes {
-            if rng.gen_bool(p) {
-                g.add_edge(NodeId::new(u), NodeId::new(v));
-            }
-        }
-    }
-    g
-}
-
-/// Ring lattice: `nodes` vertices on a cycle, each connected to its
-/// `neighbors_per_side` nearest neighbours on each side (a degree-4 ring
-/// with `neighbors_per_side = 2` is the 1-dimensional analogue of the
-/// paper's tori).
-pub fn ring_lattice(nodes: usize, neighbors_per_side: usize) -> Graph {
-    assert!(
-        nodes > 2 * neighbors_per_side,
-        "ring too small for that degree"
-    );
-    let mut g = Graph::with_nodes(nodes);
-    for u in 0..nodes {
-        for d in 1..=neighbors_per_side {
-            let v = (u + d) % nodes;
-            g.add_edge(NodeId::new(u), NodeId::new(v));
-        }
-    }
-    g
-}
-
-/// A Watts–Strogatz-style rewired ring: start from [`ring_lattice`] and
-/// rewire each edge with probability `beta` to a uniformly random
-/// endpoint.  Used to interpolate between the lattice-like tori of the
-/// paper and fully random networks in the future-work experiment.
-pub fn small_world<R: Rng + ?Sized>(
-    nodes: usize,
-    neighbors_per_side: usize,
-    beta: f64,
-    rng: &mut R,
-) -> Graph {
-    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
-    let base = ring_lattice(nodes, neighbors_per_side);
-    let mut g = Graph::with_nodes(nodes);
-    let all: Vec<usize> = (0..nodes).collect();
-    for (u, v) in base.edges() {
-        if rng.gen_bool(beta) {
-            // rewire: keep u, pick a fresh endpoint
-            let mut w = *all.choose(rng).expect("non-empty");
-            let mut guard = 0;
-            while (w == u.index() || g.has_edge(u, NodeId::new(w))) && guard < 100 {
-                w = *all.choose(rng).expect("non-empty");
-                guard += 1;
-            }
-            if w != u.index() && !g.has_edge(u, NodeId::new(w)) {
-                g.add_edge(u, NodeId::new(w));
-                continue;
-            }
-        }
-        if !g.has_edge(u, v) {
-            g.add_edge(u, v);
-        }
-    }
-    g
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ctori_topology::Topology;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    #[test]
-    fn barabasi_albert_basic_properties() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let g = barabasi_albert(300, 3, &mut rng);
-        assert_eq!(g.node_count(), 300);
-        // Each of the 300 - 4 attached vertices adds exactly 3 edges on top
-        // of the initial clique of 4 (6 edges).
-        assert_eq!(g.edge_count(), 6 + (300 - 4) * 3);
-        // Scale-free graphs have hubs: the maximum degree should be well
-        // above the attachment parameter.
-        assert!(
-            g.max_degree() >= 10,
-            "expected a hub, got {}",
-            g.max_degree()
-        );
-        // Every attached vertex has degree >= 3.
-        for v in 0..300 {
-            assert!(g.degree(NodeId::new(v)) >= 3);
-        }
-    }
-
-    #[test]
-    fn barabasi_albert_is_deterministic_per_seed() {
-        let a = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(9));
-        let b = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(9));
-        assert_eq!(a.edge_count(), b.edge_count());
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    #[should_panic(expected = "more vertices than edges")]
-    fn barabasi_albert_rejects_tiny_graphs() {
-        let mut rng = StdRng::seed_from_u64(0);
-        let _ = barabasi_albert(3, 3, &mut rng);
-    }
-
-    #[test]
-    fn erdos_renyi_edge_count_scales_with_p() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let sparse = erdos_renyi(100, 0.02, &mut rng);
-        let dense = erdos_renyi(100, 0.3, &mut rng);
-        assert!(sparse.edge_count() < dense.edge_count());
-        assert_eq!(erdos_renyi(50, 0.0, &mut rng).edge_count(), 0);
-        assert_eq!(erdos_renyi(20, 1.0, &mut rng).edge_count(), 190);
-    }
-
-    #[test]
-    fn ring_lattice_is_regular() {
-        let g = ring_lattice(20, 2);
-        assert_eq!(g.edge_count(), 40);
-        for v in 0..20 {
-            assert_eq!(g.degree(NodeId::new(v)), 4);
-        }
-    }
-
-    #[test]
-    fn small_world_preserves_edge_budget_roughly() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let g = small_world(100, 2, 0.1, &mut rng);
-        // Rewiring can drop an edge only when it fails to find a fresh
-        // endpoint, so the count stays close to the lattice's 200.
-        assert!(g.edge_count() >= 190 && g.edge_count() <= 200);
-        let g0 = small_world(100, 2, 0.0, &mut rng);
-        assert_eq!(g0.edge_count(), 200);
-    }
-}
+pub use ctori_topology::generators::{barabasi_albert, erdos_renyi, ring_lattice, small_world};

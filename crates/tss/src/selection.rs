@@ -1,13 +1,13 @@
 //! Seed-selection heuristics for target set selection.
 //!
 //! Finding a minimum perfect target set is NP-hard (the paper cites the
-//! reduction of Kempe–Kleinberg–Tardos [20]), so practice uses heuristics.
+//! reduction of Kempe–Kleinberg–Tardos \[20\]), so practice uses heuristics.
 //! The experiments compare three standard ones plus, on small graphs, the
 //! exact optimum by exhaustive search:
 //!
 //! * [`highest_degree_seeds`] — pick the `k` highest-degree vertices;
 //! * [`greedy_seeds`] — repeatedly add the vertex giving the largest
-//!   marginal increase in spread (the classic greedy of [20]);
+//!   marginal increase in spread (the classic greedy of \[20\]);
 //! * [`random_seeds`] — a uniform random baseline;
 //! * [`exact_minimum_target_set`] — smallest perfect target set by
 //!   exhaustive search (exponential; small graphs only).

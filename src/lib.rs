@@ -11,7 +11,7 @@
 //! | [`topology`]  | `ctori-topology`  | toroidal mesh, torus cordalis, torus serpentinus, general graphs |
 //! | [`coloring`]  | `ctori-coloring`  | colours, palettes, colourings, patterns, rendering |
 //! | [`protocols`] | `ctori-protocols` | SMP-Protocol and the bi-coloured majority baselines |
-//! | [`engine`]    | `ctori-engine`    | synchronous simulator, traces, parallel sweeps |
+//! | [`engine`]    | `ctori-engine`    | synchronous simulator, the declarative `RunSpec`/`Runner`/`Observer` execution API, traces, parallel sweeps |
 //! | [`dynamo`]    | `ctori-core`      | blocks, dynamos, bounds, constructions, round formulas, search, figures |
 //! | [`tss`]       | `ctori-tss`       | target set selection on general graphs, random graph generators |
 //! | [`analysis`]  | `ctori-analysis`  | the per-figure / per-theorem experiment harness |
@@ -30,6 +30,18 @@
 //! let report = verify_dynamo(built.torus(), built.coloring(), k);
 //! assert!(report.is_monotone_dynamo());
 //! assert_eq!(report.rounds, 8);
+//!
+//! // Any scenario can equally be described as plain data and handed to
+//! // the engine's Runner — the declarative path batch sweeps build on:
+//! let spec = RunSpec::new(
+//!     TopologySpec::toroidal_mesh(9, 9),
+//!     RuleSpec::parse("smp").unwrap(),
+//!     SeedSpec::Explicit(built.coloring().clone()),
+//! )
+//! .for_dynamo(k);
+//! let outcome = Runner::new().execute(&spec);
+//! assert!(outcome.reached_monochromatic(k));
+//! assert_eq!(outcome.rounds, 8);
 //! ```
 
 #![warn(missing_docs)]
@@ -81,8 +93,11 @@ pub mod prelude {
     pub use ctori_core::construct::serpentinus::theorem6_dynamo;
     pub use ctori_core::dynamo::{verify_dynamo, DynamoReport};
     pub use ctori_core::rounds::{theorem7_rounds, theorem8_rounds};
-    pub use ctori_engine::{RunConfig, Simulator, Termination};
-    pub use ctori_protocols::{LocalRule, SmpProtocol};
+    pub use ctori_engine::{
+        EngineOptions, LaneSpec, Observer, RuleSpec, RunConfig, RunOutcome, RunSpec, Runner,
+        SeedSpec, Simulator, StepView, Termination, TopologySpec, TraceObserver,
+    };
+    pub use ctori_protocols::{AnyRule, LocalRule, SmpProtocol};
     pub use ctori_topology::{
         toroidal_mesh, torus_cordalis, torus_serpentinus, Coord, NodeId, Topology, Torus, TorusKind,
     };
