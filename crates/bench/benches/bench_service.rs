@@ -1,0 +1,117 @@
+//! Service-layer throughput: submit→result latency over loopback TCP,
+//! cold (fresh execution) vs. cache-hit (memoized outcome).
+//!
+//! The workload is the acceptance scenario: a 128×128 SMP spec with a
+//! reproducible density seed.  Cold submissions vary the RNG seed so
+//! every iteration has a distinct canonical key (guaranteed cache miss);
+//! the cache-hit lane resubmits one fixed spec after priming.  The direct
+//! ratio measurement at the end asserts the PR's acceptance line:
+//! cache-hit latency must be ≥ 10× lower than cold execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctori_coloring::Color;
+use ctori_engine::{RuleSpec, RunSpec, SeedSpec, TopologySpec};
+use ctori_service::{SchedulerConfig, Server, ServiceClient, ServiceConfig};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The 128×128 SMP acceptance spec, keyed by its RNG seed.
+fn spec_128(rng_seed: u64) -> RunSpec {
+    RunSpec::new(
+        TopologySpec::toroidal_mesh(128, 128),
+        RuleSpec::parse("smp").expect("registry rule"),
+        SeedSpec::Density {
+            color: Color::new(1),
+            palette: 4,
+            fraction: 0.4,
+            rng_seed,
+        },
+    )
+}
+
+/// Starts an in-process server on an ephemeral loopback port and connects
+/// one client to it.
+fn start() -> (
+    ServiceClient,
+    std::thread::JoinHandle<std::io::Result<ctori_service::ServiceStats>>,
+) {
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            workers: 2,
+            queue_capacity: 4096,
+            cache_capacity: 4096,
+            ..SchedulerConfig::default()
+        },
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.serve());
+    let client = ServiceClient::connect(addr).expect("connect");
+    (client, handle)
+}
+
+/// One full submit→result round trip.
+fn roundtrip(client: &mut ServiceClient, spec: &RunSpec) -> usize {
+    let id = client.submit(spec).expect("submit");
+    client.result(id).expect("result").rounds
+}
+
+fn bench_submit_result(c: &mut Criterion) {
+    let (mut client, server) = start();
+    let mut group = c.benchmark_group("service/submit_result_128x128_smp");
+    group.sample_size(10);
+
+    // Cold: a fresh canonical key every iteration.
+    let mut next_seed = 0u64;
+    group.bench_function("cold_miss", |b| {
+        b.iter(|| {
+            next_seed += 1;
+            black_box(roundtrip(&mut client, &spec_128(next_seed)))
+        });
+    });
+
+    // Cache hit: one fixed spec, primed once.
+    let fixed = spec_128(u64::MAX);
+    roundtrip(&mut client, &fixed);
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(roundtrip(&mut client, &fixed)));
+    });
+    group.finish();
+
+    // Direct ratio measurement (independent of the harness bookkeeping):
+    // the acceptance line is cache-hit latency >= 10x lower than cold.
+    let measure = |client: &mut ServiceClient,
+                   iterations: u64,
+                   mut spec_of: Box<dyn FnMut(u64) -> RunSpec>| {
+        let start = Instant::now();
+        for i in 0..iterations {
+            black_box(roundtrip(client, &spec_of(i)));
+        }
+        start.elapsed() / iterations as u32
+    };
+    let cold: Duration = measure(
+        &mut client,
+        5,
+        Box::new(|i| spec_128(1_000_000 + i)), // seeds no other lane used
+    );
+    let hit: Duration = measure(&mut client, 25, Box::new(|_| spec_128(u64::MAX)));
+    let speedup = cold.as_secs_f64() / hit.as_secs_f64();
+    println!(
+        "service 128x128 SMP submit->result: cold {:.2} ms, cache-hit {:.3} ms, speedup {speedup:.1}x",
+        cold.as_secs_f64() * 1e3,
+        hit.as_secs_f64() * 1e3,
+    );
+    assert!(
+        speedup >= 10.0,
+        "cache-hit latency must be >= 10x lower than cold execution, got {speedup:.1}x"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.cache.hits > 0 && stats.cache.misses > 0);
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("serve");
+}
+
+criterion_group!(benches, bench_submit_result);
+criterion_main!(benches);

@@ -30,8 +30,8 @@
 //! # The declarative execution API
 //!
 //! Interactive callers drive a [`Simulator`] directly; everything else —
-//! experiments, batch sweeps, and eventually a service — should describe a
-//! scenario as data and hand it to the runner:
+//! experiments, batch sweeps, and the `ctori-service` server — describes a
+//! scenario as data and hands it to the runner:
 //!
 //! * [`spec`] — [`RunSpec`]: a plain-data scenario (topology + rule by
 //!   registry name + seed + engine policy) with a human-readable text
@@ -101,12 +101,12 @@ pub use adjacency::Adjacency;
 pub use frontier::PackedFrontier;
 pub use metrics::{round_histogram, ColorHistogram};
 pub use observe::{HistogramObserver, NullObserver, Observer, StepView, TraceObserver};
-pub use runner::{RunOutcome, Runner};
+pub use runner::{OutcomeParseError, RunOutcome, Runner};
 pub use simulator::{RunConfig, RunReport, Simulator, StepReport, Termination};
 pub use spec::{
-    BuiltTopology, EngineOptions, LaneSpec, PatternSpec, RuleSpec, RunSpec, SeedSpec,
+    BuiltTopology, EngineOptions, LaneSpec, PatternSpec, RuleSpec, RunSpec, SeedSpec, SpecKey,
     SpecParseError, TopologySpec,
 };
 pub use state::StateVec;
-pub use sweep::{parallel_map, parallel_runs};
+pub use sweep::{default_threads, parallel_map, parallel_runs};
 pub use trace::{run_with_trace, RecoloringTimes, Trace};

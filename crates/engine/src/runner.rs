@@ -28,16 +28,80 @@
 
 use crate::observe::{NullObserver, Observer};
 use crate::simulator::{RunReport, Simulator, Termination};
-use crate::spec::{BuiltTopology, LaneSpec, RunSpec};
+use crate::spec::{BuiltTopology, EngineOptions, LaneSpec, RunSpec};
 use crate::sweep::parallel_map;
-use ctori_coloring::{Color, Coloring};
+use ctori_coloring::{textio, Color, Coloring};
 use ctori_protocols::AnyRule;
+
+/// Errors produced when parsing a [`RunOutcome`] from its text form.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum OutcomeParseError {
+    /// A required `key: value` line was missing.
+    MissingField(&'static str),
+    /// A line was not of the `key: value` form, or used an unknown key.
+    UnexpectedLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A field's value was malformed.
+    BadValue {
+        /// Which field.
+        field: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The final-configuration glyph grid failed to parse.
+    BadColoring(textio::ParseError),
+}
+
+impl std::fmt::Display for OutcomeParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutcomeParseError::MissingField(key) => write!(f, "missing `{key}:` line"),
+            OutcomeParseError::UnexpectedLine { line, text } => {
+                write!(f, "line {line}: expected `key: value`, got {text:?}")
+            }
+            OutcomeParseError::BadValue { field, detail } => {
+                write!(f, "bad `{field}`: {detail}")
+            }
+            OutcomeParseError::BadColoring(e) => write!(f, "bad final configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OutcomeParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OutcomeParseError::BadColoring(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<textio::ParseError> for OutcomeParseError {
+    fn from(e: textio::ParseError) -> Self {
+        OutcomeParseError::BadColoring(e)
+    }
+}
+
+fn bad_value(field: &'static str, detail: impl Into<String>) -> OutcomeParseError {
+    OutcomeParseError::BadValue {
+        field,
+        detail: detail.into(),
+    }
+}
 
 /// The result of executing one [`RunSpec`].
 ///
-/// Plain data: everything a caller (or a future service response) needs
-/// without keeping the simulator alive.
-#[derive(Clone, Debug)]
+/// Plain data: everything a caller (or a service response) needs without
+/// keeping the simulator alive.  Like the spec itself, an outcome has a
+/// line-oriented text round-trip ([`RunOutcome::to_text`] /
+/// [`RunOutcome::from_text`]) so it can travel over the service wire
+/// protocol and be stored as an artefact.
+#[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub struct RunOutcome {
     /// Canonical name of the rule that ran (registry form).
@@ -82,6 +146,207 @@ impl RunOutcome {
             final_target_count: self.final_target_count,
         }
     }
+
+    /// Renders the outcome as text.  The output parses back with
+    /// [`RunOutcome::from_text`] to an identical outcome.
+    ///
+    /// The format mirrors [`RunSpec::to_text`]: `key: value` lines, with
+    /// the final configuration as a [`ctori_coloring::textio`] glyph grid
+    /// after a trailing `final:` header (so the grid is always the last
+    /// field, like an explicit seed).
+    pub fn to_text(&self) -> String {
+        let yes_no = |b: bool| if b { "yes" } else { "no" };
+        let mut out = String::new();
+        out.push_str(&format!("rule: {}\n", self.rule));
+        out.push_str(&format!(
+            "termination: {}\n",
+            termination_to_text(self.termination)
+        ));
+        out.push_str(&format!("rounds: {}\n", self.rounds));
+        out.push_str(&format!("packed-lane: {}\n", yes_no(self.used_packed_lane)));
+        out.push_str(&format!(
+            "monotone: {}\n",
+            match self.monotone {
+                Some(b) => yes_no(b),
+                None => "-",
+            }
+        ));
+        out.push_str(&format!(
+            "target-count: {}\n",
+            match self.final_target_count {
+                Some(n) => n.to_string(),
+                None => "-".into(),
+            }
+        ));
+        match &self.recoloring_times {
+            None => out.push_str("times: none\n"),
+            Some(times) => {
+                out.push_str("times:");
+                for t in times {
+                    match t {
+                        Some(round) => out.push_str(&format!(" {round}")),
+                        None => out.push_str(" -"),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("final:\n");
+        out.push_str(&textio::to_text(&self.final_coloring));
+        out
+    }
+
+    /// Parses an outcome from the text form produced by
+    /// [`RunOutcome::to_text`].
+    pub fn from_text(text: &str) -> Result<RunOutcome, OutcomeParseError> {
+        let mut rule = None;
+        let mut termination = None;
+        let mut rounds = None;
+        let mut packed = None;
+        let mut monotone = None;
+        let mut target_count = None;
+        let mut times = None;
+        let mut final_coloring = None;
+
+        let parse_yes_no = |field: &'static str, v: &str| match v {
+            "yes" => Ok(true),
+            "no" => Ok(false),
+            other => Err(bad_value(field, format!("expected yes/no, got {other:?}"))),
+        };
+
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, line)) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (key, value) =
+                line.split_once(':')
+                    .ok_or_else(|| OutcomeParseError::UnexpectedLine {
+                        line: idx + 1,
+                        text: line.to_string(),
+                    })?;
+            let value = value.trim();
+            match key.trim() {
+                "rule" => rule = Some(value.to_string()),
+                "termination" => termination = Some(termination_from_text(value)?),
+                "rounds" => {
+                    rounds = Some(value.parse().map_err(|_| {
+                        bad_value("rounds", format!("{value:?} is not a round count"))
+                    })?)
+                }
+                "packed-lane" => packed = Some(parse_yes_no("packed-lane", value)?),
+                "monotone" => {
+                    monotone = Some(match value {
+                        "-" => None,
+                        v => Some(parse_yes_no("monotone", v)?),
+                    })
+                }
+                "target-count" => {
+                    target_count = Some(match value {
+                        "-" => None,
+                        v => Some(v.parse().map_err(|_| {
+                            bad_value("target-count", format!("{v:?} is not a count"))
+                        })?),
+                    })
+                }
+                "times" => {
+                    times = Some(if value == "none" {
+                        None
+                    } else {
+                        let mut parsed = Vec::new();
+                        for token in value.split_whitespace() {
+                            parsed.push(match token {
+                                "-" => None,
+                                t => Some(t.parse().map_err(|_| {
+                                    bad_value("times", format!("{t:?} is not a round"))
+                                })?),
+                            });
+                        }
+                        Some(parsed)
+                    })
+                }
+                "final" => {
+                    // The glyph grid owns every remaining line.
+                    let grid: String = lines
+                        .by_ref()
+                        .map(|(_, l)| l)
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    final_coloring = Some(textio::from_text(&grid)?);
+                }
+                _ => {
+                    return Err(OutcomeParseError::UnexpectedLine {
+                        line: idx + 1,
+                        text: line.to_string(),
+                    })
+                }
+            }
+        }
+
+        Ok(RunOutcome {
+            rule: rule.ok_or(OutcomeParseError::MissingField("rule"))?,
+            termination: termination.ok_or(OutcomeParseError::MissingField("termination"))?,
+            rounds: rounds.ok_or(OutcomeParseError::MissingField("rounds"))?,
+            final_coloring: final_coloring.ok_or(OutcomeParseError::MissingField("final"))?,
+            recoloring_times: times.ok_or(OutcomeParseError::MissingField("times"))?,
+            monotone: monotone.ok_or(OutcomeParseError::MissingField("monotone"))?,
+            final_target_count: target_count
+                .ok_or(OutcomeParseError::MissingField("target-count"))?,
+            used_packed_lane: packed.ok_or(OutcomeParseError::MissingField("packed-lane"))?,
+        })
+    }
+}
+
+/// Renders a [`Termination`] for the outcome text form.
+fn termination_to_text(termination: Termination) -> String {
+    match termination {
+        Termination::Monochromatic(c) => format!("monochromatic {}", c.index()),
+        Termination::FixedPoint => "fixed-point".into(),
+        Termination::Cycle { period } => format!("cycle {period}"),
+        Termination::RoundLimit => "round-limit".into(),
+    }
+}
+
+/// Parses a [`Termination`] from the outcome text form.
+fn termination_from_text(value: &str) -> Result<Termination, OutcomeParseError> {
+    let mut tokens = value.split_whitespace();
+    let head = tokens.next();
+    let parsed = match head {
+        Some("monochromatic") => {
+            let raw = tokens
+                .next()
+                .ok_or_else(|| bad_value("termination", "monochromatic needs a colour"))?;
+            let index: u16 = raw
+                .parse()
+                .map_err(|_| bad_value("termination", format!("{raw:?} is not a colour index")))?;
+            if index == 0 {
+                return Err(bad_value("termination", "colour indices are 1-based"));
+            }
+            Termination::Monochromatic(Color::new(index))
+        }
+        Some("fixed-point") => Termination::FixedPoint,
+        Some("cycle") => {
+            let raw = tokens
+                .next()
+                .ok_or_else(|| bad_value("termination", "cycle needs a period"))?;
+            Termination::Cycle {
+                period: raw.parse().map_err(|_| {
+                    bad_value("termination", format!("{raw:?} is not a cycle period"))
+                })?,
+            }
+        }
+        Some("round-limit") => Termination::RoundLimit,
+        other => {
+            return Err(bad_value(
+                "termination",
+                format!("unknown termination {other:?}"),
+            ))
+        }
+    };
+    if tokens.next().is_some() {
+        return Err(bad_value("termination", "trailing tokens"));
+    }
+    Ok(parsed)
 }
 
 /// Executes [`RunSpec`]s, alone or in parallel batches.
@@ -100,14 +365,13 @@ impl Default for Runner {
 }
 
 impl Runner {
-    /// A runner with the default thread budget (available parallelism,
-    /// capped at 16 — the same policy as [`crate::sweep::parallel_runs`]).
+    /// A runner with the default thread budget
+    /// ([`crate::sweep::default_threads`]: available parallelism, capped
+    /// at 16 — the same policy as [`crate::sweep::parallel_runs`]).
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(16);
-        Runner { threads }
+        Runner {
+            threads: crate::sweep::default_threads(),
+        }
     }
 
     /// A runner with an explicit thread budget (`1` = fully sequential).
@@ -115,6 +379,16 @@ impl Runner {
         Runner {
             threads: threads.max(1),
         }
+    }
+
+    /// A runner honouring the thread budget of a scenario's
+    /// [`EngineOptions::threads`] knob (`0` = the default budget).
+    ///
+    /// This is how a declarative batch chooses its own parallelism: render
+    /// `threads=N` into the spec text, and execute the grid with
+    /// `Runner::for_options(&spec.options).sweep(grid)`.
+    pub fn for_options(options: &EngineOptions) -> Self {
+        Runner::with_threads(options.effective_threads())
     }
 
     /// The thread budget used by [`Runner::sweep`].
@@ -313,6 +587,59 @@ mod tests {
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.final_coloring, b.final_coloring);
         }
+    }
+
+    #[test]
+    fn outcome_text_round_trips() {
+        // A tracked run: every Option field populated.
+        let tracked = Runner::with_threads(1).execute(&absorbing_spec());
+        let text = tracked.to_text();
+        assert_eq!(RunOutcome::from_text(&text).unwrap(), tracked, "\n{text}");
+        // An untracked cycle: None fields and a Cycle termination.
+        let spec = RunSpec::new(
+            TopologySpec::toroidal_mesh(4, 4),
+            RuleSpec::parse("smp").unwrap(),
+            SeedSpec::checkerboard(c(1), c(2)),
+        );
+        let cycled = Runner::with_threads(1).execute(&spec);
+        assert!(matches!(cycled.termination, Termination::Cycle { .. }));
+        assert_eq!(cycled.recoloring_times, None);
+        let text = cycled.to_text();
+        assert_eq!(RunOutcome::from_text(&text).unwrap(), cycled, "\n{text}");
+    }
+
+    #[test]
+    fn outcome_parse_errors_are_descriptive() {
+        assert!(matches!(
+            RunOutcome::from_text(""),
+            Err(OutcomeParseError::MissingField("rule"))
+        ));
+        assert!(matches!(
+            RunOutcome::from_text("nonsense"),
+            Err(OutcomeParseError::UnexpectedLine { line: 1, .. })
+        ));
+        let good = Runner::with_threads(1).execute(&absorbing_spec()).to_text();
+        let broken = good.replace("termination: monochromatic 2", "termination: vanished");
+        match RunOutcome::from_text(&broken) {
+            Err(OutcomeParseError::BadValue { field, .. }) => assert_eq!(field, "termination"),
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+        let broken = good.replace("packed-lane: ", "packed-lane: maybe");
+        assert!(RunOutcome::from_text(&broken).is_err());
+        // Errors compose with Box<dyn Error>.
+        let boxed: Box<dyn std::error::Error> = Box::new(RunOutcome::from_text("").unwrap_err());
+        assert!(boxed.to_string().contains("rule"));
+    }
+
+    #[test]
+    fn runner_for_options_honours_the_thread_knob() {
+        let options = EngineOptions::default().with_threads(5);
+        assert_eq!(Runner::for_options(&options).threads(), 5);
+        let auto = EngineOptions::default();
+        assert_eq!(
+            Runner::for_options(&auto).threads(),
+            crate::sweep::default_threads()
+        );
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! stored, compared, cloned across threads, rendered to text with
 //! [`RunSpec::to_text`] and parsed back with [`RunSpec::from_text`], which
 //! is what makes them schedulable by the batch layer
-//! ([`crate::runner::Runner::sweep`]) and, eventually, by a service
-//! endpoint.
+//! ([`crate::runner::Runner::sweep`]) and servable over the wire by the
+//! `ctori-service` front-end, whose result cache is addressed by
+//! [`RunSpec::canonical_key`].
 //!
 //! The text form is line-oriented (`key: value`), human-diffable, and uses
 //! the same glyph grids as [`ctori_coloring::textio`] for explicit
@@ -91,7 +92,15 @@ impl std::fmt::Display for SpecParseError {
     }
 }
 
-impl std::error::Error for SpecParseError {}
+impl std::error::Error for SpecParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecParseError::BadRule(e) => Some(e),
+            SpecParseError::BadColoring(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<RuleParseError> for SpecParseError {
     fn from(e: RuleParseError) -> Self {
@@ -867,6 +876,14 @@ pub struct EngineOptions {
     /// Hard cap on the number of rounds; `0` means automatic
     /// (`4·|V| + 16`).
     pub max_rounds: usize,
+    /// Worker-thread budget for batch execution of this scenario's grid
+    /// (`0` = automatic: [`crate::sweep::default_threads`]).  Consumed by
+    /// [`crate::runner::Runner::for_options`]; the simulation service
+    /// sizes its worker pool through the same automatic default (its
+    /// `SchedulerConfig::workers = 0`).  A single run is always
+    /// sequential, so this knob never affects an outcome and is excluded
+    /// from [`RunSpec::canonical_key`].
+    pub threads: usize,
     /// Record per-vertex adoption times of this colour.
     pub track_times_for: Option<Color>,
     /// Verify monotonicity with respect to this colour.
@@ -879,6 +896,7 @@ impl Default for EngineOptions {
             lane: LaneSpec::Auto,
             detect_cycles: true,
             max_rounds: 0,
+            threads: 0,
             track_times_for: None,
             check_monotone_for: None,
         }
@@ -914,6 +932,21 @@ impl EngineOptions {
         self
     }
 
+    /// Sets an explicit worker-thread budget (`0` = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-thread budget with the automatic default resolved.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            crate::sweep::default_threads()
+        } else {
+            self.threads
+        }
+    }
+
     /// The [`RunConfig`] equivalent of these options (everything except
     /// the lane, which the runner applies while building the simulator).
     pub fn run_config(&self) -> RunConfig {
@@ -941,8 +974,13 @@ impl EngineOptions {
         } else {
             self.max_rounds.to_string()
         };
+        let threads = if self.threads == 0 {
+            "auto".to_string()
+        } else {
+            self.threads.to_string()
+        };
         format!(
-            "lane={lane} cycles={} max-rounds={max_rounds} track={} monotone={}",
+            "lane={lane} cycles={} max-rounds={max_rounds} threads={threads} track={} monotone={}",
             if self.detect_cycles { "on" } else { "off" },
             opt(self.track_times_for),
             opt(self.check_monotone_for),
@@ -986,6 +1024,15 @@ impl EngineOptions {
                             .map_err(|_| bad_options(format!("{value:?} is not a round limit")))?
                     }
                 }
+                "threads" => {
+                    options.threads = if value == "auto" {
+                        0
+                    } else {
+                        value
+                            .parse()
+                            .map_err(|_| bad_options(format!("{value:?} is not a thread count")))?
+                    }
+                }
                 "track" => {
                     options.track_times_for = if value == "-" {
                         None
@@ -1004,6 +1051,67 @@ impl EngineOptions {
             }
         }
         Ok(options)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpecKey
+// ---------------------------------------------------------------------------
+
+/// A content-address for a [`RunSpec`]: the 128-bit FNV-1a digest of the
+/// spec's canonical text form ([`RunSpec::to_text`]).
+///
+/// The digest is computed with a fixed, dependency-free algorithm, so the
+/// same spec hashes to the same key **across processes and machines** —
+/// which is what lets a result cache memoize outcomes for identical specs
+/// submitted by different clients.  Two specs share a key exactly when
+/// their canonical texts are equal (up to the negligible 2⁻¹²⁸ collision
+/// probability of the digest).
+///
+/// Renders as 32 lowercase hex digits and parses back with
+/// [`str::parse`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecKey(u128);
+
+impl SpecKey {
+    const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    /// FNV-1a digest of a byte string.
+    fn digest(bytes: &[u8]) -> SpecKey {
+        let mut hash = Self::FNV_OFFSET;
+        for &b in bytes {
+            hash ^= u128::from(b);
+            hash = hash.wrapping_mul(Self::FNV_PRIME);
+        }
+        SpecKey(hash)
+    }
+
+    /// The raw 128-bit digest.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SpecKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl std::str::FromStr for SpecKey {
+    type Err = SpecParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 {
+            return Err(bad_options(format!(
+                "a spec key is 32 hex digits, got {} characters",
+                s.len()
+            )));
+        }
+        u128::from_str_radix(s, 16)
+            .map(SpecKey)
+            .map_err(|_| bad_options(format!("{s:?} is not a hex spec key")))
     }
 }
 
@@ -1057,6 +1165,35 @@ impl RunSpec {
             self.options.to_text(),
             self.seed.to_text().trim_end(),
         )
+    }
+
+    /// The spec's content-address: the [`SpecKey`] digest of the canonical
+    /// text form, with outcome-irrelevant policy normalised away.
+    ///
+    /// Because [`RunSpec::to_text`] renders every field canonically (rules
+    /// by registry name, options fully spelled out), the key is invariant
+    /// under a text round-trip: `from_text(to_text(s))` has the same key
+    /// as `s`.  The service layer's result cache is addressed by this key,
+    /// so identical scenarios submitted by different clients share one
+    /// memoized outcome.
+    ///
+    /// [`EngineOptions::threads`] is the one option that cannot influence
+    /// a run's outcome (it only sizes *batch* execution, and a single run
+    /// is always sequential), so it is excluded from the digest: specs
+    /// differing only in their thread budget share a cache slot.  Every
+    /// other option is part of the address — even `lane` reaches the
+    /// outcome through [`crate::RunOutcome::used_packed_lane`].
+    pub fn canonical_key(&self) -> SpecKey {
+        let mut options = self.options;
+        options.threads = 0;
+        let canonical = format!(
+            "topology: {}\nrule: {}\noptions: {}\nseed: {}\n",
+            self.topology.to_text(),
+            self.rule.name(),
+            options.to_text(),
+            self.seed.to_text().trim_end(),
+        );
+        SpecKey::digest(canonical.as_bytes())
     }
 
     /// Parses a spec from the text form produced by [`RunSpec::to_text`].
@@ -1375,6 +1512,70 @@ mod tests {
         let text = spec.to_text();
         assert!(text.contains("seed: explicit"));
         assert_eq!(RunSpec::from_text(&text).unwrap(), spec, "\n{text}");
+    }
+
+    #[test]
+    fn canonical_key_addresses_spec_content() {
+        let spec = RunSpec::new(
+            TopologySpec::toroidal_mesh(5, 5),
+            RuleSpec::parse("smp").unwrap(),
+            SeedSpec::checkerboard(c(1), c(2)),
+        );
+        let key = spec.canonical_key();
+        // Stable across clones and text round-trips …
+        assert_eq!(spec.clone().canonical_key(), key);
+        let reparsed = RunSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(reparsed.canonical_key(), key);
+        // … and sensitive to every field.
+        let other_seed = spec.clone().with_options(EngineOptions::default());
+        assert_eq!(other_seed.canonical_key(), key, "options were defaults");
+        let bigger = RunSpec::new(
+            TopologySpec::toroidal_mesh(5, 6),
+            RuleSpec::parse("smp").unwrap(),
+            SeedSpec::checkerboard(c(1), c(2)),
+        );
+        assert_ne!(bigger.canonical_key(), key);
+        let tracked = spec.clone().for_dynamo(c(1));
+        assert_ne!(tracked.canonical_key(), key);
+        // The thread budget cannot affect an outcome, so it must not
+        // split the cache address.
+        let threaded = spec
+            .clone()
+            .with_options(EngineOptions::default().with_threads(8));
+        assert_eq!(threaded.canonical_key(), key);
+        // But lane forcing can (it reaches RunOutcome::used_packed_lane).
+        let forced = spec
+            .clone()
+            .with_options(EngineOptions::default().with_lane(LaneSpec::FullSweep));
+        assert_ne!(forced.canonical_key(), key);
+    }
+
+    #[test]
+    fn spec_key_round_trips_through_hex() {
+        let spec = RunSpec::new(
+            TopologySpec::torus_cordalis(4, 4),
+            RuleSpec::parse("strong-majority").unwrap(),
+            SeedSpec::uniform(c(1)),
+        );
+        let key = spec.canonical_key();
+        let hex = key.to_string();
+        assert_eq!(hex.len(), 32, "{hex}");
+        assert_eq!(hex.parse::<SpecKey>().unwrap(), key);
+        assert!("nope".parse::<SpecKey>().is_err());
+        assert!("zz".repeat(16).parse::<SpecKey>().is_err());
+    }
+
+    #[test]
+    fn thread_budget_round_trips_and_resolves() {
+        let options = EngineOptions::default().with_threads(3);
+        let text = options.to_text();
+        assert!(text.contains("threads=3"), "{text}");
+        assert_eq!(EngineOptions::parse(&text).unwrap(), options);
+        assert_eq!(options.effective_threads(), 3);
+        let auto = EngineOptions::default();
+        assert!(auto.to_text().contains("threads=auto"));
+        assert_eq!(auto.effective_threads(), crate::sweep::default_threads());
+        assert!(EngineOptions::parse("threads=lots").is_err());
     }
 
     #[test]

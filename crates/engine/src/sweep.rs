@@ -61,19 +61,32 @@ where
         .collect()
 }
 
-/// Convenience wrapper: runs `f` for every input with a thread count equal
-/// to the available parallelism (capped at 16).
+/// The default worker-thread budget: the machine's available parallelism,
+/// capped at 16.
+///
+/// This is the **single** source of the fallback used everywhere a caller
+/// does not choose a thread count explicitly — [`parallel_runs`],
+/// [`crate::runner::Runner::new`], and the simulation-service worker pool
+/// all resolve their "auto" setting here, so the policy can only be tuned
+/// in one place.  An explicit count is threaded through
+/// [`crate::spec::EngineOptions::threads`] /
+/// [`crate::runner::Runner::with_threads`] instead.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Convenience wrapper: runs `f` for every input with the
+/// [`default_threads`] budget.
 pub fn parallel_runs<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(16);
-    parallel_map(inputs, threads, f)
+    parallel_map(inputs, default_threads(), f)
 }
 
 #[cfg(test)]
@@ -83,6 +96,12 @@ mod tests {
     use ctori_coloring::{Color, ColoringBuilder};
     use ctori_protocols::SmpProtocol;
     use ctori_topology::toroidal_mesh;
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
 
     #[test]
     fn parallel_map_preserves_order() {

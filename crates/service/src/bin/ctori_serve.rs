@@ -1,0 +1,71 @@
+//! `ctori-serve` — the simulation service binary.
+//!
+//! ```text
+//! ctori-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--retain N]
+//! ```
+//!
+//! Binds the TCP front-end (default `127.0.0.1:7171`; port `0` picks an
+//! ephemeral port, printed on startup), serves until a client issues
+//! `SHUTDOWN`, drains every admitted job, prints the final counters and
+//! exits `0`.
+
+use ctori_service::{SchedulerConfig, Server, ServiceConfig};
+use std::error::Error;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ctori-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--retain N]\n\
+         \n\
+         --addr     listen address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
+         --workers  worker-pool size (default: available parallelism, capped at 16)\n\
+         --queue    submission-queue bound (default 1024)\n\
+         --cache    result-cache capacity in outcomes (default 256; 0 disables)\n\
+         --retain   terminal job records kept for STATUS/RESULT (default 4096)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Result<ServiceConfig, Box<dyn Error>> {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7171".into(),
+        scheduler: SchedulerConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> Result<String, Box<dyn Error>> {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs {what}").into())
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("HOST:PORT")?,
+            "--workers" => config.scheduler.workers = value("a count")?.parse()?,
+            "--queue" => config.scheduler.queue_capacity = value("a bound")?.parse()?,
+            "--cache" => config.scheduler.cache_capacity = value("a capacity")?.parse()?,
+            "--retain" => config.scheduler.retain_jobs = value("a bound")?.parse()?,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = parse_args()?;
+    let server = Server::bind(config)?;
+    // The smoke test greps this line for the bound (possibly ephemeral)
+    // address, so keep its shape stable.
+    println!("ctori-serve listening on {}", server.local_addr()?);
+    let stats = server.serve()?;
+    println!(
+        "ctori-serve drained: {} done, {} failed, {} cancelled, cache {}/{} hits",
+        stats.done,
+        stats.failed,
+        stats.cancelled,
+        stats.cache.hits,
+        stats.cache.hits + stats.cache.misses,
+    );
+    Ok(())
+}

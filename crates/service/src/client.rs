@@ -1,0 +1,167 @@
+//! A small blocking client for the service protocol.
+//!
+//! [`ServiceClient`] wraps one TCP connection and exposes the protocol
+//! verbs as typed methods: specs go in as [`RunSpec`] values (serialized
+//! through their canonical text form), outcomes come back as parsed
+//! [`RunOutcome`]s.  Server-side failures surface as
+//! [`ServiceError::Remote`] carrying the wire error code.
+//!
+//! ```no_run
+//! use ctori_service::{Server, ServiceClient, ServiceConfig};
+//! use ctori_engine::{RunSpec, RuleSpec, SeedSpec, TopologySpec};
+//! use std::error::Error;
+//!
+//! fn main() -> Result<(), Box<dyn Error>> {
+//!     let server = Server::bind(ServiceConfig::default())?;
+//!     let addr = server.local_addr()?;
+//!     std::thread::spawn(move || server.serve());
+//!
+//!     let mut client = ServiceClient::connect(addr)?;
+//!     let spec = RunSpec::from_text(
+//!         "topology: toroidal-mesh 8x8\nrule: smp\nseed: checkerboard 1 2\n",
+//!     )?;
+//!     let id = client.submit(&spec)?;
+//!     let outcome = client.result(id)?;
+//!     println!("{} rounds", outcome.rounds);
+//!     client.shutdown()?;
+//!     Ok(())
+//! }
+//! ```
+
+use crate::error::ServiceError;
+use crate::job::{JobId, JobStatus, Priority};
+use crate::protocol::{self, Request, Response};
+use crate::stats::ServiceStats;
+use ctori_engine::{RunOutcome, RunSpec};
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a simulation server.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServiceClient { reader, writer })
+    }
+
+    /// Submits one spec at [`Priority::Normal`].
+    pub fn submit(&mut self, spec: &RunSpec) -> Result<JobId, ServiceError> {
+        self.submit_with_priority(spec, Priority::Normal)
+    }
+
+    /// Submits one spec at an explicit priority.
+    pub fn submit_with_priority(
+        &mut self,
+        spec: &RunSpec,
+        priority: Priority,
+    ) -> Result<JobId, ServiceError> {
+        match self.roundtrip(&Request::Submit {
+            priority,
+            spec_text: spec.to_text(),
+        })? {
+            Response::Job(id) => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Submits a whole sweep atomically; the returned ids are in spec
+    /// order.
+    pub fn sweep(&mut self, specs: &[RunSpec]) -> Result<Vec<JobId>, ServiceError> {
+        self.sweep_with_priority(specs, Priority::Normal)
+    }
+
+    /// Submits a sweep at an explicit priority.
+    pub fn sweep_with_priority(
+        &mut self,
+        specs: &[RunSpec],
+        priority: Priority,
+    ) -> Result<Vec<JobId>, ServiceError> {
+        match self.roundtrip(&Request::Sweep {
+            priority,
+            spec_texts: specs.iter().map(RunSpec::to_text).collect(),
+        })? {
+            Response::Jobs(ids) => Ok(ids),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The job's lifecycle snapshot.
+    pub fn status(&mut self, id: JobId) -> Result<JobStatus, ServiceError> {
+        match self.roundtrip(&Request::Status { id })? {
+            Response::Status(status) => Ok(status),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Blocks (server-side) until the job terminates and returns its
+    /// outcome.
+    pub fn result(&mut self, id: JobId) -> Result<RunOutcome, ServiceError> {
+        self.fetch_result(id, true)
+    }
+
+    /// Non-blocking result probe: `Ok(None)` while the job is still
+    /// queued or running.
+    pub fn try_result(&mut self, id: JobId) -> Result<Option<RunOutcome>, ServiceError> {
+        match self.fetch_result(id, false) {
+            Ok(outcome) => Ok(Some(outcome)),
+            Err(ServiceError::Remote { code, .. }) if code == "not-done" => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Cancels a queued job.
+    pub fn cancel(&mut self, id: JobId) -> Result<(), ServiceError> {
+        match self.roundtrip(&Request::Cancel { id })? {
+            Response::Cancelled => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The service counters (including the cache hit/miss statistics).
+    pub fn stats(&mut self) -> Result<ServiceStats, ServiceError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to drain and exit, consuming the connection.
+    pub fn shutdown(mut self) -> Result<(), ServiceError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn fetch_result(&mut self, id: JobId, wait: bool) -> Result<RunOutcome, ServiceError> {
+        match self.roundtrip(&Request::Result { id, wait })? {
+            Response::Result(text) => Ok(RunOutcome::from_text(&text)?),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Writes one request and reads one reply; `ERR` replies become
+    /// [`ServiceError::Remote`].
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        self.writer.write_all(request.wire().as_bytes())?;
+        self.writer.flush()?;
+        let header = protocol::read_line(&mut self.reader)?
+            .ok_or_else(|| ServiceError::Protocol("server closed the connection".into()))?;
+        let payload = if Response::header_needs_payload(&header) {
+            Some(protocol::read_block(&mut self.reader)?)
+        } else {
+            None
+        };
+        Response::from_parts(&header, payload.as_deref())?.into_result()
+    }
+}
+
+fn unexpected(response: Response) -> ServiceError {
+    ServiceError::Protocol(format!("unexpected reply {response:?}"))
+}

@@ -1,0 +1,143 @@
+//! The service error type.
+//!
+//! One enum covers the whole stack — scheduler admission, job lifecycle,
+//! wire-protocol framing, and transport I/O — and implements
+//! [`std::error::Error`] with `source()` chaining, so binaries compose it
+//! with `Box<dyn Error>` and `?` throughout.  Server-side errors cross
+//! the wire as `ERR <code> <message>` lines and are rebuilt on the client
+//! as [`ServiceError::Remote`].
+
+use crate::job::{JobId, JobState};
+use ctori_engine::{OutcomeParseError, SpecParseError};
+
+/// Anything that can go wrong between a client call and its outcome.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// A transport-level I/O failure.
+    Io(std::io::Error),
+    /// The submission queue is at capacity; retry later.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// No job with that id was ever submitted here.
+    UnknownJob(JobId),
+    /// The job has not reached a terminal state yet.
+    NotFinished {
+        /// The job in question.
+        id: JobId,
+        /// Its current state.
+        state: JobState,
+    },
+    /// The job cannot be cancelled in its current state (only queued jobs
+    /// can).
+    NotCancellable {
+        /// The job in question.
+        id: JobId,
+        /// Its current state.
+        state: JobState,
+    },
+    /// The job's execution failed.
+    JobFailed {
+        /// The job in question.
+        id: JobId,
+        /// The failure message recorded by the worker.
+        message: String,
+    },
+    /// The job was cancelled before it could run.
+    JobCancelled(JobId),
+    /// The scheduler is draining and accepts no new submissions.
+    ShuttingDown,
+    /// A submitted spec failed to parse or validate.
+    BadSpec(SpecParseError),
+    /// An outcome payload failed to parse.
+    BadOutcome(OutcomeParseError),
+    /// Malformed wire data (unknown command, bad framing, bad token).
+    Protocol(String),
+    /// An `ERR` reply from the server, rebuilt client-side.
+    Remote {
+        /// The machine-readable error code.
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "submission queue full ({capacity} jobs)")
+            }
+            ServiceError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            ServiceError::NotFinished { id, state } => {
+                write!(f, "job {id} is not finished (currently {state})")
+            }
+            ServiceError::NotCancellable { id, state } => {
+                write!(f, "job {id} cannot be cancelled while {state}")
+            }
+            ServiceError::JobFailed { id, message } => write!(f, "job {id} failed: {message}"),
+            ServiceError::JobCancelled(id) => write!(f, "job {id} was cancelled"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::BadSpec(e) => write!(f, "bad run spec: {e}"),
+            ServiceError::BadOutcome(e) => write!(f, "bad run outcome: {e}"),
+            ServiceError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+            ServiceError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            ServiceError::BadSpec(e) => Some(e),
+            ServiceError::BadOutcome(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<SpecParseError> for ServiceError {
+    fn from(e: SpecParseError) -> Self {
+        ServiceError::BadSpec(e)
+    }
+}
+
+impl From<OutcomeParseError> for ServiceError {
+    fn from(e: OutcomeParseError) -> Self {
+        ServiceError::BadOutcome(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = ServiceError::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains("8"));
+        let e: ServiceError = ctori_engine::RunSpec::from_text("junk").unwrap_err().into();
+        assert!(e.source().is_some(), "spec errors chain through source()");
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.to_string().contains("bad run spec"));
+        let e: ServiceError = ctori_engine::RunOutcome::from_text("junk")
+            .unwrap_err()
+            .into();
+        assert!(e.source().is_some());
+        let io: ServiceError = std::io::Error::other("boom").into();
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,596 @@
+//! The line-framed TCP wire protocol.
+//!
+//! Every request is one ASCII **header line**; requests that carry a
+//! payload (spec or outcome text — the existing
+//! [`ctori_engine::RunSpec::to_text`] / [`ctori_engine::RunOutcome::to_text`]
+//! forms) follow it with a **block**: the payload lines, dot-stuffed
+//! SMTP-style (a payload line starting with `.` is sent with an extra
+//! leading `.`), terminated by a line holding a single `.`.
+//!
+//! | request | payload | success reply |
+//! |---------|---------|---------------|
+//! | `SUBMIT [priority=P]` | one spec | `OK job <id>` |
+//! | `SWEEP [priority=P]` | specs separated by `--` lines | `OK jobs <id>…` |
+//! | `STATUS <id>` | — | `OK status <state> [cached]` |
+//! | `RESULT <id> [wait]` | — | `OK result` + outcome block |
+//! | `CANCEL <id>` | — | `OK cancelled` |
+//! | `STATS` | — | `OK stats` + stats block |
+//! | `SHUTDOWN` | — | `OK bye`, then the server drains and exits |
+//!
+//! Failures reply `ERR <code> <message>` on one line (e.g. `queue-full`,
+//! `unknown-job`, `not-done`, `job-failed`, `bad-spec`, `bad-request`).
+//! Both sides are symmetric: [`Request`] and [`Response`] render with
+//! `wire()` and rebuild with `from_parts(header, payload)`, so the
+//! protocol round-trips and is testable without a socket.
+
+use crate::error::ServiceError;
+use crate::job::{JobId, JobState, JobStatus, Priority};
+use crate::stats::ServiceStats;
+use std::io::BufRead;
+
+/// The line separating two specs inside a `SWEEP` payload.
+pub const SWEEP_SEPARATOR: &str = "--";
+
+/// The line terminating a payload block.
+pub const END_OF_BLOCK: &str = ".";
+
+// ---------------------------------------------------------------------------
+// Block framing
+// ---------------------------------------------------------------------------
+
+/// Renders a payload as a dot-stuffed, dot-terminated block.
+pub fn encode_block(payload: &str) -> String {
+    let mut out = String::with_capacity(payload.len() + 8);
+    for line in payload.lines() {
+        if line.starts_with('.') {
+            out.push('.');
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(END_OF_BLOCK);
+    out.push('\n');
+    out
+}
+
+/// One decoded line of an incoming block.
+pub enum BlockLine {
+    /// A payload line (already un-stuffed).
+    Data(String),
+    /// The `.` terminator.
+    End,
+}
+
+/// Decodes one raw line of an incoming block.
+pub fn decode_block_line(line: &str) -> BlockLine {
+    if line == END_OF_BLOCK {
+        BlockLine::End
+    } else if let Some(stuffed) = line.strip_prefix('.') {
+        BlockLine::Data(stuffed.to_string())
+    } else {
+        BlockLine::Data(line.to_string())
+    }
+}
+
+/// Reads one `\n`-terminated line, trimming the terminator (and a
+/// preceding `\r`).  Returns `None` at a clean EOF.
+pub fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, ServiceError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads a whole block (used by the blocking client, which sets no read
+/// timeout).  Errors if the stream ends before the terminator.
+pub fn read_block(reader: &mut impl BufRead) -> Result<String, ServiceError> {
+    let mut payload = String::new();
+    loop {
+        let line = read_line(reader)?
+            .ok_or_else(|| ServiceError::Protocol("connection closed inside a block".into()))?;
+        match decode_block_line(&line) {
+            BlockLine::End => return Ok(payload),
+            BlockLine::Data(data) => {
+                payload.push_str(&data);
+                payload.push('\n');
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A client request, as structured data.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Submit one spec for execution.
+    Submit {
+        /// Queue priority.
+        priority: Priority,
+        /// The spec in [`ctori_engine::RunSpec::to_text`] form.
+        spec_text: String,
+    },
+    /// Submit a batch of specs atomically under one priority.
+    Sweep {
+        /// Queue priority shared by the whole batch.
+        priority: Priority,
+        /// The specs, each in text form.
+        spec_texts: Vec<String>,
+    },
+    /// Query a job's lifecycle state.
+    Status {
+        /// The job.
+        id: JobId,
+    },
+    /// Fetch a job's outcome; with `wait`, block until it is terminal.
+    Result {
+        /// The job.
+        id: JobId,
+        /// Whether to block server-side until the job terminates.
+        wait: bool,
+    },
+    /// Cancel a queued job.
+    Cancel {
+        /// The job.
+        id: JobId,
+    },
+    /// Fetch the service counters.
+    Stats,
+    /// Begin a graceful drain: the reply is `OK bye`, then the server
+    /// finishes every admitted job and exits.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the full wire form (header line plus payload block, when
+    /// the verb carries one).
+    pub fn wire(&self) -> String {
+        match self {
+            Request::Submit {
+                priority,
+                spec_text,
+            } => format!("SUBMIT priority={priority}\n{}", encode_block(spec_text)),
+            Request::Sweep {
+                priority,
+                spec_texts,
+            } => {
+                let mut payload = String::new();
+                for (i, text) in spec_texts.iter().enumerate() {
+                    if i > 0 {
+                        payload.push_str(SWEEP_SEPARATOR);
+                        payload.push('\n');
+                    }
+                    payload.push_str(text);
+                    if !text.ends_with('\n') {
+                        payload.push('\n');
+                    }
+                }
+                format!("SWEEP priority={priority}\n{}", encode_block(&payload))
+            }
+            Request::Status { id } => format!("STATUS {id}\n"),
+            Request::Result { id, wait } => {
+                if *wait {
+                    format!("RESULT {id} wait\n")
+                } else {
+                    format!("RESULT {id}\n")
+                }
+            }
+            Request::Cancel { id } => format!("CANCEL {id}\n"),
+            Request::Stats => "STATS\n".into(),
+            Request::Shutdown => "SHUTDOWN\n".into(),
+        }
+    }
+
+    /// Whether a request header announces a payload block.
+    pub fn header_needs_payload(header: &str) -> bool {
+        matches!(
+            header.split_whitespace().next(),
+            Some("SUBMIT") | Some("SWEEP")
+        )
+    }
+
+    /// Rebuilds a request from a header line and its payload block.
+    pub fn from_parts(header: &str, payload: Option<&str>) -> Result<Request, ServiceError> {
+        let tokens: Vec<&str> = header.split_whitespace().collect();
+        let arity = |expected: std::ops::RangeInclusive<usize>| -> Result<(), ServiceError> {
+            if expected.contains(&tokens.len()) {
+                Ok(())
+            } else {
+                Err(ServiceError::Protocol(format!(
+                    "malformed request header {header:?}"
+                )))
+            }
+        };
+        let priority_of = |token: Option<&&str>| -> Result<Priority, ServiceError> {
+            match token {
+                None => Ok(Priority::Normal),
+                Some(token) => match token.split_once('=') {
+                    Some(("priority", value)) => value.parse(),
+                    _ => Err(ServiceError::Protocol(format!(
+                        "expected priority=..., got {token:?}"
+                    ))),
+                },
+            }
+        };
+        let payload_of = || -> Result<&str, ServiceError> {
+            payload.ok_or_else(|| ServiceError::Protocol(format!("{header:?} needs a payload")))
+        };
+        match tokens.first().copied() {
+            Some("SUBMIT") => {
+                arity(1..=2)?;
+                Ok(Request::Submit {
+                    priority: priority_of(tokens.get(1))?,
+                    spec_text: payload_of()?.to_string(),
+                })
+            }
+            Some("SWEEP") => {
+                arity(1..=2)?;
+                let priority = priority_of(tokens.get(1))?;
+                let mut spec_texts = Vec::new();
+                let mut current = String::new();
+                for line in payload_of()?.lines() {
+                    if line == SWEEP_SEPARATOR {
+                        spec_texts.push(std::mem::take(&mut current));
+                    } else {
+                        current.push_str(line);
+                        current.push('\n');
+                    }
+                }
+                if !current.trim().is_empty() || spec_texts.is_empty() {
+                    spec_texts.push(current);
+                }
+                Ok(Request::Sweep {
+                    priority,
+                    spec_texts,
+                })
+            }
+            Some("STATUS") => {
+                arity(2..=2)?;
+                Ok(Request::Status {
+                    id: tokens[1].parse()?,
+                })
+            }
+            Some("RESULT") => {
+                arity(2..=3)?;
+                let wait = match tokens.get(2) {
+                    None => false,
+                    Some(&"wait") => true,
+                    Some(other) => {
+                        return Err(ServiceError::Protocol(format!(
+                            "unknown RESULT flag {other:?}"
+                        )))
+                    }
+                };
+                Ok(Request::Result {
+                    id: tokens[1].parse()?,
+                    wait,
+                })
+            }
+            Some("CANCEL") => {
+                arity(2..=2)?;
+                Ok(Request::Cancel {
+                    id: tokens[1].parse()?,
+                })
+            }
+            Some("STATS") => {
+                arity(1..=1)?;
+                Ok(Request::Stats)
+            }
+            Some("SHUTDOWN") => {
+                arity(1..=1)?;
+                Ok(Request::Shutdown)
+            }
+            Some(other) => Err(ServiceError::Protocol(format!("unknown command {other:?}"))),
+            None => Err(ServiceError::Protocol("empty request".into())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// A server reply, as structured data.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// `SUBMIT` accepted.
+    Job(JobId),
+    /// `SWEEP` accepted.
+    Jobs(Vec<JobId>),
+    /// `STATUS` snapshot.
+    Status(JobStatus),
+    /// `RESULT` payload: the outcome in
+    /// [`ctori_engine::RunOutcome::to_text`] form.
+    Result(String),
+    /// `CANCEL` succeeded.
+    Cancelled,
+    /// `STATS` payload.
+    Stats(ServiceStats),
+    /// `SHUTDOWN` acknowledged.
+    Bye,
+    /// Any failure.
+    Error {
+        /// Machine-readable code (e.g. `queue-full`).
+        code: String,
+        /// Human-readable message (single line).
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the full wire form.
+    pub fn wire(&self) -> String {
+        match self {
+            Response::Job(id) => format!("OK job {id}\n"),
+            Response::Jobs(ids) => {
+                let mut out = String::from("OK jobs");
+                for id in ids {
+                    out.push(' ');
+                    out.push_str(&id.to_string());
+                }
+                out.push('\n');
+                out
+            }
+            Response::Status(status) => format!(
+                "OK status {}{}\n",
+                status.state,
+                if status.from_cache { " cached" } else { "" }
+            ),
+            Response::Result(outcome_text) => {
+                format!("OK result\n{}", encode_block(outcome_text))
+            }
+            Response::Cancelled => "OK cancelled\n".into(),
+            Response::Stats(stats) => format!("OK stats\n{}", encode_block(&stats.to_text())),
+            Response::Bye => "OK bye\n".into(),
+            Response::Error { code, message } => {
+                format!("ERR {code} {}\n", message.replace('\n', "; "))
+            }
+        }
+    }
+
+    /// Whether a response header announces a payload block.
+    pub fn header_needs_payload(header: &str) -> bool {
+        header == "OK result" || header == "OK stats"
+    }
+
+    /// Rebuilds a response from a header line and its payload block.
+    pub fn from_parts(header: &str, payload: Option<&str>) -> Result<Response, ServiceError> {
+        if let Some(rest) = header.strip_prefix("ERR ") {
+            let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+            return Ok(Response::Error {
+                code: code.to_string(),
+                message: message.to_string(),
+            });
+        }
+        let tokens: Vec<&str> = header.split_whitespace().collect();
+        let malformed = || ServiceError::Protocol(format!("malformed response header {header:?}"));
+        if tokens.first() != Some(&"OK") {
+            return Err(malformed());
+        }
+        match tokens.get(1).copied() {
+            Some("job") if tokens.len() == 3 => Ok(Response::Job(tokens[2].parse()?)),
+            Some("jobs") => Ok(Response::Jobs(
+                tokens[2..]
+                    .iter()
+                    .map(|t| t.parse())
+                    .collect::<Result<_, _>>()?,
+            )),
+            Some("status") if (3..=4).contains(&tokens.len()) => {
+                let state: JobState = tokens[2].parse()?;
+                let from_cache = match tokens.get(3) {
+                    None => false,
+                    Some(&"cached") => true,
+                    Some(_) => return Err(malformed()),
+                };
+                Ok(Response::Status(JobStatus { state, from_cache }))
+            }
+            Some("result") if tokens.len() == 2 => Ok(Response::Result(
+                payload
+                    .ok_or_else(|| ServiceError::Protocol("result without payload".into()))?
+                    .to_string(),
+            )),
+            Some("cancelled") if tokens.len() == 2 => Ok(Response::Cancelled),
+            Some("stats") if tokens.len() == 2 => Ok(Response::Stats(ServiceStats::from_text(
+                payload.ok_or_else(|| ServiceError::Protocol("stats without payload".into()))?,
+            )?)),
+            Some("bye") if tokens.len() == 2 => Ok(Response::Bye),
+            _ => Err(malformed()),
+        }
+    }
+
+    /// The `ERR` reply for a server-side failure.
+    pub fn from_error(error: &ServiceError) -> Response {
+        let code = match error {
+            ServiceError::Io(_) => "io",
+            ServiceError::QueueFull { .. } => "queue-full",
+            ServiceError::UnknownJob(_) => "unknown-job",
+            ServiceError::NotFinished { .. } => "not-done",
+            ServiceError::NotCancellable { .. } => "not-cancellable",
+            ServiceError::JobFailed { .. } => "job-failed",
+            ServiceError::JobCancelled(_) => "job-cancelled",
+            ServiceError::ShuttingDown => "shutting-down",
+            ServiceError::BadSpec(_) => "bad-spec",
+            ServiceError::BadOutcome(_) => "bad-outcome",
+            ServiceError::Protocol(_) => "bad-request",
+            ServiceError::Remote { code, .. } => code.as_str(),
+        };
+        Response::Error {
+            code: code.to_string(),
+            message: error.to_string(),
+        }
+    }
+
+    /// Converts an `ERR` reply into the error a local call would raise.
+    pub fn into_result(self) -> Result<Response, ServiceError> {
+        match self {
+            Response::Error { code, message } => Err(ServiceError::Remote { code, message }),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip_request(request: Request) {
+        let wire = request.wire();
+        let mut reader = BufReader::new(wire.as_bytes());
+        let header = read_line(&mut reader).unwrap().unwrap();
+        let payload = if Request::header_needs_payload(&header) {
+            Some(read_block(&mut reader).unwrap())
+        } else {
+            None
+        };
+        let rebuilt = Request::from_parts(&header, payload.as_deref()).unwrap();
+        assert_eq!(rebuilt, request, "\n{wire}");
+    }
+
+    fn round_trip_response(response: Response) {
+        let wire = response.wire();
+        let mut reader = BufReader::new(wire.as_bytes());
+        let header = read_line(&mut reader).unwrap().unwrap();
+        let payload = if Response::header_needs_payload(&header) {
+            Some(read_block(&mut reader).unwrap())
+        } else {
+            None
+        };
+        let rebuilt = Response::from_parts(&header, payload.as_deref()).unwrap();
+        assert_eq!(rebuilt, response, "\n{wire}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let spec = "topology: toroidal-mesh 4x4\nrule: smp\nseed: uniform 1\n";
+        round_trip_request(Request::Submit {
+            priority: Priority::High,
+            spec_text: spec.to_string(),
+        });
+        round_trip_request(Request::Sweep {
+            priority: Priority::Low,
+            spec_texts: vec![spec.to_string(), spec.to_string(), spec.to_string()],
+        });
+        round_trip_request(Request::Status { id: JobId::new(7) });
+        round_trip_request(Request::Result {
+            id: JobId::new(8),
+            wait: true,
+        });
+        round_trip_request(Request::Result {
+            id: JobId::new(9),
+            wait: false,
+        });
+        round_trip_request(Request::Cancel { id: JobId::new(3) });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Job(JobId::new(12)));
+        round_trip_response(Response::Jobs(vec![
+            JobId::new(1),
+            JobId::new(2),
+            JobId::new(3),
+        ]));
+        round_trip_response(Response::Status(JobStatus {
+            state: JobState::Done,
+            from_cache: true,
+        }));
+        round_trip_response(Response::Status(JobStatus {
+            state: JobState::Queued,
+            from_cache: false,
+        }));
+        round_trip_response(Response::Result("rule: smp\nrounds: 3\n".into()));
+        round_trip_response(Response::Cancelled);
+        round_trip_response(Response::Stats(ServiceStats::default()));
+        round_trip_response(Response::Bye);
+        round_trip_response(Response::Error {
+            code: "queue-full".into(),
+            message: "submission queue full (8 jobs)".into(),
+        });
+    }
+
+    #[test]
+    fn blocks_dot_stuff_and_unstuff() {
+        let payload = "plain\n.starts-with-dot\n..double\n";
+        let block = encode_block(payload);
+        assert!(block.contains("\n..starts-with-dot\n"), "{block}");
+        assert!(block.ends_with("\n.\n"));
+        let mut reader = BufReader::new(block.as_bytes());
+        assert_eq!(read_block(&mut reader).unwrap(), payload);
+        // A lone-dot payload line never terminates the block early.
+        let tricky = ".\n";
+        let encoded = encode_block(tricky);
+        let mut reader = BufReader::new(encoded.as_bytes());
+        assert_eq!(read_block(&mut reader).unwrap(), tricky);
+    }
+
+    #[test]
+    fn malformed_wire_data_is_rejected() {
+        assert!(Request::from_parts("LAUNCH 1", None).is_err());
+        assert!(Request::from_parts("", None).is_err());
+        assert!(Request::from_parts("SUBMIT", None).is_err(), "no payload");
+        assert!(Request::from_parts("STATUS", None).is_err(), "no id");
+        assert!(Request::from_parts("STATUS x", None).is_err());
+        assert!(Request::from_parts("RESULT 1 now", None).is_err());
+        assert!(Request::from_parts("SUBMIT urgency=high", Some("x")).is_err());
+        assert!(Response::from_parts("MAYBE ok", None).is_err());
+        assert!(Response::from_parts("OK job", None).is_err());
+        assert!(
+            Response::from_parts("OK result", None).is_err(),
+            "no payload"
+        );
+        // ERR replies surface as Remote errors through into_result.
+        let err = Response::from_parts("ERR queue-full the queue is full", None)
+            .unwrap()
+            .into_result()
+            .unwrap_err();
+        match err {
+            ServiceError::Remote { code, message } => {
+                assert_eq!(code, "queue-full");
+                assert_eq!(message, "the queue is full");
+            }
+            other => panic!("expected Remote, got {other}"),
+        }
+        // Unexpected EOF inside a block.
+        let mut reader = BufReader::new("line-one\n".as_bytes());
+        assert!(read_block(&mut reader).is_err());
+    }
+
+    #[test]
+    fn error_codes_cover_the_service_errors() {
+        let cases = [
+            (
+                Response::from_error(&ServiceError::QueueFull { capacity: 4 }),
+                "queue-full",
+            ),
+            (
+                Response::from_error(&ServiceError::UnknownJob(JobId::new(1))),
+                "unknown-job",
+            ),
+            (
+                Response::from_error(&ServiceError::ShuttingDown),
+                "shutting-down",
+            ),
+            (
+                Response::from_error(&ServiceError::Protocol("x".into())),
+                "bad-request",
+            ),
+        ];
+        for (response, expected) in cases {
+            match response {
+                Response::Error { code, .. } => assert_eq!(code, expected),
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,700 @@
+//! The job scheduler: bounded priority queue + persistent worker pool.
+//!
+//! Submissions enter a bounded queue ordered by [`Priority`] (FIFO within
+//! one priority) and are drained by a pool of **persistent** worker
+//! threads — the same threading idiom as [`ctori_engine::sweep`] (a shared
+//! work source drained by long-lived `std::thread` workers), not
+//! one-thread-per-request.  Before executing, a worker consults the
+//! [`ResultCache`] under the spec's canonical key; a hit completes the job
+//! without touching the engine.  Fresh outcomes are memoized on the way
+//! out.
+//!
+//! Lifecycle: jobs move `queued → running → done|failed`, or
+//! `queued → cancelled` via [`Scheduler::cancel`].  [`Scheduler::shutdown`]
+//! drains gracefully — no new submissions are admitted, every queued job
+//! still runs, and the workers are joined before the call returns.
+//!
+//! Each job executes sequentially on its worker
+//! (`Runner::with_threads(1)`): the pool itself is the parallelism, so a
+//! sweep of `N` specs scales with the worker count without oversubscribing
+//! the machine.
+
+use crate::cache::ResultCache;
+use crate::error::ServiceError;
+use crate::job::{JobId, JobState, JobStatus, Priority};
+use crate::stats::ServiceStats;
+use ctori_engine::{default_threads, RunOutcome, RunSpec, Runner, SpecKey};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sizing knobs of a [`Scheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Worker-pool size; `0` = automatic
+    /// ([`ctori_engine::default_threads`] — the same knob
+    /// [`ctori_engine::EngineOptions::threads`] resolves through).
+    pub workers: usize,
+    /// Bound on the number of *queued* jobs; submissions beyond it are
+    /// rejected with [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Capacity of the content-addressed result cache (`0` disables it).
+    pub cache_capacity: usize,
+    /// How many **terminal** job records (done/failed/cancelled) to keep
+    /// for `STATUS`/`RESULT` queries.  Beyond the bound the oldest
+    /// terminal records are forgotten — their ids then report
+    /// [`ServiceError::UnknownJob`] — which is what keeps a long-running
+    /// server's memory bounded no matter how many jobs it has served.
+    pub retain_jobs: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            cache_capacity: 256,
+            retain_jobs: 4096,
+        }
+    }
+}
+
+/// A queue reference: max-heap on priority, FIFO (smallest sequence
+/// number first) within one priority.
+#[derive(PartialEq, Eq)]
+struct QueueRef {
+    priority: Priority,
+    seq: std::cmp::Reverse<u64>,
+    id: JobId,
+}
+
+impl Ord for QueueRef {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, self.seq).cmp(&(other.priority, other.seq))
+    }
+}
+
+impl PartialOrd for QueueRef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct JobRecord {
+    spec: Option<RunSpec>, // taken by the worker that runs the job
+    key: SpecKey,
+    state: JobState,
+    from_cache: bool,
+    outcome: Option<Arc<RunOutcome>>,
+    error: Option<String>,
+}
+
+#[derive(Default)]
+struct Counters {
+    done: u64,
+    failed: u64,
+    cancelled: u64,
+}
+
+struct State {
+    queue: BinaryHeap<QueueRef>,
+    queued: usize, // queue entries that are still in state Queued
+    running: usize,
+    jobs: HashMap<JobId, JobRecord>,
+    /// Terminal job ids, oldest first — the retention window.
+    terminal_order: VecDeque<JobId>,
+    cache: ResultCache,
+    counters: Counters,
+    next_id: u64,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+/// Marks a job terminal and forgets the oldest terminal records beyond
+/// the retention bound.
+fn record_terminal(state: &mut State, retain: usize, id: JobId) {
+    state.terminal_order.push_back(id);
+    while state.terminal_order.len() > retain {
+        if let Some(old) = state.terminal_order.pop_front() {
+            state.jobs.remove(&old);
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when work is queued or shutdown begins (workers wait).
+    work_ready: Condvar,
+    /// Signalled when any job reaches a terminal state (waiters wait).
+    job_done: Condvar,
+    queue_capacity: usize,
+    retain_jobs: usize,
+    workers: usize,
+}
+
+/// The batch-simulation scheduler.  See the [module docs](self).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts the worker pool and returns the scheduler handle.
+    pub fn start(config: SchedulerConfig) -> Self {
+        let workers = if config.workers == 0 {
+            default_threads()
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: BinaryHeap::new(),
+                queued: 0,
+                running: 0,
+                jobs: HashMap::new(),
+                terminal_order: VecDeque::new(),
+                cache: ResultCache::new(config.cache_capacity),
+                counters: Counters::default(),
+                next_id: 1,
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            retain_jobs: config.retain_jobs.max(1),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Scheduler {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Size of the worker pool.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Submits one validated spec; returns its job id.
+    ///
+    /// Fails with [`ServiceError::QueueFull`] when the queue bound is
+    /// reached and [`ServiceError::ShuttingDown`] once a drain has begun.
+    pub fn submit(&self, spec: RunSpec, priority: Priority) -> Result<JobId, ServiceError> {
+        let key = spec.canonical_key();
+        let mut state = self.lock();
+        self.admit(&state, 1)?;
+        let id = enqueue(&mut state, spec, key, priority);
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Submits a whole sweep atomically: either every spec is queued (in
+    /// order, under one priority) or none is.
+    pub fn submit_sweep(
+        &self,
+        specs: Vec<RunSpec>,
+        priority: Priority,
+    ) -> Result<Vec<JobId>, ServiceError> {
+        if specs.is_empty() {
+            return Err(ServiceError::Protocol("empty sweep".into()));
+        }
+        let keys: Vec<SpecKey> = specs.iter().map(RunSpec::canonical_key).collect();
+        let mut state = self.lock();
+        self.admit(&state, specs.len())?;
+        let ids = specs
+            .into_iter()
+            .zip(keys)
+            .map(|(spec, key)| enqueue(&mut state, spec, key, priority))
+            .collect();
+        drop(state);
+        self.shared.work_ready.notify_all();
+        Ok(ids)
+    }
+
+    /// The current lifecycle snapshot of a job.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, ServiceError> {
+        let state = self.lock();
+        let record = state.jobs.get(&id).ok_or(ServiceError::UnknownJob(id))?;
+        Ok(JobStatus {
+            state: record.state,
+            from_cache: record.from_cache,
+        })
+    }
+
+    /// The outcome of a `done` job.
+    ///
+    /// Fails with [`ServiceError::NotFinished`] while the job is queued or
+    /// running, [`ServiceError::JobFailed`] /
+    /// [`ServiceError::JobCancelled`] for the other terminal states.
+    pub fn outcome(&self, id: JobId) -> Result<RunOutcome, ServiceError> {
+        // The Arc leaves the lock cheaply; the (potentially large)
+        // outcome copy happens outside it.
+        let outcome = outcome_of(&self.lock(), id)?;
+        Ok((*outcome).clone())
+    }
+
+    /// Blocks until the job reaches a terminal state, then returns as
+    /// [`Scheduler::outcome`].  `timeout` of `None` waits indefinitely
+    /// (every admitted job terminates: workers drain the queue even during
+    /// shutdown).
+    pub fn wait(&self, id: JobId, timeout: Option<Duration>) -> Result<RunOutcome, ServiceError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut state = self.lock();
+        loop {
+            match state.jobs.get(&id) {
+                None => return Err(ServiceError::UnknownJob(id)),
+                Some(record) if record.state.is_terminal() => {
+                    let outcome = outcome_of(&state, id)?;
+                    drop(state);
+                    return Ok((*outcome).clone());
+                }
+                Some(_) => {}
+            }
+            state = match deadline {
+                None => self
+                    .shared
+                    .job_done
+                    .wait(state)
+                    .expect("scheduler poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        let record = state.jobs.get(&id).expect("checked above");
+                        return Err(ServiceError::NotFinished {
+                            id,
+                            state: record.state,
+                        });
+                    }
+                    self.shared
+                        .job_done
+                        .wait_timeout(state, deadline - now)
+                        .expect("scheduler poisoned")
+                        .0
+                }
+            };
+        }
+    }
+
+    /// Cancels a job that is still queued.  Running and terminal jobs are
+    /// not cancellable.
+    pub fn cancel(&self, id: JobId) -> Result<(), ServiceError> {
+        let mut state = self.lock();
+        let record = state
+            .jobs
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownJob(id))?;
+        if record.state != JobState::Queued {
+            return Err(ServiceError::NotCancellable {
+                id,
+                state: record.state,
+            });
+        }
+        record.state = JobState::Cancelled;
+        record.spec = None;
+        state.queued -= 1;
+        state.counters.cancelled += 1;
+        record_terminal(&mut state, self.shared.retain_jobs, id);
+        drop(state);
+        self.shared.job_done.notify_all();
+        Ok(())
+    }
+
+    /// A snapshot of the queue, job and cache counters.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.lock();
+        ServiceStats {
+            workers: self.shared.workers,
+            queued: state.queued,
+            running: state.running,
+            done: state.counters.done,
+            failed: state.counters.failed,
+            cancelled: state.counters.cancelled,
+            cache: state.cache.stats(),
+        }
+    }
+
+    /// Drains the scheduler: rejects new submissions, lets every queued
+    /// and running job finish, and joins the worker pool.  Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.lock();
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("scheduler poisoned"));
+        for handle in handles {
+            handle.join().expect("service worker panicked");
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().expect("scheduler poisoned")
+    }
+
+    /// Checks that `incoming` more jobs may be queued right now.
+    fn admit(&self, state: &State, incoming: usize) -> Result<(), ServiceError> {
+        if state.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if state.queued + incoming > self.shared.queue_capacity {
+            return Err(ServiceError::QueueFull {
+                capacity: self.shared.queue_capacity,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn enqueue(state: &mut State, spec: RunSpec, key: SpecKey, priority: Priority) -> JobId {
+    let id = JobId::new(state.next_id);
+    state.next_id += 1;
+    let seq = state.next_seq;
+    state.next_seq += 1;
+    state.jobs.insert(
+        id,
+        JobRecord {
+            spec: Some(spec),
+            key,
+            state: JobState::Queued,
+            from_cache: false,
+            outcome: None,
+            error: None,
+        },
+    );
+    state.queue.push(QueueRef {
+        priority,
+        seq: std::cmp::Reverse(seq),
+        id,
+    });
+    state.queued += 1;
+    id
+}
+
+fn outcome_of(state: &State, id: JobId) -> Result<Arc<RunOutcome>, ServiceError> {
+    let record = state.jobs.get(&id).ok_or(ServiceError::UnknownJob(id))?;
+    match record.state {
+        JobState::Done => Ok(record.outcome.clone().expect("done job has an outcome")),
+        JobState::Failed => Err(ServiceError::JobFailed {
+            id,
+            message: record.error.clone().unwrap_or_else(|| "unknown".into()),
+        }),
+        JobState::Cancelled => Err(ServiceError::JobCancelled(id)),
+        state => Err(ServiceError::NotFinished { id, state }),
+    }
+}
+
+/// The persistent worker body: claim → cache probe → execute → record.
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.state.lock().expect("scheduler poisoned");
+    loop {
+        // Claim the next runnable job, skipping cancelled queue entries.
+        let claimed = loop {
+            match state.queue.pop() {
+                Some(entry) => {
+                    let record = state.jobs.get_mut(&entry.id).expect("queued job exists");
+                    if record.state != JobState::Queued {
+                        continue; // cancelled while queued
+                    }
+                    // Probe the cache under the canonical key: a hit
+                    // completes the job without ever leaving the lock.
+                    let key = record.key;
+                    if let Some(outcome) = state.cache.get(&key) {
+                        let record = state.jobs.get_mut(&entry.id).expect("queued job exists");
+                        record.state = JobState::Done;
+                        record.from_cache = true;
+                        record.outcome = Some(outcome);
+                        record.spec = None;
+                        state.queued -= 1;
+                        state.counters.done += 1;
+                        record_terminal(&mut state, shared.retain_jobs, entry.id);
+                        shared.job_done.notify_all();
+                        continue;
+                    }
+                    let record = state.jobs.get_mut(&entry.id).expect("queued job exists");
+                    record.state = JobState::Running;
+                    let spec = record.spec.take().expect("queued job still has its spec");
+                    state.queued -= 1;
+                    state.running += 1;
+                    break Some((entry.id, key, spec));
+                }
+                None if state.shutdown => break None,
+                None => {
+                    state = shared.work_ready.wait(state).expect("scheduler poisoned");
+                }
+            }
+        };
+        let Some((id, key, spec)) = claimed else {
+            return; // drained and shutting down
+        };
+
+        // Execute outside the lock; one worker = one sequential run.
+        drop(state);
+        let result = catch_unwind(AssertUnwindSafe(|| Runner::with_threads(1).execute(&spec)));
+
+        state = shared.state.lock().expect("scheduler poisoned");
+        state.running -= 1;
+        let record = state.jobs.get_mut(&id).expect("running job exists");
+        match result {
+            Ok(outcome) => {
+                let outcome = Arc::new(outcome);
+                record.state = JobState::Done;
+                record.outcome = Some(Arc::clone(&outcome));
+                state.counters.done += 1;
+                state.cache.insert(key, outcome);
+            }
+            Err(panic) => {
+                record.state = JobState::Failed;
+                record.error = Some(panic_message(panic.as_ref()));
+                state.counters.failed += 1;
+            }
+        }
+        record_terminal(&mut state, shared.retain_jobs, id);
+        shared.job_done.notify_all();
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "execution panicked".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctori_coloring::Color;
+    use ctori_engine::{RuleSpec, SeedSpec, Termination, TopologySpec};
+
+    fn spec(size: usize, node: usize) -> RunSpec {
+        RunSpec::new(
+            TopologySpec::toroidal_mesh(size, size),
+            RuleSpec::parse("smp").unwrap(),
+            SeedSpec::nodes(Color::new(1), Color::new(2), [node]),
+        )
+    }
+
+    fn small_scheduler(workers: usize) -> Scheduler {
+        Scheduler::start(SchedulerConfig {
+            workers,
+            queue_capacity: 64,
+            cache_capacity: 16,
+            ..SchedulerConfig::default()
+        })
+    }
+
+    #[test]
+    fn submit_wait_and_status() {
+        let scheduler = small_scheduler(2);
+        let id = scheduler.submit(spec(4, 0), Priority::Normal).unwrap();
+        let outcome = scheduler.wait(id, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(
+            outcome.termination,
+            Termination::Monochromatic(Color::new(2))
+        );
+        let status = scheduler.status(id).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        assert!(!status.from_cache, "first execution is fresh");
+        assert_eq!(scheduler.outcome(id).unwrap(), outcome);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn duplicate_specs_hit_the_cache() {
+        let scheduler = small_scheduler(1);
+        let a = scheduler.submit(spec(5, 3), Priority::Normal).unwrap();
+        let first = scheduler.wait(a, None).unwrap();
+        let b = scheduler.submit(spec(5, 3), Priority::Normal).unwrap();
+        let second = scheduler.wait(b, None).unwrap();
+        assert_eq!(first, second, "memoized outcome is byte-identical");
+        assert!(scheduler.status(b).unwrap().from_cache);
+        let stats = scheduler.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.done, 2);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn sweep_submits_all_and_preserves_ids_in_order() {
+        let scheduler = small_scheduler(4);
+        let specs: Vec<RunSpec> = (0..6).map(|n| spec(4, n)).collect();
+        let ids = scheduler
+            .submit_sweep(specs.clone(), Priority::Normal)
+            .unwrap();
+        assert_eq!(ids.len(), 6);
+        for (id, s) in ids.iter().zip(&specs) {
+            let outcome = scheduler.wait(*id, None).unwrap();
+            assert_eq!(outcome, Runner::with_threads(1).execute(s));
+        }
+        assert!(scheduler
+            .submit_sweep(Vec::new(), Priority::Normal)
+            .is_err());
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn queue_bound_rejects_overflow() {
+        let scheduler = Scheduler::start(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            cache_capacity: 0,
+            ..SchedulerConfig::default()
+        });
+        // Stuff the queue faster than one worker drains 16x16 runs.
+        let mut admitted = 0usize;
+        let mut rejected = 0usize;
+        for n in 0..64 {
+            match scheduler.submit(spec(16, n), Priority::Normal) {
+                Ok(_) => admitted += 1,
+                Err(ServiceError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(admitted >= 2, "at least the first two fit");
+        assert!(rejected > 0, "the bound must reject a burst of 64");
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn cancellation_only_while_queued() {
+        let scheduler = Scheduler::start(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 0,
+            ..SchedulerConfig::default()
+        });
+        // Head job occupies the single worker while we cancel the tail.
+        let head = scheduler.submit(spec(24, 0), Priority::Normal).unwrap();
+        let tail = scheduler.submit(spec(24, 1), Priority::Normal).unwrap();
+        match scheduler.cancel(tail) {
+            Ok(()) => {
+                assert_eq!(scheduler.status(tail).unwrap().state, JobState::Cancelled);
+                assert!(matches!(
+                    scheduler.wait(tail, None),
+                    Err(ServiceError::JobCancelled(_))
+                ));
+            }
+            Err(ServiceError::NotCancellable { .. }) => {
+                // The worker was faster; that is a legal race.
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        scheduler.wait(head, None).unwrap();
+        let done = scheduler.status(head).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert!(matches!(
+            scheduler.cancel(head),
+            Err(ServiceError::NotCancellable { .. })
+        ));
+        assert!(matches!(
+            scheduler.cancel(JobId::new(999)),
+            Err(ServiceError::UnknownJob(_))
+        ));
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let entry = |priority, seq, id| QueueRef {
+            priority,
+            seq: std::cmp::Reverse(seq),
+            id: JobId::new(id),
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(entry(Priority::Normal, 0, 1));
+        heap.push(entry(Priority::Low, 1, 2));
+        heap.push(entry(Priority::High, 2, 3));
+        heap.push(entry(Priority::High, 3, 4));
+        heap.push(entry(Priority::Normal, 4, 5));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop())
+            .map(|e| e.id.as_u64())
+            .collect();
+        // High first (FIFO within high), then normal (FIFO), then low.
+        assert_eq!(order, vec![3, 4, 1, 5, 2]);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_and_rejects_new() {
+        let scheduler = small_scheduler(2);
+        let ids: Vec<JobId> = (0..8)
+            .map(|n| scheduler.submit(spec(8, n), Priority::Normal).unwrap())
+            .collect();
+        scheduler.shutdown();
+        for id in ids {
+            assert_eq!(scheduler.status(id).unwrap().state, JobState::Done);
+        }
+        assert!(matches!(
+            scheduler.submit(spec(4, 0), Priority::Normal),
+            Err(ServiceError::ShuttingDown)
+        ));
+        // Idempotent.
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn terminal_records_are_bounded() {
+        let scheduler = Scheduler::start(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 0,
+            retain_jobs: 4,
+        });
+        let ids: Vec<JobId> = (0..8)
+            .map(|n| scheduler.submit(spec(4, n), Priority::Normal).unwrap())
+            .collect();
+        scheduler.shutdown();
+        // The newest terminal records are still queryable; the oldest
+        // have been forgotten, so memory stays bounded forever.
+        assert_eq!(scheduler.status(ids[7]).unwrap().state, JobState::Done);
+        assert!(scheduler.outcome(ids[7]).is_ok());
+        assert!(matches!(
+            scheduler.status(ids[0]),
+            Err(ServiceError::UnknownJob(_))
+        ));
+        assert!(matches!(
+            scheduler.outcome(ids[0]),
+            Err(ServiceError::UnknownJob(_))
+        ));
+    }
+
+    #[test]
+    fn wait_times_out_with_not_finished() {
+        let scheduler = Scheduler::start(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 0,
+            ..SchedulerConfig::default()
+        });
+        let _head = scheduler.submit(spec(32, 0), Priority::Normal).unwrap();
+        let tail = scheduler.submit(spec(32, 1), Priority::Normal).unwrap();
+        match scheduler.wait(tail, Some(Duration::from_millis(1))) {
+            Err(ServiceError::NotFinished { id, .. }) => assert_eq!(id, tail),
+            Ok(_) => {} // absurdly fast machine; still correct
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        scheduler.shutdown();
+    }
+}

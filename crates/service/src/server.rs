@@ -1,0 +1,250 @@
+//! The TCP front-end over `std::net`.
+//!
+//! [`Server::bind`] opens a listener (bind to port `0` for an ephemeral
+//! loopback port) and [`Server::serve`] blocks in the accept loop until a
+//! client issues `SHUTDOWN`.  Each connection gets a lightweight **I/O
+//! handler** thread that only parses requests and writes replies — all
+//! simulation work runs on the scheduler's persistent worker pool, so a
+//! thousand idle connections cost no simulation threads.  Handlers poll a
+//! shared shutdown flag on a short read timeout, which is what lets a
+//! drain initiated on one connection unblock every other one.
+//!
+//! Shutdown sequence: the handler that reads `SHUTDOWN` replies `OK bye`,
+//! raises the flag and pokes the acceptor with a loopback connection; the
+//! accept loop exits, the remaining handlers finish their in-flight
+//! request and close, and finally the scheduler drains (every admitted
+//! job still executes) before [`Server::serve`] returns the final
+//! counters.
+
+use crate::error::ServiceError;
+use crate::protocol::{self, BlockLine, Request, Response};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::stats::ServiceStats;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often idle connection handlers check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The listen address.  CI and tests stay on the loopback interface;
+    /// `127.0.0.1:0` (the default) picks an ephemeral port.
+    pub addr: String,
+    /// Scheduler sizing (worker pool, queue bound, cache capacity).
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// A bound, not-yet-serving simulation server.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Scheduler,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and starts the scheduler's worker pool.
+    pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(&config.addr)?,
+            scheduler: Scheduler::start(config.scheduler),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a client issues `SHUTDOWN`, then drains
+    /// the scheduler and returns the final counters.
+    pub fn serve(self) -> std::io::Result<ServiceStats> {
+        let local = self.listener.local_addr()?;
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let scheduler = &self.scheduler;
+                let shutdown = &self.shutdown;
+                scope.spawn(move || handle_connection(stream, scheduler, shutdown, local));
+            }
+        });
+        self.scheduler.shutdown();
+        Ok(self.scheduler.stats())
+    }
+}
+
+/// Reads one full line, polling the shutdown flag on read timeouts.
+/// `buf` persists partial reads across timeouts so no bytes are lost.
+/// Returns `None` on EOF or when the flag is raised while idle.
+fn next_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    loop {
+        match reader.read_line(buf) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {
+                if buf.ends_with('\n') {
+                    while buf.ends_with('\n') || buf.ends_with('\r') {
+                        buf.pop();
+                    }
+                    return Ok(Some(std::mem::take(buf)));
+                }
+                // EOF in the middle of a line: drop the fragment.
+                return Ok(None);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads a payload block with the same polling semantics.
+fn next_block(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    let mut payload = String::new();
+    loop {
+        match next_line(reader, buf, shutdown)? {
+            None => return Ok(None),
+            Some(line) => match protocol::decode_block_line(&line) {
+                BlockLine::End => return Ok(Some(payload)),
+                BlockLine::Data(data) => {
+                    payload.push_str(&data);
+                    payload.push('\n');
+                }
+            },
+        }
+    }
+}
+
+/// One connection's request/reply loop.
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) {
+    // The timeout is only a poll interval for the shutdown flag; requests
+    // themselves can sit idle indefinitely.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf = String::new();
+
+    loop {
+        let header = match next_line(&mut reader, &mut buf, shutdown) {
+            Ok(Some(line)) => line,
+            Ok(None) | Err(_) => return,
+        };
+        if header.trim().is_empty() {
+            continue;
+        }
+        let payload = if Request::header_needs_payload(&header) {
+            match next_block(&mut reader, &mut buf, shutdown) {
+                Ok(Some(payload)) => Some(payload),
+                Ok(None) | Err(_) => return,
+            }
+        } else {
+            None
+        };
+        let (response, bye) = match Request::from_parts(&header, payload.as_deref()) {
+            Ok(request) => dispatch(request, scheduler, shutdown, local),
+            Err(error) => (Response::from_error(&error), false),
+        };
+        if writer.write_all(response.wire().as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if bye {
+            return;
+        }
+    }
+}
+
+/// Executes one request against the scheduler.  The bool asks the caller
+/// to close the connection after replying.
+fn dispatch(
+    request: Request,
+    scheduler: &Scheduler,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) -> (Response, bool) {
+    let response = match request {
+        Request::Submit {
+            priority,
+            spec_text,
+        } => parse_spec(&spec_text)
+            .and_then(|spec| scheduler.submit(spec, priority))
+            .map(Response::Job),
+        Request::Sweep {
+            priority,
+            spec_texts,
+        } => spec_texts
+            .iter()
+            .map(|text| parse_spec(text))
+            .collect::<Result<Vec<_>, _>>()
+            .and_then(|specs| scheduler.submit_sweep(specs, priority))
+            .map(Response::Jobs),
+        Request::Status { id } => scheduler.status(id).map(Response::Status),
+        Request::Result { id, wait } => if wait {
+            scheduler.wait(id, None)
+        } else {
+            scheduler.outcome(id)
+        }
+        .map(|outcome| Response::Result(outcome.to_text())),
+        Request::Cancel { id } => scheduler.cancel(id).map(|()| Response::Cancelled),
+        Request::Stats => Ok(Response::Stats(scheduler.stats())),
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            // Poke the acceptor so it observes the flag immediately.
+            drop(TcpStream::connect_timeout(&local, POLL_INTERVAL));
+            return (Response::Bye, true);
+        }
+    };
+    match response {
+        Ok(response) => (response, false),
+        Err(error) => (Response::from_error(&error), false),
+    }
+}
+
+/// Parses and validates a spec payload (validation happens inside
+/// `RunSpec::from_text`, so an admitted job can never panic the engine on
+/// shape errors).
+fn parse_spec(text: &str) -> Result<ctori_engine::RunSpec, ServiceError> {
+    Ok(ctori_engine::RunSpec::from_text(text)?)
+}

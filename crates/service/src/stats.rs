@@ -1,0 +1,137 @@
+//! Observable service counters.
+//!
+//! [`ServiceStats`] is the payload of the `STATS` protocol verb: a
+//! `key: value` text block (the same line-oriented convention as
+//! [`ctori_engine::RunSpec::to_text`]) that round-trips through
+//! [`ServiceStats::to_text`] / [`ServiceStats::from_text`], so the client
+//! library rebuilds the exact struct the server rendered.
+
+use crate::error::ServiceError;
+
+/// Hit/miss/eviction counters of the [`crate::cache::ResultCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a memoized outcome.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Outcomes written into the cache.
+    pub insertions: u64,
+    /// Current number of memoized outcomes.
+    pub entries: usize,
+    /// The configured capacity bound.
+    pub capacity: usize,
+}
+
+/// A point-in-time snapshot of the whole service.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Size of the persistent worker pool.
+    pub workers: usize,
+    /// Jobs currently waiting in the submission queue.
+    pub queued: usize,
+    /// Jobs currently executing on a worker.
+    pub running: usize,
+    /// Jobs that reached `done` (fresh executions and cache hits alike).
+    pub done: u64,
+    /// Jobs that reached `failed`.
+    pub failed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Renders the stats as `key: value` lines.
+    pub fn to_text(&self) -> String {
+        format!(
+            "workers: {}\nqueued: {}\nrunning: {}\ndone: {}\nfailed: {}\ncancelled: {}\n\
+             cache-hits: {}\ncache-misses: {}\ncache-evictions: {}\ncache-insertions: {}\n\
+             cache-entries: {}\ncache-capacity: {}\n",
+            self.workers,
+            self.queued,
+            self.running,
+            self.done,
+            self.failed,
+            self.cancelled,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.insertions,
+            self.cache.entries,
+            self.cache.capacity,
+        )
+    }
+
+    /// Parses the text form produced by [`ServiceStats::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, ServiceError> {
+        let mut stats = ServiceStats::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once(':').ok_or_else(|| {
+                ServiceError::Protocol(format!("stats line {line:?} is not `key: value`"))
+            })?;
+            let value = value.trim();
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>().map_err(|_| {
+                    ServiceError::Protocol(format!("stats value {v:?} is not a number"))
+                })
+            };
+            match key.trim() {
+                "workers" => stats.workers = parse_u64(value)? as usize,
+                "queued" => stats.queued = parse_u64(value)? as usize,
+                "running" => stats.running = parse_u64(value)? as usize,
+                "done" => stats.done = parse_u64(value)?,
+                "failed" => stats.failed = parse_u64(value)?,
+                "cancelled" => stats.cancelled = parse_u64(value)?,
+                "cache-hits" => stats.cache.hits = parse_u64(value)?,
+                "cache-misses" => stats.cache.misses = parse_u64(value)?,
+                "cache-evictions" => stats.cache.evictions = parse_u64(value)?,
+                "cache-insertions" => stats.cache.insertions = parse_u64(value)?,
+                "cache-entries" => stats.cache.entries = parse_u64(value)? as usize,
+                "cache-capacity" => stats.cache.capacity = parse_u64(value)? as usize,
+                other => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unknown stats key {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_text_round_trips() {
+        let stats = ServiceStats {
+            workers: 4,
+            queued: 2,
+            running: 1,
+            done: 10,
+            failed: 1,
+            cancelled: 3,
+            cache: CacheStats {
+                hits: 7,
+                misses: 11,
+                evictions: 2,
+                insertions: 9,
+                entries: 5,
+                capacity: 64,
+            },
+        };
+        let text = stats.to_text();
+        assert_eq!(ServiceStats::from_text(&text).unwrap(), stats, "\n{text}");
+        assert!(ServiceStats::from_text("workers: many\n").is_err());
+        assert!(ServiceStats::from_text("nonsense\n").is_err());
+        assert!(ServiceStats::from_text("turbo: 1\n").is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end service tests over real loopback TCP.
+//!
+//! Every test binds its own server on an ephemeral port (`127.0.0.1:0`),
+//! so tests run in parallel without port coordination and CI never needs
+//! the network beyond loopback.
+//!
+//! The headline contract (the PR's acceptance criterion) is
+//! [`duplicate_submit_is_served_from_cache`]: a `SUBMIT` of a PR-3 spec
+//! text returns a parseable outcome, and a second identical submit is
+//! served from the content-addressed cache — observed *through the
+//! protocol* via the `STATS` hit counter and the `STATUS … cached`
+//! marker, with byte-identical outcomes.
+
+use ctori_coloring::Color;
+use ctori_engine::{RuleSpec, RunSpec, Runner, SeedSpec, TopologySpec};
+use ctori_service::{
+    JobState, Priority, SchedulerConfig, Server, ServiceClient, ServiceConfig, ServiceError,
+    ServiceStats,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+
+type ServerHandle = JoinHandle<std::io::Result<ServiceStats>>;
+
+fn start_server(scheduler: SchedulerConfig) -> (String, ServerHandle) {
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler,
+    })
+    .expect("bind ephemeral loopback port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, std::thread::spawn(move || server.serve()))
+}
+
+fn default_server() -> (String, ServerHandle) {
+    start_server(SchedulerConfig {
+        workers: 2,
+        queue_capacity: 256,
+        cache_capacity: 64,
+        ..SchedulerConfig::default()
+    })
+}
+
+fn spec(size: usize, node: usize) -> RunSpec {
+    RunSpec::new(
+        TopologySpec::toroidal_mesh(size, size),
+        RuleSpec::parse("smp").unwrap(),
+        SeedSpec::nodes(Color::new(1), Color::new(2), [node]),
+    )
+}
+
+#[test]
+fn duplicate_submit_is_served_from_cache() {
+    let (addr, server) = default_server();
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+
+    // SUBMIT a spec *text* (the PR-3 wire form) and get a parseable
+    // outcome back.
+    let spec = spec(12, 5);
+    let first_id = client.submit(&spec).unwrap();
+    let first = client.result(first_id).unwrap();
+    assert_eq!(first.rule, "smp");
+    assert_eq!(first.final_coloring.rows(), 12);
+
+    // The identical spec again: byte-identical memoized outcome.
+    let second_id = client.submit(&spec).unwrap();
+    let second = client.result(second_id).unwrap();
+    assert_eq!(second, first);
+    assert!(client.status(second_id).unwrap().from_cache);
+    assert!(!client.status(first_id).unwrap().from_cache);
+
+    // The cache hit is observable through STATS.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache.hits, 1, "exactly the duplicate hit");
+    assert_eq!(stats.cache.misses, 1, "exactly the first execution missed");
+    assert_eq!(stats.done, 2);
+    assert_eq!(stats.failed, 0);
+
+    // The outcome matches an in-process execution of the same spec.
+    assert_eq!(first, Runner::with_threads(1).execute(&spec));
+
+    client.shutdown().unwrap();
+    let final_stats = server.join().unwrap().unwrap();
+    assert_eq!(final_stats.queued, 0);
+}
+
+#[test]
+fn sweep_returns_ordered_ids_and_correct_outcomes() {
+    let (addr, server) = default_server();
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+
+    let grid: Vec<RunSpec> = (0..5).map(|n| spec(8, n)).collect();
+    let ids = client.sweep(&grid).unwrap();
+    assert_eq!(ids.len(), grid.len());
+    for (s, id) in grid.iter().zip(&ids) {
+        let outcome = client.result(*id).unwrap();
+        assert_eq!(outcome, Runner::with_threads(1).execute(s), "job {id}");
+    }
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn two_clients_share_one_cache() {
+    let (addr, server) = default_server();
+    let mut alice = ServiceClient::connect(addr.as_str()).unwrap();
+    let mut bob = ServiceClient::connect(addr.as_str()).unwrap();
+
+    let shared = spec(10, 7);
+    let a = alice.submit(&shared).unwrap();
+    let first = alice.result(a).unwrap();
+    let b = bob.submit(&shared).unwrap();
+    let second = bob.result(b).unwrap();
+    assert_eq!(first, second, "cross-client memoization");
+    assert!(bob.status(b).unwrap().from_cache);
+
+    bob.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn wire_errors_carry_codes() {
+    let (addr, server) = default_server();
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+
+    // Unknown job.
+    let missing = "999".parse().unwrap();
+    match client.status(missing) {
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, "unknown-job"),
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+
+    // A structurally invalid spec (1×1 torus) is rejected at the door,
+    // not executed.
+    let mut invalid =
+        RunSpec::from_text("topology: toroidal-mesh 4x4\nrule: smp\nseed: uniform 1\n").unwrap();
+    invalid.topology = TopologySpec::toroidal_mesh(1, 1);
+    match client.submit(&invalid) {
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, "bad-spec"),
+        other => panic!("expected bad-spec, got {other:?}"),
+    }
+
+    // Terminal jobs are not cancellable.
+    let id = client.submit(&spec(6, 1)).unwrap();
+    client.result(id).unwrap();
+    match client.cancel(id) {
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, "not-cancellable"),
+        other => panic!("expected not-cancellable, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn try_result_polls_until_done() {
+    let (addr, server) = default_server();
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+    let id = client.submit(&spec(16, 3)).unwrap();
+    // Poll (an impatient client): None while pending, Some when done.
+    let outcome = loop {
+        if let Some(outcome) = client.try_result(id).unwrap() {
+            break outcome;
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(client.status(id).unwrap().state, JobState::Done);
+    assert_eq!(outcome, Runner::with_threads(1).execute(&spec(16, 3)));
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn raw_socket_gets_err_for_garbage() {
+    let (addr, server) = default_server();
+    let mut stream = TcpStream::connect(addr.as_str()).unwrap();
+    stream.write_all(b"TELEPORT 9\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR bad-request"), "{line}");
+    // The connection survives a bad request.
+    stream.write_all(b"STATS\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("OK stats"), "{line}");
+    // Drain the stats block, then shut the server down politely.
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end() == "." {
+            break;
+        }
+    }
+    stream.write_all(b"SHUTDOWN\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK bye");
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_admitted_jobs() {
+    let (addr, server) = start_server(SchedulerConfig {
+        workers: 1,
+        queue_capacity: 256,
+        cache_capacity: 0,
+        ..SchedulerConfig::default()
+    });
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+    let ids: Vec<_> = (0..6)
+        .map(|n| {
+            client
+                .submit_with_priority(&spec(16, n), Priority::Low)
+                .unwrap()
+        })
+        .collect();
+    client.shutdown().unwrap();
+    let final_stats = server.join().unwrap().unwrap();
+    assert_eq!(final_stats.queued, 0, "drain leaves nothing queued");
+    assert_eq!(final_stats.running, 0);
+    assert_eq!(final_stats.done, ids.len() as u64, "every admitted job ran");
+}

@@ -1,0 +1,119 @@
+//! End-to-end service round trip: submit → result → cache hit → sweep →
+//! graceful shutdown, over real loopback TCP.
+//!
+//! By default the example embeds the whole service in-process on an
+//! ephemeral port.  When `CTORI_SERVE_ADDR` is set (the CI smoke job
+//! starts a separate `ctori-serve` process and points the example at
+//! it), the example connects there instead — and its final `SHUTDOWN`
+//! is what drains that server, so a clean exit of *both* processes is
+//! the smoke-test assertion.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example service_roundtrip
+//! ```
+
+use colored_tori::prelude::*;
+use colored_tori::service::{Server, ServiceClient, ServiceConfig};
+use std::error::Error;
+
+fn scenario(fraction: f64, kind: TorusKind) -> RunSpec {
+    RunSpec::new(
+        TopologySpec::torus(kind, 32, 32),
+        RuleSpec::parse("smp").expect("registry rule"),
+        SeedSpec::Density {
+            color: Color::new(1),
+            palette: 4,
+            fraction,
+            rng_seed: 2011,
+        },
+    )
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Either connect to an externally started ctori-serve, or embed one.
+    let (addr, embedded) = match std::env::var("CTORI_SERVE_ADDR") {
+        Ok(addr) => {
+            println!("connecting to external ctori-serve at {addr}");
+            (addr, None)
+        }
+        Err(_) => {
+            let server = Server::bind(ServiceConfig::default())?;
+            let addr = server.local_addr()?.to_string();
+            println!("embedded ctori-serve listening on {addr}");
+            (addr, Some(std::thread::spawn(move || server.serve())))
+        }
+    };
+    let mut client = ServiceClient::connect(addr.as_str())?;
+
+    // 1. Submit one scenario as spec text and fetch its outcome.
+    let spec = scenario(0.4, TorusKind::ToroidalMesh);
+    println!(
+        "\nsubmitting (canonical key {}):\n{}",
+        spec.canonical_key(),
+        spec.to_text()
+    );
+    let job = client.submit(&spec)?;
+    let outcome = client.result(job)?;
+    println!(
+        "job {job}: {:?} after {} rounds (packed lane: {})",
+        outcome.termination, outcome.rounds, outcome.used_packed_lane
+    );
+
+    // 2. The identical spec again: served from the content-addressed
+    //    cache, byte-identical outcome.
+    let duplicate = client.submit(&spec)?;
+    let memoized = client.result(duplicate)?;
+    assert_eq!(memoized, outcome, "memoized outcome must be identical");
+    let status = client.status(duplicate)?;
+    assert!(status.from_cache, "duplicate spec must be a cache hit");
+    let stats = client.stats()?;
+    assert!(stats.cache.hits >= 1, "stats must witness the cache hit");
+    println!(
+        "job {duplicate}: served from cache (hits {}, misses {})",
+        stats.cache.hits, stats.cache.misses
+    );
+
+    // 3. A sweep: one batch submission over kinds × densities.
+    let grid: Vec<RunSpec> = TorusKind::ALL
+        .into_iter()
+        .flat_map(|kind| [0.3, 0.6].into_iter().map(move |f| scenario(f, kind)))
+        .collect();
+    let ids = client.sweep(&grid)?;
+    let id_list: Vec<String> = ids.iter().map(ToString::to_string).collect();
+    println!(
+        "\nsweep of {} scenarios queued as jobs {}",
+        grid.len(),
+        id_list.join(", ")
+    );
+    for (spec, id) in grid.iter().zip(&ids) {
+        let outcome = client.result(*id)?;
+        let (rows, cols) = spec.topology.grid_dims();
+        println!(
+            "  job {id}: {rows}x{cols} -> {:?} in {} rounds",
+            outcome.termination, outcome.rounds
+        );
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "\nfinal stats: {} done, {} failed, cache {}/{} hits, {} workers",
+        stats.done,
+        stats.failed,
+        stats.cache.hits,
+        stats.cache.hits + stats.cache.misses,
+        stats.workers
+    );
+    assert_eq!(stats.failed, 0, "no job may fail in this example");
+
+    // 4. Graceful drain: the server finishes everything and exits.
+    client.shutdown()?;
+    if let Some(handle) = embedded {
+        let final_stats = handle.join().expect("server thread panicked")?;
+        assert_eq!(final_stats.queued, 0, "drain leaves no queued jobs");
+        println!("embedded server drained cleanly");
+    }
+    println!("service round trip complete");
+    Ok(())
+}

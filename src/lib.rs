@@ -14,6 +14,7 @@
 //! | [`engine`]    | `ctori-engine`    | synchronous simulator, the declarative `RunSpec`/`Runner`/`Observer` execution API, traces, parallel sweeps |
 //! | [`dynamo`]    | `ctori-core`      | blocks, dynamos, bounds, constructions, round formulas, search, figures |
 //! | [`tss`]       | `ctori-tss`       | target set selection on general graphs, random graph generators |
+//! | [`service`]   | `ctori-service`   | batch simulation service: job scheduler, spec-hash result cache, TCP front-end |
 //! | [`analysis`]  | `ctori-analysis`  | the per-figure / per-theorem experiment harness |
 //!
 //! # Quick start
@@ -76,6 +77,11 @@ pub mod dynamo {
 /// Target set selection substrate (re-export of `ctori-tss`).
 pub mod tss {
     pub use ctori_tss::*;
+}
+
+/// The batch simulation service (re-export of `ctori-service`).
+pub mod service {
+    pub use ctori_service::*;
 }
 
 /// The experiment harness (re-export of `ctori-analysis`).

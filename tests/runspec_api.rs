@@ -8,7 +8,12 @@
 //!   batch/service layer depends on: a stored scenario is the scenario);
 //! * **runner ≡ simulator** — `Runner::execute` on a spec produces exactly
 //!   the report a hand-built `Simulator::run` produces for the same
-//!   torus, rule and initial configuration, on all three torus kinds.
+//!   torus, rule and initial configuration, on all three torus kinds;
+//! * **content addressing** — `RunSpec::canonical_key` is invariant under
+//!   the text round-trip (the service cache contract: the key a client
+//!   computes locally addresses the same cache slot server-side), and
+//!   `RunOutcome::from_text(to_text(o)) == o` (an outcome survives the
+//!   service wire protocol byte-for-byte).
 
 use colored_tori::engine::spec::PatternSpec;
 use colored_tori::engine::{EngineOptions, LaneSpec, RunConfig, Simulator};
@@ -85,6 +90,7 @@ fn options() -> impl Strategy<Value = EngineOptions> {
             lane,
             detect_cycles,
             max_rounds,
+            threads: 0,
             track_times_for: track.then_some(Color::BLACK),
             check_monotone_for: track.then_some(Color::BLACK),
         })
@@ -123,16 +129,29 @@ proptest! {
         let reparsed = RunSpec::from_text(&text)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
         prop_assert_eq!(&reparsed, &spec, "text round-trip must be the identity\n{}", text);
+        prop_assert_eq!(
+            reparsed.canonical_key(),
+            spec.canonical_key(),
+            "canonical_key must be invariant under the text round-trip\n{}",
+            text
+        );
 
         let runner = Runner::with_threads(1);
         let a = runner.execute(&spec);
         let b = runner.execute(&reparsed);
         prop_assert_eq!(a.termination, b.termination);
         prop_assert_eq!(a.rounds, b.rounds);
-        prop_assert_eq!(a.final_coloring, b.final_coloring);
-        prop_assert_eq!(a.recoloring_times, b.recoloring_times);
+        prop_assert_eq!(&a.final_coloring, &b.final_coloring);
+        prop_assert_eq!(&a.recoloring_times, &b.recoloring_times);
         prop_assert_eq!(a.monotone, b.monotone);
         prop_assert_eq!(a.used_packed_lane, b.used_packed_lane);
+
+        // The outcome itself round-trips through its text form, exactly —
+        // the property the service RESULT verb depends on.
+        let outcome_text = a.to_text();
+        let rebuilt = RunOutcome::from_text(&outcome_text)
+            .unwrap_or_else(|e| panic!("outcome reparse failed: {e}\n{outcome_text}"));
+        prop_assert_eq!(rebuilt, a, "outcome text round-trip must be the identity");
     }
 
     /// `Runner::execute` ≡ hand-built `Simulator::run` on all three torus
