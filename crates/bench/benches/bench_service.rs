@@ -5,8 +5,11 @@
 //! reproducible density seed.  Cold submissions vary the RNG seed so
 //! every iteration has a distinct canonical key (guaranteed cache miss);
 //! the cache-hit lane resubmits one fixed spec after priming.  The direct
-//! ratio measurement at the end asserts the PR's acceptance line:
-//! cache-hit latency must be ≥ 10× lower than cold execution.
+//! ratio measurement at the end prints the PR's acceptance line —
+//! cache-hit latency ≥ 10× lower than cold execution — and only *asserts*
+//! it when `CTORI_BENCH_ASSERT_SPEEDUP` is set, so an ordinary
+//! `cargo bench` run stays measurement-only and cannot flake on a loaded
+//! machine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ctori_coloring::Color;
@@ -102,10 +105,19 @@ fn bench_submit_result(c: &mut Criterion) {
         cold.as_secs_f64() * 1e3,
         hit.as_secs_f64() * 1e3,
     );
-    assert!(
-        speedup >= 10.0,
-        "cache-hit latency must be >= 10x lower than cold execution, got {speedup:.1}x"
-    );
+    // Opt-in acceptance gate: a timing assert inside a bench would fail
+    // nondeterministically on loaded machines, so plain runs only warn.
+    if std::env::var_os("CTORI_BENCH_ASSERT_SPEEDUP").is_some() {
+        assert!(
+            speedup >= 10.0,
+            "cache-hit latency must be >= 10x lower than cold execution, got {speedup:.1}x"
+        );
+    } else if speedup < 10.0 {
+        eprintln!(
+            "warning: cache-hit speedup {speedup:.1}x is below the 10x acceptance target \
+             (set CTORI_BENCH_ASSERT_SPEEDUP=1 to make this a hard failure)"
+        );
+    }
 
     let stats = client.stats().expect("stats");
     assert!(stats.cache.hits > 0 && stats.cache.misses > 0);

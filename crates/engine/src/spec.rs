@@ -1064,9 +1064,14 @@ impl EngineOptions {
 /// The digest is computed with a fixed, dependency-free algorithm, so the
 /// same spec hashes to the same key **across processes and machines** —
 /// which is what lets a result cache memoize outcomes for identical specs
-/// submitted by different clients.  Two specs share a key exactly when
-/// their canonical texts are equal (up to the negligible 2⁻¹²⁸ collision
-/// probability of the digest).
+/// submitted by different clients.  Specs with equal canonical texts
+/// always share a key, and an *accidental* collision between distinct
+/// specs is vanishingly unlikely with a 128-bit digest.  FNV-1a is not
+/// collision-resistant, though: a determined client could construct two
+/// distinct specs with the same key.  The key is a content-address for
+/// trusted inputs, not a cryptographic commitment — consumers that cache
+/// under it (the ctori-service result cache) assume trusted clients, as
+/// in the loopback-only deployments the service targets.
 ///
 /// Renders as 32 lowercase hex digits and parses back with
 /// [`str::parse`].
@@ -1107,6 +1112,14 @@ impl std::str::FromStr for SpecKey {
             return Err(bad_options(format!(
                 "a spec key is 32 hex digits, got {} characters",
                 s.len()
+            )));
+        }
+        // Strict canonical form only — from_str_radix alone would also
+        // accept a leading '+' or uppercase digits, breaking the
+        // parse-then-display identity the docs promise.
+        if !s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+            return Err(bad_options(format!(
+                "{s:?} is not a lowercase hex spec key"
             )));
         }
         u128::from_str_radix(s, 16)
@@ -1158,11 +1171,18 @@ impl RunSpec {
     /// Renders the spec as text.  The output parses back with
     /// [`RunSpec::from_text`] to an identical spec.
     pub fn to_text(&self) -> String {
+        self.text_with_options(self.options)
+    }
+
+    /// The single text renderer behind both [`RunSpec::to_text`] and
+    /// [`RunSpec::canonical_key`], so the digest input can never drift
+    /// from the wire form when `RunSpec` grows a field.
+    fn text_with_options(&self, options: EngineOptions) -> String {
         format!(
             "topology: {}\nrule: {}\noptions: {}\nseed: {}\n",
             self.topology.to_text(),
             self.rule.name(),
-            self.options.to_text(),
+            options.to_text(),
             self.seed.to_text().trim_end(),
         )
     }
@@ -1184,16 +1204,12 @@ impl RunSpec {
     /// other option is part of the address — even `lane` reaches the
     /// outcome through [`crate::RunOutcome::used_packed_lane`].
     pub fn canonical_key(&self) -> SpecKey {
+        // Shares to_text()'s renderer (only the 16-byte options struct is
+        // copied to zero the thread budget), so the digest input tracks
+        // the wire form automatically if RunSpec grows a field.
         let mut options = self.options;
         options.threads = 0;
-        let canonical = format!(
-            "topology: {}\nrule: {}\noptions: {}\nseed: {}\n",
-            self.topology.to_text(),
-            self.rule.name(),
-            options.to_text(),
-            self.seed.to_text().trim_end(),
-        );
-        SpecKey::digest(canonical.as_bytes())
+        SpecKey::digest(self.text_with_options(options).as_bytes())
     }
 
     /// Parses a spec from the text form produced by [`RunSpec::to_text`].
@@ -1563,6 +1579,10 @@ mod tests {
         assert_eq!(hex.parse::<SpecKey>().unwrap(), key);
         assert!("nope".parse::<SpecKey>().is_err());
         assert!("zz".repeat(16).parse::<SpecKey>().is_err());
+        // Only the canonical lowercase form parses: a leading '+' or
+        // uppercase digits would break parse-then-display identity.
+        assert!(format!("+{}", &hex[1..]).parse::<SpecKey>().is_err());
+        assert!(hex.to_uppercase().parse::<SpecKey>().is_err());
     }
 
     #[test]

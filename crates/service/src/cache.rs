@@ -11,6 +11,11 @@
 //!
 //! The cache is deliberately a plain single-threaded value; the scheduler
 //! serializes access under its own state lock.
+//!
+//! Keys are FNV-1a digests, which are **not** collision-resistant: a
+//! crafted spec pair could share a key, so serving a hit to a different
+//! client assumes trusted submitters — the loopback-only deployments the
+//! service targets.  See [`SpecKey`] for the full caveat.
 
 use crate::stats::CacheStats;
 use ctori_engine::{RunOutcome, SpecKey};

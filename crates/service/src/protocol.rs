@@ -243,7 +243,11 @@ impl Request {
                         current.push('\n');
                     }
                 }
-                if !current.trim().is_empty() || spec_texts.is_empty() {
+                // A trailing all-whitespace segment is dropped — and so
+                // is an entirely empty payload, so `spec_texts: []` wires
+                // round-trip to `[]` and the scheduler (not a bad-spec
+                // parse of "") reports the empty sweep.
+                if !current.trim().is_empty() {
                     spec_texts.push(current);
                 }
                 Ok(Request::Sweep {
@@ -478,6 +482,12 @@ mod tests {
         round_trip_request(Request::Sweep {
             priority: Priority::Low,
             spec_texts: vec![spec.to_string(), spec.to_string(), spec.to_string()],
+        });
+        // An empty sweep round-trips to [] (not [""]), so the scheduler
+        // reports "empty sweep" instead of a bad-spec parse of "".
+        round_trip_request(Request::Sweep {
+            priority: Priority::Normal,
+            spec_texts: Vec::new(),
         });
         round_trip_request(Request::Status { id: JobId::new(7) });
         round_trip_request(Request::Result {

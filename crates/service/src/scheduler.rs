@@ -237,10 +237,15 @@ impl Scheduler {
     /// running, [`ServiceError::JobFailed`] /
     /// [`ServiceError::JobCancelled`] for the other terminal states.
     pub fn outcome(&self, id: JobId) -> Result<RunOutcome, ServiceError> {
-        // The Arc leaves the lock cheaply; the (potentially large)
-        // outcome copy happens outside it.
-        let outcome = outcome_of(&self.lock(), id)?;
-        Ok((*outcome).clone())
+        self.outcome_shared(id).map(|outcome| (*outcome).clone())
+    }
+
+    /// As [`Scheduler::outcome`], but hands back the shared handle
+    /// without deep-copying the (potentially large) outcome.  The Arc
+    /// leaves the lock cheaply; the server serializes straight from it
+    /// on every `RESULT` reply, including cache hits.
+    pub fn outcome_shared(&self, id: JobId) -> Result<Arc<RunOutcome>, ServiceError> {
+        outcome_of(&self.lock(), id)
     }
 
     /// Blocks until the job reaches a terminal state, then returns as
@@ -248,15 +253,24 @@ impl Scheduler {
     /// (every admitted job terminates: workers drain the queue even during
     /// shutdown).
     pub fn wait(&self, id: JobId, timeout: Option<Duration>) -> Result<RunOutcome, ServiceError> {
+        self.wait_shared(id, timeout)
+            .map(|outcome| (*outcome).clone())
+    }
+
+    /// As [`Scheduler::wait`], but hands back the shared handle without
+    /// deep-copying the outcome.
+    pub fn wait_shared(
+        &self,
+        id: JobId,
+        timeout: Option<Duration>,
+    ) -> Result<Arc<RunOutcome>, ServiceError> {
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut state = self.lock();
         loop {
             match state.jobs.get(&id) {
                 None => return Err(ServiceError::UnknownJob(id)),
                 Some(record) if record.state.is_terminal() => {
-                    let outcome = outcome_of(&state, id)?;
-                    drop(state);
-                    return Ok((*outcome).clone());
+                    return outcome_of(&state, id);
                 }
                 Some(_) => {}
             }
@@ -403,19 +417,31 @@ fn outcome_of(state: &State, id: JobId) -> Result<Arc<RunOutcome>, ServiceError>
 fn worker_loop(shared: &Shared) {
     let mut state = shared.state.lock().expect("scheduler poisoned");
     loop {
-        // Claim the next runnable job, skipping cancelled queue entries.
+        // Claim the next runnable job, skipping stale queue entries: a job
+        // cancelled while queued leaves its heap entry behind, and the
+        // terminal-retention window may have evicted its record entirely
+        // by the time a worker pops the entry.  Neither case may panic —
+        // that would poison the state lock and take the whole service
+        // down — so a missing or non-queued record is simply skipped.
         let claimed = loop {
             match state.queue.pop() {
                 Some(entry) => {
-                    let record = state.jobs.get_mut(&entry.id).expect("queued job exists");
+                    let Some(record) = state.jobs.get_mut(&entry.id) else {
+                        continue; // cancelled, then evicted from retention
+                    };
                     if record.state != JobState::Queued {
                         continue; // cancelled while queued
                     }
                     // Probe the cache under the canonical key: a hit
                     // completes the job without ever leaving the lock.
                     let key = record.key;
-                    if let Some(outcome) = state.cache.get(&key) {
-                        let record = state.jobs.get_mut(&entry.id).expect("queued job exists");
+                    let cached = state.cache.get(&key);
+                    // Re-borrow; the record cannot vanish mid-hold, but
+                    // skipping beats poisoning the lock if that ever breaks.
+                    let Some(record) = state.jobs.get_mut(&entry.id) else {
+                        continue;
+                    };
+                    if let Some(outcome) = cached {
                         record.state = JobState::Done;
                         record.from_cache = true;
                         record.outcome = Some(outcome);
@@ -426,7 +452,6 @@ fn worker_loop(shared: &Shared) {
                         shared.job_done.notify_all();
                         continue;
                     }
-                    let record = state.jobs.get_mut(&entry.id).expect("queued job exists");
                     record.state = JobState::Running;
                     let spec = record.spec.take().expect("queued job still has its spec");
                     state.queued -= 1;
@@ -613,6 +638,56 @@ mod tests {
             scheduler.cancel(JobId::new(999)),
             Err(ServiceError::UnknownJob(_))
         ));
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn stale_queue_entry_survives_record_eviction() {
+        // A cancelled job's heap entry outlives its record when a tight
+        // retention window evicts the record before a worker pops the
+        // entry.  That pop must be skipped, not panic (a panic would
+        // poison the state lock and kill the whole scheduler).
+        let scheduler = Scheduler::start(SchedulerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 0,
+            retain_jobs: 1,
+        });
+        // With retain_jobs=1 a record may be evicted before wait() looks
+        // at it; that means the job already reached a terminal state, so
+        // UnknownJob is as good as an outcome here.
+        let wait_terminal = |id: JobId| match scheduler.wait(id, None) {
+            Ok(_) | Err(ServiceError::UnknownJob(_)) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        };
+        // Head occupies the single worker; tail sits at low priority.
+        let head = scheduler.submit(spec(32, 0), Priority::Normal).unwrap();
+        let tail = scheduler.submit(spec(32, 1), Priority::Low).unwrap();
+        match scheduler.cancel(tail) {
+            // Normal-priority jobs now terminate ahead of the stale Low
+            // entry; with retain_jobs=1 each completion evicts the
+            // previous terminal record, including the cancelled tail's.
+            Ok(()) => {}
+            Err(ServiceError::NotCancellable { .. }) => {
+                // The worker was faster; the stale-entry scenario did not
+                // arise this run, which is a legal race.
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        wait_terminal(head);
+        let filler: Vec<JobId> = (0..3)
+            .map(|n| scheduler.submit(spec(8, n), Priority::Normal).unwrap())
+            .collect();
+        for id in filler {
+            wait_terminal(id);
+        }
+        // The worker has popped (and skipped) the stale tail entry by the
+        // time the queue is empty again; the scheduler must still serve —
+        // a panic on the stale entry would have poisoned the state lock
+        // and every call below would die on "scheduler poisoned".
+        let probe = scheduler.submit(spec(8, 7), Priority::Normal).unwrap();
+        wait_terminal(probe);
+        assert_eq!(scheduler.stats().queued, 0);
         scheduler.shutdown();
     }
 

@@ -1,17 +1,29 @@
 //! The TCP front-end over `std::net`.
 //!
 //! [`Server::bind`] opens a listener (bind to port `0` for an ephemeral
-//! loopback port) and [`Server::serve`] blocks in the accept loop until a
+//! loopback port) and [`Server::serve`] runs the accept loop until a
 //! client issues `SHUTDOWN`.  Each connection gets a lightweight **I/O
 //! handler** thread that only parses requests and writes replies — all
 //! simulation work runs on the scheduler's persistent worker pool, so a
 //! thousand idle connections cost no simulation threads.  Handlers poll a
-//! shared shutdown flag on a short read timeout, which is what lets a
-//! drain initiated on one connection unblock every other one.
+//! shared shutdown flag on a short read timeout, and the listener itself
+//! is nonblocking and polls the same flag, which is what lets a drain
+//! initiated on one connection unblock every other one and the acceptor.
 //!
-//! Shutdown sequence: the handler that reads `SHUTDOWN` replies `OK bye`,
-//! raises the flag and pokes the acceptor with a loopback connection; the
-//! accept loop exits, the remaining handlers finish their in-flight
+//! Incoming data is bounded: a single request line is capped at
+//! [`MAX_LINE_BYTES`] and a payload block at [`MAX_PAYLOAD_BYTES`], so a
+//! client that streams data without ever terminating a line or block
+//! cannot grow server memory without limit.  The server sends one
+//! best-effort `ERR bad-request` reply (briefly draining the offending
+//! input so the reply usually survives the close instead of being
+//! destroyed by an abortive reset) and closes the connection.  A sweep
+//! whose combined spec text would exceed the payload bound can always be
+//! split into several `SWEEP`/`SUBMIT` requests — the scheduler's queue
+//! bound, not the framing bound, is the admission limit.
+//!
+//! Shutdown sequence: the handler that reads `SHUTDOWN` replies `OK bye`
+//! and raises the flag; the accept loop observes it within one poll
+//! interval and exits, the remaining handlers finish their in-flight
 //! request and close, and finally the scheduler drains (every admitted
 //! job still executes) before [`Server::serve`] returns the final
 //! counters.
@@ -20,7 +32,7 @@ use crate::error::ServiceError;
 use crate::protocol::{self, BlockLine, Request, Response};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::stats::ServiceStats;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -28,6 +40,18 @@ use std::time::Duration;
 
 /// How often idle connection handlers check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How often the idle accept loop polls for connections (and the
+/// shutdown flag).  Shorter than [`POLL_INTERVAL`]: this bounds the
+/// connection-establishment latency every fresh client pays on an idle
+/// server, and a 10 ms wake on one thread is negligible.
+const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Upper bound on one request line (a header or one payload line).
+pub const MAX_LINE_BYTES: usize = 1 << 20; // 1 MiB
+
+/// Upper bound on one request payload block (a spec or sweep text).
+pub const MAX_PAYLOAD_BYTES: usize = 8 << 20; // 8 MiB
 
 /// Configuration of a [`Server`].
 #[derive(Clone, Debug)]
@@ -73,16 +97,29 @@ impl Server {
     /// Serves connections until a client issues `SHUTDOWN`, then drains
     /// the scheduler and returns the final counters.
     pub fn serve(self) -> std::io::Result<ServiceStats> {
-        let local = self.listener.local_addr()?;
+        // A nonblocking listener lets the accept loop poll the shutdown
+        // flag directly, so a drain raised on any connection is observed
+        // within one poll interval — no dependence on a further client
+        // connecting (or on a self-connect succeeding) to unblock accept.
+        self.listener.set_nonblocking(true)?;
         std::thread::scope(|scope| {
-            for stream in self.listener.incoming() {
-                if self.shutdown.load(Ordering::SeqCst) {
-                    break;
+            while !self.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        // Handlers expect a blocking socket with a read
+                        // timeout as their poll mechanism.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let scheduler = &self.scheduler;
+                        let shutdown = &self.shutdown;
+                        scope.spawn(move || handle_connection(stream, scheduler, shutdown));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    // WouldBlock (no pending connection) or a transient
+                    // accept failure: sleep one accept poll and retry.
+                    Err(_) => std::thread::sleep(ACCEPT_POLL_INTERVAL),
                 }
-                let Ok(stream) = stream else { continue };
-                let scheduler = &self.scheduler;
-                let shutdown = &self.shutdown;
-                scope.spawn(move || handle_connection(stream, scheduler, shutdown, local));
             }
         });
         self.scheduler.shutdown();
@@ -90,26 +127,52 @@ impl Server {
     }
 }
 
+/// What a bounded framed read produced.
+enum Framed {
+    /// A complete line or payload block.
+    Data(String),
+    /// EOF, or the shutdown flag was raised while idle.
+    Closed,
+    /// Unframeable input — a size bound was exceeded, or a line is not
+    /// valid UTF-8.  The caller should reply `ERR bad-request` with this
+    /// detail and drop the connection.
+    Malformed(String),
+}
+
 /// Reads one full line, polling the shutdown flag on read timeouts.
 /// `buf` persists partial reads across timeouts so no bytes are lost.
-/// Returns `None` on EOF or when the flag is raised while idle.
+/// The line is capped at [`MAX_LINE_BYTES`]: each read is `take`-limited
+/// to the remaining allowance, so a client that never sends the `\n`
+/// terminator cannot grow the buffer past the bound.  Framing is done on
+/// **bytes** and converted to UTF-8 only once a line is complete — the
+/// allowance boundary may split a multi-byte codepoint, which must not
+/// surface as an I/O error.
 fn next_line(
     reader: &mut BufReader<TcpStream>,
-    buf: &mut String,
+    buf: &mut Vec<u8>,
     shutdown: &AtomicBool,
-) -> std::io::Result<Option<String>> {
+) -> std::io::Result<Framed> {
     loop {
-        match reader.read_line(buf) {
-            Ok(0) => return Ok(None),
+        let allowance = (MAX_LINE_BYTES + 1).saturating_sub(buf.len()) as u64;
+        match reader.by_ref().take(allowance).read_until(b'\n', buf) {
             Ok(_) => {
-                if buf.ends_with('\n') {
-                    while buf.ends_with('\n') || buf.ends_with('\r') {
+                if buf.ends_with(b"\n") {
+                    while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
                         buf.pop();
                     }
-                    return Ok(Some(std::mem::take(buf)));
+                    return Ok(match String::from_utf8(std::mem::take(buf)) {
+                        Ok(line) => Framed::Data(line),
+                        Err(_) => Framed::Malformed("line is not valid utf-8".into()),
+                    });
                 }
-                // EOF in the middle of a line: drop the fragment.
-                return Ok(None);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Ok(Framed::Malformed(format!(
+                        "line exceeds the {MAX_LINE_BYTES}-byte bound"
+                    )));
+                }
+                // No newline and under the bound: EOF (clean, or in the
+                // middle of a line — the fragment is dropped).
+                return Ok(Framed::Closed);
             }
             Err(e)
                 if matches!(
@@ -118,7 +181,7 @@ fn next_line(
                 ) =>
             {
                 if shutdown.load(Ordering::SeqCst) {
-                    return Ok(None);
+                    return Ok(Framed::Closed);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -127,19 +190,26 @@ fn next_line(
     }
 }
 
-/// Reads a payload block with the same polling semantics.
+/// Reads a payload block with the same polling semantics, capped at
+/// [`MAX_PAYLOAD_BYTES`] in total.
 fn next_block(
     reader: &mut BufReader<TcpStream>,
-    buf: &mut String,
+    buf: &mut Vec<u8>,
     shutdown: &AtomicBool,
-) -> std::io::Result<Option<String>> {
+) -> std::io::Result<Framed> {
     let mut payload = String::new();
     loop {
         match next_line(reader, buf, shutdown)? {
-            None => return Ok(None),
-            Some(line) => match protocol::decode_block_line(&line) {
-                BlockLine::End => return Ok(Some(payload)),
+            Framed::Closed => return Ok(Framed::Closed),
+            malformed @ Framed::Malformed(_) => return Ok(malformed),
+            Framed::Data(line) => match protocol::decode_block_line(&line) {
+                BlockLine::End => return Ok(Framed::Data(payload)),
                 BlockLine::Data(data) => {
+                    if payload.len() + data.len() > MAX_PAYLOAD_BYTES {
+                        return Ok(Framed::Malformed(format!(
+                            "payload block exceeds the {MAX_PAYLOAD_BYTES}-byte bound"
+                        )));
+                    }
                     payload.push_str(&data);
                     payload.push('\n');
                 }
@@ -148,13 +218,39 @@ fn next_block(
     }
 }
 
+/// Replies `ERR bad-request` for unframeable input, then makes a best
+/// effort to deliver it: the write side is shut down and the read side
+/// briefly drained, so a client that has stopped sending gets the reply
+/// and a clean FIN instead of an abortive reset (closing with unread
+/// bytes in the receive queue would send RST and destroy the reply in
+/// flight).  A client that keeps streaming past the drain window still
+/// gets reset — delivery stays best-effort, the caller drops the
+/// connection either way.
+fn reply_bad_request(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, detail: String) {
+    let error = ServiceError::Protocol(detail);
+    let _ = writer.write_all(Response::from_error(&error).wire().as_bytes());
+    let _ = writer.flush();
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 8192];
+    let deadline = std::time::Instant::now() + 2 * POLL_INTERVAL;
+    while std::time::Instant::now() < deadline {
+        match reader.get_mut().read(&mut scratch) {
+            Ok(0) => break, // client closed its side: FIN both ways
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
 /// One connection's request/reply loop.
-fn handle_connection(
-    stream: TcpStream,
-    scheduler: &Scheduler,
-    shutdown: &AtomicBool,
-    local: SocketAddr,
-) {
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &AtomicBool) {
     // The timeout is only a poll interval for the shutdown flag; requests
     // themselves can sit idle indefinitely.
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
@@ -165,26 +261,39 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let mut buf = String::new();
+    let mut buf = Vec::new();
 
     loop {
+        // Checked before every request, not just on idle timeouts: a
+        // connection kept busy by a fast client must still close once a
+        // drain begins, or serve() would never get past its handler join
+        // and the scheduler would keep admitting work after SHUTDOWN.
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         let header = match next_line(&mut reader, &mut buf, shutdown) {
-            Ok(Some(line)) => line,
-            Ok(None) | Err(_) => return,
+            Ok(Framed::Data(line)) => line,
+            Ok(Framed::Malformed(detail)) => {
+                return reply_bad_request(&mut reader, &mut writer, detail);
+            }
+            Ok(Framed::Closed) | Err(_) => return,
         };
         if header.trim().is_empty() {
             continue;
         }
         let payload = if Request::header_needs_payload(&header) {
             match next_block(&mut reader, &mut buf, shutdown) {
-                Ok(Some(payload)) => Some(payload),
-                Ok(None) | Err(_) => return,
+                Ok(Framed::Data(payload)) => Some(payload),
+                Ok(Framed::Malformed(detail)) => {
+                    return reply_bad_request(&mut reader, &mut writer, detail);
+                }
+                Ok(Framed::Closed) | Err(_) => return,
             }
         } else {
             None
         };
         let (response, bye) = match Request::from_parts(&header, payload.as_deref()) {
-            Ok(request) => dispatch(request, scheduler, shutdown, local),
+            Ok(request) => dispatch(request, scheduler, shutdown),
             Err(error) => (Response::from_error(&error), false),
         };
         if writer.write_all(response.wire().as_bytes()).is_err() || writer.flush().is_err() {
@@ -198,12 +307,7 @@ fn handle_connection(
 
 /// Executes one request against the scheduler.  The bool asks the caller
 /// to close the connection after replying.
-fn dispatch(
-    request: Request,
-    scheduler: &Scheduler,
-    shutdown: &AtomicBool,
-    local: SocketAddr,
-) -> (Response, bool) {
+fn dispatch(request: Request, scheduler: &Scheduler, shutdown: &AtomicBool) -> (Response, bool) {
     let response = match request {
         Request::Submit {
             priority,
@@ -222,17 +326,17 @@ fn dispatch(
             .map(Response::Jobs),
         Request::Status { id } => scheduler.status(id).map(Response::Status),
         Request::Result { id, wait } => if wait {
-            scheduler.wait(id, None)
+            scheduler.wait_shared(id, None)
         } else {
-            scheduler.outcome(id)
+            scheduler.outcome_shared(id)
         }
         .map(|outcome| Response::Result(outcome.to_text())),
         Request::Cancel { id } => scheduler.cancel(id).map(|()| Response::Cancelled),
         Request::Stats => Ok(Response::Stats(scheduler.stats())),
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
-            // Poke the acceptor so it observes the flag immediately.
-            drop(TcpStream::connect_timeout(&local, POLL_INTERVAL));
+            // The nonblocking accept loop observes the flag within one
+            // poll interval; no further nudge is needed.
             return (Response::Bye, true);
         }
     };

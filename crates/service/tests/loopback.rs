@@ -201,6 +201,57 @@ fn raw_socket_gets_err_for_garbage() {
 }
 
 #[test]
+fn unterminated_oversized_line_is_bounded() {
+    let (addr, server) = default_server();
+    let mut stream = TcpStream::connect(addr.as_str()).unwrap();
+    // Stream past the 1 MiB line bound without ever sending `\n`.  The
+    // server must stop buffering, reply `ERR bad-request` and close the
+    // connection instead of growing memory without limit.
+    let chunk = vec![b'a'; 64 * 1024];
+    let mut sent = 0usize;
+    while sent <= (1 << 20) + chunk.len() {
+        // The server may already have closed on us mid-write.
+        if stream.write_all(&chunk).is_err() {
+            break;
+        }
+        sent += chunk.len();
+    }
+    // The server drains our leftover bytes before closing, so the reply
+    // arrives intact (a clean FIN, not an abortive reset) and names the
+    // bound that tripped.
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR bad-request"), "{line}");
+    assert!(line.contains("line exceeds"), "{line}");
+    // The server survives and keeps serving other clients.
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+    let id = client.submit(&spec(6, 2)).unwrap();
+    client.result(id).unwrap();
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn invalid_utf8_line_gets_bad_request() {
+    let (addr, server) = default_server();
+    let mut stream = TcpStream::connect(addr.as_str()).unwrap();
+    stream.write_all(b"STATS \xff\xfe\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR bad-request"), "{line}");
+    assert!(line.contains("utf-8"), "{line}");
+    // The connection is closed after the reply...
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+    // ...and the server keeps serving everyone else.
+    let client = ServiceClient::connect(addr.as_str()).unwrap();
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
 fn shutdown_drains_admitted_jobs() {
     let (addr, server) = start_server(SchedulerConfig {
         workers: 1,
