@@ -99,12 +99,12 @@ impl Experiment for EngineLanes {
             .into_iter()
             .flat_map(|kind| sizes.iter().map(move |&s| (kind, s)))
             .collect();
-        // One flat (kind × size × lane) grid through the batch layer.
-        let grid: Vec<RunSpec> = cells
-            .iter()
-            .flat_map(|&(kind, size)| LANES.iter().map(move |&lane| cell_spec(kind, size, lane)))
-            .collect();
-        let results = Runner::new().sweep(grid);
+        // One flat (kind × size × lane) grid through the batch layer —
+        // sweep takes the iterator directly, no intermediate grid Vec.
+        let results =
+            Runner::new().sweep(cells.iter().flat_map(|&(kind, size)| {
+                LANES.iter().map(move |&lane| cell_spec(kind, size, lane))
+            }));
         let outcomes: Vec<LaneOutcome> = cells
             .iter()
             .zip(results.chunks(LANES.len()))

@@ -1,0 +1,111 @@
+//! Execution-API overhead: `LocalExecutor` submit→wait through the
+//! persistent worker pool vs the raw blocking `Runner::execute`, on the
+//! same tiny spec.
+//!
+//! The pool path pays queue admission, a worker handoff, event
+//! publishing and a condvar wakeup per job; this bench keeps that fixed
+//! cost visible over time.  Two pool variants are measured: the
+//! automatic progress stride (an event every round) and a sparse stride
+//! (1 event per 1024 rounds), so the cost of the sampling observer
+//! itself is separable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ctori_coloring::Color;
+use ctori_engine::{
+    EngineOptions, Executor, LocalExecutor, LocalExecutorConfig, RuleSpec, RunSpec, Runner,
+    SeedSpec, SubmitOptions, TopologySpec,
+};
+use std::hint::black_box;
+
+fn tiny_spec() -> RunSpec {
+    RunSpec::new(
+        TopologySpec::toroidal_mesh(8, 8),
+        RuleSpec::parse("smp").expect("registry rule"),
+        SeedSpec::Density {
+            color: Color::new(1),
+            palette: 4,
+            fraction: 0.4,
+            rng_seed: 7,
+        },
+    )
+}
+
+fn bench_submit_wait_overhead(c: &mut Criterion) {
+    let spec = tiny_spec();
+    let runner = Runner::with_threads(1);
+    c.bench_function("executor/runner_execute_8x8", |b| {
+        b.iter(|| black_box(runner.execute(&spec)))
+    });
+
+    let pool = LocalExecutor::start(LocalExecutorConfig {
+        workers: 1,
+        ..LocalExecutorConfig::default()
+    });
+    c.bench_function("executor/local_submit_wait_8x8", |b| {
+        b.iter(|| {
+            let mut handle = pool
+                .submit(&spec, SubmitOptions::default())
+                .expect("admitted");
+            black_box(handle.wait().expect("finishes"))
+        })
+    });
+
+    let sparse = spec
+        .clone()
+        .with_options(EngineOptions::default().with_progress_every(1024));
+    c.bench_function("executor/local_submit_wait_8x8_sparse_events", |b| {
+        b.iter(|| {
+            let mut handle = pool
+                .submit(&sparse, SubmitOptions::default())
+                .expect("admitted");
+            black_box(handle.wait().expect("finishes"))
+        })
+    });
+    pool.drain();
+}
+
+fn bench_sweep_through_pool(c: &mut Criterion) {
+    // An 18-spec grid through submit_sweep handles, next to the blocking
+    // Runner::sweep of the identical grid — the batch-path comparison.
+    let grid: Vec<RunSpec> = (0..18)
+        .map(|n| {
+            RunSpec::new(
+                TopologySpec::toroidal_mesh(16, 16),
+                RuleSpec::parse("smp").expect("registry rule"),
+                SeedSpec::Density {
+                    color: Color::new(1),
+                    palette: 4,
+                    fraction: 0.3 + 0.02 * n as f64,
+                    rng_seed: 2011 + n,
+                },
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("executor/sweep_grid_18");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(grid.len() as u64));
+    group.bench_function("runner_sweep_refs", |b| {
+        let runner = Runner::new();
+        b.iter(|| black_box(runner.sweep_refs(&grid)));
+    });
+    group.bench_function("local_executor_submit_sweep", |b| {
+        let pool = LocalExecutor::start(LocalExecutorConfig::default());
+        b.iter(|| {
+            let handles = pool
+                .submit_sweep(&grid, SubmitOptions::default())
+                .expect("admitted");
+            for mut handle in handles {
+                black_box(handle.wait().expect("finishes"));
+            }
+        });
+        pool.drain();
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_submit_wait_overhead,
+    bench_sweep_through_pool
+);
+criterion_main!(benches);

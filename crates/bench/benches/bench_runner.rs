@@ -42,13 +42,15 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(grid.len() as u64));
 
+    // sweep_refs borrows the grid, so no per-iteration clone pollutes
+    // the measurement.
     group.bench_function("sequential_1_thread", |b| {
         let runner = Runner::with_threads(1);
-        b.iter(|| black_box(runner.sweep(grid.clone())));
+        b.iter(|| black_box(runner.sweep_refs(&grid)));
     });
     group.bench_function("parallel_default_threads", |b| {
         let runner = Runner::new();
-        b.iter(|| black_box(runner.sweep(grid.clone())));
+        b.iter(|| black_box(runner.sweep_refs(&grid)));
     });
     group.finish();
 }

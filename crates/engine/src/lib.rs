@@ -41,7 +41,13 @@
 //!   sweep thread pool;
 //! * [`observe`] — [`Observer`] hooks ([`TraceObserver`],
 //!   [`HistogramObserver`], or custom) receive a [`StepView`] after every
-//!   round, replacing bespoke recording loops.
+//!   round, replacing bespoke recording loops;
+//! * [`exec`] — the backend-agnostic async-style surface above all of it:
+//!   [`Executor::submit`] returns a [`JobHandle`] with `status`/`wait`/
+//!   `cancel` and a polled stream of typed [`RunEvent`]s.  The
+//!   [`LocalExecutor`] worker pool serves it in-process; `ctori-service`
+//!   serves the same trait over TCP, so the same caller code moves from
+//!   laptop to server unchanged.
 //!
 //! ```
 //! use ctori_engine::{Runner, RunSpec, RuleSpec, SeedSpec, TopologySpec};
@@ -85,6 +91,7 @@
 #![deny(unsafe_code)]
 
 pub mod adjacency;
+pub mod exec;
 pub mod frontier;
 pub mod metrics;
 #[cfg(feature = "naive-baseline")]
@@ -98,6 +105,10 @@ pub mod sweep;
 pub mod trace;
 
 pub use adjacency::Adjacency;
+pub use exec::{
+    ExecError, Executor, JobControl, JobHandle, JobState, JobStatus, LocalExecutor,
+    LocalExecutorConfig, OutcomeCache, PoolStats, Priority, RunEvent, SubmitOptions,
+};
 pub use frontier::PackedFrontier;
 pub use metrics::{round_histogram, ColorHistogram};
 pub use observe::{HistogramObserver, NullObserver, Observer, StepView, TraceObserver};

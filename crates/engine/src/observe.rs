@@ -85,6 +85,17 @@ impl<'a> StepView<'a> {
         self.state.monochromatic()
     }
 
+    /// The colour populations after this round, as a [`ColorHistogram`]
+    /// of the colours currently present (O(palette), not O(vertices) —
+    /// cheap enough to sample every round; the execution API's progress
+    /// events are built from this).
+    pub fn histogram(&self) -> ColorHistogram {
+        ColorHistogram {
+            round: self.round,
+            counts: self.state.histogram_counts(),
+        }
+    }
+
     /// Materialises the configuration as one colour per vertex.
     pub fn snapshot(&self) -> Vec<Color> {
         self.state.snapshot()
@@ -225,6 +236,12 @@ mod tests {
         assert_eq!(view.changed(), 0);
         assert_eq!(view.snapshot().len(), 3);
         assert_eq!(view.coloring().cols(), 3);
+        let histogram = view.histogram();
+        assert_eq!(histogram.round, 0);
+        assert_eq!(
+            histogram.counts,
+            vec![(Color::new(1), 2), (Color::new(2), 1)]
+        );
     }
 
     #[test]

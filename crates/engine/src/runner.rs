@@ -433,9 +433,25 @@ impl Runner {
     /// The specs fan out over the engine's work-stealing sweep pool
     /// ([`crate::sweep::parallel_map`]); each scenario runs independently
     /// on one worker, so a grid of small runs scales with the thread
-    /// budget.
-    pub fn sweep(&self, specs: Vec<RunSpec>) -> Vec<RunOutcome> {
-        parallel_map(specs, self.threads, |spec| self.execute(spec))
+    /// budget.  Accepts any owned iterable (`Vec`, a `map` chain, …);
+    /// callers holding a grid they want to keep use
+    /// [`Runner::sweep_refs`] and clone nothing.
+    pub fn sweep<I>(&self, specs: I) -> Vec<RunOutcome>
+    where
+        I: IntoIterator<Item = RunSpec>,
+    {
+        parallel_map(specs.into_iter().collect(), self.threads, |spec| {
+            self.execute(spec)
+        })
+    }
+
+    /// As [`Runner::sweep`], but borrows the grid — no spec is cloned or
+    /// consumed, so a caller can sweep the same grid repeatedly (the
+    /// benchmark harness does exactly that).
+    pub fn sweep_refs(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
+        parallel_map(specs.iter().collect(), self.threads, |spec: &&RunSpec| {
+            self.execute(spec)
+        })
     }
 }
 
@@ -579,14 +595,34 @@ mod tests {
             .map(|spec| Runner::with_threads(1).execute(spec))
             .collect();
         // An explicit thread budget so the batch path genuinely fans out
-        // even on single-core CI machines.
-        let parallel = Runner::with_threads(4).sweep(grid);
+        // even on single-core CI machines.  sweep_refs borrows the grid;
+        // sweep can then consume it — both must agree with sequential
+        // execution.
+        let runner = Runner::with_threads(4);
+        let borrowed = runner.sweep_refs(&grid);
+        let parallel = runner.sweep(grid);
         assert_eq!(parallel.len(), sequential.len());
-        for (a, b) in parallel.iter().zip(&sequential) {
+        assert_eq!(borrowed.len(), sequential.len());
+        for ((a, b), c) in parallel.iter().zip(&sequential).zip(&borrowed) {
             assert_eq!(a.termination, b.termination);
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.final_coloring, b.final_coloring);
+            assert_eq!(c.termination, b.termination);
+            assert_eq!(c.final_coloring, b.final_coloring);
         }
+    }
+
+    #[test]
+    fn sweep_accepts_any_owned_iterable() {
+        // A map chain, no intermediate Vec at the call site.
+        let outcomes = Runner::with_threads(2).sweep((4usize..6).map(|size| {
+            RunSpec::new(
+                TopologySpec::toroidal_mesh(size, size),
+                RuleSpec::parse("smp").unwrap(),
+                SeedSpec::checkerboard(c(1), c(2)),
+            )
+        }));
+        assert_eq!(outcomes.len(), 2);
     }
 
     #[test]

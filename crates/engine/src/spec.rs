@@ -884,6 +884,13 @@ pub struct EngineOptions {
     /// sequential, so this knob never affects an outcome and is excluded
     /// from [`RunSpec::canonical_key`].
     pub threads: usize,
+    /// Sampling stride of the execution API's progress events: every
+    /// `progress_every`-th round is published as a
+    /// [`crate::exec::RunEvent::Progress`] while the run is in flight
+    /// (`0` = automatic: every round).  Pure observability — it cannot
+    /// affect an outcome — so it is excluded from
+    /// [`RunSpec::canonical_key`] like [`EngineOptions::threads`].
+    pub progress_every: usize,
     /// Record per-vertex adoption times of this colour.
     pub track_times_for: Option<Color>,
     /// Verify monotonicity with respect to this colour.
@@ -897,6 +904,7 @@ impl Default for EngineOptions {
             detect_cycles: true,
             max_rounds: 0,
             threads: 0,
+            progress_every: 0,
             track_times_for: None,
             check_monotone_for: None,
         }
@@ -938,6 +946,13 @@ impl EngineOptions {
         self
     }
 
+    /// Sets the progress-event sampling stride (`0` = automatic: every
+    /// round).
+    pub fn with_progress_every(mut self, progress_every: usize) -> Self {
+        self.progress_every = progress_every;
+        self
+    }
+
     /// The worker-thread budget with the automatic default resolved.
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
@@ -945,6 +960,12 @@ impl EngineOptions {
         } else {
             self.threads
         }
+    }
+
+    /// The progress sampling stride with the automatic default resolved
+    /// (automatic = every round).
+    pub fn progress_stride(&self) -> usize {
+        self.progress_every.max(1)
     }
 
     /// The [`RunConfig`] equivalent of these options (everything except
@@ -979,8 +1000,14 @@ impl EngineOptions {
         } else {
             self.threads.to_string()
         };
+        let progress = if self.progress_every == 0 {
+            "auto".to_string()
+        } else {
+            self.progress_every.to_string()
+        };
         format!(
-            "lane={lane} cycles={} max-rounds={max_rounds} threads={threads} track={} monotone={}",
+            "lane={lane} cycles={} max-rounds={max_rounds} threads={threads} progress={progress} \
+             track={} monotone={}",
             if self.detect_cycles { "on" } else { "off" },
             opt(self.track_times_for),
             opt(self.check_monotone_for),
@@ -1031,6 +1058,15 @@ impl EngineOptions {
                         value
                             .parse()
                             .map_err(|_| bad_options(format!("{value:?} is not a thread count")))?
+                    }
+                }
+                "progress" => {
+                    options.progress_every = if value == "auto" {
+                        0
+                    } else {
+                        value.parse().map_err(|_| {
+                            bad_options(format!("{value:?} is not a progress stride"))
+                        })?
                     }
                 }
                 "track" => {
@@ -1197,18 +1233,22 @@ impl RunSpec {
     /// so identical scenarios submitted by different clients share one
     /// memoized outcome.
     ///
-    /// [`EngineOptions::threads`] is the one option that cannot influence
-    /// a run's outcome (it only sizes *batch* execution, and a single run
-    /// is always sequential), so it is excluded from the digest: specs
-    /// differing only in their thread budget share a cache slot.  Every
-    /// other option is part of the address — even `lane` reaches the
-    /// outcome through [`crate::RunOutcome::used_packed_lane`].
+    /// [`EngineOptions::threads`] and [`EngineOptions::progress_every`]
+    /// are the two options that cannot influence a run's outcome (one
+    /// sizes *batch* execution — a single run is always sequential — and
+    /// the other only samples observability events), so they are excluded
+    /// from the digest: specs differing only in those knobs share a cache
+    /// slot.  Every other option is part of the address — even `lane`
+    /// reaches the outcome through
+    /// [`crate::RunOutcome::used_packed_lane`].
     pub fn canonical_key(&self) -> SpecKey {
-        // Shares to_text()'s renderer (only the 16-byte options struct is
-        // copied to zero the thread budget), so the digest input tracks
-        // the wire form automatically if RunSpec grows a field.
+        // Shares to_text()'s renderer (only the small options struct is
+        // copied to normalise the outcome-irrelevant knobs), so the
+        // digest input tracks the wire form automatically if RunSpec
+        // grows a field.
         let mut options = self.options;
         options.threads = 0;
+        options.progress_every = 0;
         SpecKey::digest(self.text_with_options(options).as_bytes())
     }
 
@@ -1559,6 +1599,11 @@ mod tests {
             .clone()
             .with_options(EngineOptions::default().with_threads(8));
         assert_eq!(threaded.canonical_key(), key);
+        // Same for the progress sampling stride (pure observability).
+        let sampled = spec
+            .clone()
+            .with_options(EngineOptions::default().with_progress_every(16));
+        assert_eq!(sampled.canonical_key(), key);
         // But lane forcing can (it reaches RunOutcome::used_packed_lane).
         let forced = spec
             .clone()
@@ -1596,6 +1641,19 @@ mod tests {
         assert!(auto.to_text().contains("threads=auto"));
         assert_eq!(auto.effective_threads(), crate::sweep::default_threads());
         assert!(EngineOptions::parse("threads=lots").is_err());
+    }
+
+    #[test]
+    fn progress_stride_round_trips_and_resolves() {
+        let options = EngineOptions::default().with_progress_every(8);
+        let text = options.to_text();
+        assert!(text.contains("progress=8"), "{text}");
+        assert_eq!(EngineOptions::parse(&text).unwrap(), options);
+        assert_eq!(options.progress_stride(), 8);
+        let auto = EngineOptions::default();
+        assert!(auto.to_text().contains("progress=auto"));
+        assert_eq!(auto.progress_stride(), 1, "auto samples every round");
+        assert!(EngineOptions::parse("progress=often").is_err());
     }
 
     #[test]

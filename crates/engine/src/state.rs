@@ -72,6 +72,20 @@ impl ColorCensus {
     pub fn distinct(&self) -> usize {
         self.distinct
     }
+
+    /// The `(colour, count)` pairs of every colour currently present, in
+    /// ascending colour order.  O(palette), not O(vertices) — this is
+    /// what makes per-round histogram sampling cheap for the progress
+    /// events of the execution API.
+    pub fn present(&self) -> Vec<(Color, usize)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(1) // index 0 is the unset sentinel, never in a built run
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (Color::new(idx as u16), n as usize))
+            .collect()
+    }
 }
 
 /// The simulator's configuration storage.
@@ -150,6 +164,27 @@ impl StateVec {
                 } else {
                     0
                 }
+            }
+        }
+    }
+
+    /// The `(colour, count)` pairs of every colour currently present, in
+    /// ascending colour order (O(palette) on the generic backend, O(1)
+    /// on the packed lane).
+    pub fn histogram_counts(&self) -> Vec<(Color, usize)> {
+        match self {
+            StateVec::Generic { census, .. } => census.present(),
+            StateVec::Packed { lane, zero, one } => {
+                let ones = lane.ones();
+                let zeros = lane.len() - ones;
+                let mut counts = Vec::with_capacity(2);
+                for (color, count) in [(*zero, zeros), (*one, ones)] {
+                    if count > 0 {
+                        counts.push((color, count));
+                    }
+                }
+                counts.sort_unstable_by_key(|(c, _)| c.index());
+                counts
             }
         }
     }

@@ -32,9 +32,11 @@ use crate::error::ServiceError;
 use crate::job::{JobId, JobStatus, Priority};
 use crate::protocol::{self, Request, Response};
 use crate::stats::ServiceStats;
+use ctori_engine::exec::RunEvent;
 use ctori_engine::{RunOutcome, RunSpec};
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A blocking connection to a simulation server.
 pub struct ServiceClient {
@@ -46,8 +48,46 @@ impl ServiceClient {
     /// Connects to a server.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
         let writer = TcpStream::connect(addr)?;
+        Self::from_stream(writer)
+    }
+
+    /// Connects with a per-address deadline, so an unreachable or
+    /// wedged server cannot block the caller indefinitely.  A deadline
+    /// expiry surfaces as [`ServiceError::TimedOut`].
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ServiceError> {
+        let mut last: Option<std::io::Error> = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(match last {
+            Some(e) if is_timeout(&e) => ServiceError::TimedOut,
+            Some(e) => e.into(),
+            None => ServiceError::Protocol("address resolved to no endpoints".into()),
+        })
+    }
+
+    fn from_stream(writer: TcpStream) -> Result<Self, ServiceError> {
         let reader = BufReader::new(writer.try_clone()?);
         Ok(ServiceClient { reader, writer })
+    }
+
+    /// Caps how long any single reply read may block (`None` removes the
+    /// cap).  With a cap set, a hung server surfaces as
+    /// [`ServiceError::TimedOut`] instead of blocking `result(wait)`
+    /// forever.
+    ///
+    /// A timeout that fires **mid-reply** leaves the connection holding a
+    /// half-read response; drop the client and reconnect rather than
+    /// issuing further requests on it.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServiceError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// Submits one spec at [`Priority::Normal`].
@@ -115,6 +155,22 @@ impl ServiceClient {
         }
     }
 
+    /// Polls a job's buffered progress events: everything with
+    /// `since = None`, otherwise the progress beyond that round plus the
+    /// terminal event once one exists.  Repeat with the last seen round
+    /// until a terminal event arrives — that is the `WATCH` streaming
+    /// loop (the `RemoteExecutor` handle does it for you).
+    pub fn watch(
+        &mut self,
+        id: JobId,
+        since: Option<usize>,
+    ) -> Result<Vec<RunEvent>, ServiceError> {
+        match self.roundtrip(&Request::Watch { id, since })? {
+            Response::Events(events) => Ok(events),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Cancels a queued job.
     pub fn cancel(&mut self, id: JobId) -> Result<(), ServiceError> {
         match self.roundtrip(&Request::Cancel { id })? {
@@ -133,6 +189,14 @@ impl ServiceClient {
 
     /// Asks the server to drain and exit, consuming the connection.
     pub fn shutdown(mut self) -> Result<(), ServiceError> {
+        self.request_shutdown()
+    }
+
+    /// As [`ServiceClient::shutdown`], but keeps the client value alive
+    /// (the connection is spent either way — the server closes it after
+    /// `OK bye`).  This is what lets a shared client behind a lock
+    /// forward a drain request.
+    pub fn request_shutdown(&mut self) -> Result<(), ServiceError> {
         match self.roundtrip(&Request::Shutdown)? {
             Response::Bye => Ok(()),
             other => Err(unexpected(other)),
@@ -147,14 +211,16 @@ impl ServiceClient {
     }
 
     /// Writes one request and reads one reply; `ERR` replies become
-    /// [`ServiceError::Remote`].
+    /// [`ServiceError::Remote`], expired read deadlines
+    /// [`ServiceError::TimedOut`].
     fn roundtrip(&mut self, request: &Request) -> Result<Response, ServiceError> {
         self.writer.write_all(request.wire().as_bytes())?;
         self.writer.flush()?;
-        let header = protocol::read_line(&mut self.reader)?
+        let header = protocol::read_line(&mut self.reader)
+            .map_err(lift_timeout)?
             .ok_or_else(|| ServiceError::Protocol("server closed the connection".into()))?;
         let payload = if Response::header_needs_payload(&header) {
-            Some(protocol::read_block(&mut self.reader)?)
+            Some(protocol::read_block(&mut self.reader).map_err(lift_timeout)?)
         } else {
             None
         };
@@ -164,4 +230,19 @@ impl ServiceClient {
 
 fn unexpected(response: Response) -> ServiceError {
     ServiceError::Protocol(format!("unexpected reply {response:?}"))
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Rewrites an expired read deadline as [`ServiceError::TimedOut`].
+fn lift_timeout(e: ServiceError) -> ServiceError {
+    match e {
+        ServiceError::Io(ref io) if is_timeout(io) => ServiceError::TimedOut,
+        other => other,
+    }
 }

@@ -49,6 +49,10 @@ pub enum ServiceError {
     JobCancelled(JobId),
     /// The scheduler is draining and accepts no new submissions.
     ShuttingDown,
+    /// A client-side connect or read deadline expired before the server
+    /// replied.  After a mid-request timeout the connection may hold a
+    /// half-read reply and should be dropped, not reused.
+    TimedOut,
     /// A submitted spec failed to parse or validate.
     BadSpec(SpecParseError),
     /// An outcome payload failed to parse.
@@ -81,6 +85,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::JobFailed { id, message } => write!(f, "job {id} failed: {message}"),
             ServiceError::JobCancelled(id) => write!(f, "job {id} was cancelled"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::TimedOut => write!(f, "timed out waiting for the server"),
             ServiceError::BadSpec(e) => write!(f, "bad run spec: {e}"),
             ServiceError::BadOutcome(e) => write!(f, "bad run outcome: {e}"),
             ServiceError::Protocol(detail) => write!(f, "protocol error: {detail}"),

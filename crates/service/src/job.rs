@@ -1,7 +1,11 @@
 //! Job identities, priorities and lifecycle states.
 //!
-//! A **job** is one queued [`ctori_engine::RunSpec`] execution.  Jobs move
-//! through the state machine
+//! A **job** is one queued [`ctori_engine::RunSpec`] execution.  The
+//! lifecycle machinery — [`JobState`], [`Priority`], the [`JobStatus`]
+//! snapshot — is shared with the engine's execution API
+//! ([`ctori_engine::exec`]): the service scheduler is a thin wrapper over
+//! the engine's [`ctori_engine::LocalExecutor`] pool, so both layers
+//! speak the exact same state machine
 //!
 //! ```text
 //! queued ──▶ running ──▶ done
@@ -9,11 +13,14 @@
 //!    └─────▶ cancelled
 //! ```
 //!
-//! `done`, `failed` and `cancelled` are terminal.  All three identity
-//! types render to single tokens (and parse back) so they can travel on
-//! the wire protocol's header lines.
+//! What stays service-local is [`JobId`]: the wire-protocol identity a
+//! client holds across `STATUS`/`RESULT`/`WATCH`/`CANCEL` requests.  All
+//! identity types render to single tokens (and parse back) so they can
+//! travel on the protocol's header lines.
 
 use crate::error::ServiceError;
+
+pub use ctori_engine::exec::{JobState, JobStatus, Priority};
 
 /// Identifier of a submitted job, unique within one scheduler instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,106 +54,16 @@ impl std::str::FromStr for JobId {
     }
 }
 
-/// Scheduling priority of a job.  Higher priorities are dequeued first;
-/// within one priority, jobs run in submission order (FIFO).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Priority {
-    /// Background work: dequeued only when nothing else is waiting.
-    Low,
-    /// The default.
-    #[default]
-    Normal,
-    /// Jumps ahead of all queued normal/low jobs.
-    High,
+/// Parses a [`Priority`] wire token, as a [`ServiceError`].
+pub(crate) fn parse_priority(s: &str) -> Result<Priority, ServiceError> {
+    Priority::parse_token(s)
+        .ok_or_else(|| ServiceError::Protocol(format!("{s:?} is not a priority (low/normal/high)")))
 }
 
-impl std::fmt::Display for Priority {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Priority::Low => "low",
-            Priority::Normal => "normal",
-            Priority::High => "high",
-        })
-    }
-}
-
-impl std::str::FromStr for Priority {
-    type Err = ServiceError;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "low" => Ok(Priority::Low),
-            "normal" => Ok(Priority::Normal),
-            "high" => Ok(Priority::High),
-            other => Err(ServiceError::Protocol(format!(
-                "{other:?} is not a priority (low/normal/high)"
-            ))),
-        }
-    }
-}
-
-/// Lifecycle state of a job.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum JobState {
-    /// Waiting in the submission queue.
-    Queued,
-    /// Claimed by a worker and executing.
-    Running,
-    /// Finished; the outcome is available.
-    Done,
-    /// The execution panicked or was otherwise aborted.
-    Failed,
-    /// Cancelled while still queued; it will never run.
-    Cancelled,
-}
-
-impl JobState {
-    /// Whether the state is final (`done`, `failed` or `cancelled`).
-    pub fn is_terminal(self) -> bool {
-        matches!(
-            self,
-            JobState::Done | JobState::Failed | JobState::Cancelled
-        )
-    }
-}
-
-impl std::fmt::Display for JobState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            JobState::Queued => "queued",
-            JobState::Running => "running",
-            JobState::Done => "done",
-            JobState::Failed => "failed",
-            JobState::Cancelled => "cancelled",
-        })
-    }
-}
-
-impl std::str::FromStr for JobState {
-    type Err = ServiceError;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "queued" => Ok(JobState::Queued),
-            "running" => Ok(JobState::Running),
-            "done" => Ok(JobState::Done),
-            "failed" => Ok(JobState::Failed),
-            "cancelled" => Ok(JobState::Cancelled),
-            other => Err(ServiceError::Protocol(format!(
-                "{other:?} is not a job state"
-            ))),
-        }
-    }
-}
-
-/// A point-in-time snapshot of one job, as reported by `STATUS`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct JobStatus {
-    /// Where the job is in its lifecycle.
-    pub state: JobState,
-    /// Whether a `done` outcome was served from the result cache instead
-    /// of a fresh execution.
-    pub from_cache: bool,
+/// Parses a [`JobState`] wire token, as a [`ServiceError`].
+pub(crate) fn parse_job_state(s: &str) -> Result<JobState, ServiceError> {
+    JobState::parse_token(s)
+        .ok_or_else(|| ServiceError::Protocol(format!("{s:?} is not a job state")))
 }
 
 #[cfg(test)]
@@ -158,7 +75,7 @@ mod tests {
         let id = JobId::new(42);
         assert_eq!(id.to_string().parse::<JobId>().unwrap(), id);
         for p in [Priority::Low, Priority::Normal, Priority::High] {
-            assert_eq!(p.to_string().parse::<Priority>().unwrap(), p);
+            assert_eq!(parse_priority(&p.to_string()).unwrap(), p);
         }
         for s in [
             JobState::Queued,
@@ -167,10 +84,10 @@ mod tests {
             JobState::Failed,
             JobState::Cancelled,
         ] {
-            assert_eq!(s.to_string().parse::<JobState>().unwrap(), s);
+            assert_eq!(parse_job_state(&s.to_string()).unwrap(), s);
         }
-        assert!("urgent".parse::<Priority>().is_err());
-        assert!("gone".parse::<JobState>().is_err());
+        assert!(parse_priority("urgent").is_err());
+        assert!(parse_job_state("gone").is_err());
         assert!("x1".parse::<JobId>().is_err());
     }
 

@@ -10,21 +10,24 @@
 //! schedules it, and the memoizable result is the equally text-serialisable
 //! [`ctori_engine::RunOutcome`].  Three layers compose:
 //!
-//! * [`scheduler`] — a bounded, priority-ordered submission queue drained
-//!   by a persistent worker pool (the [`ctori_engine::sweep`] threading
-//!   idiom: long-lived workers over a shared work source, never
-//!   one-thread-per-request), with job states
-//!   `queued → running → done/failed` plus cancellation and graceful
-//!   drain-on-shutdown;
+//! * [`scheduler`] — a thin wrapper over the engine's
+//!   [`ctori_engine::LocalExecutor`] worker pool (bounded priority queue,
+//!   job states `queued → running → done/failed`, cancellation, graceful
+//!   drain-on-shutdown), adding wire-protocol job ids and the result
+//!   cache;
 //! * [`cache`] — a content-addressed result cache keyed by
 //!   [`ctori_engine::RunSpec::canonical_key`], so identical specs across
 //!   clients and sweeps return one memoized outcome; bounded with LRU
 //!   eviction and observable hit/miss/eviction counters;
 //! * [`server`] / [`client`] / [`protocol`] — a line-framed TCP front-end
-//!   over `std::net` (`SUBMIT`/`SWEEP`/`STATUS`/`RESULT`/`CANCEL`/
-//!   `STATS`/`SHUTDOWN`) whose payloads are exactly the engine's spec and
-//!   outcome text forms, a blocking [`ServiceClient`], and the
-//!   `ctori-serve` binary.
+//!   over `std::net` (`SUBMIT`/`SWEEP`/`STATUS`/`RESULT`/`WATCH`/
+//!   `CANCEL`/`STATS`/`SHUTDOWN`) whose payloads are exactly the engine's
+//!   spec, outcome and event text forms, a blocking [`ServiceClient`],
+//!   and the `ctori-serve` binary;
+//! * [`remote`] — [`RemoteExecutor`], the TCP backend of the engine's
+//!   backend-agnostic [`ctori_engine::Executor`] API: the same caller
+//!   code that drives the in-process pool drives a `ctori-serve`
+//!   process, with live progress streamed through the `WATCH` verb.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +69,7 @@ pub mod client;
 pub mod error;
 pub mod job;
 pub mod protocol;
+pub mod remote;
 pub mod scheduler;
 pub mod server;
 pub mod stats;
@@ -75,6 +79,7 @@ pub use client::ServiceClient;
 pub use error::ServiceError;
 pub use job::{JobId, JobState, JobStatus, Priority};
 pub use protocol::{Request, Response};
+pub use remote::RemoteExecutor;
 pub use scheduler::{Scheduler, SchedulerConfig};
 pub use server::{Server, ServiceConfig};
 pub use stats::{CacheStats, ServiceStats};

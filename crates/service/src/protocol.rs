@@ -13,9 +13,18 @@
 //! | `SWEEP [priority=P]` | specs separated by `--` lines | `OK jobs <id>…` |
 //! | `STATUS <id>` | — | `OK status <state> [cached]` |
 //! | `RESULT <id> [wait]` | — | `OK result` + outcome block |
+//! | `WATCH <id> [since-round]` | — | `OK events` + event block |
 //! | `CANCEL <id>` | — | `OK cancelled` |
 //! | `STATS` | — | `OK stats` + stats block |
 //! | `SHUTDOWN` | — | `OK bye`, then the server drains and exits |
+//!
+//! `WATCH` is the **polled progress stream** of the execution API: the
+//! reply block holds the job's buffered
+//! [`ctori_engine::RunEvent`]s — all of them without `since-round`,
+//! otherwise the progress events beyond that round plus the terminal
+//! event once one exists.  A client repeats `WATCH <id> <last-seen-round>`
+//! until a terminal event arrives; progress rounds are strictly
+//! increasing across the polls.
 //!
 //! Failures reply `ERR <code> <message>` on one line (e.g. `queue-full`,
 //! `unknown-job`, `not-done`, `job-failed`, `bad-spec`, `bad-request`).
@@ -24,8 +33,9 @@
 //! protocol round-trips and is testable without a socket.
 
 use crate::error::ServiceError;
-use crate::job::{JobId, JobState, JobStatus, Priority};
+use crate::job::{parse_job_state, parse_priority, JobId, JobStatus, Priority};
 use crate::stats::ServiceStats;
+use ctori_engine::exec::{events_from_text, events_to_text, RunEvent};
 use std::io::BufRead;
 
 /// The line separating two specs inside a `SWEEP` payload.
@@ -136,6 +146,14 @@ pub enum Request {
         /// Whether to block server-side until the job terminates.
         wait: bool,
     },
+    /// Poll a job's buffered progress events.
+    Watch {
+        /// The job.
+        id: JobId,
+        /// Only report progress beyond this round (`None` = everything,
+        /// including the `started` event).
+        since: Option<usize>,
+    },
     /// Cancel a queued job.
     Cancel {
         /// The job.
@@ -182,6 +200,10 @@ impl Request {
                     format!("RESULT {id}\n")
                 }
             }
+            Request::Watch { id, since } => match since {
+                Some(round) => format!("WATCH {id} {round}\n"),
+                None => format!("WATCH {id}\n"),
+            },
             Request::Cancel { id } => format!("CANCEL {id}\n"),
             Request::Stats => "STATS\n".into(),
             Request::Shutdown => "SHUTDOWN\n".into(),
@@ -212,7 +234,7 @@ impl Request {
             match token {
                 None => Ok(Priority::Normal),
                 Some(token) => match token.split_once('=') {
-                    Some(("priority", value)) => value.parse(),
+                    Some(("priority", value)) => parse_priority(value),
                     _ => Err(ServiceError::Protocol(format!(
                         "expected priority=..., got {token:?}"
                     ))),
@@ -277,6 +299,19 @@ impl Request {
                     wait,
                 })
             }
+            Some("WATCH") => {
+                arity(2..=3)?;
+                let since = match tokens.get(2) {
+                    None => None,
+                    Some(raw) => Some(raw.parse().map_err(|_| {
+                        ServiceError::Protocol(format!("{raw:?} is not a round number"))
+                    })?),
+                };
+                Ok(Request::Watch {
+                    id: tokens[1].parse()?,
+                    since,
+                })
+            }
             Some("CANCEL") => {
                 arity(2..=2)?;
                 Ok(Request::Cancel {
@@ -314,6 +349,9 @@ pub enum Response {
     /// `RESULT` payload: the outcome in
     /// [`ctori_engine::RunOutcome::to_text`] form.
     Result(String),
+    /// `WATCH` payload: the buffered events, in submission order
+    /// (possibly empty while a job is queued or between samples).
+    Events(Vec<RunEvent>),
     /// `CANCEL` succeeded.
     Cancelled,
     /// `STATS` payload.
@@ -351,6 +389,9 @@ impl Response {
             Response::Result(outcome_text) => {
                 format!("OK result\n{}", encode_block(outcome_text))
             }
+            Response::Events(events) => {
+                format!("OK events\n{}", encode_block(&events_to_text(events)))
+            }
             Response::Cancelled => "OK cancelled\n".into(),
             Response::Stats(stats) => format!("OK stats\n{}", encode_block(&stats.to_text())),
             Response::Bye => "OK bye\n".into(),
@@ -362,7 +403,7 @@ impl Response {
 
     /// Whether a response header announces a payload block.
     pub fn header_needs_payload(header: &str) -> bool {
-        header == "OK result" || header == "OK stats"
+        header == "OK result" || header == "OK stats" || header == "OK events"
     }
 
     /// Rebuilds a response from a header line and its payload block.
@@ -388,7 +429,7 @@ impl Response {
                     .collect::<Result<_, _>>()?,
             )),
             Some("status") if (3..=4).contains(&tokens.len()) => {
-                let state: JobState = tokens[2].parse()?;
+                let state = parse_job_state(tokens[2])?;
                 let from_cache = match tokens.get(3) {
                     None => false,
                     Some(&"cached") => true,
@@ -400,6 +441,13 @@ impl Response {
                 payload
                     .ok_or_else(|| ServiceError::Protocol("result without payload".into()))?
                     .to_string(),
+            )),
+            Some("events") if tokens.len() == 2 => Ok(Response::Events(
+                events_from_text(
+                    payload
+                        .ok_or_else(|| ServiceError::Protocol("events without payload".into()))?,
+                )
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?,
             )),
             Some("cancelled") if tokens.len() == 2 => Ok(Response::Cancelled),
             Some("stats") if tokens.len() == 2 => Ok(Response::Stats(ServiceStats::from_text(
@@ -421,6 +469,7 @@ impl Response {
             ServiceError::JobFailed { .. } => "job-failed",
             ServiceError::JobCancelled(_) => "job-cancelled",
             ServiceError::ShuttingDown => "shutting-down",
+            ServiceError::TimedOut => "timed-out",
             ServiceError::BadSpec(_) => "bad-spec",
             ServiceError::BadOutcome(_) => "bad-outcome",
             ServiceError::Protocol(_) => "bad-request",
@@ -444,6 +493,7 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobState;
     use std::io::BufReader;
 
     fn round_trip_request(request: Request) {
@@ -498,6 +548,14 @@ mod tests {
             id: JobId::new(9),
             wait: false,
         });
+        round_trip_request(Request::Watch {
+            id: JobId::new(4),
+            since: None,
+        });
+        round_trip_request(Request::Watch {
+            id: JobId::new(4),
+            since: Some(17),
+        });
         round_trip_request(Request::Cancel { id: JobId::new(3) });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
@@ -520,6 +578,22 @@ mod tests {
             from_cache: false,
         }));
         round_trip_response(Response::Result("rule: smp\nrounds: 3\n".into()));
+        round_trip_response(Response::Events(vec![
+            RunEvent::Started { nodes: 64 },
+            RunEvent::Progress {
+                round: 3,
+                changed: 5,
+                histogram: ctori_engine::ColorHistogram {
+                    round: 3,
+                    counts: vec![
+                        (ctori_coloring::Color::new(1), 59),
+                        (ctori_coloring::Color::new(2), 5),
+                    ],
+                },
+            },
+            RunEvent::Cancelled,
+        ]));
+        round_trip_response(Response::Events(Vec::new()));
         round_trip_response(Response::Cancelled);
         round_trip_response(Response::Stats(ServiceStats::default()));
         round_trip_response(Response::Bye);
@@ -552,7 +626,14 @@ mod tests {
         assert!(Request::from_parts("STATUS", None).is_err(), "no id");
         assert!(Request::from_parts("STATUS x", None).is_err());
         assert!(Request::from_parts("RESULT 1 now", None).is_err());
+        assert!(Request::from_parts("WATCH", None).is_err(), "no id");
+        assert!(Request::from_parts("WATCH 1 soon", None).is_err());
         assert!(Request::from_parts("SUBMIT urgency=high", Some("x")).is_err());
+        assert!(
+            Response::from_parts("OK events", None).is_err(),
+            "no payload"
+        );
+        assert!(Response::from_parts("OK events", Some("event: levitated")).is_err());
         assert!(Response::from_parts("MAYBE ok", None).is_err());
         assert!(Response::from_parts("OK job", None).is_err());
         assert!(

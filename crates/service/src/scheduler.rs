@@ -1,34 +1,32 @@
-//! The job scheduler: bounded priority queue + persistent worker pool.
+//! The job scheduler: a thin service wrapper over the engine's pool.
 //!
-//! Submissions enter a bounded queue ordered by [`Priority`] (FIFO within
-//! one priority) and are drained by a pool of **persistent** worker
-//! threads — the same threading idiom as [`ctori_engine::sweep`] (a shared
-//! work source drained by long-lived `std::thread` workers), not
-//! one-thread-per-request.  Before executing, a worker consults the
-//! [`ResultCache`] under the spec's canonical key; a hit completes the job
-//! without touching the engine.  Fresh outcomes are memoized on the way
-//! out.
+//! The persistent worker pool — bounded priority queue, job state
+//! machine, queued-only cancellation, panic→`failed` capture, graceful
+//! drain, terminal-record retention, per-job progress events — lives in
+//! [`ctori_engine::LocalExecutor`] since the execution-API redesign; this
+//! module wraps it with everything that is *service* policy:
 //!
-//! Lifecycle: jobs move `queued → running → done|failed`, or
-//! `queued → cancelled` via [`Scheduler::cancel`].  [`Scheduler::shutdown`]
-//! drains gracefully — no new submissions are admitted, every queued job
-//! still runs, and the workers are joined before the call returns.
+//! * the content-addressed [`ResultCache`], plugged into the pool's
+//!   [`ctori_engine::exec::OutcomeCache`] hook (workers probe it under
+//!   the spec's canonical key before executing and memoize fresh
+//!   outcomes on the way out);
+//! * the wire-protocol [`JobId`]s (the pool's ids, re-tagged) and
+//!   [`ServiceError`]s with job context re-attached;
+//! * the [`ServiceStats`] snapshot combining pool counters with cache
+//!   counters.
 //!
-//! Each job executes sequentially on its worker
-//! (`Runner::with_threads(1)`): the pool itself is the parallelism, so a
-//! sweep of `N` specs scales with the worker count without oversubscribing
-//! the machine.
+//! Each job executes sequentially on its worker: the pool itself is the
+//! parallelism, so a sweep of `N` specs scales with the worker count
+//! without oversubscribing the machine.
 
 use crate::cache::ResultCache;
 use crate::error::ServiceError;
 use crate::job::{JobId, JobState, JobStatus, Priority};
 use crate::stats::ServiceStats;
-use ctori_engine::{default_threads, RunOutcome, RunSpec, Runner, SpecKey};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use ctori_engine::exec::{ExecError, OutcomeCache, RunEvent};
+use ctori_engine::{LocalExecutor, LocalExecutorConfig, RunOutcome, RunSpec, SpecKey};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Sizing knobs of a [`Scheduler`].
 #[derive(Clone, Copy, Debug)]
@@ -43,8 +41,8 @@ pub struct SchedulerConfig {
     /// Capacity of the content-addressed result cache (`0` disables it).
     pub cache_capacity: usize,
     /// How many **terminal** job records (done/failed/cancelled) to keep
-    /// for `STATUS`/`RESULT` queries.  Beyond the bound the oldest
-    /// terminal records are forgotten — their ids then report
+    /// for `STATUS`/`RESULT`/`WATCH` queries.  Beyond the bound the
+    /// oldest terminal records are forgotten — their ids then report
     /// [`ServiceError::UnknownJob`] — which is what keeps a long-running
     /// server's memory bounded no matter how many jobs it has served.
     pub retain_jobs: usize,
@@ -61,127 +59,62 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// A queue reference: max-heap on priority, FIFO (smallest sequence
-/// number first) within one priority.
-#[derive(PartialEq, Eq)]
-struct QueueRef {
-    priority: Priority,
-    seq: std::cmp::Reverse<u64>,
-    id: JobId,
-}
+/// The service's [`OutcomeCache`] adapter: the plain single-threaded
+/// [`ResultCache`] behind its own mutex (the pool probes and publishes
+/// from worker threads).
+struct SharedCache(Mutex<ResultCache>);
 
-impl Ord for QueueRef {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.priority, self.seq).cmp(&(other.priority, other.seq))
+impl OutcomeCache for SharedCache {
+    fn probe(&self, key: &SpecKey) -> Option<Arc<RunOutcome>> {
+        self.0.lock().expect("cache poisoned").get(key)
     }
-}
 
-impl PartialOrd for QueueRef {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    fn publish(&self, key: SpecKey, outcome: &Arc<RunOutcome>) {
+        self.0
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, Arc::clone(outcome));
     }
-}
-
-struct JobRecord {
-    spec: Option<RunSpec>, // taken by the worker that runs the job
-    key: SpecKey,
-    state: JobState,
-    from_cache: bool,
-    outcome: Option<Arc<RunOutcome>>,
-    error: Option<String>,
-}
-
-#[derive(Default)]
-struct Counters {
-    done: u64,
-    failed: u64,
-    cancelled: u64,
-}
-
-struct State {
-    queue: BinaryHeap<QueueRef>,
-    queued: usize, // queue entries that are still in state Queued
-    running: usize,
-    jobs: HashMap<JobId, JobRecord>,
-    /// Terminal job ids, oldest first — the retention window.
-    terminal_order: VecDeque<JobId>,
-    cache: ResultCache,
-    counters: Counters,
-    next_id: u64,
-    next_seq: u64,
-    shutdown: bool,
-}
-
-/// Marks a job terminal and forgets the oldest terminal records beyond
-/// the retention bound.
-fn record_terminal(state: &mut State, retain: usize, id: JobId) {
-    state.terminal_order.push_back(id);
-    while state.terminal_order.len() > retain {
-        if let Some(old) = state.terminal_order.pop_front() {
-            state.jobs.remove(&old);
-        }
-    }
-}
-
-struct Shared {
-    state: Mutex<State>,
-    /// Signalled when work is queued or shutdown begins (workers wait).
-    work_ready: Condvar,
-    /// Signalled when any job reaches a terminal state (waiters wait).
-    job_done: Condvar,
-    queue_capacity: usize,
-    retain_jobs: usize,
-    workers: usize,
 }
 
 /// The batch-simulation scheduler.  See the [module docs](self).
 pub struct Scheduler {
-    shared: Arc<Shared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    pool: LocalExecutor,
+    cache: Arc<SharedCache>,
 }
 
 impl Scheduler {
     /// Starts the worker pool and returns the scheduler handle.
     pub fn start(config: SchedulerConfig) -> Self {
-        let workers = if config.workers == 0 {
-            default_threads()
-        } else {
-            config.workers
-        };
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: BinaryHeap::new(),
-                queued: 0,
-                running: 0,
-                jobs: HashMap::new(),
-                terminal_order: VecDeque::new(),
-                cache: ResultCache::new(config.cache_capacity),
-                counters: Counters::default(),
-                next_id: 1,
-                next_seq: 0,
-                shutdown: false,
-            }),
-            work_ready: Condvar::new(),
-            job_done: Condvar::new(),
-            queue_capacity: config.queue_capacity.max(1),
-            retain_jobs: config.retain_jobs.max(1),
-            workers,
-        });
-        let handles = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
-        Scheduler {
-            shared,
-            handles: Mutex::new(handles),
-        }
+        let cache = Arc::new(SharedCache(Mutex::new(ResultCache::new(
+            config.cache_capacity,
+        ))));
+        // With the cache disabled, hand the pool no cache at all: the
+        // pool then skips canonical-key hashing at submission and the
+        // guaranteed-miss probe per job.  The SharedCache value is kept
+        // only so STATS reports zeroed counters with capacity 0.
+        let pool_cache =
+            (config.cache_capacity > 0).then(|| Arc::clone(&cache) as Arc<dyn OutcomeCache>);
+        let pool = LocalExecutor::start_with_cache(
+            LocalExecutorConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                retain_jobs: config.retain_jobs,
+            },
+            pool_cache,
+        );
+        Scheduler { pool, cache }
     }
 
     /// Size of the worker pool.
     pub fn workers(&self) -> usize {
-        self.shared.workers
+        self.pool.workers()
+    }
+
+    /// The engine pool behind the scheduler (the service's in-process
+    /// [`ctori_engine::Executor`] backend).
+    pub fn pool(&self) -> &LocalExecutor {
+        &self.pool
     }
 
     /// Submits one validated spec; returns its job id.
@@ -189,13 +122,10 @@ impl Scheduler {
     /// Fails with [`ServiceError::QueueFull`] when the queue bound is
     /// reached and [`ServiceError::ShuttingDown`] once a drain has begun.
     pub fn submit(&self, spec: RunSpec, priority: Priority) -> Result<JobId, ServiceError> {
-        let key = spec.canonical_key();
-        let mut state = self.lock();
-        self.admit(&state, 1)?;
-        let id = enqueue(&mut state, spec, key, priority);
-        drop(state);
-        self.shared.work_ready.notify_one();
-        Ok(id)
+        self.pool
+            .enqueue(spec, priority)
+            .map(JobId::new)
+            .map_err(|e| self.lift(None, e))
     }
 
     /// Submits a whole sweep atomically: either every spec is queued (in
@@ -205,30 +135,17 @@ impl Scheduler {
         specs: Vec<RunSpec>,
         priority: Priority,
     ) -> Result<Vec<JobId>, ServiceError> {
-        if specs.is_empty() {
-            return Err(ServiceError::Protocol("empty sweep".into()));
-        }
-        let keys: Vec<SpecKey> = specs.iter().map(RunSpec::canonical_key).collect();
-        let mut state = self.lock();
-        self.admit(&state, specs.len())?;
-        let ids = specs
-            .into_iter()
-            .zip(keys)
-            .map(|(spec, key)| enqueue(&mut state, spec, key, priority))
-            .collect();
-        drop(state);
-        self.shared.work_ready.notify_all();
-        Ok(ids)
+        self.pool
+            .enqueue_batch(specs, priority)
+            .map(|ids| ids.into_iter().map(JobId::new).collect())
+            .map_err(|e| self.lift(None, e))
     }
 
     /// The current lifecycle snapshot of a job.
     pub fn status(&self, id: JobId) -> Result<JobStatus, ServiceError> {
-        let state = self.lock();
-        let record = state.jobs.get(&id).ok_or(ServiceError::UnknownJob(id))?;
-        Ok(JobStatus {
-            state: record.state,
-            from_cache: record.from_cache,
-        })
+        self.pool
+            .job_status(id.as_u64())
+            .map_err(|e| self.lift(Some(id), e))
     }
 
     /// The outcome of a `done` job.
@@ -241,11 +158,13 @@ impl Scheduler {
     }
 
     /// As [`Scheduler::outcome`], but hands back the shared handle
-    /// without deep-copying the (potentially large) outcome.  The Arc
-    /// leaves the lock cheaply; the server serializes straight from it
-    /// on every `RESULT` reply, including cache hits.
+    /// without deep-copying the (potentially large) outcome.  The server
+    /// serializes straight from it on every `RESULT` reply, including
+    /// cache hits.
     pub fn outcome_shared(&self, id: JobId) -> Result<Arc<RunOutcome>, ServiceError> {
-        outcome_of(&self.lock(), id)
+        self.pool
+            .job_outcome(id.as_u64())
+            .map_err(|e| self.lift(Some(id), e))
     }
 
     /// Blocks until the job reaches a terminal state, then returns as
@@ -264,243 +183,85 @@ impl Scheduler {
         id: JobId,
         timeout: Option<Duration>,
     ) -> Result<Arc<RunOutcome>, ServiceError> {
-        let deadline = timeout.map(|t| Instant::now() + t);
-        let mut state = self.lock();
-        loop {
-            match state.jobs.get(&id) {
-                None => return Err(ServiceError::UnknownJob(id)),
-                Some(record) if record.state.is_terminal() => {
-                    return outcome_of(&state, id);
-                }
-                Some(_) => {}
-            }
-            state = match deadline {
-                None => self
-                    .shared
-                    .job_done
-                    .wait(state)
-                    .expect("scheduler poisoned"),
-                Some(deadline) => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        let record = state.jobs.get(&id).expect("checked above");
-                        return Err(ServiceError::NotFinished {
-                            id,
-                            state: record.state,
-                        });
-                    }
-                    self.shared
-                        .job_done
-                        .wait_timeout(state, deadline - now)
-                        .expect("scheduler poisoned")
-                        .0
-                }
-            };
-        }
+        self.pool
+            .wait_job(id.as_u64(), timeout)
+            .map_err(|e| self.lift(Some(id), e))
     }
 
     /// Cancels a job that is still queued.  Running and terminal jobs are
     /// not cancellable.
     pub fn cancel(&self, id: JobId) -> Result<(), ServiceError> {
-        let mut state = self.lock();
-        let record = state
-            .jobs
-            .get_mut(&id)
-            .ok_or(ServiceError::UnknownJob(id))?;
-        if record.state != JobState::Queued {
-            return Err(ServiceError::NotCancellable {
-                id,
-                state: record.state,
-            });
-        }
-        record.state = JobState::Cancelled;
-        record.spec = None;
-        state.queued -= 1;
-        state.counters.cancelled += 1;
-        record_terminal(&mut state, self.shared.retain_jobs, id);
-        drop(state);
-        self.shared.job_done.notify_all();
-        Ok(())
+        self.pool
+            .cancel_job(id.as_u64())
+            .map_err(|e| self.lift(Some(id), e))
+    }
+
+    /// The job's buffered progress events: everything when `after_round`
+    /// is `None`, otherwise the progress events beyond that round — plus
+    /// the terminal event whenever one exists.  This is the query behind
+    /// the `WATCH <id> [since-round]` protocol verb.
+    pub fn events_since(
+        &self,
+        id: JobId,
+        after_round: Option<usize>,
+    ) -> Result<Vec<RunEvent>, ServiceError> {
+        self.pool
+            .events_since(id.as_u64(), after_round)
+            .map_err(|e| self.lift(Some(id), e))
     }
 
     /// A snapshot of the queue, job and cache counters.
     pub fn stats(&self) -> ServiceStats {
-        let state = self.lock();
+        let pool = self.pool.stats();
         ServiceStats {
-            workers: self.shared.workers,
-            queued: state.queued,
-            running: state.running,
-            done: state.counters.done,
-            failed: state.counters.failed,
-            cancelled: state.counters.cancelled,
-            cache: state.cache.stats(),
+            workers: pool.workers,
+            queued: pool.queued,
+            running: pool.running,
+            done: pool.done,
+            failed: pool.failed,
+            cancelled: pool.cancelled,
+            cache: self.cache.0.lock().expect("cache poisoned").stats(),
         }
     }
 
     /// Drains the scheduler: rejects new submissions, lets every queued
     /// and running job finish, and joins the worker pool.  Idempotent.
     pub fn shutdown(&self) {
-        {
-            let mut state = self.lock();
-            state.shutdown = true;
-        }
-        self.shared.work_ready.notify_all();
-        let handles = std::mem::take(&mut *self.handles.lock().expect("scheduler poisoned"));
-        for handle in handles {
-            handle.join().expect("service worker panicked");
-        }
+        self.pool.shutdown();
     }
 
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.shared.state.lock().expect("scheduler poisoned")
-    }
-
-    /// Checks that `incoming` more jobs may be queued right now.
-    fn admit(&self, state: &State, incoming: usize) -> Result<(), ServiceError> {
-        if state.shutdown {
-            return Err(ServiceError::ShuttingDown);
-        }
-        if state.queued + incoming > self.shared.queue_capacity {
-            return Err(ServiceError::QueueFull {
-                capacity: self.shared.queue_capacity,
-            });
-        }
-        Ok(())
-    }
-}
-
-impl Drop for Scheduler {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn enqueue(state: &mut State, spec: RunSpec, key: SpecKey, priority: Priority) -> JobId {
-    let id = JobId::new(state.next_id);
-    state.next_id += 1;
-    let seq = state.next_seq;
-    state.next_seq += 1;
-    state.jobs.insert(
-        id,
-        JobRecord {
-            spec: Some(spec),
-            key,
-            state: JobState::Queued,
-            from_cache: false,
-            outcome: None,
-            error: None,
-        },
-    );
-    state.queue.push(QueueRef {
-        priority,
-        seq: std::cmp::Reverse(seq),
-        id,
-    });
-    state.queued += 1;
-    id
-}
-
-fn outcome_of(state: &State, id: JobId) -> Result<Arc<RunOutcome>, ServiceError> {
-    let record = state.jobs.get(&id).ok_or(ServiceError::UnknownJob(id))?;
-    match record.state {
-        JobState::Done => Ok(record.outcome.clone().expect("done job has an outcome")),
-        JobState::Failed => Err(ServiceError::JobFailed {
-            id,
-            message: record.error.clone().unwrap_or_else(|| "unknown".into()),
-        }),
-        JobState::Cancelled => Err(ServiceError::JobCancelled(id)),
-        state => Err(ServiceError::NotFinished { id, state }),
-    }
-}
-
-/// The persistent worker body: claim → cache probe → execute → record.
-fn worker_loop(shared: &Shared) {
-    let mut state = shared.state.lock().expect("scheduler poisoned");
-    loop {
-        // Claim the next runnable job, skipping stale queue entries: a job
-        // cancelled while queued leaves its heap entry behind, and the
-        // terminal-retention window may have evicted its record entirely
-        // by the time a worker pops the entry.  Neither case may panic —
-        // that would poison the state lock and take the whole service
-        // down — so a missing or non-queued record is simply skipped.
-        let claimed = loop {
-            match state.queue.pop() {
-                Some(entry) => {
-                    let Some(record) = state.jobs.get_mut(&entry.id) else {
-                        continue; // cancelled, then evicted from retention
-                    };
-                    if record.state != JobState::Queued {
-                        continue; // cancelled while queued
-                    }
-                    // Probe the cache under the canonical key: a hit
-                    // completes the job without ever leaving the lock.
-                    let key = record.key;
-                    let cached = state.cache.get(&key);
-                    // Re-borrow; the record cannot vanish mid-hold, but
-                    // skipping beats poisoning the lock if that ever breaks.
-                    let Some(record) = state.jobs.get_mut(&entry.id) else {
-                        continue;
-                    };
-                    if let Some(outcome) = cached {
-                        record.state = JobState::Done;
-                        record.from_cache = true;
-                        record.outcome = Some(outcome);
-                        record.spec = None;
-                        state.queued -= 1;
-                        state.counters.done += 1;
-                        record_terminal(&mut state, shared.retain_jobs, entry.id);
-                        shared.job_done.notify_all();
-                        continue;
-                    }
-                    record.state = JobState::Running;
-                    let spec = record.spec.take().expect("queued job still has its spec");
-                    state.queued -= 1;
-                    state.running += 1;
-                    break Some((entry.id, key, spec));
-                }
-                None if state.shutdown => break None,
-                None => {
-                    state = shared.work_ready.wait(state).expect("scheduler poisoned");
-                }
-            }
+    /// Re-attaches service context (the job id, and the job state for
+    /// the in-flight/not-cancellable cases) to a pool error.
+    fn lift(&self, id: Option<JobId>, error: ExecError) -> ServiceError {
+        let id_or_zero = id.unwrap_or_else(|| JobId::new(0));
+        // Benign race: the state may have advanced since the error was
+        // produced; the reported state is a snapshot either way.
+        let state_now = || {
+            id.and_then(|id| self.pool.job_status(id.as_u64()).ok())
+                .map(|status| status.state)
+                .unwrap_or(JobState::Running)
         };
-        let Some((id, key, spec)) = claimed else {
-            return; // drained and shutting down
-        };
-
-        // Execute outside the lock; one worker = one sequential run.
-        drop(state);
-        let result = catch_unwind(AssertUnwindSafe(|| Runner::with_threads(1).execute(&spec)));
-
-        state = shared.state.lock().expect("scheduler poisoned");
-        state.running -= 1;
-        let record = state.jobs.get_mut(&id).expect("running job exists");
-        match result {
-            Ok(outcome) => {
-                let outcome = Arc::new(outcome);
-                record.state = JobState::Done;
-                record.outcome = Some(Arc::clone(&outcome));
-                state.counters.done += 1;
-                state.cache.insert(key, outcome);
-            }
-            Err(panic) => {
-                record.state = JobState::Failed;
-                record.error = Some(panic_message(panic.as_ref()));
-                state.counters.failed += 1;
-            }
+        match error {
+            ExecError::QueueFull { capacity } => ServiceError::QueueFull { capacity },
+            ExecError::ShuttingDown => ServiceError::ShuttingDown,
+            ExecError::UnknownJob => ServiceError::UnknownJob(id_or_zero),
+            ExecError::NotFinished => ServiceError::NotFinished {
+                id: id_or_zero,
+                state: state_now(),
+            },
+            ExecError::NotCancellable => ServiceError::NotCancellable {
+                id: id_or_zero,
+                state: state_now(),
+            },
+            ExecError::Failed { message } => ServiceError::JobFailed {
+                id: id_or_zero,
+                message,
+            },
+            ExecError::Cancelled => ServiceError::JobCancelled(id_or_zero),
+            ExecError::TimedOut => ServiceError::TimedOut,
+            ExecError::Backend(detail) => ServiceError::Protocol(detail),
+            _ => ServiceError::Protocol(error.to_string()),
         }
-        record_terminal(&mut state, shared.retain_jobs, id);
-        shared.job_done.notify_all();
-    }
-}
-
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "execution panicked".into()
     }
 }
 
@@ -508,7 +269,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use ctori_coloring::Color;
-    use ctori_engine::{RuleSpec, SeedSpec, Termination, TopologySpec};
+    use ctori_engine::{RuleSpec, RunEvent, Runner, SeedSpec, Termination, TopologySpec};
 
     fn spec(size: usize, node: usize) -> RunSpec {
         RunSpec::new(
@@ -646,7 +407,7 @@ mod tests {
         // A cancelled job's heap entry outlives its record when a tight
         // retention window evicts the record before a worker pops the
         // entry.  That pop must be skipped, not panic (a panic would
-        // poison the state lock and kill the whole scheduler).
+        // poison the pool lock and kill the whole scheduler).
         let scheduler = Scheduler::start(SchedulerConfig {
             workers: 1,
             queue_capacity: 64,
@@ -683,32 +444,12 @@ mod tests {
         }
         // The worker has popped (and skipped) the stale tail entry by the
         // time the queue is empty again; the scheduler must still serve —
-        // a panic on the stale entry would have poisoned the state lock
-        // and every call below would die on "scheduler poisoned".
+        // a panic on the stale entry would have poisoned the pool lock
+        // and every call below would die on "pool poisoned".
         let probe = scheduler.submit(spec(8, 7), Priority::Normal).unwrap();
         wait_terminal(probe);
         assert_eq!(scheduler.stats().queued, 0);
         scheduler.shutdown();
-    }
-
-    #[test]
-    fn queue_orders_by_priority_then_fifo() {
-        let entry = |priority, seq, id| QueueRef {
-            priority,
-            seq: std::cmp::Reverse(seq),
-            id: JobId::new(id),
-        };
-        let mut heap = BinaryHeap::new();
-        heap.push(entry(Priority::Normal, 0, 1));
-        heap.push(entry(Priority::Low, 1, 2));
-        heap.push(entry(Priority::High, 2, 3));
-        heap.push(entry(Priority::High, 3, 4));
-        heap.push(entry(Priority::Normal, 4, 5));
-        let order: Vec<u64> = std::iter::from_fn(|| heap.pop())
-            .map(|e| e.id.as_u64())
-            .collect();
-        // High first (FIFO within high), then normal (FIFO), then low.
-        assert_eq!(order, vec![3, 4, 1, 5, 2]);
     }
 
     #[test]
@@ -770,6 +511,28 @@ mod tests {
             Ok(_) => {} // absurdly fast machine; still correct
             Err(other) => panic!("unexpected error: {other}"),
         }
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn events_carry_job_context_through_the_scheduler() {
+        let scheduler = small_scheduler(1);
+        let growth = RunSpec::new(
+            TopologySpec::toroidal_mesh(8, 8),
+            RuleSpec::parse("threshold(2,1)").unwrap(),
+            SeedSpec::nodes(Color::new(2), Color::new(1), [0usize]),
+        );
+        let id = scheduler.submit(growth, Priority::Normal).unwrap();
+        scheduler.wait(id, None).unwrap();
+        let events = scheduler.events_since(id, None).unwrap();
+        assert!(matches!(events.first(), Some(RunEvent::Started { .. })));
+        assert!(matches!(events.last(), Some(RunEvent::Finished { .. })));
+        let rounds: Vec<usize> = events.iter().filter_map(RunEvent::progress_round).collect();
+        assert!(rounds.windows(2).all(|w| w[0] < w[1]), "{rounds:?}");
+        assert!(matches!(
+            scheduler.events_since(JobId::new(999), None),
+            Err(ServiceError::UnknownJob(_))
+        ));
         scheduler.shutdown();
     }
 }

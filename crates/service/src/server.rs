@@ -331,6 +331,7 @@ fn dispatch(request: Request, scheduler: &Scheduler, shutdown: &AtomicBool) -> (
             scheduler.outcome_shared(id)
         }
         .map(|outcome| Response::Result(outcome.to_text())),
+        Request::Watch { id, since } => scheduler.events_since(id, since).map(Response::Events),
         Request::Cancel { id } => scheduler.cancel(id).map(|()| Response::Cancelled),
         Request::Stats => Ok(Response::Stats(scheduler.stats())),
         Request::Shutdown => {

@@ -1,0 +1,207 @@
+//! The acceptance property of the execution-API redesign: the **same
+//! spec driven through `LocalExecutor` and `RemoteExecutor` yields equal
+//! `RunOutcome`s** — so caller code is genuinely backend-agnostic, and
+//! moving a workload from laptop to server cannot change a result.
+//!
+//! One embedded server (ephemeral loopback port) and one local pool are
+//! shared across all proptest cases; every case generates a random small
+//! scenario, submits it to both backends through the *same*
+//! `&dyn Executor` code path, and compares the outcomes field by field —
+//! plus against a plain blocking `Runner::execute` as the ground truth.
+
+use ctori_coloring::Color;
+use ctori_engine::spec::PatternSpec;
+use ctori_engine::{
+    EngineOptions, Executor, JobHandle, LaneSpec, LocalExecutor, LocalExecutorConfig, RuleSpec,
+    RunOutcome, RunSpec, Runner, SeedSpec, SubmitOptions, TopologySpec,
+};
+use ctori_service::{RemoteExecutor, SchedulerConfig, Server, ServiceConfig};
+use ctori_topology::TorusKind;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Both backends, shared across every proptest case (starting a server
+/// per case would dominate the test's runtime).
+struct Harness {
+    local: LocalExecutor,
+    remote: RemoteExecutor,
+}
+
+fn harness() -> &'static Harness {
+    static HARNESS: OnceLock<Harness> = OnceLock::new();
+    HARNESS.get_or_init(|| {
+        let server = Server::bind(ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                queue_capacity: 256,
+                cache_capacity: 64,
+                ..SchedulerConfig::default()
+            },
+        })
+        .expect("bind ephemeral loopback port");
+        let addr = server.local_addr().expect("local addr").to_string();
+        // The server thread lives for the whole test process; the test
+        // harness exits without a drain, which is fine for a test.
+        std::thread::spawn(move || server.serve());
+        Harness {
+            local: LocalExecutor::start(LocalExecutorConfig {
+                workers: 2,
+                ..LocalExecutorConfig::default()
+            }),
+            remote: RemoteExecutor::connect(addr.as_str()).expect("connect"),
+        }
+    })
+}
+
+/// The backend-agnostic driver under test: submit through the trait,
+/// wait through the handle.  Identical code runs against both backends.
+fn drive(exec: &dyn Executor, spec: &RunSpec) -> RunOutcome {
+    let mut handle: JobHandle = exec
+        .submit(spec, SubmitOptions::default())
+        .expect("submit must be admitted");
+    (*handle.wait().expect("job must finish")).clone()
+}
+
+fn torus_kind() -> impl Strategy<Value = TorusKind> {
+    prop_oneof![
+        Just(TorusKind::ToroidalMesh),
+        Just(TorusKind::TorusCordalis),
+        Just(TorusKind::TorusSerpentinus),
+    ]
+}
+
+fn rule_text() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("smp"),
+        Just("prefer-black"),
+        Just("prefer-current"),
+        Just("strong-majority"),
+        Just("threshold(2,1)"),
+        Just("irreversible-smp(2)"),
+    ]
+}
+
+fn seed_spec(m: usize, n: usize) -> impl Strategy<Value = SeedSpec> {
+    let c = Color::new;
+    let nodes = proptest::collection::vec(0..(m * n) as u32, 0..8).prop_map(|mut nodes| {
+        nodes.sort_unstable();
+        nodes.dedup();
+        SeedSpec::Nodes {
+            color: Color::BLACK,
+            background: Color::WHITE,
+            nodes,
+        }
+    });
+    let pattern = prop_oneof![
+        Just(SeedSpec::Pattern(PatternSpec::Checkerboard(c(1), c(2)))),
+        Just(SeedSpec::uniform(c(2))),
+    ];
+    let density =
+        (0u64..1_000_000, 0u32..=100).prop_map(move |(rng_seed, percent)| SeedSpec::Density {
+            color: c(1),
+            palette: 4,
+            fraction: f64::from(percent) / 100.0,
+            rng_seed,
+        });
+    prop_oneof![nodes, pattern, density]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn local_and_remote_backends_agree(
+        kind in torus_kind(),
+        m in 3usize..=7,
+        n in 3usize..=7,
+        rule in rule_text(),
+        lane_full in any::<bool>(),
+        track in any::<bool>(),
+        seed in seed_spec(7, 7),
+    ) {
+        // Clamp node-list seeds to the actual grid.
+        let seed = match seed {
+            SeedSpec::Nodes { color, background, nodes } => SeedSpec::Nodes {
+                color,
+                background,
+                nodes: nodes.into_iter().filter(|&v| (v as usize) < m * n).collect(),
+            },
+            other => other,
+        };
+        let mut options = if track {
+            EngineOptions::for_dynamo(Color::BLACK)
+        } else {
+            EngineOptions::default()
+        };
+        if lane_full {
+            options = options.with_lane(LaneSpec::FullSweep);
+        }
+        let spec = RunSpec::new(
+            TopologySpec::torus(kind, m, n),
+            RuleSpec::parse(rule).unwrap(),
+            seed,
+        )
+        .with_options(options);
+
+        let harness = harness();
+        let local = drive(&harness.local, &spec);
+        let remote = drive(&harness.remote, &spec);
+
+        prop_assert_eq!(&local, &remote, "backends must agree\n{}", spec.to_text());
+
+        // And both must equal the plain blocking path.
+        let direct = Runner::with_threads(1).execute(&spec);
+        prop_assert_eq!(&local, &direct, "executor must equal Runner::execute");
+    }
+}
+
+/// `submit_sweep` is equally backend-agnostic: one batch through each
+/// backend, outcomes equal pairwise and in order.
+#[test]
+fn sweeps_agree_across_backends() {
+    let grid: Vec<RunSpec> = TorusKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            [0.25f64, 0.6].into_iter().map(move |fraction| {
+                RunSpec::new(
+                    TopologySpec::torus(kind, 6, 6),
+                    RuleSpec::parse("smp").unwrap(),
+                    SeedSpec::Density {
+                        color: Color::new(1),
+                        palette: 4,
+                        fraction,
+                        rng_seed: 2011,
+                    },
+                )
+            })
+        })
+        .collect();
+    let harness = harness();
+    let wait_all = |handles: Vec<JobHandle>| -> Vec<RunOutcome> {
+        handles
+            .into_iter()
+            .map(|mut h| (*h.wait().expect("job must finish")).clone())
+            .collect()
+    };
+    let local = wait_all(
+        harness
+            .local
+            .submit_sweep(&grid, SubmitOptions::default())
+            .unwrap(),
+    );
+    let remote = wait_all(
+        harness
+            .remote
+            .submit_sweep(&grid, SubmitOptions::default())
+            .unwrap(),
+    );
+    assert_eq!(local, remote);
+    for (spec, outcome) in grid.iter().zip(&local) {
+        assert_eq!(
+            *outcome,
+            Runner::with_threads(1).execute(spec),
+            "order kept"
+        );
+    }
+}

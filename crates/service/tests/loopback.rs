@@ -12,7 +12,7 @@
 //! marker, with byte-identical outcomes.
 
 use ctori_coloring::Color;
-use ctori_engine::{RuleSpec, RunSpec, Runner, SeedSpec, TopologySpec};
+use ctori_engine::{RuleSpec, RunEvent, RunSpec, Runner, SeedSpec, TopologySpec};
 use ctori_service::{
     JobState, Priority, SchedulerConfig, Server, ServiceClient, ServiceConfig, ServiceError,
     ServiceStats,
@@ -20,6 +20,7 @@ use ctori_service::{
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type ServerHandle = JoinHandle<std::io::Result<ServiceStats>>;
 
@@ -168,6 +169,118 @@ fn try_result_polls_until_done() {
     assert_eq!(client.status(id).unwrap().state, JobState::Done);
     assert_eq!(outcome, Runner::with_threads(1).execute(&spec(16, 3)));
     client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn watch_streams_monotone_rounds_ending_terminal() {
+    let (addr, server) = default_server();
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+
+    // A long-running job: threshold-1 growth floods a 48x48 torus in ~70
+    // rounds, so WATCH polls genuinely overlap the in-flight run.
+    let growth = RunSpec::new(
+        TopologySpec::toroidal_mesh(48, 48),
+        RuleSpec::parse("threshold(2,1)").unwrap(),
+        SeedSpec::nodes(Color::new(2), Color::new(1), [0usize]),
+    );
+    let id = client.submit(&growth).unwrap();
+
+    // The WATCH polling loop a streaming client runs: everything first,
+    // then only progress beyond the last seen round.
+    let mut since = None;
+    let mut rounds = Vec::new();
+    let mut started = 0usize;
+    let terminal = loop {
+        let events = client.watch(id, since).unwrap();
+        // A first poll may land before any round completed and return
+        // only the started event; advance the cursor past "everything"
+        // so that event is not replayed (RemoteHandle does the same).
+        if since.is_none() && events.iter().any(|e| !e.is_terminal()) {
+            since = Some(0);
+        }
+        let mut done = None;
+        for event in &events {
+            match event {
+                RunEvent::Started { nodes } => {
+                    assert_eq!(*nodes, 48 * 48);
+                    started += 1;
+                }
+                RunEvent::Progress {
+                    round, histogram, ..
+                } => {
+                    rounds.push(*round);
+                    since = Some(*round);
+                    assert_eq!(histogram.total(), 48 * 48, "histogram covers the torus");
+                }
+                terminal => done = Some(terminal.clone()),
+            }
+        }
+        if let Some(terminal) = done {
+            break terminal;
+        }
+        std::thread::yield_now();
+    };
+
+    // The acceptance contract: strictly increasing rounds, a terminal
+    // close, and the started event exactly once (the since-round cursor
+    // never replays it).
+    assert!(rounds.len() >= 2, "saw rounds {rounds:?}");
+    assert!(
+        rounds.windows(2).all(|w| w[0] < w[1]),
+        "rounds must be strictly increasing: {rounds:?}"
+    );
+    assert!(started <= 1, "started must not be replayed");
+    match terminal {
+        RunEvent::Finished { rounds: total, .. } => {
+            assert_eq!(total, *rounds.last().unwrap(), "auto stride samples all");
+        }
+        other => panic!("expected Finished, got {other:?}"),
+    }
+
+    // After termination a fresh watcher still gets the full stream, and
+    // an unknown job is an unknown-job error.
+    let replay = client.watch(id, None).unwrap();
+    assert!(matches!(replay.first(), Some(RunEvent::Started { .. })));
+    assert!(matches!(replay.last(), Some(RunEvent::Finished { .. })));
+    match client.watch("999".parse().unwrap(), None) {
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, "unknown-job"),
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn read_timeout_surfaces_instead_of_blocking_forever() {
+    let (addr, server) = start_server(SchedulerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        cache_capacity: 0,
+        ..SchedulerConfig::default()
+    });
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+    // Head occupies the single worker; the tail's RESULT(wait) would
+    // block far beyond the client's read deadline.
+    let head = client.submit(&spec(32, 0)).unwrap();
+    let tail = client.submit(&spec(32, 1)).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_millis(30)))
+        .unwrap();
+    match client.result(tail) {
+        Err(ServiceError::TimedOut) => {}
+        Ok(_) => {} // absurdly fast machine; still correct
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    // A timed-out connection may hold a half-read reply: reconnect, as
+    // the docs instruct, and finish the work on a fresh client.
+    let mut fresh = ServiceClient::connect(addr.as_str()).unwrap();
+    fresh.result(head).unwrap();
+    fresh.result(tail).unwrap();
+    // connect_timeout also works against a live server.
+    let probe = ServiceClient::connect_timeout(addr.as_str(), Duration::from_secs(5)).unwrap();
+    probe.shutdown().unwrap();
     server.join().unwrap().unwrap();
 }
 

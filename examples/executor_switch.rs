@@ -1,0 +1,138 @@
+//! One driver function, two backends: the point of the `Executor` API.
+//!
+//! `drive()` below submits a sweep, streams typed progress events, and
+//! collects outcomes — written once against `&dyn Executor`.  `main`
+//! runs it twice: over the in-engine [`LocalExecutor`] worker pool, and
+//! over a `ctori-serve` TCP server through [`RemoteExecutor`] (embedded
+//! on an ephemeral port, or an external process when `CTORI_SERVE_ADDR`
+//! is set — the CI smoke job does the latter).  The outcomes must be
+//! identical, and both backends must surface at least one live
+//! `Progress` event — CI asserts on this example's clean exit.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example executor_switch
+//! ```
+
+use colored_tori::prelude::*;
+use colored_tori::service::{SchedulerConfig, Server, ServiceConfig};
+use std::error::Error;
+
+/// The demo grid: one long threshold-growth run (many progress events)
+/// plus a pair of quick SMP scenarios.
+fn grid() -> Vec<RunSpec> {
+    let growth = RunSpec::new(
+        TopologySpec::toroidal_mesh(48, 48),
+        RuleSpec::parse("threshold(2,1)").expect("registry rule"),
+        SeedSpec::nodes(Color::new(2), Color::new(1), [0usize]),
+    )
+    .with_options(EngineOptions::default().with_progress_every(8));
+    let smp = |fraction: f64| {
+        RunSpec::new(
+            TopologySpec::torus(TorusKind::TorusCordalis, 24, 24),
+            RuleSpec::parse("smp").expect("registry rule"),
+            SeedSpec::Density {
+                color: Color::new(1),
+                palette: 4,
+                fraction,
+                rng_seed: 2011,
+            },
+        )
+    };
+    vec![growth, smp(0.35), smp(0.65)]
+}
+
+/// The backend-agnostic driver: THIS function never changes when the
+/// workload moves from laptop to server.
+fn drive(backend: &str, exec: &dyn Executor) -> Result<Vec<RunOutcome>, Box<dyn Error>> {
+    println!("== {backend} ==");
+    let handles = exec.submit_sweep(&grid(), SubmitOptions::default())?;
+    let mut outcomes = Vec::new();
+    let mut progress_events = 0usize;
+    let mut fresh_jobs = 0usize;
+    for mut handle in handles {
+        let label = handle.label();
+        let outcome = handle.wait_observed(|event| match event {
+            RunEvent::Progress {
+                round,
+                changed,
+                histogram,
+            } => {
+                progress_events += 1;
+                if round.is_multiple_of(16) {
+                    println!(
+                        "  [{label}] round {round}: {changed} changed, leader {:?}",
+                        histogram.dominant()
+                    );
+                }
+            }
+            other => println!("  [{label}] {}", other.to_text()),
+        })?;
+        if !handle.status()?.from_cache {
+            fresh_jobs += 1;
+        }
+        println!(
+            "  [{label}] -> {:?} after {} rounds",
+            outcome.termination, outcome.rounds
+        );
+        outcomes.push((*outcome).clone());
+    }
+    // The CI smoke contract: progress genuinely streamed on this backend.
+    // Cache-hit jobs never execute and therefore publish no Progress
+    // events, so the assert only applies when something actually ran
+    // (a warm server serving every job from cache is a legal re-run).
+    assert!(
+        fresh_jobs == 0 || progress_events > 0,
+        "{backend}: at least one Progress event must be observed"
+    );
+    println!("  ({progress_events} progress events streamed, {fresh_jobs} fresh jobs)\n");
+    Ok(outcomes)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Backend 1: the in-engine worker pool.
+    let local = LocalExecutor::start(LocalExecutorConfig::default());
+    let local_outcomes = drive("LocalExecutor (in-engine worker pool)", &local)?;
+    local.drain();
+
+    // Backend 2: a ctori-serve process over TCP.
+    let remote_outcomes = match std::env::var("CTORI_SERVE_ADDR") {
+        Ok(addr) => {
+            println!("connecting to external ctori-serve at {addr}");
+            let remote = RemoteExecutor::connect(addr.as_str())?;
+            // An external server is shared infrastructure: drive it and
+            // detach; shutting it down is its owner's call.
+            let outcomes = drive("RemoteExecutor (external ctori-serve)", &remote)?;
+            remote.drain();
+            outcomes
+        }
+        Err(_) => {
+            let server = Server::bind(ServiceConfig {
+                addr: "127.0.0.1:0".into(),
+                scheduler: SchedulerConfig::default(),
+            })?;
+            let addr = server.local_addr()?.to_string();
+            println!("embedded ctori-serve listening on {addr}");
+            let thread = std::thread::spawn(move || server.serve());
+            let remote = RemoteExecutor::connect(addr.as_str())?;
+            let outcomes = drive("RemoteExecutor (embedded ctori-serve)", &remote)?;
+            // drain() is a client-side detach on a remote backend;
+            // stopping the server we own is the explicit act below.
+            remote.drain();
+            remote.shutdown_server()?;
+            thread.join().expect("server thread panicked")?;
+            outcomes
+        }
+    };
+
+    assert_eq!(
+        local_outcomes, remote_outcomes,
+        "the same specs must yield identical outcomes on both backends"
+    );
+    println!(
+        "both backends agree on all {} outcomes",
+        local_outcomes.len()
+    );
+    Ok(())
+}

@@ -42,7 +42,8 @@ fn main() {
 
     // 2. Execute the whole batch in parallel through the Runner.
     let runner = Runner::new();
-    let outcomes = runner.sweep(constructions.iter().map(|(_, _, s)| s.clone()).collect());
+    // `sweep` takes any owned iterable now — no intermediate Vec.
+    let outcomes = runner.sweep(constructions.iter().map(|(_, _, s)| s.clone()));
 
     for ((kind, built, _), outcome) in constructions.iter().zip(&outcomes) {
         let bound = lower_bound(*kind, m, n);

@@ -1,5 +1,12 @@
-//! End-to-end service round trip: submit → result → cache hit → sweep →
-//! graceful shutdown, over real loopback TCP.
+//! End-to-end service round trip on the `Executor` API: submit → live
+//! `WATCH` progress → result → cache hit → sweep → graceful shutdown,
+//! over real loopback TCP.
+//!
+//! Everything runs through [`RemoteExecutor`] — the TCP backend of the
+//! engine's backend-agnostic execution surface — so this example is also
+//! the demo of the `WATCH` verb: while the first job is in flight, the
+//! handle polls `WATCH <id> <since-round>` and prints each typed
+//! `Progress` event as it streams in.
 //!
 //! By default the example embeds the whole service in-process on an
 //! ephemeral port.  When `CTORI_SERVE_ADDR` is set (the CI smoke job
@@ -15,7 +22,7 @@
 //! ```
 
 use colored_tori::prelude::*;
-use colored_tori::service::{Server, ServiceClient, ServiceConfig};
+use colored_tori::service::{Server, ServiceConfig};
 use std::error::Error;
 
 fn scenario(fraction: f64, kind: TorusKind) -> RunSpec {
@@ -45,58 +52,86 @@ fn main() -> Result<(), Box<dyn Error>> {
             (addr, Some(std::thread::spawn(move || server.serve())))
         }
     };
-    let mut client = ServiceClient::connect(addr.as_str())?;
+    let remote = RemoteExecutor::connect(addr.as_str())?;
 
-    // 1. Submit one scenario as spec text and fetch its outcome.
-    let spec = scenario(0.4, TorusKind::ToroidalMesh);
+    // 1. A long-running job with live progress: threshold-1 growth
+    //    floods a 64x64 torus in ~100 rounds; every 8th round streams
+    //    back as a typed Progress event through WATCH.
+    let growth = RunSpec::new(
+        TopologySpec::toroidal_mesh(64, 64),
+        RuleSpec::parse("threshold(2,1)").expect("registry rule"),
+        SeedSpec::nodes(Color::new(2), Color::new(1), [0usize]),
+    )
+    .with_options(EngineOptions::default().with_progress_every(8));
     println!(
-        "\nsubmitting (canonical key {}):\n{}",
-        spec.canonical_key(),
-        spec.to_text()
+        "\nsubmitting growth scenario (canonical key {}):",
+        growth.canonical_key()
     );
-    let job = client.submit(&spec)?;
-    let outcome = client.result(job)?;
+    let mut handle = remote.submit(&growth, SubmitOptions::default())?;
+    let mut progress_seen = 0usize;
+    let outcome = handle.wait_observed(|event| {
+        if let RunEvent::Progress {
+            round,
+            changed,
+            histogram,
+        } = event
+        {
+            progress_seen += 1;
+            println!(
+                "  WATCH: round {round:>4}  {changed:>5} changed  converted {:>5}",
+                histogram.count(Color::new(2))
+            );
+        }
+    })?;
     println!(
-        "job {job}: {:?} after {} rounds (packed lane: {})",
-        outcome.termination, outcome.rounds, outcome.used_packed_lane
+        "job {}: {:?} after {} rounds ({progress_seen} live progress events)",
+        handle.label(),
+        outcome.termination,
+        outcome.rounds
+    );
+    // A warm server (re-run without restart) serves this job from cache,
+    // which legitimately publishes no Progress events.
+    assert!(
+        progress_seen > 0 || handle.status()?.from_cache,
+        "WATCH must stream progress for a fresh execution"
     );
 
     // 2. The identical spec again: served from the content-addressed
     //    cache, byte-identical outcome.
-    let duplicate = client.submit(&spec)?;
-    let memoized = client.result(duplicate)?;
+    let mut duplicate = remote.submit(&growth, SubmitOptions::default())?;
+    let memoized = duplicate.wait()?;
     assert_eq!(memoized, outcome, "memoized outcome must be identical");
-    let status = client.status(duplicate)?;
+    let status = duplicate.status()?;
     assert!(status.from_cache, "duplicate spec must be a cache hit");
-    let stats = client.stats()?;
+    let stats = remote.stats()?;
     assert!(stats.cache.hits >= 1, "stats must witness the cache hit");
     println!(
-        "job {duplicate}: served from cache (hits {}, misses {})",
-        stats.cache.hits, stats.cache.misses
+        "job {}: served from cache (hits {}, misses {})",
+        duplicate.label(),
+        stats.cache.hits,
+        stats.cache.misses
     );
 
-    // 3. A sweep: one batch submission over kinds × densities.
+    // 3. A sweep: one batch submission over kinds × densities, handles
+    //    in spec order.
     let grid: Vec<RunSpec> = TorusKind::ALL
         .into_iter()
         .flat_map(|kind| [0.3, 0.6].into_iter().map(move |f| scenario(f, kind)))
         .collect();
-    let ids = client.sweep(&grid)?;
-    let id_list: Vec<String> = ids.iter().map(ToString::to_string).collect();
-    println!(
-        "\nsweep of {} scenarios queued as jobs {}",
-        grid.len(),
-        id_list.join(", ")
-    );
-    for (spec, id) in grid.iter().zip(&ids) {
-        let outcome = client.result(*id)?;
+    let handles = remote.submit_sweep(&grid, SubmitOptions::default())?;
+    println!("\nsweep of {} scenarios queued", grid.len());
+    for (spec, mut handle) in grid.iter().zip(handles) {
+        let outcome = handle.wait()?;
         let (rows, cols) = spec.topology.grid_dims();
         println!(
-            "  job {id}: {rows}x{cols} -> {:?} in {} rounds",
-            outcome.termination, outcome.rounds
+            "  job {}: {rows}x{cols} -> {:?} in {} rounds",
+            handle.label(),
+            outcome.termination,
+            outcome.rounds
         );
     }
 
-    let stats = client.stats()?;
+    let stats = remote.stats()?;
     println!(
         "\nfinal stats: {} done, {} failed, cache {}/{} hits, {} workers",
         stats.done,
@@ -108,7 +143,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     assert_eq!(stats.failed, 0, "no job may fail in this example");
 
     // 4. Graceful drain: the server finishes everything and exits.
-    client.shutdown()?;
+    remote.shutdown_server()?;
     if let Some(handle) = embedded {
         let final_stats = handle.join().expect("server thread panicked")?;
         assert_eq!(final_stats.queued, 0, "drain leaves no queued jobs");

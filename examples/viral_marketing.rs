@@ -7,10 +7,13 @@
 //! threshold model used by target set selection and (b) the paper's
 //! SMP-Protocol run on the same graph.
 //!
-//! The SMP runs showcase the declarative execution API: the network is a
+//! The SMP runs showcase the execution API: the network is a
 //! [`TopologySpec`] (generator + RNG seed, fully reproducible), every
 //! (budget × strategy) cell is a [`RunSpec`], and the whole campaign grid
-//! executes as **one** parallel [`Runner::sweep`] batch.
+//! is **one** [`Executor::submit_sweep`] batch on the engine's persistent
+//! worker pool — the same call that would run it on a `ctori-serve`
+//! process if a [`colored_tori::service::RemoteExecutor`] were passed
+//! instead.
 //!
 //! Run with:
 //!
@@ -92,8 +95,17 @@ fn main() {
         }
     }
 
-    // The entire campaign grid as one parallel batch.
-    let outcomes = Runner::new().sweep(grid);
+    // The entire campaign grid as one batch on the persistent worker
+    // pool, through the backend-agnostic Executor surface.
+    let pool = LocalExecutor::start(LocalExecutorConfig::default());
+    let handles = pool
+        .submit_sweep(&grid, SubmitOptions::default())
+        .expect("campaign grid fits the submission queue");
+    let outcomes: Vec<RunOutcome> = handles
+        .into_iter()
+        .map(|mut handle| (*handle.wait().expect("campaign cell finishes")).clone())
+        .collect();
+    pool.drain();
 
     println!(
         "{:<22} {:>8} {:>22} {:>22}",
@@ -119,6 +131,6 @@ fn main() {
         "Hubs dominate random seeding, and the tie-neutral SMP-Protocol spreads more slowly than \
          the irreversible threshold model — the qualitative picture the paper's introduction \
          paints for word-of-mouth diffusion.  Every SMP cell above ran as one spec of a single \
-         Runner::sweep batch."
+         Executor::submit_sweep batch on the engine's worker pool."
     );
 }

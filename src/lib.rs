@@ -11,10 +11,10 @@
 //! | [`topology`]  | `ctori-topology`  | toroidal mesh, torus cordalis, torus serpentinus, general graphs |
 //! | [`coloring`]  | `ctori-coloring`  | colours, palettes, colourings, patterns, rendering |
 //! | [`protocols`] | `ctori-protocols` | SMP-Protocol and the bi-coloured majority baselines |
-//! | [`engine`]    | `ctori-engine`    | synchronous simulator, the declarative `RunSpec`/`Runner`/`Observer` execution API, traces, parallel sweeps |
+//! | [`engine`]    | `ctori-engine`    | synchronous simulator, the declarative `RunSpec`/`Runner`/`Observer` API, the `Executor`/`JobHandle` surface with its local worker pool, traces, parallel sweeps |
 //! | [`dynamo`]    | `ctori-core`      | blocks, dynamos, bounds, constructions, round formulas, search, figures |
 //! | [`tss`]       | `ctori-tss`       | target set selection on general graphs, random graph generators |
-//! | [`service`]   | `ctori-service`   | batch simulation service: job scheduler, spec-hash result cache, TCP front-end |
+//! | [`service`]   | `ctori-service`   | batch simulation service: job scheduler, spec-hash result cache, TCP front-end, the remote `Executor` backend |
 //! | [`analysis`]  | `ctori-analysis`  | the per-figure / per-theorem experiment harness |
 //!
 //! # Quick start
@@ -100,10 +100,12 @@ pub mod prelude {
     pub use ctori_core::dynamo::{verify_dynamo, DynamoReport};
     pub use ctori_core::rounds::{theorem7_rounds, theorem8_rounds};
     pub use ctori_engine::{
-        EngineOptions, LaneSpec, Observer, RuleSpec, RunConfig, RunOutcome, RunSpec, Runner,
-        SeedSpec, Simulator, StepView, Termination, TopologySpec, TraceObserver,
+        EngineOptions, ExecError, Executor, JobHandle, LaneSpec, LocalExecutor,
+        LocalExecutorConfig, Observer, RuleSpec, RunConfig, RunEvent, RunOutcome, RunSpec, Runner,
+        SeedSpec, Simulator, StepView, SubmitOptions, Termination, TopologySpec, TraceObserver,
     };
     pub use ctori_protocols::{AnyRule, LocalRule, SmpProtocol};
+    pub use ctori_service::RemoteExecutor;
     pub use ctori_topology::{
         toroidal_mesh, torus_cordalis, torus_serpentinus, Coord, NodeId, Topology, Torus, TorusKind,
     };

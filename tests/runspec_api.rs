@@ -91,6 +91,7 @@ fn options() -> impl Strategy<Value = EngineOptions> {
             detect_cycles,
             max_rounds,
             threads: 0,
+            progress_every: 0,
             track_times_for: track.then_some(Color::BLACK),
             check_monotone_for: track.then_some(Color::BLACK),
         })
