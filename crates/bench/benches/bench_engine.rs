@@ -216,7 +216,7 @@ fn bench_frontier_vs_full_sweep(c: &mut Criterion) {
     group.bench_function("full_sweep_csr", |b| {
         b.iter(|| {
             let mut sim = Simulator::new(&torus, SmpProtocol, coloring.clone())
-                .without_packed_lane()
+                .with_generic_lane()
                 .with_full_sweep();
             for _ in 0..rounds {
                 black_box(sim.step());
@@ -236,7 +236,7 @@ fn bench_frontier_vs_full_sweep(c: &mut Criterion) {
     let frontier_time = start.elapsed();
 
     let mut full = Simulator::new(&torus, SmpProtocol, coloring)
-        .without_packed_lane()
+        .with_generic_lane()
         .with_full_sweep();
     let start = Instant::now();
     for _ in 0..rounds {
@@ -291,7 +291,7 @@ fn bench_frontier_threshold_growth(c: &mut Criterion) {
     group.bench_function("full_sweep_csr", |b| {
         b.iter(|| {
             let mut sim = Simulator::new(&torus, ThresholdRule::new(k, 2), coloring.clone())
-                .without_packed_lane()
+                .with_generic_lane()
                 .with_full_sweep();
             for _ in 0..rounds {
                 black_box(sim.step());

@@ -1,0 +1,52 @@
+//! Round-by-round lane comparison on the acceptance workload.
+//!
+//! Prints, for each synchronous round of a 3-colour threshold run on a
+//! 1024×1024 toroidal mesh, the flip count and the per-round time of the
+//! plane lane versus the generic frontier.  This makes the regime
+//! structure behind the lane-selection rules visible: the plane lane is
+//! an order of magnitude faster while activity is dense (early rounds),
+//! the generic frontier catches up once flips are sparse because its
+//! per-vertex worklist does not suffer the 64-vertex word granularity.
+//!
+//! ```text
+//! cargo run --release -p ctori-bench --example profile_rounds
+//! ```
+
+use ctori_bench::multicolor_scatter;
+use ctori_coloring::Color;
+use ctori_engine::Simulator;
+use ctori_protocols::ThresholdRule;
+use ctori_topology::{Torus, TorusKind};
+use std::time::Instant;
+
+fn main() {
+    let torus = Torus::new(TorusKind::ToroidalMesh, 1024, 1024);
+    let rule = ThresholdRule::new(Color::new(3), 2);
+    let cells = 1024 * 1024;
+    let coloring = multicolor_scatter(&torus, 3, 0x6 + cells as u64);
+    let mut planes = Simulator::new(&torus, rule, coloring.clone());
+    assert!(planes.uses_plane_lane());
+    let mut generic = Simulator::new(&torus, rule, coloring).with_generic_lane();
+    println!(
+        "{:>5} {:>9} {:>12} {:>12} {:>7}",
+        "round", "flips", "planes_us", "generic_us", "ratio"
+    );
+    for round in 0..12 {
+        let t = Instant::now();
+        let flips = planes.step().changed;
+        let planes_us = t.elapsed().as_secs_f64() * 1e6;
+        let t = Instant::now();
+        let generic_flips = generic.step().changed;
+        let generic_us = t.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(flips, generic_flips, "lanes diverged at round {round}");
+        println!(
+            "{round:>5} {flips:>9} {planes_us:>12.0} {generic_us:>12.0} {:>7.1}",
+            generic_us / planes_us
+        );
+    }
+    assert_eq!(
+        planes.snapshot(),
+        generic.snapshot(),
+        "lanes must agree on the final configuration"
+    );
+}

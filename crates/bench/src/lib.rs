@@ -8,6 +8,8 @@ use ctori_coloring::{Color, Coloring, ColoringBuilder};
 use ctori_core::construct::{minimum_dynamo, ConstructedDynamo};
 use ctori_core::dynamo::verify_dynamo;
 use ctori_topology::{Torus, TorusKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// The target colour used by every benchmark.
 pub fn target_color() -> Color {
@@ -49,6 +51,24 @@ pub fn absorbing_patch(torus: &Torus, patch: usize) -> Coloring {
     builder.build()
 }
 
+/// A reproducible uniform scatter over palette `1..=palette`: every vertex
+/// draws its colour independently.  This is the dense-activity workload of
+/// the multi-colour lane benchmarks — under a threshold or plurality rule
+/// almost every vertex is a flip candidate for many rounds, so the
+/// comparison measures raw per-round evaluation throughput rather than
+/// frontier bookkeeping.
+pub fn multicolor_scatter(torus: &Torus, palette: u16, seed: u64) -> Coloring {
+    assert!(palette >= 2, "a scatter needs at least two colours");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = ColoringBuilder::filled(torus, Color::new(1));
+    for r in 0..torus.rows() {
+        for c in 0..torus.cols() {
+            builder = builder.cell(r, c, Color::new(rng.gen_range(1..=palette)));
+        }
+    }
+    builder.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +82,14 @@ mod tests {
         let torus = ctori_topology::toroidal_mesh(8, 8);
         let patch = absorbing_patch(&torus, 3);
         assert_eq!(patch.count(target_color()), 64 - 9);
+
+        let scatter = multicolor_scatter(&torus, 3, 42);
+        let total: usize = (1..=3).map(|c| scatter.count(Color::new(c))).sum();
+        assert_eq!(total, 64, "every vertex draws from the palette");
+        assert_eq!(
+            scatter,
+            multicolor_scatter(&torus, 3, 42),
+            "the scatter is reproducible"
+        );
     }
 }

@@ -11,13 +11,16 @@
 //!   [`ctori_topology::Topology`] and any [`ctori_protocols::LocalRule`],
 //!   flattened onto the shared [`ctori_topology::Adjacency`] CSR kernel.
 //!   After the first round only the *frontier* (last round's changed
-//!   vertices and their out-neighbours) is re-evaluated, and two-colour
-//!   runs of rules with a [`ctori_protocols::TwoStateThreshold`] form are
-//!   routed onto a bit-packed lane ([`frontier::PackedFrontier`]) that
-//!   counts neighbours by popcount; the per-round loop allocates nothing
-//!   in either lane;
+//!   vertices and their out-neighbours) is re-evaluated, and qualifying
+//!   runs are routed onto bit kernels: two-colour runs of rules with a
+//!   [`ctori_protocols::TwoStateThreshold`] form onto a bit-packed lane
+//!   ([`frontier::PackedFrontier`]) that counts neighbours by popcount,
+//!   and 3–16-colour runs of rules with a
+//!   [`ctori_protocols::ColorCountRule`] form onto the multi-colour
+//!   bit-plane lane ([`planes::PlaneLane`]) that evaluates 64 vertices
+//!   per word; the per-round loop allocates nothing in any lane;
 //! * [`state`] — the [`state::StateVec`] backends behind the simulator
-//!   (generic colour vector vs. packed bitset);
+//!   (generic colour vector vs. packed bitset vs. bit planes);
 //! * [`RunConfig`] / [`RunReport`] / [`Termination`] — run-to-convergence
 //!   with fixed-point detection, optional cycle detection, optional
 //!   monotonicity tracking and optional per-vertex recolouring times (the
@@ -97,6 +100,7 @@ pub mod metrics;
 #[cfg(feature = "naive-baseline")]
 pub mod naive;
 pub mod observe;
+pub mod planes;
 pub mod runner;
 pub mod simulator;
 pub mod spec;
@@ -112,6 +116,7 @@ pub use exec::{
 pub use frontier::PackedFrontier;
 pub use metrics::{round_histogram, ColorHistogram};
 pub use observe::{HistogramObserver, NullObserver, Observer, StepView, TraceObserver};
+pub use planes::PlaneLane;
 pub use runner::{OutcomeParseError, RunOutcome, Runner};
 pub use simulator::{RunConfig, RunReport, Simulator, StepReport, Termination};
 pub use spec::{

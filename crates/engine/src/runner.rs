@@ -122,6 +122,8 @@ pub struct RunOutcome {
     pub final_target_count: Option<usize>,
     /// Whether the bit-packed two-colour lane drove the run.
     pub used_packed_lane: bool,
+    /// Whether the multi-colour bit-plane lane drove the run.
+    pub used_plane_lane: bool,
 }
 
 impl RunOutcome {
@@ -164,6 +166,7 @@ impl RunOutcome {
         ));
         out.push_str(&format!("rounds: {}\n", self.rounds));
         out.push_str(&format!("packed-lane: {}\n", yes_no(self.used_packed_lane)));
+        out.push_str(&format!("plane-lane: {}\n", yes_no(self.used_plane_lane)));
         out.push_str(&format!(
             "monotone: {}\n",
             match self.monotone {
@@ -203,6 +206,7 @@ impl RunOutcome {
         let mut termination = None;
         let mut rounds = None;
         let mut packed = None;
+        let mut planes = None;
         let mut monotone = None;
         let mut target_count = None;
         let mut times = None;
@@ -235,6 +239,7 @@ impl RunOutcome {
                     })?)
                 }
                 "packed-lane" => packed = Some(parse_yes_no("packed-lane", value)?),
+                "plane-lane" => planes = Some(parse_yes_no("plane-lane", value)?),
                 "monotone" => {
                     monotone = Some(match value {
                         "-" => None,
@@ -293,6 +298,7 @@ impl RunOutcome {
             final_target_count: target_count
                 .ok_or(OutcomeParseError::MissingField("target-count"))?,
             used_packed_lane: packed.ok_or(OutcomeParseError::MissingField("packed-lane"))?,
+            used_plane_lane: planes.ok_or(OutcomeParseError::MissingField("plane-lane"))?,
         })
     }
 }
@@ -423,6 +429,7 @@ impl Runner {
             monotone: report.monotone,
             final_target_count: report.final_target_count,
             used_packed_lane: sim.uses_packed_lane(),
+            used_plane_lane: sim.uses_plane_lane(),
         };
         observer.on_finish(&outcome);
         outcome
@@ -466,8 +473,9 @@ fn build_simulator(spec: &RunSpec, rule: AnyRule) -> Simulator<AnyRule> {
     };
     match spec.options.lane {
         LaneSpec::Auto => sim,
-        LaneSpec::GenericFrontier => sim.without_packed_lane(),
-        LaneSpec::FullSweep => sim.without_packed_lane().with_full_sweep(),
+        LaneSpec::GenericFrontier => sim.with_generic_lane(),
+        LaneSpec::FullSweep => sim.with_generic_lane().with_full_sweep(),
+        LaneSpec::Planes => sim.with_plane_lane(),
     }
 }
 
@@ -552,6 +560,44 @@ mod tests {
                     .with_options(EngineOptions::default().with_lane(lane)),
             );
             assert!(!forced.used_packed_lane);
+            assert_eq!(forced.termination, auto.termination, "{lane:?}");
+            assert_eq!(forced.rounds, auto.rounds, "{lane:?}");
+            assert_eq!(forced.final_coloring, auto.final_coloring, "{lane:?}");
+        }
+    }
+
+    #[test]
+    fn plane_lane_forcing_changes_the_backend_not_the_result() {
+        // Four colours: the packed lane is out, auto selects the bit-plane
+        // lane, and forcing each lane must reproduce the same run.
+        let base = RunSpec::new(
+            TopologySpec::torus(TorusKind::TorusSerpentinus, 8, 8),
+            RuleSpec::parse("smp").unwrap(),
+            SeedSpec::Density {
+                color: c(1),
+                palette: 4,
+                fraction: 0.3,
+                rng_seed: 7,
+            },
+        );
+        let runner = Runner::with_threads(1);
+        let auto = runner.execute(&base);
+        assert!(
+            auto.used_plane_lane,
+            "a 4-colour SMP torus run selects the plane lane"
+        );
+        assert!(!auto.used_packed_lane);
+        for lane in [
+            LaneSpec::GenericFrontier,
+            LaneSpec::FullSweep,
+            LaneSpec::Planes,
+        ] {
+            let forced = runner.execute(
+                &base
+                    .clone()
+                    .with_options(EngineOptions::default().with_lane(lane)),
+            );
+            assert_eq!(forced.used_plane_lane, lane == LaneSpec::Planes, "{lane:?}");
             assert_eq!(forced.termination, auto.termination, "{lane:?}");
             assert_eq!(forced.rounds, auto.rounds, "{lane:?}");
             assert_eq!(forced.final_coloring, auto.final_coloring, "{lane:?}");
@@ -662,6 +708,19 @@ mod tests {
         }
         let broken = good.replace("packed-lane: ", "packed-lane: maybe");
         assert!(RunOutcome::from_text(&broken).is_err());
+        let broken = good.replace("plane-lane: ", "plane-lane: maybe");
+        assert!(RunOutcome::from_text(&broken).is_err());
+        // Dropping the plane-lane line entirely is a MissingField, not a
+        // silent default — outcomes from older engines must not parse.
+        let dropped: String = good
+            .lines()
+            .filter(|l| !l.starts_with("plane-lane:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            RunOutcome::from_text(&dropped),
+            Err(OutcomeParseError::MissingField("plane-lane"))
+        ));
         // Errors compose with Box<dyn Error>.
         let boxed: Box<dyn std::error::Error> = Box::new(RunOutcome::from_text("").unwrap_err());
         assert!(boxed.to_string().contains("rule"));

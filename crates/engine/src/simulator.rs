@@ -4,13 +4,17 @@
 //! vertices that could possibly change — last round's changed vertices and
 //! their out-neighbours — are re-evaluated (see [`crate::frontier`]).  The
 //! configuration lives behind the [`StateVec`] abstraction: a generic
-//! colour-per-vertex backend for arbitrary rules and palettes, and a
+//! colour-per-vertex backend for arbitrary rules and palettes, a
 //! bit-packed two-colour lane selected automatically when the rule
 //! advertises a [`ctori_protocols::TwoStateThreshold`] degenerate form and
-//! the initial configuration uses at most two colours.
+//! the initial configuration uses at most two colours, and a multi-colour
+//! bit-plane lane (see [`crate::planes`]) selected when the rule
+//! advertises a [`ctori_protocols::ColorCountRule`] counting form and
+//! 3–16 colours are present on a 4-regular grid.
 
 use crate::frontier::{PackedFrontier, Worklist};
 use crate::observe::StepView;
+use crate::planes::PlaneLane;
 use crate::state::{ColorCensus, StateVec};
 use ctori_coloring::{Color, Coloring};
 use ctori_protocols::LocalRule;
@@ -190,16 +194,19 @@ fn eval_one<R: LocalRule>(
     }
 }
 
-/// An incremental double-lane synchronous simulator over the shared CSR
+/// An incremental triple-lane synchronous simulator over the shared CSR
 /// kernel.
 ///
 /// The simulator flattens its topology once into a
 /// [`ctori_topology::Adjacency`] (or borrows a prebuilt one through
 /// [`Simulator::from_adjacency`]) and stores the configuration behind a
-/// [`StateVec`]: a dense colour vector for arbitrary rules, or a
-/// bit-packed two-colour lane when the rule advertises a
+/// [`StateVec`]: a dense colour vector for arbitrary rules, a bit-packed
+/// two-colour lane when the rule advertises a
 /// [`ctori_protocols::TwoStateThreshold`] and at most two colours are
-/// present.  Stepping is **frontier-incremental** for local rules: after
+/// present, or a multi-colour bit-plane lane ([`crate::planes`]) when the
+/// rule advertises a [`ctori_protocols::ColorCountRule`] and 3–16 colours
+/// are present on a 4-regular grid.  Stepping is
+/// **frontier-incremental** for local rules: after
 /// the first full round only last round's changed vertices and their
 /// out-neighbours are re-evaluated, so a thin spreading frontier costs
 /// O(frontier) per round instead of O(|V|).  Non-local rules (and callers
@@ -286,9 +293,9 @@ impl<R: LocalRule> Simulator<R> {
         let scratch = Vec::with_capacity(adjacency.max_degree());
         let regular4 = adjacency.uniform_degree() == Some(4);
         let n = cells.len();
-        let state = Self::choose_backend(&adjacency, &rule, cells);
-        let worklist = if state.is_packed() {
-            // The packed lane schedules its own frontier.
+        let state = Self::choose_backend(&adjacency, &rule, rows, cols, cells);
+        let worklist = if state.is_packed() || state.is_planes() {
+            // The bit lanes schedule their own frontiers.
             Worklist::new(0)
         } else {
             Worklist::new(n)
@@ -317,9 +324,17 @@ impl<R: LocalRule> Simulator<R> {
     }
 
     /// Selects the state backend: the packed two-colour lane when the rule
-    /// has a two-state degenerate form and at most two colours are
-    /// present, the generic colour vector otherwise.
-    fn choose_backend(adjacency: &Adjacency, rule: &R, cells: Vec<Color>) -> StateVec {
+    /// has a two-state degenerate form and exactly two colours are
+    /// present, the multi-colour bit-plane lane when the rule has a
+    /// counting form and 3–16 colours are present on a 4-regular grid of
+    /// at least two rows, and the generic colour vector otherwise.
+    fn choose_backend(
+        adjacency: &Adjacency,
+        rule: &R,
+        rows: usize,
+        cols: usize,
+        cells: Vec<Color>,
+    ) -> StateVec {
         let mut distinct: Option<(Color, Option<Color>)> = None;
         let mut more_than_two = false;
         for &c in &cells {
@@ -331,6 +346,19 @@ impl<R: LocalRule> Simulator<R> {
                     break;
                 }
                 _ => {}
+            }
+        }
+        if more_than_two
+            && rows >= 2
+            && adjacency.uniform_degree() == Some(4)
+            && rows * cols == cells.len()
+        {
+            if let Some(counting) = rule.as_color_count_rule() {
+                // `from_colors` re-checks the palette bound (≤ 16) and
+                // bails to the generic backend past it.
+                if let Some(lane) = PlaneLane::from_colors(adjacency, cols, &cells, &counting) {
+                    return StateVec::Planes { lane };
+                }
             }
         }
         if !more_than_two {
@@ -369,6 +397,7 @@ impl<R: LocalRule> Simulator<R> {
         self.full_sweep = true;
         match &mut self.state {
             StateVec::Packed { lane, .. } => lane.set_always_full(),
+            StateVec::Planes { lane } => lane.set_always_full(),
             StateVec::Generic { .. } => self.worklist.set_always_full(),
         }
     }
@@ -384,15 +413,15 @@ impl<R: LocalRule> Simulator<R> {
     }
 
     /// Forces the generic colour-vector backend even when the packed
-    /// two-colour lane is eligible (used by the equivalence tests and
-    /// benchmarks).
+    /// two-colour lane or the multi-colour bit-plane lane is eligible
+    /// (used by the equivalence tests and benchmarks).
     ///
     /// # Panics
     ///
     /// Panics if called after stepping has started.
-    pub fn without_packed_lane(mut self) -> Self {
+    pub fn with_generic_lane(mut self) -> Self {
         assert_eq!(self.round, 0, "backend can only be changed before stepping");
-        if self.state.is_packed() {
+        if self.state.is_packed() || self.state.is_planes() {
             let colors = self.state.snapshot();
             self.worklist = Worklist::new(colors.len());
             self.state = StateVec::Generic {
@@ -406,9 +435,50 @@ impl<R: LocalRule> Simulator<R> {
         self
     }
 
+    /// Former name of [`Simulator::with_generic_lane`], from when the
+    /// packed lane was the only alternative backend.
+    #[deprecated(since = "0.6.0", note = "renamed to `with_generic_lane`")]
+    pub fn without_packed_lane(self) -> Self {
+        self.with_generic_lane()
+    }
+
+    /// Forces the multi-colour bit-plane lane.  Unlike `lane=auto`, this
+    /// also accepts two-colour configurations and tori of fewer than two
+    /// rows; it still requires the rule to advertise a
+    /// [`ctori_protocols::ColorCountRule`] and at most 16 colours, and
+    /// leaves the current backend in place when the lane is ineligible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after stepping has started.
+    pub fn with_plane_lane(mut self) -> Self {
+        assert_eq!(self.round, 0, "backend can only be changed before stepping");
+        if self.state.is_planes() {
+            return self;
+        }
+        if let Some(counting) = self.rule.as_color_count_rule() {
+            let colors = self.state.snapshot();
+            if let Some(mut lane) =
+                PlaneLane::from_colors(&self.adjacency, self.cols, &colors, &counting)
+            {
+                if self.full_sweep {
+                    lane.set_always_full();
+                }
+                self.worklist = Worklist::new(0);
+                self.state = StateVec::Planes { lane };
+            }
+        }
+        self
+    }
+
     /// Whether the bit-packed two-colour lane is driving this simulator.
     pub fn uses_packed_lane(&self) -> bool {
         self.state.is_packed()
+    }
+
+    /// Whether the multi-colour bit-plane lane is driving this simulator.
+    pub fn uses_plane_lane(&self) -> bool {
+        self.state.is_planes()
     }
 
     /// The CSR adjacency driving the hot loop.
@@ -486,6 +556,11 @@ impl<R: LocalRule> Simulator<R> {
                     }
                 }
             }
+            StateVec::Planes { lane } => {
+                for (v, old, new) in lane.flips() {
+                    f(v as usize, old, new);
+                }
+            }
         }
     }
 
@@ -505,6 +580,17 @@ impl<R: LocalRule> Simulator<R> {
                     let mut delta = 0u64;
                     for &v in lane.flips() {
                         delta ^= zkey(v as usize, zero) ^ zkey(v as usize, one);
+                    }
+                    self.hash ^= delta;
+                }
+                flips
+            }
+            StateVec::Planes { lane } => {
+                let flips = lane.step(&self.adjacency);
+                if self.hash_live {
+                    let mut delta = 0u64;
+                    for (v, old, new) in lane.flips() {
+                        delta ^= zkey(v as usize, old) ^ zkey(v as usize, new);
                     }
                     self.hash ^= delta;
                 }
@@ -766,7 +852,11 @@ mod tests {
             .cell(2, 2, Color::new(5))
             .build();
         let mut sim = Simulator::new(&t, SmpProtocol, coloring);
-        assert!(!sim.uses_packed_lane(), "five colours stay generic");
+        assert!(!sim.uses_packed_lane(), "five colours cannot pack");
+        assert!(
+            sim.uses_plane_lane(),
+            "five colours + SMP select the plane lane"
+        );
         let report = sim.run(&RunConfig::for_dynamo(k()));
         assert_eq!(report.termination, Termination::Monochromatic(k()));
         assert_eq!(report.monotone, Some(true));
@@ -892,9 +982,9 @@ mod tests {
             Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring.clone());
         let mut generic =
             Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring.clone())
-                .without_packed_lane();
+                .with_generic_lane();
         let mut sweep = Simulator::new(&t, ReverseSimpleMajority::prefer_black(), coloring)
-            .without_packed_lane()
+            .with_generic_lane()
             .with_full_sweep();
         assert!(packed.uses_packed_lane());
         assert!(!generic.uses_packed_lane());
@@ -920,7 +1010,7 @@ mod tests {
         let coloring = builder.build();
         let rule = ThresholdRule::new(seed, 2);
         let mut packed = Simulator::new(&t, rule, coloring.clone());
-        let mut generic = Simulator::new(&t, rule, coloring).without_packed_lane();
+        let mut generic = Simulator::new(&t, rule, coloring).with_generic_lane();
         assert!(packed.uses_packed_lane());
         let a = packed.run(&RunConfig::for_dynamo(seed));
         let b = generic.run(&RunConfig::for_dynamo(seed));

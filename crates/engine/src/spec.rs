@@ -859,6 +859,12 @@ pub enum LaneSpec {
     /// Force the exhaustive full sweep on the generic backend (the PR-1
     /// stepper, kept for baselines and non-local rules).
     FullSweep,
+    /// Force the multi-colour bit-plane lane (word-parallel popcount
+    /// kernel over `⌈log₂ k⌉` planes).  Falls back to the current backend
+    /// when the run is ineligible (more than 16 colours, non-torus
+    /// adjacency, or a rule without a
+    /// [`ctori_protocols::ColorCountRule`] form).
+    Planes,
 }
 
 /// Engine **policy** for a run — everything that used to be spread between
@@ -985,6 +991,7 @@ impl EngineOptions {
             LaneSpec::Auto => "auto",
             LaneSpec::GenericFrontier => "generic",
             LaneSpec::FullSweep => "full-sweep",
+            LaneSpec::Planes => "planes",
         };
         let opt = |c: Option<Color>| match c {
             Some(c) => c.index().to_string(),
@@ -1028,6 +1035,7 @@ impl EngineOptions {
                         "auto" => LaneSpec::Auto,
                         "generic" => LaneSpec::GenericFrontier,
                         "full-sweep" => LaneSpec::FullSweep,
+                        "planes" => LaneSpec::Planes,
                         other => return Err(bad_options(format!("unknown lane {other:?}"))),
                     }
                 }
@@ -1673,6 +1681,23 @@ mod tests {
         assert_eq!(config.max_rounds, 99);
         assert!(!config.detect_cycles);
         assert_eq!(config.track_times_for, Some(c(2)));
+    }
+
+    #[test]
+    fn every_lane_spec_round_trips() {
+        for lane in [
+            LaneSpec::Auto,
+            LaneSpec::GenericFrontier,
+            LaneSpec::FullSweep,
+            LaneSpec::Planes,
+        ] {
+            let options = EngineOptions::default().with_lane(lane);
+            let text = options.to_text();
+            assert_eq!(EngineOptions::parse(&text).unwrap().lane, lane, "{text}");
+        }
+        let planes = EngineOptions::parse("lane=planes").unwrap();
+        assert_eq!(planes.lane, LaneSpec::Planes);
+        assert!(planes.to_text().contains("lane=planes"));
     }
 
     #[test]

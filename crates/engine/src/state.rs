@@ -1,7 +1,7 @@
 //! State-vector backends of the simulator.
 //!
 //! The simulator stores the configuration behind the [`StateVec`]
-//! abstraction, which has two backends:
+//! abstraction, which has three backends:
 //!
 //! * [`StateVec::Generic`] — one [`Color`] (`u16`) per vertex plus an
 //!   incrementally maintained per-colour census, serving any rule and any
@@ -9,13 +9,19 @@
 //! * [`StateVec::Packed`] — one **bit** per vertex inside a
 //!   [`PackedFrontier`] lane, used when the initial configuration has at
 //!   most two colours and the rule advertises a two-colour degenerate form
-//!   through [`ctori_protocols::LocalRule::as_two_state_threshold`].
+//!   through [`ctori_protocols::LocalRule::as_two_state_threshold`];
+//! * [`StateVec::Planes`] — `⌈log₂ k⌉` bits per vertex inside a
+//!   [`PlaneLane`], used when up to 16 colours are present and the rule
+//!   advertises a per-colour counting form through
+//!   [`ctori_protocols::LocalRule::as_color_count_rule`].
 //!
-//! Both backends keep their aggregate queries (`count_of`,
-//! `monochromatic`) O(1) by updating counters as changes are applied, so
-//! the run loop never re-scans the configuration between rounds.
+//! All backends keep their aggregate queries (`count_of`,
+//! `monochromatic`, `histogram_counts`) O(palette) or better by updating
+//! counters as changes are applied, so the run loop never re-scans the
+//! configuration between rounds.
 
 use crate::frontier::PackedFrontier;
+use crate::planes::PlaneLane;
 use ctori_coloring::Color;
 
 /// An incrementally maintained per-colour census.
@@ -106,6 +112,12 @@ pub enum StateVec {
         /// The colour a 1-bit stands for.
         one: Color,
     },
+    /// `⌈log₂ k⌉` bits per vertex across the bit-planes of a multi-colour
+    /// lane (the lane owns its palette and per-colour census).
+    Planes {
+        /// The bit-plane state plus the word-granular frontier scheduler.
+        lane: PlaneLane,
+    },
 }
 
 impl StateVec {
@@ -114,6 +126,7 @@ impl StateVec {
         match self {
             StateVec::Generic { colors, .. } => colors.len(),
             StateVec::Packed { lane, .. } => lane.len(),
+            StateVec::Planes { lane } => lane.len(),
         }
     }
 
@@ -125,6 +138,11 @@ impl StateVec {
     /// Whether the packed two-colour backend is in use.
     pub fn is_packed(&self) -> bool {
         matches!(self, StateVec::Packed { .. })
+    }
+
+    /// Whether the multi-colour bit-plane backend is in use.
+    pub fn is_planes(&self) -> bool {
+        matches!(self, StateVec::Planes { .. })
     }
 
     /// The colour of vertex `v`.
@@ -139,6 +157,7 @@ impl StateVec {
                     *zero
                 }
             }
+            StateVec::Planes { lane } => lane.color_at(v),
         }
     }
 
@@ -149,10 +168,12 @@ impl StateVec {
             StateVec::Packed { lane, zero, one } => (0..lane.len())
                 .map(|v| if lane.is_one(v) { *one } else { *zero })
                 .collect(),
+            StateVec::Planes { lane } => lane.snapshot(),
         }
     }
 
-    /// Number of vertices currently holding `k` (O(1)).
+    /// Number of vertices currently holding `k` (O(1); O(log palette) on
+    /// the plane lane).
     pub fn count_of(&self, k: Color) -> usize {
         match self {
             StateVec::Generic { census, .. } => census.count(k),
@@ -165,15 +186,18 @@ impl StateVec {
                     0
                 }
             }
+            StateVec::Planes { lane } => lane.count_of(k),
         }
     }
 
     /// The `(colour, count)` pairs of every colour currently present, in
-    /// ascending colour order (O(palette) on the generic backend, O(1)
-    /// on the packed lane).
+    /// ascending colour order (O(palette) on the generic and plane
+    /// backends, O(1) on the packed lane) — never O(vertices), which is
+    /// what keeps per-round histogram observers cheap.
     pub fn histogram_counts(&self) -> Vec<(Color, usize)> {
         match self {
             StateVec::Generic { census, .. } => census.present(),
+            StateVec::Planes { lane } => lane.histogram(),
             StateVec::Packed { lane, zero, one } => {
                 let ones = lane.ones();
                 let zeros = lane.len() - ones;
@@ -205,6 +229,7 @@ impl StateVec {
                     None
                 }
             }
+            StateVec::Planes { lane } => lane.monochromatic(),
         }
     }
 }

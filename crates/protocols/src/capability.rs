@@ -151,6 +151,142 @@ impl TwoStateThreshold {
     }
 }
 
+/// The counting core of a rule over an **arbitrary** palette.
+///
+/// Marked `#[non_exhaustive]`: future protocols may add plane-evaluable
+/// forms (weighted counts, per-colour thresholds), so downstream `match`es
+/// must keep a wildcard arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ColorCountForm {
+    /// Adopt the colour held by a **unique strict plurality** of at least
+    /// `min_pair` neighbours; keep the current colour on ties or when no
+    /// colour reaches `min_pair` (the SMP-Protocol with `min_pair = 2`).
+    Plurality {
+        /// Minimum multiplicity the winning colour must reach.
+        min_pair: u32,
+    },
+    /// Monotone activation: a non-`active` vertex adopts `active` once at
+    /// least `threshold` neighbours hold it; `active` is never dropped.
+    Activation {
+        /// The spreading colour.
+        active: Color,
+        /// How many `active` neighbours trigger adoption.
+        threshold: u32,
+    },
+}
+
+/// Declarative description of a rule as a pure function of **per-colour
+/// neighbour counts**, valid on any palette.
+///
+/// Where [`TwoStateThreshold`] is the two-colour degenerate form a rule
+/// exposes for the bit-packed lane, `ColorCountRule` is the full
+/// multi-colour form the engine's **bit-plane lane** evaluates with
+/// per-plane popcounts: a rule returning one of these from
+/// [`crate::LocalRule::as_color_count_rule`] promises that its
+/// [`next_color`](crate::LocalRule::next_color) depends on the
+/// neighbourhood only through the multiset of neighbour colours, exactly
+/// as [`ColorCountRule::next_color`] computes it — for every palette and
+/// every degree.  The engine verifies nothing; the property tests in
+/// `tests/stepper_equivalence.rs` pin the equivalence for every rule in
+/// the workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColorCountRule {
+    form: ColorCountForm,
+    /// A colour whose holders never change again (the irreversible
+    /// wrapper's target).
+    locked: Option<Color>,
+}
+
+impl ColorCountRule {
+    /// A unique-plurality rule requiring at least `min_pair`
+    /// equal-coloured neighbours (the SMP-Protocol with `min_pair = 2`).
+    pub fn plurality(min_pair: u32) -> Self {
+        ColorCountRule {
+            form: ColorCountForm::Plurality { min_pair },
+            locked: None,
+        }
+    }
+
+    /// Monotone activation at `threshold` active neighbours (the linear
+    /// threshold rule on any palette: every non-`active` colour is
+    /// inactive).
+    pub fn activation(active: Color, threshold: u32) -> Self {
+        ColorCountRule {
+            form: ColorCountForm::Activation { active, threshold },
+            locked: None,
+        }
+    }
+
+    /// Locks `color`: a vertex holding it never changes again (the
+    /// irreversible wrapper).
+    pub fn with_locked(mut self, color: Color) -> Self {
+        self.locked = Some(color);
+        self
+    }
+
+    /// The counting form the engine compiles into plane operations.
+    pub fn form(&self) -> ColorCountForm {
+        self.form
+    }
+
+    /// The locked colour, if any.
+    pub fn locked(&self) -> Option<Color> {
+        self.locked
+    }
+
+    /// Reference evaluation against per-colour neighbour counts.
+    ///
+    /// `counts` holds one `(colour, multiplicity)` entry per distinct
+    /// neighbour colour (order irrelevant; zero entries allowed).  This is
+    /// the semantics the bit-plane kernel must reproduce; the engine's
+    /// scalar fallback calls it directly.
+    pub fn next_color(&self, own: Color, counts: &[(Color, u32)]) -> Color {
+        if self.locked == Some(own) {
+            return own;
+        }
+        match self.form {
+            ColorCountForm::Plurality { min_pair } => {
+                let mut leader: Option<(Color, u32)> = None;
+                let mut tied = false;
+                for &(c, n) in counts {
+                    if n == 0 {
+                        continue;
+                    }
+                    match leader {
+                        Some((_, best)) if n > best => {
+                            leader = Some((c, n));
+                            tied = false;
+                        }
+                        Some((_, best)) if n == best => tied = true,
+                        None => leader = Some((c, n)),
+                        _ => {}
+                    }
+                }
+                match leader {
+                    Some((c, n)) if !tied && n >= min_pair => c,
+                    _ => own,
+                }
+            }
+            ColorCountForm::Activation { active, threshold } => {
+                if own == active {
+                    return own;
+                }
+                let active_neighbors = counts
+                    .iter()
+                    .find(|&&(c, _)| c == active)
+                    .map(|&(_, n)| n)
+                    .unwrap_or(0);
+                if active_neighbors >= threshold {
+                    active
+                } else {
+                    own
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +341,51 @@ mod tests {
         // Locking a colour outside the pair changes nothing.
         let t = TwoStateThreshold::majority(2).with_locked(c(9));
         assert_eq!(t.flip_thresholds(c(1), c(2), 4), (3, 3));
+    }
+
+    #[test]
+    fn color_count_plurality_matches_the_smp_patterns() {
+        let rule = ColorCountRule::plurality(2);
+        // 4-0, 3-1, 2-1-1: unique plurality of >= 2 adopts.
+        assert_eq!(rule.next_color(c(1), &[(c(5), 4)]), c(5));
+        assert_eq!(rule.next_color(c(1), &[(c(3), 3), (c(2), 1)]), c(3));
+        assert_eq!(
+            rule.next_color(c(1), &[(c(4), 2), (c(2), 1), (c(3), 1)]),
+            c(4)
+        );
+        // 2-2 and 1-1-1-1: ties keep the current colour.
+        assert_eq!(rule.next_color(c(1), &[(c(2), 2), (c(3), 2)]), c(1));
+        assert_eq!(
+            rule.next_color(c(9), &[(c(1), 1), (c(2), 1), (c(3), 1), (c(4), 1)]),
+            c(9)
+        );
+        // Zero-count entries are ignored, empty neighbourhoods keep.
+        assert_eq!(rule.next_color(c(1), &[(c(2), 0)]), c(1));
+        assert_eq!(rule.next_color(c(1), &[]), c(1));
+        assert_eq!(rule.form(), ColorCountForm::Plurality { min_pair: 2 });
+        assert_eq!(rule.locked(), None);
+    }
+
+    #[test]
+    fn color_count_activation_counts_only_the_active_color() {
+        let rule = ColorCountRule::activation(c(2), 2);
+        assert_eq!(rule.next_color(c(1), &[(c(2), 2), (c(3), 2)]), c(2));
+        assert_eq!(rule.next_color(c(1), &[(c(2), 1), (c(3), 3)]), c(1));
+        // Active vertices never change, regardless of the neighbourhood.
+        assert_eq!(rule.next_color(c(2), &[(c(3), 4)]), c(2));
+        // No active colour in sight: nothing moves.
+        assert_eq!(rule.next_color(c(1), &[(c(3), 4)]), c(1));
+    }
+
+    #[test]
+    fn color_count_locking_freezes_holders() {
+        let rule = ColorCountRule::plurality(2).with_locked(c(7));
+        assert_eq!(rule.locked(), Some(c(7)));
+        // A locked holder keeps its colour against a unanimous vote.
+        assert_eq!(rule.next_color(c(7), &[(c(3), 4)]), c(7));
+        // Other vertices follow the plurality as usual (including into
+        // the locked colour).
+        assert_eq!(rule.next_color(c(1), &[(c(7), 3), (c(2), 1)]), c(7));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! irreversible counterpart with respect to a target colour `k`, which the
 //! experiments use to compare the two regimes.
 
-use crate::capability::TwoStateThreshold;
+use crate::capability::{ColorCountRule, TwoStateThreshold};
 use crate::rule::LocalRule;
 use ctori_coloring::Color;
 
@@ -64,6 +64,10 @@ impl<R: LocalRule> LocalRule for Irreversible<R> {
                 .as_two_state_threshold()?
                 .with_locked(self.target),
         )
+    }
+
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        Some(self.inner.as_color_count_rule()?.with_locked(self.target))
     }
 }
 

@@ -24,7 +24,7 @@
 //! they can also be run on multi-coloured configurations for comparison
 //! experiments.
 
-use crate::capability::TwoStateThreshold;
+use crate::capability::{ColorCountRule, TwoStateThreshold};
 use crate::rule::LocalRule;
 use ctori_coloring::Color;
 
@@ -105,6 +105,18 @@ impl LocalRule for ReverseSimpleMajority {
             TieBreak::PreferCurrent => t,
         })
     }
+
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        // Prefer-Current is a pure counting rule: adopt the unique leader
+        // at multiplicity >= 2, keep on ties.  The Prefer-Black tie-break
+        // recolours on a tie *involving black*, which depends on which
+        // colour is black rather than on counts alone, so it stays off the
+        // plane lane.
+        match self.tie_break {
+            TieBreak::PreferCurrent => Some(ColorCountRule::plurality(Self::THRESHOLD as u32)),
+            TieBreak::PreferBlack => None,
+        }
+    }
 }
 
 /// Reverse strong majority: adopt a colour held by at least
@@ -131,6 +143,13 @@ impl LocalRule for ReverseStrongMajority {
 
     fn as_two_state_threshold(&self) -> Option<TwoStateThreshold> {
         Some(TwoStateThreshold::majority(Self::THRESHOLD as u32))
+    }
+
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        // A unique plurality at multiplicity >= 3 — with threshold 3 on
+        // degree 4 the uniqueness requirement is automatic, and on larger
+        // degrees (TSS hubs) `counting::plurality` demands it too.
+        Some(ColorCountRule::plurality(Self::THRESHOLD as u32))
     }
 }
 

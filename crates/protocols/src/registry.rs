@@ -21,6 +21,14 @@
 //!
 //! Colour parameters are the 1-based colour indices of
 //! [`ctori_coloring::Color`].
+//!
+//! Every registered rule advertises its capability forms
+//! ([`crate::rule::LocalRule::as_two_state_threshold`] and
+//! [`crate::rule::LocalRule::as_color_count_rule`]) through the
+//! [`AnyRule`] forwarders, so a scenario selected *by name* qualifies
+//! for the engine's packed and bit-plane lanes exactly like one built
+//! from the concrete rule type — lane auto-selection never depends on
+//! how the rule was constructed.
 
 use crate::irreversible::Irreversible;
 use crate::majority::{ReverseSimpleMajority, ReverseStrongMajority, TieBreak};
@@ -217,6 +225,31 @@ mod tests {
         assert!(threshold.is_monotone_for(c(5)));
         let irr = parse("irreversible-smp(2)").unwrap();
         assert_eq!(irr.next_color(c(2), &[c(3), c(3), c(3), c(3)]), c(2));
+    }
+
+    /// Counting-form capability is what routes a *name-selected* scenario
+    /// onto the multi-colour bit-plane lane, so a regression here silently
+    /// drops parsed `RunSpec`s back to the generic stepper.  Prefer-black
+    /// is the one deliberate exception: its tie-break depends on which
+    /// colour is black, not on counts alone.
+    #[test]
+    fn registered_rules_advertise_their_counting_form() {
+        let counting = [
+            "smp",
+            "prefer-current",
+            "strong-majority",
+            "irreversible-smp(3)",
+            "threshold(2,2)",
+        ];
+        for text in counting {
+            let rule = parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert!(
+                rule.as_color_count_rule().is_some(),
+                "{text}: no ColorCountRule capability"
+            );
+        }
+        let prefer_black = parse("prefer-black").unwrap();
+        assert!(prefer_black.as_color_count_rule().is_none());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`LocalRule`] trait and a dynamic-dispatch wrapper.
 
-use crate::capability::TwoStateThreshold;
+use crate::capability::{ColorCountRule, TwoStateThreshold};
 use crate::irreversible::Irreversible;
 use crate::majority::{ReverseSimpleMajority, ReverseStrongMajority, TieBreak};
 use crate::smp::SmpProtocol;
@@ -55,6 +55,19 @@ pub trait LocalRule: Send + Sync {
     fn as_two_state_threshold(&self) -> Option<TwoStateThreshold> {
         None
     }
+
+    /// The rule's per-colour counting form, if it has one.
+    ///
+    /// Returning `Some` promises that on **any** palette the rule is
+    /// equivalent to the returned [`ColorCountRule`] (see its docs for the
+    /// exact contract).  The engine uses this to route multi-colour runs
+    /// onto its bit-plane lane, where neighbourhoods are evaluated by
+    /// per-plane popcounts over 64-vertex words instead of per-vertex
+    /// colour multiset scans.  The default is `None`, which keeps
+    /// multi-colour runs on the generic lane.
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        None
+    }
 }
 
 impl<R: LocalRule + ?Sized> LocalRule for &R {
@@ -73,6 +86,9 @@ impl<R: LocalRule + ?Sized> LocalRule for &R {
     fn as_two_state_threshold(&self) -> Option<TwoStateThreshold> {
         (**self).as_two_state_threshold()
     }
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        (**self).as_color_count_rule()
+    }
 }
 
 impl<R: LocalRule + ?Sized> LocalRule for Box<R> {
@@ -90,6 +106,9 @@ impl<R: LocalRule + ?Sized> LocalRule for Box<R> {
     }
     fn as_two_state_threshold(&self) -> Option<TwoStateThreshold> {
         (**self).as_two_state_threshold()
+    }
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        (**self).as_color_count_rule()
     }
 }
 
@@ -211,6 +230,16 @@ impl LocalRule for AnyRule {
             AnyRule::ReverseStrong(r) => r.as_two_state_threshold(),
             AnyRule::IrreversibleSmp(r) => r.as_two_state_threshold(),
             AnyRule::Threshold(r) => r.as_two_state_threshold(),
+        }
+    }
+
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        match self {
+            AnyRule::Smp(r) => r.as_color_count_rule(),
+            AnyRule::ReverseSimple(r) => r.as_color_count_rule(),
+            AnyRule::ReverseStrong(r) => r.as_color_count_rule(),
+            AnyRule::IrreversibleSmp(r) => r.as_color_count_rule(),
+            AnyRule::Threshold(r) => r.as_color_count_rule(),
         }
     }
 }

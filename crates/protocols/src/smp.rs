@@ -28,7 +28,7 @@
 //! no colour priority, so restricted to two colours it does **not** reduce
 //! to the rule of \[15\] (Remark 1 of the paper builds on this).
 
-use crate::capability::TwoStateThreshold;
+use crate::capability::{ColorCountRule, TwoStateThreshold};
 use crate::counting::plurality;
 use crate::rule::LocalRule;
 use ctori_coloring::Color;
@@ -60,6 +60,12 @@ impl LocalRule for SmpProtocol {
         // On two colours "unique plurality of >= 2" degenerates to "strict
         // majority with a pair": ties (the 2-2 pattern) keep the colour.
         Some(TwoStateThreshold::majority(Self::REQUIRED_PAIR as u32))
+    }
+
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        // `next_color` is literally `plurality(neighbors, 2)` with the own
+        // colour as fallback, which is the counting form verbatim.
+        Some(ColorCountRule::plurality(Self::REQUIRED_PAIR as u32))
     }
 }
 

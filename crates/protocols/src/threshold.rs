@@ -11,7 +11,7 @@
 //! In colour terms: "active" is a distinguished colour `k`; every other
 //! colour counts as inactive.  The rule is monotone by definition.
 
-use crate::capability::TwoStateThreshold;
+use crate::capability::{ColorCountRule, TwoStateThreshold};
 use crate::rule::LocalRule;
 use ctori_coloring::Color;
 
@@ -78,6 +78,12 @@ impl LocalRule for ThresholdRule {
     fn as_two_state_threshold(&self) -> Option<TwoStateThreshold> {
         let threshold = u32::try_from(self.threshold).unwrap_or(u32::MAX);
         Some(TwoStateThreshold::activation(self.active, threshold))
+    }
+
+    fn as_color_count_rule(&self) -> Option<ColorCountRule> {
+        // The rule only ever counts the activation colour, on any palette.
+        let threshold = u32::try_from(self.threshold).unwrap_or(u32::MAX);
+        Some(ColorCountRule::activation(self.active, threshold))
     }
 }
 

@@ -55,10 +55,11 @@ fn main() {
             built.filler()
         );
         println!(
-            "  monotone dynamo: {}, rounds to monochromatic: {}, packed lane: {}",
+            "  monotone dynamo: {}, rounds to monochromatic: {}, packed lane: {}, plane lane: {}",
             outcome.reached_monochromatic(k) && outcome.monotone == Some(true),
             outcome.rounds,
             outcome.used_packed_lane,
+            outcome.used_plane_lane,
         );
         println!("  initial configuration (colour {k} is the spreading colour):");
         for line in render_coloring(built.coloring()).lines() {

@@ -1,11 +1,14 @@
 //! Cross-backend equivalence properties for the incremental engine.
 //!
-//! The simulator has three data paths that must be *exact* optimisations
+//! The simulator has four data paths that must be *exact* optimisations
 //! of each other for local rules:
 //!
 //! * the bit-packed two-colour lane (auto-selected when the rule has a
 //!   [`colored_tori::protocols::TwoStateThreshold`] form and at most two
 //!   colours are present);
+//! * the multi-colour bit-plane lane (auto-selected when a degree-4 torus
+//!   run has 3–16 colours and the rule has a
+//!   [`colored_tori::protocols::ColorCountRule`] form);
 //! * the generic `Vec<Color>` backend with incremental frontier stepping;
 //! * the generic backend with the exhaustive full sweep (the PR-1
 //!   stepper, kept as the fallback for non-local rules).
@@ -18,7 +21,8 @@
 use colored_tori::engine::{RunConfig, Simulator};
 use colored_tori::prelude::*;
 use colored_tori::protocols::{
-    AnyRule, Irreversible, ReverseSimpleMajority, SmpProtocol, ThresholdRule, TieBreak,
+    AnyRule, Irreversible, ReverseSimpleMajority, ReverseStrongMajority, SmpProtocol,
+    ThresholdRule, TieBreak,
 };
 use colored_tori::topology::Graph;
 use colored_tori::tss::diffusion::{spread, SpreadResult, Thresholds};
@@ -81,9 +85,9 @@ proptest! {
         for rule in two_state_rules() {
             let mut packed = Simulator::new(&torus, &*rule, coloring.clone());
             let mut generic =
-                Simulator::new(&torus, &*rule, coloring.clone()).without_packed_lane();
+                Simulator::new(&torus, &*rule, coloring.clone()).with_generic_lane();
             let mut sweep = Simulator::new(&torus, &*rule, coloring.clone())
-                .without_packed_lane()
+                .with_generic_lane()
                 .with_full_sweep();
             // A genuinely two-coloured configuration must select the lane
             // (a monochromatic draw legitimately stays generic).
@@ -133,7 +137,7 @@ proptest! {
         let config = RunConfig::for_dynamo(Color::BLACK);
         let mut packed = Simulator::new(&torus, rule.clone(), coloring.clone());
         let a = packed.run(&config);
-        let mut generic = Simulator::new(&torus, rule, coloring).without_packed_lane();
+        let mut generic = Simulator::new(&torus, rule, coloring).with_generic_lane();
         let b = generic.run(&config);
         prop_assert_eq!(a.termination, b.termination);
         prop_assert_eq!(a.rounds, b.rounds);
@@ -141,6 +145,88 @@ proptest! {
         prop_assert_eq!(a.recoloring_times, b.recoloring_times);
         prop_assert_eq!(a.final_target_count, b.final_target_count);
         prop_assert_eq!(packed.snapshot(), generic.snapshot());
+    }
+}
+
+/// A random colouring over palette `1..=k`.
+fn multicolor_config(torus: &Torus, k: u16, seed: u64) -> Coloring {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = ColoringBuilder::filled(torus, Color::new(1));
+    for r in 0..torus.rows() {
+        for c in 0..torus.cols() {
+            builder = builder.cell(r, c, Color::new(rng.gen_range(1..=k)));
+        }
+    }
+    builder.build()
+}
+
+/// Every rule in the workspace with a per-colour counting form —
+/// including the strong majority (the only `min_pair = 3` plurality) and
+/// prefer-current (plurality behind a tie-break enum), so all compiled
+/// plane-kernel decision arms are pinned.
+fn counting_rules(k: u16) -> Vec<Box<dyn LocalRule>> {
+    vec![
+        Box::new(SmpProtocol),
+        Box::new(ReverseSimpleMajority::prefer_current()),
+        Box::new(ReverseStrongMajority),
+        Box::new(ThresholdRule::new(Color::new(k), 2)),
+        Box::new(Irreversible::new(SmpProtocol, Color::new(1))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Plane lane ≡ generic frontier ≡ full sweep, round for round, for
+    /// every counting-capable rule on every torus kind — including column
+    /// counts around the 64-bit word boundary, so wrap-edge tiles and
+    /// tail words are exercised.
+    #[test]
+    fn plane_generic_and_full_sweep_agree_round_for_round(
+        kind in torus_kind(),
+        m in 3usize..=8,
+        n in prop_oneof![3usize..=9, 60usize..=70],
+        k in 3u16..=8,
+        seed in any::<u64>(),
+    ) {
+        let torus = Torus::new(kind, m, n);
+        let coloring = multicolor_config(&torus, k, seed);
+        let distinct = (1..=k)
+            .filter(|&c| coloring.count(Color::new(c)) > 0)
+            .count();
+        for rule in counting_rules(k) {
+            let mut planes = Simulator::new(&torus, &*rule, coloring.clone());
+            let mut generic =
+                Simulator::new(&torus, &*rule, coloring.clone()).with_generic_lane();
+            let mut sweep = Simulator::new(&torus, &*rule, coloring.clone())
+                .with_generic_lane()
+                .with_full_sweep();
+            // A genuinely multi-coloured configuration must select the
+            // plane lane (a degenerate draw may stay packed or generic).
+            if distinct > 2 {
+                prop_assert!(
+                    planes.uses_plane_lane(),
+                    "{} did not select the plane lane", rule.name()
+                );
+            }
+            for round in 0..m + n {
+                let a = planes.step();
+                let b = generic.step();
+                let c = sweep.step();
+                prop_assert_eq!(
+                    a, b,
+                    "planes vs generic reports diverge at round {} under {}",
+                    round, rule.name()
+                );
+                prop_assert_eq!(
+                    b, c,
+                    "generic vs full-sweep reports diverge at round {} under {}",
+                    round, rule.name()
+                );
+                prop_assert_eq!(planes.snapshot(), generic.snapshot());
+                prop_assert_eq!(generic.snapshot(), sweep.snapshot());
+            }
+        }
     }
 }
 
