@@ -1,13 +1,17 @@
-//! The perf-trajectory recorder: measures plane-lane and generic-frontier
-//! throughput over a fixed (torus kind × size × palette) grid and writes
-//! the result as `BENCH_<pr>.json`.
+//! The perf-trajectory recorder: measures band-parallel plane-lane and
+//! generic-frontier throughput over a fixed (threads × torus kind × size
+//! × palette) grid and writes the result as `BENCH_<pr>.json`.
 //!
 //! Unlike the Criterion benches (interactive, statistical), this binary
 //! produces one machine-readable artefact per PR so throughput history is
-//! diffable: `BENCH_6.json` is the first point of the trajectory, and CI
-//! re-emits a quick-mode file on every push to catch silent regressions
-//! (Mcell/s must stay positive and the grid complete; absolute numbers
-//! are informational because runner hardware varies).
+//! diffable: `BENCH_6.json` recorded the single-threaded three-lane
+//! baseline, and `BENCH_7.json` adds the threads axis — every grid point
+//! is measured at `threads=1` and `threads=auto`, so the artefact
+//! captures both the lane speedup over the generic frontier and the
+//! intra-run thread scaling (`self_speedup`).  CI re-emits a quick-mode
+//! file on every push to catch silent regressions (Mcell/s must stay
+//! positive and the grid complete; absolute numbers are informational
+//! because runner hardware varies).
 //!
 //! ```text
 //! bench-runner [--quick] [--out PATH]
@@ -19,10 +23,15 @@
 //! checks lane equivalence (identical snapshots after the timed rounds)
 //! before recording, so the artefact cannot contain numbers from a
 //! diverged kernel.
+//!
+//! With `CTORI_BENCH_ASSERT_SPEEDUP=1` the run *asserts* the headline
+//! ratios (≥ 3× self-speedup on 4096² k=3 with ≥ 8 effective threads;
+//! ≥ 8× over the generic frontier on 1024² k=8 single-threaded); without
+//! it, shortfalls are warnings, because CI and laptop hardware vary.
 
 use ctori_bench::multicolor_scatter;
 use ctori_coloring::Color;
-use ctori_engine::Simulator;
+use ctori_engine::{default_threads, Simulator};
 use ctori_protocols::ThresholdRule;
 use ctori_topology::{Torus, TorusKind};
 use std::fmt::Write as _;
@@ -30,19 +39,26 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// The PR number this artefact belongs to (the perf-trajectory index).
-const PR: u32 = 6;
+const PR: u32 = 7;
 
-/// One measured grid point.
+/// One measured grid point: the plane lane at one thread setting against
+/// the single-threaded generic frontier on the same workload.
 struct Sample {
     kind: TorusKind,
     size: usize,
     palette: u16,
+    /// `"1"` or `"auto"` — the spec-level thread setting.
+    threads_mode: &'static str,
+    /// The step-thread count the mode resolved to on this machine.
+    effective_threads: usize,
     planes_mcells: f64,
     generic_mcells: f64,
+    /// Plane lane at this thread setting vs plane lane at `threads=1`.
+    self_speedup: f64,
 }
 
 impl Sample {
-    fn speedup(&self) -> f64 {
+    fn speedup_vs_generic(&self) -> f64 {
         self.planes_mcells / self.generic_mcells
     }
 }
@@ -72,9 +88,11 @@ fn time_lane(mut sim: Simulator<ThresholdRule>, rounds: u32, cells: usize) -> (f
     (mcells, sim.snapshot())
 }
 
-/// Measures one grid point: plane lane vs generic frontier on the same
-/// dense scatter, with an exact-equivalence check before recording.
-fn measure(kind: TorusKind, size: usize, palette: u16, rounds: u32) -> Sample {
+/// Measures one (kind, size, palette) workload at both thread settings:
+/// the generic frontier once (always sequential — the lane baseline),
+/// the plane lane at `threads=1`, and the plane lane at `threads=auto`.
+/// Exact-equivalence checks gate every recorded number.
+fn measure(kind: TorusKind, size: usize, palette: u16, rounds: u32) -> Vec<Sample> {
     let torus = Torus::new(kind, size, size);
     let cells = size * size;
     // Threshold-2 activation of the highest palette colour over a dense
@@ -82,6 +100,7 @@ fn measure(kind: TorusKind, size: usize, palette: u16, rounds: u32) -> Sample {
     // whole measurement, the same workload as `bench_planes`.
     let rule = ThresholdRule::new(Color::new(palette), 2);
     let coloring = multicolor_scatter(&torus, palette, 0x6 + cells as u64);
+    let auto_threads = default_threads().max(1);
 
     let planes_sim = Simulator::new(&torus, rule, coloring.clone());
     assert!(
@@ -89,7 +108,11 @@ fn measure(kind: TorusKind, size: usize, palette: u16, rounds: u32) -> Sample {
         "{} {size}x{size} k={palette}: plane lane not selected",
         kind_key(kind)
     );
-    let (planes_mcells, planes_snap) = time_lane(planes_sim, rounds, cells);
+    let (planes_seq_mcells, planes_snap) = time_lane(planes_sim, rounds, cells);
+
+    let planes_auto =
+        Simulator::new(&torus, rule, coloring.clone()).with_step_threads(auto_threads);
+    let (planes_auto_mcells, auto_snap) = time_lane(planes_auto, rounds, cells);
 
     let generic_sim = Simulator::new(&torus, rule, coloring).with_generic_lane();
     let (generic_mcells, generic_snap) = time_lane(generic_sim, rounds, cells);
@@ -100,20 +123,41 @@ fn measure(kind: TorusKind, size: usize, palette: u16, rounds: u32) -> Sample {
         "{} {size}x{size} k={palette}: lanes diverged",
         kind_key(kind)
     );
-    Sample {
-        kind,
-        size,
-        palette,
-        planes_mcells,
-        generic_mcells,
-    }
+    assert_eq!(
+        auto_snap,
+        planes_snap,
+        "{} {size}x{size} k={palette}: band-parallel stepping diverged",
+        kind_key(kind)
+    );
+    vec![
+        Sample {
+            kind,
+            size,
+            palette,
+            threads_mode: "1",
+            effective_threads: 1,
+            planes_mcells: planes_seq_mcells,
+            generic_mcells,
+            self_speedup: 1.0,
+        },
+        Sample {
+            kind,
+            size,
+            palette,
+            threads_mode: "auto",
+            effective_threads: auto_threads,
+            planes_mcells: planes_auto_mcells,
+            generic_mcells,
+            self_speedup: planes_auto_mcells / planes_seq_mcells,
+        },
+    ]
 }
 
 /// Renders the samples as the `BENCH_<pr>.json` document.
 fn render(samples: &[Sample], mode: &str, rounds: u32) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"bench\": \"planes_vs_generic\",");
+    let _ = writeln!(out, "  \"bench\": \"parallel_planes\",");
     let _ = writeln!(out, "  \"pr\": {PR},");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"rule\": \"threshold(palette,2)\",");
@@ -124,18 +168,68 @@ fn render(samples: &[Sample], mode: &str, rounds: u32) -> String {
         let _ = write!(
             out,
             "    {{\"kind\": \"{}\", \"size\": {}, \"palette\": {}, \
-             \"planes_mcells\": {:.1}, \"generic_mcells\": {:.1}, \"speedup\": {:.1}}}",
+             \"threads\": \"{}\", \"effective_threads\": {}, \
+             \"planes_mcells\": {:.1}, \"generic_mcells\": {:.1}, \
+             \"speedup\": {:.1}, \"self_speedup\": {:.2}}}",
             kind_key(s.kind),
             s.size,
             s.palette,
+            s.threads_mode,
+            s.effective_threads,
             s.planes_mcells,
             s.generic_mcells,
-            s.speedup(),
+            s.speedup_vs_generic(),
+            s.self_speedup,
         );
         out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// The headline perf gates.  Hard assertions only under
+/// `CTORI_BENCH_ASSERT_SPEEDUP` (and, for the scaling gate, only when
+/// the machine actually has the threads); warnings otherwise.
+fn check_headlines(samples: &[Sample]) {
+    let assert_hard = std::env::var("CTORI_BENCH_ASSERT_SPEEDUP").is_ok();
+    let mut complaints = Vec::new();
+    for s in samples {
+        // ≥ 3× self-speedup on the 4096² k=3 auto row, when ≥ 8 threads
+        // were actually available to scale across.
+        if s.size == 4096 && s.palette == 3 && s.threads_mode == "auto" {
+            if s.effective_threads >= 8 && s.self_speedup < 3.0 {
+                complaints.push(format!(
+                    "{} 4096x4096 k=3: self-speedup {:.2}x < 3x at {} threads",
+                    kind_key(s.kind),
+                    s.self_speedup,
+                    s.effective_threads
+                ));
+            } else if s.effective_threads < 8 {
+                eprintln!(
+                    "note: {} 4096x4096 k=3 scaling gate skipped \
+                     ({} effective threads < 8 on this machine)",
+                    kind_key(s.kind),
+                    s.effective_threads
+                );
+            }
+        }
+        // ≥ 8× over the generic frontier on 1024² k=8, single-threaded —
+        // the PR-6 plane-lane headline must not regress.
+        if s.size == 1024 && s.palette == 8 && s.threads_mode == "1" && s.speedup_vs_generic() < 8.0
+        {
+            complaints.push(format!(
+                "{} 1024x1024 k=8: {:.1}x over generic < 8x single-threaded",
+                kind_key(s.kind),
+                s.speedup_vs_generic()
+            ));
+        }
+    }
+    for complaint in &complaints {
+        if assert_hard {
+            panic!("headline perf gate failed: {complaint}");
+        }
+        eprintln!("warning: {complaint}");
+    }
 }
 
 fn main() {
@@ -153,26 +247,32 @@ fn main() {
     } else {
         (&[1024, 4096], 8, "full")
     };
-    let palettes: &[u16] = &[3, 5, 8];
+    let palettes: &[u16] = &[3, 8];
 
     let mut samples = Vec::new();
     for kind in TorusKind::ALL {
         for &size in sizes {
             for &palette in palettes {
-                let sample = measure(kind, size, palette, rounds);
-                eprintln!(
-                    "{:<18} {size:>4}x{size:<4} k={palette}: planes {:>8.1} Mcell/s, \
-                     generic {:>7.1} Mcell/s, {:>5.1}x",
-                    kind_key(sample.kind),
-                    sample.planes_mcells,
-                    sample.generic_mcells,
-                    sample.speedup(),
-                );
-                samples.push(sample);
+                for sample in measure(kind, size, palette, rounds) {
+                    eprintln!(
+                        "{:<18} {size:>4}x{size:<4} k={palette} threads={:<4} (={}) : \
+                         planes {:>8.1} Mcell/s, generic {:>7.1} Mcell/s, \
+                         {:>5.1}x vs generic, {:>4.2}x self",
+                        kind_key(sample.kind),
+                        sample.threads_mode,
+                        sample.effective_threads,
+                        sample.planes_mcells,
+                        sample.generic_mcells,
+                        sample.speedup_vs_generic(),
+                        sample.self_speedup,
+                    );
+                    samples.push(sample);
+                }
             }
         }
     }
 
+    check_headlines(&samples);
     let doc = render(&samples, mode, rounds);
     std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path} ({} grid points)", samples.len());

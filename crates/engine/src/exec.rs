@@ -855,6 +855,10 @@ struct PoolState {
     queue: BinaryHeap<QueueRef>,
     queued: usize, // queue entries that are still in state Queued
     running: usize,
+    /// Extra pool slots lent to running jobs as step-threads: a job
+    /// stepping with `T` threads counts as `T` slots (`1` in `running`,
+    /// `T - 1` here), so band-parallel runs never oversubscribe the pool.
+    borrowed: usize,
     jobs: HashMap<u64, JobRecord>,
     /// Terminal job ids, oldest first — the retention window.
     terminal_order: VecDeque<u64>,
@@ -922,6 +926,7 @@ impl LocalExecutor {
                 queue: BinaryHeap::new(),
                 queued: 0,
                 running: 0,
+                borrowed: 0,
                 jobs: HashMap::new(),
                 terminal_order: VecDeque::new(),
                 counters: Counters::default(),
@@ -1302,7 +1307,24 @@ fn worker_loop(shared: &Shared) {
                     let events = Arc::clone(&record.events);
                     state.queued -= 1;
                     state.running += 1;
-                    break Some((entry.id, key, spec, events));
+                    // A job stepping with T threads counts as T pool
+                    // slots: this worker is one, and up to T-1 extra are
+                    // borrowed from idle capacity so band-parallel runs
+                    // never oversubscribe the pool.  `threads=auto`
+                    // resolves pool-aware — to 1 — because the pool is
+                    // already saturated with whole jobs.
+                    let requested = spec.options.threads;
+                    let step_threads = if requested > 1 {
+                        let idle = shared
+                            .workers
+                            .saturating_sub(state.running + state.borrowed);
+                        let extra = (requested - 1).min(idle);
+                        state.borrowed += extra;
+                        1 + extra
+                    } else {
+                        1
+                    };
+                    break Some((entry.id, key, spec, events, step_threads));
                 }
                 None if state.shutdown => break None,
                 None => {
@@ -1310,7 +1332,7 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
-        let Some((id, key, spec, events)) = claimed else {
+        let Some((id, key, spec, events, step_threads)) = claimed else {
             return; // drained and shutting down
         };
         drop(state);
@@ -1325,6 +1347,7 @@ fn worker_loop(shared: &Shared) {
         if let Some(outcome) = cached {
             state = shared.state.lock().expect("pool poisoned");
             state.running -= 1;
+            state.borrowed -= step_threads - 1;
             let record = state.jobs.get_mut(&id).expect("running job exists");
             record.state = JobState::Done;
             record.from_cache = true;
@@ -1345,7 +1368,8 @@ fn worker_loop(shared: &Shared) {
             continue;
         }
 
-        // Execute; one worker = one sequential run.  The publisher
+        // Execute with the slots reserved at claim time (1 when the spec
+        // did not explicitly ask for step-parallelism).  The publisher
         // touches only the job's own event log, never the pool lock.
         let stride = spec.options.progress_stride();
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -1353,7 +1377,7 @@ fn worker_loop(shared: &Shared) {
                 events: Arc::clone(&events),
                 stride,
             };
-            Runner::with_threads(1).execute_observed(&spec, &mut publisher)
+            Runner::with_threads(step_threads).execute_observed(&spec, &mut publisher)
         }));
         let result = match result {
             Ok(outcome) => {
@@ -1369,6 +1393,7 @@ fn worker_loop(shared: &Shared) {
 
         state = shared.state.lock().expect("pool poisoned");
         state.running -= 1;
+        state.borrowed -= step_threads - 1;
         let record = state.jobs.get_mut(&id).expect("running job exists");
         // Terminal events are pushed under the state lock (nested
         // state → event-log order) so a watcher can never see the stream
@@ -1574,6 +1599,32 @@ mod tests {
             pool.submit_sweep(&[], SubmitOptions::default()),
             Err(ExecError::Backend(_))
         ));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn explicit_step_threads_borrow_pool_slots_and_keep_outcomes() {
+        // A 1-worker pool has no idle capacity to lend: a spec asking
+        // for 8 step-threads still completes, stepping sequentially, and
+        // the outcome matches the plain runner bit for bit.
+        let pool = small_pool(1);
+        let threaded = spec(7, 2).with_options(EngineOptions::default().with_threads(8));
+        let mut handle = pool.submit(&threaded, SubmitOptions::default()).unwrap();
+        let outcome = handle.wait().unwrap();
+        assert_eq!(*outcome, Runner::with_threads(1).execute(&threaded));
+        let stats = outcome.round_stats.expect("fresh runs carry stats");
+        assert_eq!(stats.threads, 1, "no idle slots on a 1-worker pool");
+        pool.shutdown();
+
+        // With idle workers the job borrows them as step-threads (the
+        // claiming worker plus three borrowed slots) and the outcome is
+        // still identical.
+        let pool = small_pool(4);
+        let mut handle = pool.submit(&threaded, SubmitOptions::default()).unwrap();
+        let outcome = handle.wait().unwrap();
+        assert_eq!(*outcome, Runner::with_threads(1).execute(&threaded));
+        let stats = outcome.round_stats.expect("fresh runs carry stats");
+        assert_eq!(stats.threads, 4, "1 claimed + 3 borrowed of 4 workers");
         pool.shutdown();
     }
 

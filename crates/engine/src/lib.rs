@@ -26,9 +26,14 @@
 //!   monotonicity tracking and optional per-vertex recolouring times (the
 //!   data behind Figures 5 and 6 and Theorems 7 and 8);
 //! * [`trace`] — full configuration traces for figure rendering;
-//! * [`metrics`] — per-round colour histograms;
+//! * [`metrics`] — per-round colour histograms and the step-timing /
+//!   lane-choice counters behind `round-stats:` reporting;
 //! * [`sweep`] — parallel parameter sweeps over many simulations using
-//!   `std::thread::scope` workers with lock-free result collection.
+//!   `std::thread::scope` workers with lock-free result collection;
+//! * [`parallel`] — band-parallel stepping *inside* one round: the word
+//!   grid is split into tile-aligned row bands evaluated by scoped
+//!   workers, with a per-band dense/sparse hybrid crossover; results are
+//!   bit-identical to single-threaded stepping at every thread count.
 //!
 //! # The declarative execution API
 //!
@@ -100,6 +105,7 @@ pub mod metrics;
 #[cfg(feature = "naive-baseline")]
 pub mod naive;
 pub mod observe;
+pub mod parallel;
 pub mod planes;
 pub mod runner;
 pub mod simulator;
@@ -114,8 +120,9 @@ pub use exec::{
     LocalExecutorConfig, OutcomeCache, PoolStats, Priority, RunEvent, SubmitOptions,
 };
 pub use frontier::PackedFrontier;
-pub use metrics::{round_histogram, ColorHistogram};
+pub use metrics::{round_histogram, ColorHistogram, RoundStats, StepStats};
 pub use observe::{HistogramObserver, NullObserver, Observer, StepView, TraceObserver};
+pub use parallel::{band_ranges, run_bands};
 pub use planes::PlaneLane;
 pub use runner::{OutcomeParseError, RunOutcome, Runner};
 pub use simulator::{RunConfig, RunReport, Simulator, StepReport, Termination};

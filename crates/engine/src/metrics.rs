@@ -2,11 +2,119 @@
 //!
 //! The experiments plot how the population of each colour evolves round by
 //! round (e.g. to show the monotone growth of `V^k` for a dynamo, or the
-//! stagnation of a non-dynamo configuration).
+//! stagnation of a non-dynamo configuration).  This module also carries
+//! the engine's step-profiling counters: [`StepStats`] accumulates the
+//! hybrid dense/sparse lane decisions of every round inside the
+//! simulator, and [`RoundStats`] is the timed summary a
+//! [`crate::RunOutcome`] reports as its `round-stats:` line.
 
 use crate::simulator::Simulator;
 use ctori_coloring::{Color, Coloring, Palette};
 use ctori_protocols::LocalRule;
+
+/// Cumulative step-profiling counters, maintained by the simulator.
+///
+/// Every [`crate::Simulator::step`] adds one round and the band-level
+/// decisions its lane made: how many row bands ran the full dense sweep,
+/// how many walked the sparse worklist, and how many vertex evaluations
+/// those choices cost.  Lanes without band scheduling (the generic
+/// frontier without step-parallelism) count one band per round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Bands that ran the full (dense, tiled) sweep.
+    pub dense_bands: u64,
+    /// Bands that walked the sparse worklist path.
+    pub sparse_bands: u64,
+    /// Vertices evaluated across all rounds and bands.
+    pub cells_evaluated: u64,
+}
+
+impl StepStats {
+    /// Folds one round's band profile into the totals.
+    pub fn record_round(&mut self, dense_bands: u32, sparse_bands: u32, cells_evaluated: u64) {
+        self.rounds += 1;
+        self.dense_bands += u64::from(dense_bands);
+        self.sparse_bands += u64::from(sparse_bands);
+        self.cells_evaluated += cells_evaluated;
+    }
+}
+
+/// The timed step profile of one finished run.
+///
+/// This is pure observability: it is excluded from
+/// [`crate::RunOutcome`] equality and from the spec's canonical key, and
+/// parsing tolerates its absence, because its values (thread count,
+/// wall-clock nanoseconds, band decisions) vary run to run while the
+/// simulation result does not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Bands that ran the full (dense, tiled) sweep.
+    pub dense_bands: u64,
+    /// Bands that walked the sparse worklist path.
+    pub sparse_bands: u64,
+    /// Vertices evaluated across all rounds and bands.
+    pub cells_evaluated: u64,
+    /// Step-parallelism the run executed with.
+    pub threads: u64,
+    /// Wall-clock nanoseconds spent inside the run.
+    pub nanos: u64,
+}
+
+impl RoundStats {
+    /// Throughput in gigacells (vertex evaluations) per second; `None`
+    /// when no time was observed.
+    pub fn gcells_per_sec(&self) -> Option<f64> {
+        (self.nanos > 0).then(|| self.cells_evaluated as f64 / self.nanos as f64)
+    }
+
+    /// Renders the stats as the `round-stats:` line's value — a
+    /// `key=value` list that [`RoundStats::parse`] round-trips.
+    pub fn render(&self) -> String {
+        format!(
+            "rounds={} dense-bands={} sparse-bands={} cells={} threads={} nanos={}",
+            self.rounds,
+            self.dense_bands,
+            self.sparse_bands,
+            self.cells_evaluated,
+            self.threads,
+            self.nanos
+        )
+    }
+
+    /// Parses a [`RoundStats::render`] value; `None` on any malformed or
+    /// missing field.
+    pub fn parse(text: &str) -> Option<RoundStats> {
+        let mut stats = RoundStats {
+            rounds: 0,
+            dense_bands: 0,
+            sparse_bands: 0,
+            cells_evaluated: 0,
+            threads: 0,
+            nanos: 0,
+        };
+        let mut seen = 0u32;
+        for token in text.split_whitespace() {
+            let (key, value) = token.split_once('=')?;
+            let value: u64 = value.parse().ok()?;
+            let slot = match key {
+                "rounds" => &mut stats.rounds,
+                "dense-bands" => &mut stats.dense_bands,
+                "sparse-bands" => &mut stats.sparse_bands,
+                "cells" => &mut stats.cells_evaluated,
+                "threads" => &mut stats.threads,
+                "nanos" => &mut stats.nanos,
+                _ => return None,
+            };
+            *slot = value;
+            seen += 1;
+        }
+        (seen == 6).then_some(stats)
+    }
+}
 
 /// A colour histogram at a specific round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,6 +186,42 @@ mod tests {
     use ctori_coloring::ColoringBuilder;
     use ctori_protocols::SmpProtocol;
     use ctori_topology::toroidal_mesh;
+
+    #[test]
+    fn round_stats_render_round_trips() {
+        let stats = RoundStats {
+            rounds: 41,
+            dense_bands: 30,
+            sparse_bands: 52,
+            cells_evaluated: 1 << 33,
+            threads: 8,
+            nanos: 2_500_000_000,
+        };
+        assert_eq!(RoundStats::parse(&stats.render()), Some(stats));
+        let gcps = stats.gcells_per_sec().unwrap();
+        assert!((gcps - (1u64 << 33) as f64 / 2.5e9).abs() < 1e-9);
+        assert!(RoundStats::parse("rounds=1").is_none(), "missing fields");
+        assert!(RoundStats::parse("bogus").is_none());
+        assert!(RoundStats::parse(&format!("{} extra=1", stats.render())).is_none());
+        let zero = RoundStats { nanos: 0, ..stats };
+        assert_eq!(zero.gcells_per_sec(), None);
+    }
+
+    #[test]
+    fn step_stats_accumulate() {
+        let mut stats = StepStats::default();
+        stats.record_round(4, 0, 1_000_000);
+        stats.record_round(1, 3, 250_000);
+        assert_eq!(
+            stats,
+            StepStats {
+                rounds: 2,
+                dense_bands: 5,
+                sparse_bands: 3,
+                cells_evaluated: 1_250_000,
+            }
+        );
+    }
 
     #[test]
     fn histogram_counts_and_dominant() {

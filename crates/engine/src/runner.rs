@@ -26,12 +26,14 @@
 //! assert_eq!(outcome.rounds, 1);
 //! ```
 
+use crate::metrics::RoundStats;
 use crate::observe::{NullObserver, Observer};
 use crate::simulator::{RunReport, Simulator, Termination};
 use crate::spec::{BuiltTopology, EngineOptions, LaneSpec, RunSpec};
 use crate::sweep::parallel_map;
 use ctori_coloring::{textio, Color, Coloring};
 use ctori_protocols::AnyRule;
+use std::time::Instant;
 
 /// Errors produced when parsing a [`RunOutcome`] from its text form.
 #[derive(Clone, Debug, PartialEq)]
@@ -101,7 +103,7 @@ fn bad_value(field: &'static str, detail: impl Into<String>) -> OutcomeParseErro
 /// line-oriented text round-trip ([`RunOutcome::to_text`] /
 /// [`RunOutcome::from_text`]) so it can travel over the service wire
 /// protocol and be stored as an artefact.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct RunOutcome {
     /// Canonical name of the rule that ran (registry form).
@@ -124,6 +126,28 @@ pub struct RunOutcome {
     pub used_packed_lane: bool,
     /// Whether the multi-colour bit-plane lane drove the run.
     pub used_plane_lane: bool,
+    /// Timed step profile of the run (thread count, dense/sparse band
+    /// decisions, Gcell/s).  Pure observability: excluded from equality
+    /// and absent from outcomes produced by engines predating it.
+    pub round_stats: Option<RoundStats>,
+}
+
+impl PartialEq for RunOutcome {
+    /// Equality ignores [`RunOutcome::round_stats`]: the stats record
+    /// *how* a run executed (threads, wall-clock, band decisions), not
+    /// what it computed, so outcomes of the same spec compare equal
+    /// across thread counts, machines and cache hits.
+    fn eq(&self, other: &Self) -> bool {
+        self.rule == other.rule
+            && self.termination == other.termination
+            && self.rounds == other.rounds
+            && self.final_coloring == other.final_coloring
+            && self.recoloring_times == other.recoloring_times
+            && self.monotone == other.monotone
+            && self.final_target_count == other.final_target_count
+            && self.used_packed_lane == other.used_packed_lane
+            && self.used_plane_lane == other.used_plane_lane
+    }
 }
 
 impl RunOutcome {
@@ -181,6 +205,9 @@ impl RunOutcome {
                 None => "-".into(),
             }
         ));
+        if let Some(stats) = &self.round_stats {
+            out.push_str(&format!("round-stats: {}\n", stats.render()));
+        }
         match &self.recoloring_times {
             None => out.push_str("times: none\n"),
             Some(times) => {
@@ -210,6 +237,7 @@ impl RunOutcome {
         let mut monotone = None;
         let mut target_count = None;
         let mut times = None;
+        let mut round_stats = None;
         let mut final_coloring = None;
 
         let parse_yes_no = |field: &'static str, v: &str| match v {
@@ -270,6 +298,14 @@ impl RunOutcome {
                         Some(parsed)
                     })
                 }
+                "round-stats" => {
+                    // Optional: older outcomes never carried the line,
+                    // so absence parses to `None` — but a present,
+                    // malformed line is still an error.
+                    round_stats = Some(RoundStats::parse(value).ok_or_else(|| {
+                        bad_value("round-stats", format!("{value:?} is not a stats record"))
+                    })?);
+                }
                 "final" => {
                     // The glyph grid owns every remaining line.
                     let grid: String = lines
@@ -299,6 +335,7 @@ impl RunOutcome {
                 .ok_or(OutcomeParseError::MissingField("target-count"))?,
             used_packed_lane: packed.ok_or(OutcomeParseError::MissingField("packed-lane"))?,
             used_plane_lane: planes.ok_or(OutcomeParseError::MissingField("plane-lane"))?,
+            round_stats,
         })
     }
 }
@@ -418,8 +455,13 @@ impl Runner {
         let rule = spec.rule.resolve();
         let config = spec.options.run_config();
         let mut sim = build_simulator(spec, rule);
+        let step_threads = self.resolve_step_threads(spec, sim.adjacency().node_count());
+        sim.set_step_threads(step_threads);
         observer.on_start(&sim.view());
+        let started = Instant::now();
         let report = sim.run_with(&config, |view| observer.on_round(view));
+        let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let stats = sim.step_stats();
         let outcome = RunOutcome {
             rule: spec.rule.name(),
             termination: report.termination,
@@ -430,9 +472,41 @@ impl Runner {
             final_target_count: report.final_target_count,
             used_packed_lane: sim.uses_packed_lane(),
             used_plane_lane: sim.uses_plane_lane(),
+            round_stats: Some(RoundStats {
+                rounds: stats.rounds,
+                dense_bands: stats.dense_bands,
+                sparse_bands: stats.sparse_bands,
+                cells_evaluated: stats.cells_evaluated,
+                threads: step_threads as u64,
+                nanos,
+            }),
         };
         observer.on_finish(&outcome);
         outcome
+    }
+
+    /// Resolves one scenario's intra-run step-parallelism.
+    ///
+    /// The runner's own thread budget is a **hard cap** — an executor
+    /// pool grants each job a budget via [`Runner::with_threads`], and a
+    /// spec cannot exceed it.  An explicit spec `threads=N` is clamped to
+    /// the budget; `threads=auto` (`0`) spends the whole budget only when
+    /// the grid is large enough to amortise the per-round band barrier
+    /// (below ~2¹⁸ cells a single worker wins).  Step-parallelism never
+    /// affects the outcome, only the wall clock.
+    fn resolve_step_threads(&self, spec: &RunSpec, cells: usize) -> usize {
+        /// Below this many cells, `threads=auto` stays sequential.
+        const STEP_PARALLEL_FLOOR_CELLS: usize = 1 << 18;
+        match spec.options.threads {
+            0 => {
+                if cells >= STEP_PARALLEL_FLOOR_CELLS {
+                    self.threads
+                } else {
+                    1
+                }
+            }
+            explicit => explicit.min(self.threads),
+        }
     }
 
     /// Executes a batch of scenarios in parallel, preserving input order.
@@ -440,25 +514,33 @@ impl Runner {
     /// The specs fan out over the engine's work-stealing sweep pool
     /// ([`crate::sweep::parallel_map`]); each scenario runs independently
     /// on one worker, so a grid of small runs scales with the thread
-    /// budget.  Accepts any owned iterable (`Vec`, a `map` chain, …);
-    /// callers holding a grid they want to keep use
-    /// [`Runner::sweep_refs`] and clone nothing.
+    /// budget.  Outer parallelism wins: each worker executes its run
+    /// **sequentially** (step-parallelism forced to 1, whatever the spec
+    /// says), because the batch already occupies the budget and nested
+    /// band workers would only oversubscribe the machine.  Accepts any
+    /// owned iterable (`Vec`, a `map` chain, …); callers holding a grid
+    /// they want to keep use [`Runner::sweep_refs`] and clone nothing.
     pub fn sweep<I>(&self, specs: I) -> Vec<RunOutcome>
     where
         I: IntoIterator<Item = RunSpec>,
     {
-        parallel_map(specs.into_iter().collect(), self.threads, |spec| {
-            self.execute(spec)
+        let sequential = Runner::with_threads(1);
+        parallel_map(specs.into_iter().collect(), self.threads, move |spec| {
+            sequential.execute(spec)
         })
     }
 
     /// As [`Runner::sweep`], but borrows the grid — no spec is cloned or
     /// consumed, so a caller can sweep the same grid repeatedly (the
-    /// benchmark harness does exactly that).
+    /// benchmark harness does exactly that).  Like [`Runner::sweep`],
+    /// each run executes sequentially: outer parallelism wins.
     pub fn sweep_refs(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
-        parallel_map(specs.iter().collect(), self.threads, |spec: &&RunSpec| {
-            self.execute(spec)
-        })
+        let sequential = Runner::with_threads(1);
+        parallel_map(
+            specs.iter().collect(),
+            self.threads,
+            move |spec: &&RunSpec| sequential.execute(spec),
+        )
     }
 }
 
@@ -724,6 +806,55 @@ mod tests {
         // Errors compose with Box<dyn Error>.
         let boxed: Box<dyn std::error::Error> = Box::new(RunOutcome::from_text("").unwrap_err());
         assert!(boxed.to_string().contains("rule"));
+    }
+
+    #[test]
+    fn round_stats_are_reported_and_survive_the_text_form() {
+        let outcome = Runner::with_threads(1).execute(&absorbing_spec());
+        let stats = outcome.round_stats.expect("every run reports stats");
+        assert_eq!(stats.rounds, outcome.rounds as u64);
+        assert_eq!(stats.threads, 1);
+        assert!(stats.cells_evaluated > 0);
+        let text = outcome.to_text();
+        let reparsed = RunOutcome::from_text(&text).unwrap();
+        assert_eq!(reparsed.round_stats, outcome.round_stats, "\n{text}");
+        // Outcomes from engines predating the line still parse…
+        let legacy_text: String = text
+            .lines()
+            .filter(|l| !l.starts_with("round-stats:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let legacy = RunOutcome::from_text(&legacy_text).unwrap();
+        assert_eq!(legacy.round_stats, None);
+        // …and equality ignores the stats either way.
+        assert_eq!(legacy, outcome);
+        // A present but malformed line is still an error.
+        let broken = text.replace("round-stats: rounds=", "round-stats: bogus=");
+        match RunOutcome::from_text(&broken) {
+            Err(OutcomeParseError::BadValue { field, .. }) => assert_eq!(field, "round-stats"),
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_threads_change_the_profile_not_the_outcome() {
+        let spec = absorbing_spec();
+        let mut threaded = spec.clone();
+        threaded.options = threaded.options.with_threads(8);
+        assert_eq!(
+            spec.canonical_key(),
+            threaded.canonical_key(),
+            "threads stay out of the canonical key"
+        );
+        let seq = Runner::with_threads(1).execute(&spec);
+        let par = Runner::with_threads(8).execute(&threaded);
+        assert_eq!(par, seq, "outcome equality across thread counts");
+        assert_eq!(par.round_stats.unwrap().threads, 8);
+        assert_eq!(seq.round_stats.unwrap().threads, 1);
+        // A pool-granted budget of 1 caps even an explicit threads=8.
+        let capped = Runner::with_threads(1).execute(&threaded);
+        assert_eq!(capped.round_stats.unwrap().threads, 1);
+        assert_eq!(capped, seq);
     }
 
     #[test]

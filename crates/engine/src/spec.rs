@@ -882,13 +882,25 @@ pub struct EngineOptions {
     /// Hard cap on the number of rounds; `0` means automatic
     /// (`4·|V| + 16`).
     pub max_rounds: usize,
-    /// Worker-thread budget for batch execution of this scenario's grid
-    /// (`0` = automatic: [`crate::sweep::default_threads`]).  Consumed by
-    /// [`crate::runner::Runner::for_options`]; the simulation service
-    /// sizes its worker pool through the same automatic default (its
-    /// `SchedulerConfig::workers = 0`).  A single run is always
-    /// sequential, so this knob never affects an outcome and is excluded
-    /// from [`RunSpec::canonical_key`].
+    /// Thread budget for this scenario (`0` = automatic:
+    /// [`crate::sweep::default_threads`]).  Precedence, outermost first:
+    ///
+    /// 1. A batch sweep ([`crate::runner::Runner::sweep`]) spends the
+    ///    budget on whole runs and steps each run sequentially — outer
+    ///    parallelism wins.
+    /// 2. A single [`crate::runner::Runner::execute`] spends it *inside*
+    ///    the run as band-parallel stepping ([`crate::parallel`]),
+    ///    clamped to the runner's own budget; `auto` engages the full
+    ///    budget only on large grids (≥ 2¹⁸ cells).
+    /// 3. The worker pool ([`crate::exec::LocalExecutor`] and the
+    ///    simulation service) charges a job stepping with `T` threads as
+    ///    `T` pool slots (clamped to idle capacity) and resolves `auto`
+    ///    *pool-aware* — to `1`, because the pool is already saturated
+    ///    with whole jobs.
+    ///
+    /// Stepping is bit-identical at every thread count, so this knob
+    /// never affects an outcome and is excluded from
+    /// [`RunSpec::canonical_key`].
     pub threads: usize,
     /// Sampling stride of the execution API's progress events: every
     /// `progress_every`-th round is published as a
@@ -1025,6 +1037,7 @@ impl EngineOptions {
     /// keep their defaults).
     pub fn parse(text: &str) -> Result<Self, SpecParseError> {
         let mut options = EngineOptions::default();
+        let mut literal_zero_threads = false;
         for token in text.split_whitespace() {
             let (key, value) = token
                 .split_once('=')
@@ -1063,9 +1076,11 @@ impl EngineOptions {
                     options.threads = if value == "auto" {
                         0
                     } else {
-                        value
+                        let n: usize = value
                             .parse()
-                            .map_err(|_| bad_options(format!("{value:?} is not a thread count")))?
+                            .map_err(|_| bad_options(format!("{value:?} is not a thread count")))?;
+                        literal_zero_threads = n == 0;
+                        n
                     }
                 }
                 "progress" => {
@@ -1093,6 +1108,15 @@ impl EngineOptions {
                 }
                 other => return Err(bad_options(format!("unknown option {other:?}"))),
             }
+        }
+        // A literal `threads=0` is almost always a typo for `threads=auto`;
+        // with the band-parallel plane lane forced it would silently pin
+        // the run the author asked to parallelise to one worker, so the
+        // combination is rejected rather than reinterpreted.
+        if literal_zero_threads && options.lane == LaneSpec::Planes {
+            return Err(bad_options(
+                "threads=0 with lane=planes: write threads=auto for the automatic budget",
+            ));
         }
         Ok(options)
     }
@@ -1649,6 +1673,23 @@ mod tests {
         assert!(auto.to_text().contains("threads=auto"));
         assert_eq!(auto.effective_threads(), crate::sweep::default_threads());
         assert!(EngineOptions::parse("threads=lots").is_err());
+    }
+
+    #[test]
+    fn zero_threads_with_forced_plane_lane_is_rejected() {
+        // Order of the keys must not matter: the check runs after parsing.
+        for text in ["lane=planes threads=0", "threads=0 lane=planes"] {
+            let err = EngineOptions::parse(text).unwrap_err();
+            assert!(
+                matches!(err, SpecParseError::BadOptions { .. }),
+                "{text}: {err:?}"
+            );
+        }
+        // `threads=0` without the plane lane keeps its legacy auto meaning,
+        // and `threads=auto` with the plane lane is the supported spelling.
+        assert_eq!(EngineOptions::parse("threads=0").unwrap().threads, 0);
+        let ok = EngineOptions::parse("lane=planes threads=auto").unwrap();
+        assert_eq!((ok.lane, ok.threads), (LaneSpec::Planes, 0));
     }
 
     #[test]

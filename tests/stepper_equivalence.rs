@@ -230,6 +230,134 @@ proptest! {
     }
 }
 
+/// Mostly colour 1 with a noisy stripe and scattered noise: the run
+/// starts dense and quiesces, so the per-band dense/sparse hybrid is
+/// driven from full sweeps into sparse worklists over the run.
+fn quiescing_config(torus: &Torus, k: u16, seed: u64) -> Coloring {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = ColoringBuilder::filled(torus, Color::new(1));
+    let stripe = torus.rows() / 2;
+    for r in 0..torus.rows() {
+        for c in 0..torus.cols() {
+            let noisy = r == stripe || r == (stripe + 1) % torus.rows();
+            if noisy || rng.gen_range(0..100usize) < 5 {
+                builder = builder.cell(r, c, Color::new(rng.gen_range(1..=k)));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Thread counts under test: the fixed spread plus whatever
+/// `CTORI_TEST_THREADS` asks for (CI runs the suite once with 4).
+fn thread_counts() -> impl Strategy<Value = usize> {
+    let mut counts = vec![1usize, 2, 3, 8];
+    if let Some(n) = std::env::var("CTORI_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        counts.push(n.max(1));
+    }
+    (0..counts.len()).prop_map(move |i| counts[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Band-parallel stepping is bit-identical to sequential stepping on
+    /// every lane: the fast lane (packed for k = 2, planes for k ≥ 3)
+    /// and the generic frontier agree with their single-threaded twins
+    /// round for round at every thread count, across a run that crosses
+    /// the dense→sparse hybrid handoff.
+    #[test]
+    fn parallel_stepping_matches_sequential_on_every_lane(
+        kind in torus_kind(),
+        m in 4usize..=8,
+        n in 60usize..=70,
+        k in prop_oneof![Just(2u16), Just(3), Just(5), Just(8)],
+        threads in thread_counts(),
+        seed in any::<u64>(),
+    ) {
+        let torus = Torus::new(kind, m, n);
+        let coloring = quiescing_config(&torus, k, seed);
+        let mut fast_seq = Simulator::new(&torus, SmpProtocol, coloring.clone());
+        let mut fast_par =
+            Simulator::new(&torus, SmpProtocol, coloring.clone()).with_step_threads(threads);
+        let mut gen_seq =
+            Simulator::new(&torus, SmpProtocol, coloring.clone()).with_generic_lane();
+        let mut gen_par = Simulator::new(&torus, SmpProtocol, coloring)
+            .with_generic_lane()
+            .with_step_threads(threads);
+        for round in 0..24 {
+            let a = fast_seq.step();
+            let b = fast_par.step();
+            let c = gen_seq.step();
+            let d = gen_par.step();
+            prop_assert_eq!(
+                a, b,
+                "fast lane diverges with {} threads at round {} (k={})", threads, round, k
+            );
+            prop_assert_eq!(
+                c, d,
+                "generic lane diverges with {} threads at round {} (k={})", threads, round, k
+            );
+            prop_assert_eq!(a, c, "lanes diverge at round {} (k={})", round, k);
+            prop_assert_eq!(fast_seq.snapshot(), fast_par.snapshot());
+            prop_assert_eq!(gen_seq.snapshot(), gen_par.snapshot());
+            prop_assert_eq!(fast_par.snapshot(), gen_par.snapshot());
+            if a.changed == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// The runner resolves spec thread counts without ever changing a
+/// result: same outcome, same canonical key, and the `round-stats:`
+/// observability line round-trips through the text form (and is
+/// tolerated when absent, for outcomes recorded before it existed).
+#[test]
+fn runner_honours_spec_thread_counts() {
+    use colored_tori::engine::{
+        EngineOptions, RuleSpec, RunOutcome, RunSpec, Runner, SeedSpec, TopologySpec,
+    };
+    let n: usize = std::env::var("CTORI_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let n = n.max(2);
+    let base = RunSpec::new(
+        TopologySpec::toroidal_mesh(12, 66),
+        RuleSpec::parse("smp").unwrap(),
+        SeedSpec::nodes(Color::new(1), Color::new(2), [3, 40, 200, 477]),
+    );
+    let threaded = base
+        .clone()
+        .with_options(EngineOptions::default().with_threads(n));
+    assert_eq!(
+        base.canonical_key(),
+        threaded.canonical_key(),
+        "threads are excluded from the canonical key"
+    );
+    let seq = Runner::with_threads(1).execute(&base);
+    let par = Runner::with_threads(n).execute(&threaded);
+    assert_eq!(seq, par, "outcomes are thread-count independent");
+    let stats = par.round_stats.expect("fresh runs carry stats");
+    assert_eq!(stats.threads as usize, n);
+    assert_eq!(seq.round_stats.expect("fresh runs carry stats").threads, 1);
+    let text = par.to_text();
+    let parsed = RunOutcome::from_text(&text).unwrap();
+    assert_eq!(parsed.round_stats, par.round_stats, "stats round-trip");
+    let legacy: String = text
+        .lines()
+        .filter(|l| !l.starts_with("round-stats:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let old = RunOutcome::from_text(&legacy).unwrap();
+    assert!(old.round_stats.is_none(), "pre-stats outcomes still parse");
+    assert_eq!(old, par, "stats never participate in outcome equality");
+}
+
 /// The synchronous re-scan reference implementation `spread_on` must agree
 /// with, round for round (the pre-refactor hand-rolled frontier obeyed the
 /// same contract).
