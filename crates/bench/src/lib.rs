@@ -4,6 +4,8 @@
 //! figure, a theorem's sweep, or a baseline comparison); the helpers here
 //! keep the individual bench files small and consistent.
 
+#![deny(unsafe_code)]
+
 use ctori_coloring::{Color, Coloring, ColoringBuilder};
 use ctori_core::construct::{minimum_dynamo, ConstructedDynamo};
 use ctori_core::dynamo::verify_dynamo;

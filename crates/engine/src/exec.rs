@@ -794,9 +794,7 @@ impl EventLog {
         out.extend(
             self.progress
                 .iter()
-                .filter(|e| {
-                    after.is_none_or(|a| e.progress_round().expect("progress has a round") > a)
-                })
+                .filter(|e| after.is_none_or(|a| e.progress_round().is_some_and(|r| r > a)))
                 .cloned(),
         );
         out.extend(self.terminal.clone());
@@ -941,6 +939,9 @@ impl LocalExecutor {
             workers,
             cache,
         });
+        // The one place unscoped threads are created: the pool owns their
+        // lifecycle and joins them on shutdown.
+        #[allow(clippy::disallowed_methods)]
         let handles = (0..workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -1082,6 +1083,8 @@ impl LocalExecutor {
         self.shared.work_ready.notify_all();
         let handles = std::mem::take(&mut *self.handles.lock().expect("pool poisoned"));
         for handle in handles {
+            // lint: allow(panic) worker bodies catch_unwind job panics, so a
+            // join failure is a pool-loop bug worth crashing shutdown loudly
             handle.join().expect("pool worker panicked");
         }
     }
@@ -1173,6 +1176,8 @@ fn enqueue_locked(
 /// Blocks until the job reaches a terminal state (shared by
 /// [`LocalExecutor::wait_job`] and the handle's `wait`, which may
 /// outlive the executor value and therefore works over `&Shared`).
+// Deliberate timing code: wall-clock deadlines for `wait_timeout`.
+#[allow(clippy::disallowed_methods)]
 fn wait_on(
     shared: &Shared,
     id: u64,
@@ -1231,6 +1236,8 @@ fn push_event(events: &Arc<Mutex<EventLog>>, event: RunEvent) {
 fn outcome_of(state: &PoolState, id: u64) -> Result<Arc<RunOutcome>, ExecError> {
     let record = state.jobs.get(&id).ok_or(ExecError::UnknownJob)?;
     match record.state {
+        // lint: allow(panic) JobState::Done is only ever set together with
+        // the outcome, under the same state lock
         JobState::Done => Ok(record.outcome.clone().expect("done job has an outcome")),
         JobState::Failed => Err(ExecError::Failed {
             message: record.error.clone().unwrap_or_else(|| "unknown".into()),
@@ -1302,6 +1309,8 @@ fn worker_loop(shared: &Shared) {
                     // evicted, so the record is guaranteed to survive
                     // until the worker reports back.
                     record.state = JobState::Running;
+                    // lint: allow(panic) the spec is taken exactly once, on
+                    // this Queued -> Running transition
                     let spec = record.spec.take().expect("queued job still has its spec");
                     let key = record.key;
                     let events = Arc::clone(&record.events);
@@ -1348,6 +1357,8 @@ fn worker_loop(shared: &Shared) {
             state = shared.state.lock().expect("pool poisoned");
             state.running -= 1;
             state.borrowed -= step_threads - 1;
+            // lint: allow(panic) Running jobs are never cancelled or
+            // evicted, so the record outlives the worker
             let record = state.jobs.get_mut(&id).expect("running job exists");
             record.state = JobState::Done;
             record.from_cache = true;
@@ -1394,6 +1405,8 @@ fn worker_loop(shared: &Shared) {
         state = shared.state.lock().expect("pool poisoned");
         state.running -= 1;
         state.borrowed -= step_threads - 1;
+        // lint: allow(panic) Running jobs are never cancelled or evicted,
+        // so the record outlives the worker
         let record = state.jobs.get_mut(&id).expect("running job exists");
         // Terminal events are pushed under the state lock (nested
         // state → event-log order) so a watcher can never see the stream
@@ -1525,6 +1538,34 @@ mod tests {
         assert!(!status.from_cache);
         assert!(handle.try_outcome().unwrap().is_some());
         assert!(handle.label().starts_with("local:"));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_fails_the_job_and_leaves_the_pool_usable() {
+        let pool = small_pool(1);
+        // Seed node 100 does not fit a 6x6 torus: the runner panics
+        // inside the worker, which must surface as a Failed job — not
+        // poison the pool or kill the worker thread.
+        let bad = spec(6, 100);
+        let mut handle = pool.submit(&bad, SubmitOptions::default()).unwrap();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, ExecError::Failed { .. }), "{err:?}");
+        assert_eq!(handle.status().unwrap().state, JobState::Failed);
+        let events = handle.poll_events().unwrap();
+        assert!(
+            matches!(events.last(), Some(RunEvent::Failed { .. })),
+            "{events:?}"
+        );
+        // The sole worker must pick up and finish the next job, and the
+        // pool must still drain cleanly.
+        let good = spec(6, 3);
+        let outcome = pool
+            .submit(&good, SubmitOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(*outcome, Runner::with_threads(1).execute(&good));
         pool.shutdown();
     }
 

@@ -458,6 +458,8 @@ impl Runner {
         let step_threads = self.resolve_step_threads(spec, sim.adjacency().node_count());
         sim.set_step_threads(step_threads);
         observer.on_start(&sim.view());
+        // Deliberate timing code: the outcome reports total run time.
+        #[allow(clippy::disallowed_methods)]
         let started = Instant::now();
         let report = sim.run_with(&config, |view| observer.on_round(view));
         let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;

@@ -1,0 +1,427 @@
+//! `lint.toml` parsing — a tiny TOML subset, std-only.
+//!
+//! Supported syntax: `[section]` headers, `[[section]]` array-of-tables
+//! headers, `key = value` pairs with string, string-array (possibly
+//! multi-line), boolean and integer values, and `#` comments.  That is
+//! exactly what `lint.toml` uses; anything else is a parse error so a
+//! config typo cannot silently disable a rule.
+
+use std::collections::BTreeMap;
+
+/// A parsed configuration value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An array of quoted strings.
+    List(Vec<String>),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    Int(u64),
+}
+
+/// One table of `key = value` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    map: BTreeMap<String, Value>,
+}
+
+impl Table {
+    /// The string value of `key`, if present and a string.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.map.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string-array value of `key` (empty when absent).
+    pub fn list(&self, key: &str) -> Vec<String> {
+        match self.map.get(key) {
+            Some(Value::List(v)) => v.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// The raw parsed document: section path → tables (one per `[x]`, many
+/// per `[[x]]`).
+#[derive(Debug, Default)]
+pub struct Document {
+    sections: BTreeMap<String, Vec<Table>>,
+}
+
+impl Document {
+    /// Parses the subset; returns a human-readable error on anything
+    /// outside it.
+    pub fn parse(text: &str) -> Result<Document, String> {
+        let mut doc = Document::default();
+        let mut current = String::new();
+        doc.sections.insert(String::new(), vec![Table::default()]);
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+                current = name.trim().to_string();
+                doc.sections
+                    .entry(current.clone())
+                    .or_default()
+                    .push(Table::default());
+            } else if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+                current = name.trim().to_string();
+                let tables = doc.sections.entry(current.clone()).or_default();
+                if tables.is_empty() {
+                    tables.push(Table::default());
+                }
+            } else if let Some((key, mut rest)) = split_key(&line) {
+                // A `[` array may span lines: accumulate until balanced.
+                while array_open(&rest) {
+                    match lines.next() {
+                        Some((_, cont)) => {
+                            rest.push(' ');
+                            rest.push_str(strip_comment(cont).trim());
+                        }
+                        None => return Err(format!("line {}: unterminated array", idx + 1)),
+                    }
+                }
+                let value =
+                    parse_value(rest.trim()).map_err(|e| format!("line {}: {e}", idx + 1))?;
+                let tables = doc.sections.entry(current.clone()).or_default();
+                if tables.is_empty() {
+                    tables.push(Table::default());
+                }
+                if let Some(table) = tables.last_mut() {
+                    table.map.insert(key, value);
+                }
+            } else {
+                return Err(format!("line {}: unsupported syntax: {line}", idx + 1));
+            }
+        }
+        Ok(doc)
+    }
+
+    /// The single table of `[name]` (the last one if repeated).
+    pub fn section(&self, name: &str) -> Option<&Table> {
+        self.sections.get(name).and_then(|v| v.last())
+    }
+
+    /// Every table of `[[name]]`.
+    pub fn tables(&self, name: &str) -> &[Table] {
+        self.sections.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn split_key(line: &str) -> Option<(String, String)> {
+    let eq = line.find('=')?;
+    let key = line[..eq].trim();
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return None;
+    }
+    Some((key.to_string(), line[eq + 1..].trim().to_string()))
+}
+
+/// Whether `rest` opens a `[` array that is not yet closed.
+fn array_open(rest: &str) -> bool {
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut depth = 0i32;
+    let mut opened = false;
+    for c in rest.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => {
+                depth += 1;
+                opened = true;
+            }
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    opened && depth > 0
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(n) = text.parse::<u64>() {
+        return Ok(Value::Int(n));
+    }
+    if text.starts_with('"') {
+        return Ok(Value::Str(parse_str(text)?.0));
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            let (item, remainder) = parse_str(rest)?;
+            items.push(item);
+            rest = remainder
+                .trim()
+                .strip_prefix(',')
+                .unwrap_or(remainder.trim())
+                .trim();
+        }
+        return Ok(Value::List(items));
+    }
+    Err(format!("unsupported value: {text}"))
+}
+
+/// Parses one leading quoted string; returns it and the remaining text.
+fn parse_str(text: &str) -> Result<(String, &str), String> {
+    let rest = text
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected a quoted string at: {text}"))?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some((_, esc)) => out.push(esc),
+                None => return Err("dangling escape".into()),
+            },
+            '"' => return Ok((out, &rest[i + 1..])),
+            _ => out.push(c),
+        }
+    }
+    Err(format!("unterminated string: {text}"))
+}
+
+/// A lock class: a name plus the receiver suffixes, helper methods and
+/// free functions that acquire it.
+#[derive(Clone, Debug)]
+pub struct LockClass {
+    /// Class name as used in `order`.
+    pub name: String,
+    /// Final dotted-path segments that identify a `.lock()` receiver
+    /// (e.g. `state` for `self.shared.state.lock()`).
+    pub receivers: Vec<String>,
+    /// `Type::method` entries: a `self.method()` call inside an `impl`
+    /// block of `Type` acquires this class.
+    pub helpers: Vec<String>,
+    /// Free functions whose *call* transiently acquires this class
+    /// (checked against held guards, released on return).
+    pub functions: Vec<String>,
+}
+
+/// Configuration of the lock-order rule.
+#[derive(Clone, Debug)]
+pub struct LockOrderCfg {
+    /// Files whose `.lock()` sites are checked.
+    pub files: Vec<String>,
+    /// Declared partial order: a class may only be acquired while
+    /// classes *earlier* in this list are held.
+    pub order: Vec<String>,
+    /// The declared lock classes.
+    pub classes: Vec<LockClass>,
+}
+
+/// Configuration of the panic-path rule.
+#[derive(Clone, Debug)]
+pub struct PanicCfg {
+    /// Files / directories whose non-test code must be panic-free.
+    pub include: Vec<String>,
+    /// `.expect()` messages containing one of these substrings are
+    /// blanket-allowed (the documented Mutex-poisoning idiom).
+    pub allow_expect_containing: Vec<String>,
+}
+
+/// Configuration of the spec-key-drift rule.
+#[derive(Clone, Debug)]
+pub struct SpecKeyCfg {
+    /// File defining `RunSpec` / `EngineOptions`.
+    pub spec_file: String,
+    /// File defining `RunOutcome` and its manual `PartialEq`.
+    pub outcome_file: String,
+    /// `EngineOptions` fields declared outcome-irrelevant: they must be
+    /// normalised away in `canonical_key` — and nothing else may be.
+    pub options_exclude: Vec<String>,
+    /// `RunOutcome` fields declared excluded from equality: they must
+    /// not appear in `eq`, but must still be serialised by `to_text`.
+    pub outcome_exclude: Vec<String>,
+}
+
+/// Configuration of the wire-token rule.
+#[derive(Clone, Debug)]
+pub struct WireCfg {
+    /// The protocol definition file (source of truth).
+    pub protocol: String,
+    /// Files whose wire-looking string literals must match the protocol.
+    pub check: Vec<String>,
+    /// The README whose protocol table must list every verb.
+    pub readme: String,
+    /// The declared request verbs.
+    pub verbs: Vec<String>,
+    /// The declared error codes.
+    pub error_codes: Vec<String>,
+    /// Additional hyphenated literals that are legitimately not error
+    /// codes (wire keys etc.).
+    pub allow_tokens: Vec<String>,
+}
+
+/// Configuration of the hygiene rule.
+#[derive(Clone, Debug)]
+pub struct HygieneCfg {
+    /// Attributes every non-vendor `lib.rs` must carry.
+    pub require_attrs: Vec<String>,
+    /// Path prefixes of crates exempt from the attribute check.
+    pub exclude: Vec<String>,
+    /// The CI workflow file.
+    pub ci_file: String,
+    /// Substrings the CI workflow must contain (the clippy and lint
+    /// gates).
+    pub ci_must_contain: Vec<String>,
+}
+
+/// The fully-validated lint configuration.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Lock-order rule settings.
+    pub lock: LockOrderCfg,
+    /// Panic-path rule settings.
+    pub panic: PanicCfg,
+    /// Spec-key-drift rule settings.
+    pub speckey: SpecKeyCfg,
+    /// Wire-token rule settings.
+    pub wire: WireCfg,
+    /// Hygiene rule settings.
+    pub hygiene: HygieneCfg,
+}
+
+impl LintConfig {
+    /// Parses and validates a `lint.toml` document.
+    pub fn from_toml(text: &str) -> Result<LintConfig, String> {
+        let doc = Document::parse(text)?;
+        let lock_table = doc.section("lock-order").ok_or("missing [lock-order]")?;
+        let order = lock_table.list("order");
+        let classes: Vec<LockClass> = doc
+            .tables("lock-order.class")
+            .iter()
+            .map(|t| {
+                Ok(LockClass {
+                    name: t
+                        .str("name")
+                        .ok_or("lock class without a name")?
+                        .to_string(),
+                    receivers: t.list("receivers"),
+                    helpers: t.list("helpers"),
+                    functions: t.list("functions"),
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        for name in &order {
+            if !classes.iter().any(|c| &c.name == name) {
+                return Err(format!("order references undeclared lock class `{name}`"));
+            }
+        }
+        let panic_table = doc.section("panic-path").ok_or("missing [panic-path]")?;
+        let speckey = doc.section("spec-key").ok_or("missing [spec-key]")?;
+        let wire = doc.section("wire-tokens").ok_or("missing [wire-tokens]")?;
+        let hygiene = doc.section("hygiene").ok_or("missing [hygiene]")?;
+        Ok(LintConfig {
+            lock: LockOrderCfg {
+                files: lock_table.list("files"),
+                order,
+                classes,
+            },
+            panic: PanicCfg {
+                include: panic_table.list("include"),
+                allow_expect_containing: panic_table.list("allow-expect-containing"),
+            },
+            speckey: SpecKeyCfg {
+                spec_file: speckey
+                    .str("spec-file")
+                    .ok_or("spec-key.spec-file")?
+                    .to_string(),
+                outcome_file: speckey
+                    .str("outcome-file")
+                    .ok_or("spec-key.outcome-file")?
+                    .to_string(),
+                options_exclude: speckey.list("options-exclude"),
+                outcome_exclude: speckey.list("outcome-exclude"),
+            },
+            wire: WireCfg {
+                protocol: wire
+                    .str("protocol")
+                    .ok_or("wire-tokens.protocol")?
+                    .to_string(),
+                check: wire.list("check"),
+                readme: wire.str("readme").ok_or("wire-tokens.readme")?.to_string(),
+                verbs: wire.list("verbs"),
+                error_codes: wire.list("error-codes"),
+                allow_tokens: wire.list("allow-tokens"),
+            },
+            hygiene: HygieneCfg {
+                require_attrs: hygiene.list("require-attrs"),
+                exclude: hygiene.list("exclude"),
+                ci_file: hygiene.str("ci-file").ok_or("hygiene.ci-file")?.to_string(),
+                ci_must_contain: hygiene.list("ci-must-contain"),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let doc = Document::parse(
+            "top = \"x\" # comment\n[a]\nk = [\n  \"one\", # inline\n  \"two\",\n]\nflag = true\nn = 7\n[[a.b]]\nname = \"first\"\n[[a.b]]\nname = \"second\"\n",
+        )
+        .unwrap();
+        assert_eq!(doc.section("").unwrap().str("top"), Some("x"));
+        assert_eq!(doc.section("a").unwrap().list("k"), vec!["one", "two"]);
+        assert_eq!(doc.tables("a.b").len(), 2);
+        assert_eq!(doc.tables("a.b")[1].str("name"), Some("second"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = Document::parse("k = \"a # b\"\n").unwrap();
+        assert_eq!(doc.section("").unwrap().str("k"), Some("a # b"));
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(Document::parse("k = { a = 1 }\n").is_err());
+        assert!(Document::parse("just words\n").is_err());
+    }
+}

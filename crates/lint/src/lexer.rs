@@ -1,0 +1,409 @@
+//! A minimal line-oriented Rust lexer.
+//!
+//! The rule engine does not need a syntax tree — only a faithful
+//! separation of each line into *code*, *comment text* and *string
+//! literals*, plus a flag marking test-only regions.  This module walks
+//! the raw bytes once, tracking comments (line and nested block), string
+//! literals (plain, byte, raw, char) and `#[cfg(test)]` / `#[test]`
+//! item bodies by brace depth.
+//!
+//! Known, documented approximations (the workspace is rustfmt-clean, so
+//! these shapes do not occur in practice):
+//!
+//! - a `#[cfg(test)]` attribute sharing a line with the item it gates is
+//!   not recognised (rustfmt always splits them);
+//! - a string literal spanning lines is attributed piecewise to each
+//!   line it covers.
+
+/// One source line, split into the channels the rules consume.
+#[derive(Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code with comments removed and string/char literal
+    /// *contents* stripped (an empty `""` marks where a string sat, so
+    /// token positions in the remaining code stay meaningful).
+    pub code: String,
+    /// Comment text on this line (line and block comments, markers
+    /// removed).
+    pub comment: String,
+    /// String literal contents on this line as `(column in code,
+    /// content)` pairs, in source order.  Common escapes (`\n`, `\t`,
+    /// `\"`, …) are decoded so the content matches the runtime value.
+    pub strings: Vec<(usize, String)>,
+    /// Whether any part of the line sits inside a `#[cfg(test)]` or
+    /// `#[test]` item body.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used in diagnostics.
+    pub rel_path: String,
+    /// The lexed lines, in order.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Lexes `text` (the contents of `rel_path`).
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let mut lx = Lexer {
+            bytes: text.as_bytes(),
+            i: 0,
+            lines: Vec::new(),
+            number: 1,
+            code: String::new(),
+            comment: String::new(),
+            strings: Vec::new(),
+            depth: 0,
+            pending_test: false,
+            test_depth: None,
+            was_test: false,
+        };
+        lx.run();
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines: lx.lines,
+        }
+    }
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    i: usize,
+    lines: Vec<Line>,
+    number: usize,
+    code: String,
+    comment: String,
+    strings: Vec<(usize, String)>,
+    depth: i64,
+    /// Saw a test attribute; the next opening brace starts a test region.
+    pending_test: bool,
+    /// Brace depth at which the active test region opened.
+    test_depth: Option<i64>,
+    /// Whether the test region was active when the current line started.
+    was_test: bool,
+}
+
+impl Lexer<'_> {
+    fn run(&mut self) {
+        while self.i < self.bytes.len() {
+            let c = self.bytes[self.i];
+            match c {
+                b'\n' => {
+                    self.i += 1;
+                    self.flush_line();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(0),
+                b'r' | b'b' if self.raw_prefix_len().is_some() => {
+                    let hashes = self.raw_prefix_len().unwrap_or(0);
+                    self.string(hashes)
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'{' => {
+                    if self.pending_test && self.test_depth.is_none() {
+                        self.test_depth = Some(self.depth);
+                        self.pending_test = false;
+                    }
+                    self.depth += 1;
+                    self.push_code(b'{');
+                }
+                b'}' => {
+                    self.depth -= 1;
+                    if self.test_depth == Some(self.depth) {
+                        self.test_depth = None;
+                    }
+                    self.push_code(b'}');
+                }
+                b';' => {
+                    // An attribute followed by a braceless item (e.g.
+                    // `#[cfg(test)] use …;`) gates only that item.
+                    if self.test_depth.is_none() {
+                        self.pending_test = false;
+                    }
+                    self.push_code(b';');
+                }
+                _ => self.push_code(c),
+            }
+        }
+        if !self.code.is_empty() || !self.comment.is_empty() || !self.strings.is_empty() {
+            self.flush_line();
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    fn push_code(&mut self, c: u8) {
+        self.code.push(c as char);
+        self.i += 1;
+    }
+
+    fn flush_line(&mut self) {
+        let code = std::mem::take(&mut self.code);
+        if self.test_depth.is_none() && (code.contains("#[cfg(test)]") || code.contains("#[test]"))
+        {
+            self.pending_test = true;
+        }
+        self.lines.push(Line {
+            number: self.number,
+            code,
+            comment: std::mem::take(&mut self.comment),
+            strings: std::mem::take(&mut self.strings),
+            in_test: self.was_test || self.test_depth.is_some(),
+        });
+        self.number += 1;
+        self.was_test = self.test_depth.is_some();
+    }
+
+    fn line_comment(&mut self) {
+        self.i += 2; // the `//`
+                     // Strip doc markers (`/` or `!`) so the comment text is uniform.
+        while matches!(self.peek(0), Some(b'/') | Some(b'!')) {
+            self.i += 1;
+        }
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.comment.push(c as char);
+            self.i += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.i += 2;
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (None, _) => return,
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (Some(b'\n'), _) => {
+                    self.i += 1;
+                    self.flush_line();
+                }
+                (Some(c), _) => {
+                    self.comment.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    /// At a `r`/`b` byte: the length of a raw/byte string prefix ending
+    /// in `"` (number of `#`s), or `None` if this is a plain identifier.
+    /// `self.i` is left on the prefix; `string()` consumes from the `"`.
+    fn raw_prefix_len(&self) -> Option<usize> {
+        if self.i > 0 {
+            let prev = self.bytes[self.i - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'"' {
+                return None;
+            }
+        }
+        let mut j = self.i;
+        let mut raw = false;
+        if self.bytes.get(j) == Some(&b'b') {
+            j += 1;
+        }
+        if self.bytes.get(j) == Some(&b'r') {
+            raw = true;
+            j += 1;
+        }
+        let mut hashes = 0;
+        while raw && self.bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.bytes.get(j) == Some(&b'"') && (raw || j > self.i) {
+            Some(hashes)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes a string literal (plain, byte or raw with `hashes` `#`s),
+    /// recording its content.  `self.i` sits on the prefix or quote.
+    fn string(&mut self, hashes: usize) {
+        let raw = self.bytes[self.i] != b'"' && {
+            // Skip the `b`/`r`/`#` prefix up to the opening quote.
+            while self.bytes[self.i] != b'"' {
+                self.i += 1;
+            }
+            self.bytes[self.i - 1] == b'r' || self.bytes[self.i - 1] == b'#'
+        };
+        let mut col = self.code.len();
+        self.code.push('"');
+        self.i += 1; // opening quote
+        let mut buf = String::new();
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    // A raw string closes only on `"` + its `#`s.
+                    if hashes > 0 {
+                        let tail: Vec<u8> = (1..=hashes).filter_map(|k| self.peek(k)).collect();
+                        if tail.len() < hashes || tail.iter().any(|&b| b != b'#') {
+                            buf.push('"');
+                            self.i += 1;
+                            continue;
+                        }
+                        self.i += hashes;
+                    }
+                    self.i += 1;
+                    self.code.push('"');
+                    break;
+                }
+                Some(b'\\') if !raw => {
+                    self.i += 1;
+                    match self.peek(0) {
+                        // A `\` before a real newline is a line
+                        // continuation — leave the newline for the
+                        // multi-line arm so numbering stays right.
+                        None | Some(b'\n') => {}
+                        Some(b'n') => {
+                            buf.push('\n');
+                            self.i += 1;
+                        }
+                        Some(b't') => {
+                            buf.push('\t');
+                            self.i += 1;
+                        }
+                        Some(b'r') => {
+                            buf.push('\r');
+                            self.i += 1;
+                        }
+                        Some(b'0') => {
+                            buf.push('\0');
+                            self.i += 1;
+                        }
+                        Some(esc @ (b'\\' | b'"' | b'\'')) => {
+                            buf.push(esc as char);
+                            self.i += 1;
+                        }
+                        // `\u{…}`, `\x..` — keep the raw spelling.
+                        Some(esc) => {
+                            buf.push('\\');
+                            buf.push(esc as char);
+                            self.i += 1;
+                        }
+                    }
+                }
+                Some(b'\n') => {
+                    // Multi-line literal: attribute the piece seen so far
+                    // to the line it sits on, then continue.
+                    self.strings.push((col, std::mem::take(&mut buf)));
+                    self.i += 1;
+                    self.flush_line();
+                    col = 0;
+                }
+                Some(c) => {
+                    buf.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+        self.strings.push((col, buf));
+    }
+
+    /// Distinguishes a char literal from a lifetime at a `'`.
+    fn char_or_lifetime(&mut self) {
+        let next = self.peek(1);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(c) if c >= 0x80 => true, // multi-byte scalar
+            Some(_) => self.peek(2) == Some(b'\''),
+            None => false,
+        };
+        if !is_char {
+            self.push_code(b'\'');
+            return;
+        }
+        self.code.push_str("''");
+        self.i += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None | Some(b'\n') => break,
+                Some(b'\\') => self.i += 2,
+                Some(b'\'') => {
+                    self.i += 1;
+                    break;
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let src = "let a = \"x.lock()\"; // trailing .lock()\nlet b = 1; /* block\nstill block */ let c = 2;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.lines.len(), 3);
+        assert!(!f.lines[0].code.contains("lock"));
+        assert_eq!(f.lines[0].strings[0].1, "x.lock()");
+        assert!(f.lines[0].comment.contains(".lock()"));
+        assert!(f.lines[1].comment.contains("block"));
+        assert!(f.lines[2].code.contains("let c"));
+    }
+
+    #[test]
+    fn raw_and_char_literals() {
+        let src = "let s = r#\"raw \"quoted\" text\"#;\nlet c = '{'; let l: &'static str = \"v\";\nlet b = b\"bytes\";\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.lines[0].strings[0].1, "raw \"quoted\" text");
+        // The `'{'` char literal must not disturb brace tracking.
+        assert!(!f.lines[1].code.contains('{'));
+        assert_eq!(f.lines[1].strings[0].1, "v");
+        assert_eq!(f.lines[2].strings[0].1, "bytes");
+    }
+
+    #[test]
+    fn escapes_decode_to_runtime_contents() {
+        let src = "let s = \"STATS\\n\"; let q = \"a\\\"b\\\\c\";\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.lines[0].strings[0].1, "STATS\n");
+        assert_eq!(f.lines[0].strings[1].1, "a\"b\\c");
+    }
+
+    #[test]
+    fn test_regions_cover_attribute_gated_bodies() {
+        let src = "fn real() {\n    work();\n}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.lines[1].in_test, "real body");
+        assert!(f.lines[5].in_test, "test helper");
+        assert!(f.lines[6].in_test, "closing brace line");
+        assert!(!f.lines[7].in_test, "code after the region");
+    }
+
+    #[test]
+    fn braceless_test_attribute_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {\n    x();\n}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.lines[3].in_test);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let s = \"first\nsecond\";\nlet t = 3;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.lines.len(), 3);
+        assert_eq!(f.lines[0].strings[0].1, "first");
+        assert_eq!(f.lines[1].strings[0].1, "second");
+        assert_eq!(f.lines[2].number, 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! `ctori-lint` — the workspace invariant checker.
+//!
+//! The simulator's correctness claims rest on invariants no compiler
+//! checks: the nested pool-state → event-log lock order in the
+//! executor, the panic-free service paths, the fields excluded from
+//! `RunSpec::canonical_key` cache identity, the wire tokens spelled
+//! identically across protocol / client / remote / README, and the
+//! `#![deny(unsafe_code)]` + CI gate hygiene.  This crate walks the
+//! workspace source with a small in-repo lexer (no `syn`, no network
+//! dependencies) and enforces all five as machine-checked rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `lock-order` | every `.lock()` acquisition respects the declared partial order; no re-entry |
+//! | `panic-path` | no `unwrap`/`expect`/`panic!`/`todo!` on non-test service or executor paths |
+//! | `spec-key-drift` | spec fields, `canonical_key` normalisation and `RunOutcome` equality stay in sync with the declared exclusions |
+//! | `wire-tokens` | protocol verbs and error codes agree across `protocol.rs`, `client.rs`, `remote.rs` and the README |
+//! | `hygiene` | every non-vendor `lib.rs` keeps its safety header; CI keeps the clippy + lint gates |
+//!
+//! Configuration lives in the workspace-root `lint.toml`; run with
+//! `cargo run -p ctori-lint -- --check`.  The binary writes a
+//! machine-readable `LINT.json` and exits nonzero on any unsuppressed
+//! finding.  See `crates/lint/README.md` for how to add a rule and how
+//! `// lint: allow(<rule>) <reason>` suppressions work.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use report::{Report, Workspace};
+use std::path::Path;
+
+/// Runs every rule against the workspace at `root` using `cfg_text`
+/// (the contents of a `lint.toml`).
+pub fn check(root: &Path, cfg_text: &str) -> Result<Report, String> {
+    let cfg = config::LintConfig::from_toml(cfg_text)?;
+    Ok(rules::run_all(&Workspace::new(root), &cfg))
+}

@@ -1,0 +1,120 @@
+//! The `ctori-lint` binary: `cargo run -p ctori-lint -- --check`.
+//!
+//! Finds the workspace root (the directory holding `lint.toml`,
+//! searched upward from the current directory), runs every rule, writes
+//! `LINT.json` and prints human diagnostics with `file:line` anchors.
+//! Exit status: `0` clean, `1` unsuppressed findings, `2` usage or I/O
+//! error.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config = args.next().map(PathBuf::from),
+            "--out" => out = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ctori-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !check {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("ctori-lint: no lint.toml found upward from the current directory");
+            return ExitCode::from(2);
+        }
+    };
+    let config = config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg_text = match std::fs::read_to_string(&config) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("ctori-lint: cannot read {}: {err}", config.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match ctori_lint::check(&root, &cfg_text) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("ctori-lint: bad configuration: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let out = out.unwrap_or_else(|| root.join("LINT.json"));
+    if let Err(err) = std::fs::write(&out, report.to_json()) {
+        eprintln!("ctori-lint: cannot write {}: {err}", out.display());
+        return ExitCode::from(2);
+    }
+
+    let mut fatal = 0usize;
+    let mut allowed = 0usize;
+    for finding in &report.findings {
+        match &finding.suppressed {
+            Some(reason) => {
+                allowed += 1;
+                println!(
+                    "allowed {}:{}: [{}] {} ({reason})",
+                    finding.file, finding.line, finding.rule, finding.message
+                );
+            }
+            None => {
+                fatal += 1;
+                println!(
+                    "error {}:{}: [{}] {}",
+                    finding.file, finding.line, finding.rule, finding.message
+                );
+            }
+        }
+    }
+    println!(
+        "ctori-lint: {} files checked, {} findings ({} unsuppressed, {} allowed) -> {}",
+        report.checked_files,
+        report.findings.len(),
+        fatal,
+        allowed,
+        out.display()
+    );
+    if fatal > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const USAGE: &str = "usage: ctori-lint --check [--root DIR] [--config FILE] [--out FILE]";
+
+/// The nearest ancestor directory (including the current one) holding a
+/// `lint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Findings, the JSON report and workspace file access.
+
+use crate::lexer::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One diagnostic produced by a rule.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The rule that produced it (`lock-order`, `panic-path`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (0 when the finding is file-level).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(justification)` when an allowlist entry or a
+    /// `// lint: allow(...)` comment suppresses the finding.
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// An unsuppressed finding.
+    pub fn new(rule: &'static str, file: &str, line: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            suppressed: None,
+        }
+    }
+}
+
+/// The result of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, in rule order.
+    pub findings: Vec<Finding>,
+    /// Number of files the rules inspected.
+    pub checked_files: usize,
+}
+
+impl Report {
+    /// The findings that fail the run.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Renders the machine-readable `LINT.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"ctori-lint\",\n");
+        out.push_str(&format!("  \"checked_files\": {},\n", self.checked_files));
+        out.push_str(&format!(
+            "  \"unsuppressed\": {},\n",
+            self.unsuppressed().count()
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"suppressed\": {}, \"reason\": {}}}",
+                json_escape(f.rule),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message),
+                f.suppressed.is_some(),
+                match &f.suppressed {
+                    Some(reason) => format!("\"{}\"", json_escape(reason)),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Read-only access to the workspace being checked.
+pub struct Workspace {
+    root: PathBuf,
+}
+
+impl Workspace {
+    /// A workspace rooted at `root`.
+    pub fn new(root: &Path) -> Workspace {
+        Workspace {
+            root: root.to_path_buf(),
+        }
+    }
+
+    /// The raw contents of a workspace-relative file.
+    pub fn read(&self, rel: &str) -> io::Result<String> {
+        fs::read_to_string(self.root.join(rel))
+    }
+
+    /// Lexes a workspace-relative Rust file.
+    pub fn load(&self, rel: &str) -> io::Result<SourceFile> {
+        Ok(SourceFile::parse(rel, &self.read(rel)?))
+    }
+
+    /// Whether a workspace-relative path exists.
+    pub fn exists(&self, rel: &str) -> bool {
+        self.root.join(rel).exists()
+    }
+
+    /// Expands an include entry to Rust files: a `.rs` file maps to
+    /// itself, a directory to every `.rs` file beneath it (sorted).
+    pub fn rust_files_under(&self, rel: &str) -> Vec<String> {
+        let full = self.root.join(rel);
+        if full.is_file() {
+            return vec![rel.to_string()];
+        }
+        let mut out = Vec::new();
+        collect_rs(&self.root, &full, &mut out);
+        out.sort();
+        out
+    }
+
+    /// Every non-vendor `lib.rs`: the facade crate's plus one per
+    /// workspace crate, minus `exclude` path prefixes.
+    pub fn lib_files(&self, exclude: &[String]) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.exists("src/lib.rs") {
+            out.push("src/lib.rs".to_string());
+        }
+        let crates = self.root.join("crates");
+        if let Ok(entries) = fs::read_dir(&crates) {
+            let mut dirs: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            dirs.sort();
+            for dir in dirs {
+                let lib = dir.join("src/lib.rs");
+                if let Some(rel) = self.relativize(&lib) {
+                    if lib.is_file() && !exclude.iter().any(|p| rel.starts_with(p.as_str())) {
+                        out.push(rel);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn relativize(&self, path: &Path) -> Option<String> {
+        path.strip_prefix(&self.root)
+            .ok()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+    }
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The crate-hygiene rule.
+//!
+//! Every non-vendor `lib.rs` must carry the workspace's safety header
+//! (`#![deny(unsafe_code)]`, plus whatever else `lint.toml` requires),
+//! and the CI workflow must keep the clippy and lint gates — a deleted
+//! CI step is exactly the kind of rot nothing else would notice.
+
+use crate::config::HygieneCfg;
+use crate::report::{Finding, Workspace};
+
+/// The rule name used in findings.
+pub const RULE: &str = "hygiene";
+
+/// Runs the rule.
+pub fn run(ws: &Workspace, cfg: &HygieneCfg, findings: &mut Vec<Finding>) -> usize {
+    let mut checked = 0;
+    for rel in ws.lib_files(&cfg.exclude) {
+        match ws.read(&rel) {
+            Ok(text) => {
+                checked += 1;
+                for attr in &cfg.require_attrs {
+                    if !text.contains(attr.as_str()) {
+                        findings.push(Finding::new(
+                            RULE,
+                            &rel,
+                            1,
+                            format!("missing required crate attribute `{attr}`"),
+                        ));
+                    }
+                }
+            }
+            Err(err) => findings.push(Finding::new(
+                RULE,
+                &rel,
+                0,
+                format!("lib.rs is unreadable: {err}"),
+            )),
+        }
+    }
+    match ws.read(&cfg.ci_file) {
+        Ok(text) => {
+            checked += 1;
+            for gate in &cfg.ci_must_contain {
+                if !text.contains(gate.as_str()) {
+                    findings.push(Finding::new(
+                        RULE,
+                        &cfg.ci_file,
+                        0,
+                        format!("CI workflow no longer contains the gate `{gate}`"),
+                    ));
+                }
+            }
+        }
+        Err(err) => findings.push(Finding::new(
+            RULE,
+            &cfg.ci_file,
+            0,
+            format!("CI workflow is unreadable: {err}"),
+        )),
+    }
+    checked
+}

@@ -1,0 +1,357 @@
+//! The lock-order rule.
+//!
+//! Classifies every `.lock()` site in the configured files into a
+//! declared lock class (by receiver suffix, helper method, or acquiring
+//! free function) and tracks guard lifetimes lexically: a guard bound by
+//! `let` lives until its scope closes, an explicit `drop(name)`, or a
+//! reassignment of the same binding; an unbound (temporary) guard lives
+//! for its own statement only.  Findings:
+//!
+//! - acquiring a class *earlier* in the declared order while a later one
+//!   is held (the order is the sequence locks must be taken in);
+//! - re-entrant acquisition of a class already held in the same scope;
+//! - a `.lock()` receiver no class claims (every site must be
+//!   classified, so new locks cannot dodge the rule).
+//!
+//! The analysis is intra-procedural and path-insensitive — exactly
+//! strong enough for the workspace's rustfmt-shaped code, and every
+//! approximation errs toward a diagnostic, never toward silence.
+
+use crate::config::LockOrderCfg;
+use crate::lexer::SourceFile;
+use crate::report::{Finding, Workspace};
+
+/// The rule name used in findings.
+pub const RULE: &str = "lock-order";
+
+struct Guard {
+    class: usize,
+    var: Option<String>,
+    depth: i64,
+}
+
+struct FnCtx {
+    open_depth: i64,
+    guards: Vec<Guard>,
+}
+
+enum Pending {
+    Impl(String),
+    Fn,
+}
+
+/// Runs the rule over every configured file.
+pub fn run(ws: &Workspace, cfg: &LockOrderCfg, findings: &mut Vec<Finding>) -> usize {
+    let mut checked = 0;
+    for rel in &cfg.files {
+        match ws.load(rel) {
+            Ok(file) => {
+                checked += 1;
+                check_file(&file, cfg, findings);
+            }
+            Err(err) => findings.push(Finding::new(
+                RULE,
+                rel,
+                0,
+                format!("configured file is unreadable: {err}"),
+            )),
+        }
+    }
+    checked
+}
+
+fn check_file(file: &SourceFile, cfg: &LockOrderCfg, findings: &mut Vec<Finding>) {
+    // `name(` tokens of configured acquiring functions, per class.
+    let func_tokens: Vec<(String, usize)> = cfg
+        .classes
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, class)| class.functions.iter().map(move |f| (format!("{f}("), ci)))
+        .collect();
+    let mut depth: i64 = 0;
+    let mut impl_stack: Vec<(String, i64)> = Vec::new();
+    let mut fn_stack: Vec<FnCtx> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut prev_tail = String::new();
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let t = code.trim_start();
+        if t == "impl" || t.starts_with("impl ") || t.starts_with("impl<") {
+            pending = Some(Pending::Impl(crate::scan::impl_type_of(t)));
+        } else if has_fn_header(t) {
+            pending = Some(Pending::Fn);
+        }
+        let bytes = code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    match pending.take() {
+                        Some(Pending::Impl(ty)) => impl_stack.push((ty, depth)),
+                        Some(Pending::Fn) => fn_stack.push(FnCtx {
+                            open_depth: depth,
+                            guards: Vec::new(),
+                        }),
+                        None => {}
+                    }
+                    depth += 1;
+                    i += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if let Some(ctx) = fn_stack.last_mut() {
+                        ctx.guards.retain(|g| g.depth <= depth);
+                        if ctx.open_depth == depth {
+                            fn_stack.pop();
+                        }
+                    }
+                    if impl_stack.last().is_some_and(|(_, d)| *d == depth) {
+                        impl_stack.pop();
+                    }
+                    i += 1;
+                }
+                b';' => {
+                    pending = None;
+                    i += 1;
+                }
+                b'd' if token_at(code, i, "drop(") => {
+                    let name: String = code[i + 5..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if let Some(ctx) = fn_stack.last_mut() {
+                        ctx.guards
+                            .retain(|g| g.var.as_deref() != Some(name.as_str()));
+                    }
+                    i += 5;
+                }
+                b'.' if code[i..].starts_with(".lock()") => {
+                    lock_site(
+                        file,
+                        line,
+                        code,
+                        i,
+                        &prev_tail,
+                        cfg,
+                        &impl_stack,
+                        &mut fn_stack,
+                        depth,
+                        findings,
+                    );
+                    i += ".lock()".len();
+                }
+                b if b.is_ascii_alphabetic() => {
+                    for (tok, class) in &func_tokens {
+                        if token_at(code, i, tok) {
+                            check_acquire(file, line, *class, cfg, &fn_stack, findings);
+                        }
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        let trimmed = code.trim_end();
+        if !trimmed.trim_start().is_empty() {
+            prev_tail = trailing_path(trimmed);
+        }
+    }
+}
+
+/// `true` when `t` starts a fn header (possibly behind visibility /
+/// `const` / `unsafe` qualifiers).
+fn has_fn_header(t: &str) -> bool {
+    let mut rest = t;
+    for prefix in ["pub(crate) ", "pub(super) ", "pub ", "const ", "unsafe "] {
+        rest = rest.strip_prefix(prefix).unwrap_or(rest);
+    }
+    rest.starts_with("fn ")
+}
+
+/// Whether `needle` occurs at byte `i` of `code` on an identifier
+/// boundary.
+fn token_at(code: &str, i: usize, needle: &str) -> bool {
+    if !code[i..].starts_with(needle) {
+        return false;
+    }
+    i == 0 || {
+        let b = code.as_bytes()[i - 1];
+        !(b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+    }
+}
+
+/// The trailing dotted path of a line (for `.lock()` calls wrapped onto
+/// the next line).
+fn trailing_path(code: &str) -> String {
+    let bytes = code.as_bytes();
+    let mut start = bytes.len();
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    code[start..].trim_end_matches('.').to_string()
+}
+
+/// Handles one `.lock()` occurrence at byte `pos`.
+#[allow(clippy::too_many_arguments)]
+fn lock_site(
+    file: &SourceFile,
+    line: &crate::lexer::Line,
+    code: &str,
+    pos: usize,
+    prev_tail: &str,
+    cfg: &LockOrderCfg,
+    impl_stack: &[(String, i64)],
+    fn_stack: &mut [FnCtx],
+    depth: i64,
+    findings: &mut Vec<Finding>,
+) {
+    // Receiver: the dotted path immediately before `.lock()`, falling
+    // back to the previous line's tail when the call was wrapped.
+    let bytes = code.as_bytes();
+    let mut start = pos;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    let mut receiver = code[start..pos].to_string();
+    if receiver.is_empty() {
+        receiver = prev_tail.to_string();
+    }
+    let class = classify(&receiver, cfg, impl_stack);
+    let Some(class) = class else {
+        findings.push(Finding::new(
+            RULE,
+            &file.rel_path,
+            line.number,
+            format!(
+                "unclassified lock site: receiver `{}` matches no lock class in lint.toml",
+                if receiver.is_empty() {
+                    "<unknown>"
+                } else {
+                    &receiver
+                }
+            ),
+        ));
+        return;
+    };
+    check_acquire(file, line, class, cfg, fn_stack, findings);
+
+    // Guard registration: `let NAME = …` binds, `NAME = …` rebinds
+    // (releasing the old guard first), anything else is a temporary.
+    let Some(ctx) = fn_stack.last_mut() else {
+        return;
+    };
+    let before = code[..start].trim_end();
+    let Some(lhs) = before.strip_suffix('=').map(str::trim_end) else {
+        return;
+    };
+    if lhs.ends_with("==") || lhs.ends_with('!') || lhs.ends_with('<') || lhs.ends_with('>') {
+        return;
+    }
+    let name = lhs
+        .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .next()
+        .unwrap_or("")
+        .to_string();
+    if name.is_empty() {
+        return;
+    }
+    let is_let = {
+        let head = lhs.trim_start();
+        head == "let" || head.starts_with("let ") || {
+            // `let mut NAME` / a plain rebind both end in the name; a
+            // `let` appears as its own word somewhere before it.
+            crate::scan::mentions(lhs, "let")
+        }
+    };
+    if !is_let {
+        // Plain rebind only counts when the name is a known guard or the
+        // whole LHS is just the name (a fresh temporary otherwise).
+        let known = ctx
+            .guards
+            .iter()
+            .any(|g| g.var.as_deref() == Some(name.as_str()));
+        if !known && lhs != name {
+            return;
+        }
+    }
+    ctx.guards
+        .retain(|g| g.var.as_deref() != Some(name.as_str()));
+    ctx.guards.push(Guard {
+        class,
+        var: Some(name),
+        depth,
+    });
+}
+
+/// Reports order / re-entrancy violations of acquiring `class` with the
+/// currently-held guards.
+fn check_acquire(
+    file: &SourceFile,
+    line: &crate::lexer::Line,
+    class: usize,
+    cfg: &LockOrderCfg,
+    fn_stack: &[FnCtx],
+    findings: &mut Vec<Finding>,
+) {
+    let Some(ctx) = fn_stack.last() else {
+        return;
+    };
+    let name = &cfg.classes[class].name;
+    for guard in &ctx.guards {
+        let held = &cfg.classes[guard.class].name;
+        if guard.class == class {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line.number,
+                format!("re-entrant acquisition of `{name}` (a `{held}` guard is already held in this scope)"),
+            ));
+            continue;
+        }
+        let new_idx = cfg.order.iter().position(|n| n == name);
+        let held_idx = cfg.order.iter().position(|n| n == held);
+        if let (Some(new_idx), Some(held_idx)) = (new_idx, held_idx) {
+            if new_idx < held_idx {
+                findings.push(Finding::new(
+                    RULE,
+                    &file.rel_path,
+                    line.number,
+                    format!(
+                        "acquires `{name}` while holding `{held}`; the declared order is {}",
+                        cfg.order.join(" < ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Maps a receiver path (or `self` + the enclosing impl type) to a lock
+/// class index.
+fn classify(receiver: &str, cfg: &LockOrderCfg, impl_stack: &[(String, i64)]) -> Option<usize> {
+    if receiver == "self" {
+        let ty = impl_stack.last().map(|(t, _)| t.as_str())?;
+        let wanted = format!("{ty}::lock");
+        return cfg
+            .classes
+            .iter()
+            .position(|c| c.helpers.iter().any(|h| h == &wanted));
+    }
+    let suffix = receiver.rsplit('.').next().unwrap_or(receiver);
+    cfg.classes
+        .iter()
+        .position(|c| c.receivers.iter().any(|r| r == suffix))
+}

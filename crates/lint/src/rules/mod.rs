@@ -1,0 +1,92 @@
+//! The rule registry and the shared suppression pass.
+
+pub mod hygiene;
+pub mod lock_order;
+pub mod panic_path;
+pub mod spec_key_drift;
+pub mod wire_tokens;
+
+use crate::config::LintConfig;
+use crate::report::{Finding, Report, Workspace};
+use std::collections::HashSet;
+
+/// Runs every rule and applies `// lint: allow(...)` suppressions.
+pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Report {
+    let mut findings = Vec::new();
+    let mut files = 0;
+    files += lock_order::run(ws, &cfg.lock, &mut findings);
+    files += panic_path::run(ws, &cfg.panic, &mut findings);
+    files += spec_key_drift::run(ws, &cfg.speckey, &mut findings);
+    files += wire_tokens::run(ws, &cfg.wire, &mut findings);
+    files += hygiene::run(ws, &cfg.hygiene, &mut findings);
+    apply_suppressions(ws, &mut findings);
+    Report {
+        findings,
+        checked_files: files,
+    }
+}
+
+/// The comment keys a rule's findings can be suppressed with: the rule
+/// name itself plus a short alias.
+fn allow_keys(rule: &str) -> Vec<&str> {
+    match rule {
+        "panic-path" => vec!["panic-path", "panic"],
+        "lock-order" => vec!["lock-order", "lock"],
+        other => vec![other],
+    }
+}
+
+/// Scans the finding's own line plus the contiguous comment block above
+/// it for `lint: allow(<key>) <reason>` comments (justifications often
+/// wrap across lines).  A match without a reason keeps the finding
+/// fatal — suppressions must be justified.
+fn apply_suppressions(ws: &Workspace, findings: &mut [Finding]) {
+    let files: HashSet<String> = findings
+        .iter()
+        .filter(|f| f.suppressed.is_none() && f.line > 0 && f.file.ends_with(".rs"))
+        .map(|f| f.file.clone())
+        .collect();
+    for rel in files {
+        let Ok(file) = ws.load(&rel) else {
+            continue;
+        };
+        for finding in findings.iter_mut() {
+            if finding.suppressed.is_some() || finding.file != rel || finding.line == 0 {
+                continue;
+            }
+            let idx = finding.line - 1;
+            // The comment text in scope: pure-comment lines directly
+            // above the finding, top to bottom, then the finding's own
+            // trailing comment.
+            let mut start = idx;
+            while start > 0 {
+                let above = &file.lines[start - 1];
+                if above.code.trim().is_empty() && !above.comment.trim().is_empty() {
+                    start -= 1;
+                } else {
+                    break;
+                }
+            }
+            let block = file.lines[start..=idx]
+                .iter()
+                .map(|l| l.comment.trim())
+                .collect::<Vec<_>>()
+                .join(" ");
+            for key in allow_keys(finding.rule) {
+                let marker = format!("lint: allow({key})");
+                let Some(pos) = block.find(&marker) else {
+                    continue;
+                };
+                let reason = block[pos + marker.len()..].trim();
+                if reason.len() >= 3 {
+                    finding.suppressed = Some(reason.to_string());
+                } else {
+                    finding.message.push_str(
+                        " [a `lint: allow` comment matches but carries no justification]",
+                    );
+                }
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The panic-path rule.
+//!
+//! Forbids `unwrap()` / `expect()` / `panic!` / `todo!` /
+//! `unimplemented!` / `unreachable!` in the non-test code of the
+//! configured paths.  Two escape hatches, both auditable:
+//!
+//! - an `.expect("…")` whose message contains a configured substring
+//!   (the workspace uses `poisoned`) is the documented Mutex-poisoning
+//!   idiom and is recorded as a *suppressed* finding with a blanket
+//!   reason — it still appears in `LINT.json`;
+//! - a `// lint: allow(panic) <reason>` comment on the same or the
+//!   preceding line suppresses a site explicitly (handled by the shared
+//!   suppression pass; a missing reason keeps the finding fatal).
+
+use crate::config::PanicCfg;
+use crate::lexer::SourceFile;
+use crate::report::{Finding, Workspace};
+
+/// The rule name used in findings.
+pub const RULE: &str = "panic-path";
+
+const MACROS: [&str; 4] = ["panic!", "todo!", "unimplemented!", "unreachable!"];
+
+/// Runs the rule over every file under the configured include paths.
+pub fn run(ws: &Workspace, cfg: &PanicCfg, findings: &mut Vec<Finding>) -> usize {
+    let mut checked = 0;
+    for entry in &cfg.include {
+        for rel in ws.rust_files_under(entry) {
+            if rel.contains("/tests/") || rel.contains("/benches/") {
+                continue;
+            }
+            match ws.load(&rel) {
+                Ok(file) => {
+                    checked += 1;
+                    check_file(&file, cfg, findings);
+                }
+                Err(err) => findings.push(Finding::new(
+                    RULE,
+                    &rel,
+                    0,
+                    format!("configured file is unreadable: {err}"),
+                )),
+            }
+        }
+    }
+    checked
+}
+
+fn check_file(file: &SourceFile, cfg: &PanicCfg, findings: &mut Vec<Finding>) {
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for _ in find_all(code, ".unwrap()") {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line.number,
+                "`unwrap()` on a non-test path; return an error or justify with `// lint: allow(panic) <reason>`".to_string(),
+            ));
+        }
+        for pos in find_all(code, ".expect(") {
+            let message = line
+                .strings
+                .iter()
+                .find(|(col, _)| *col >= pos)
+                .map(|(_, s)| s.as_str())
+                .unwrap_or("");
+            let blanket = cfg
+                .allow_expect_containing
+                .iter()
+                .find(|needle| message.contains(needle.as_str()));
+            let mut finding = Finding::new(
+                RULE,
+                &file.rel_path,
+                line.number,
+                format!("`expect(\"{message}\")` on a non-test path"),
+            );
+            if let Some(needle) = blanket {
+                finding.suppressed = Some(format!(
+                    "expect message contains `{needle}` — the documented Mutex-poisoning blanket allowlist (lint.toml)"
+                ));
+            }
+            findings.push(finding);
+        }
+        for mac in MACROS {
+            for pos in find_all(code, mac) {
+                let boundary = pos == 0 || {
+                    let b = code.as_bytes()[pos - 1];
+                    !(b.is_ascii_alphanumeric() || b == b'_')
+                };
+                if boundary {
+                    findings.push(Finding::new(
+                        RULE,
+                        &file.rel_path,
+                        line.number,
+                        format!("`{mac}(…)` on a non-test path"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn find_all(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}

@@ -1,0 +1,287 @@
+//! The spec-key-drift rule.
+//!
+//! The result cache is content-addressed by `RunSpec::canonical_key()`,
+//! which digests the spec's canonical text with the declared
+//! outcome-irrelevant options normalised away.  Three classes of silent
+//! drift are pinned here:
+//!
+//! - a new `EngineOptions` / `RunSpec` field that `to_text` /
+//!   `text_with_options` does not render (the key would not see it —
+//!   different scenarios would share a cache slot);
+//! - a `canonical_key` normalisation that `lint.toml` does not declare,
+//!   or a declared exclusion that `canonical_key` does not normalise
+//!   (cache identity changed without anyone saying so);
+//! - a `RunOutcome` field drifting into or out of the manual
+//!   `PartialEq` — every field must be compared except the declared
+//!   exclusions (`round_stats`), which must stay out of `eq` but still
+//!   be serialised by `to_text`.
+
+use crate::config::SpecKeyCfg;
+use crate::lexer::SourceFile;
+use crate::report::{Finding, Workspace};
+use crate::scan::{mentions, scan_items, Item, ItemKind};
+
+/// The rule name used in findings.
+pub const RULE: &str = "spec-key-drift";
+
+/// Runs the rule over the configured spec and outcome files.
+pub fn run(ws: &Workspace, cfg: &SpecKeyCfg, findings: &mut Vec<Finding>) -> usize {
+    let mut checked = 0;
+    if let Some(spec) = load(ws, &cfg.spec_file, findings) {
+        checked += 1;
+        check_spec(&spec, cfg, findings);
+    }
+    if let Some(outcome) = load(ws, &cfg.outcome_file, findings) {
+        checked += 1;
+        check_outcome(&outcome, cfg, findings);
+    }
+    checked
+}
+
+fn load(ws: &Workspace, rel: &str, findings: &mut Vec<Finding>) -> Option<SourceFile> {
+    match ws.load(rel) {
+        Ok(file) => Some(file),
+        Err(err) => {
+            findings.push(Finding::new(
+                RULE,
+                rel,
+                0,
+                format!("configured file is unreadable: {err}"),
+            ));
+            None
+        }
+    }
+}
+
+fn check_spec(file: &SourceFile, cfg: &SpecKeyCfg, findings: &mut Vec<Finding>) {
+    let items = scan_items(file);
+    let missing = |findings: &mut Vec<Finding>, what: &str| {
+        findings.push(Finding::new(
+            RULE,
+            &file.rel_path,
+            0,
+            format!("rule target `{what}` not found — the drift rule can no longer see it"),
+        ));
+    };
+
+    // EngineOptions: every field rendered by its to_text.
+    let options_fields = match struct_fields(file, &items, "EngineOptions") {
+        Some(f) => f,
+        None => {
+            missing(findings, "struct EngineOptions");
+            Vec::new()
+        }
+    };
+    match find_fn(&items, "EngineOptions", "to_text") {
+        Some(to_text) => {
+            let body = to_text.body(file);
+            for field in &options_fields {
+                if !mentions(&body, field) {
+                    findings.push(Finding::new(
+                        RULE,
+                        &file.rel_path,
+                        file.lines[to_text.start].number,
+                        format!(
+                            "EngineOptions field `{field}` is not rendered by to_text — the canonical key will not see it"
+                        ),
+                    ));
+                }
+            }
+        }
+        None => missing(findings, "EngineOptions::to_text"),
+    }
+
+    // RunSpec: every field rendered by the shared text renderer.
+    let spec_fields = match struct_fields(file, &items, "RunSpec") {
+        Some(f) => f,
+        None => {
+            missing(findings, "struct RunSpec");
+            Vec::new()
+        }
+    };
+    match find_fn(&items, "RunSpec", "text_with_options") {
+        Some(renderer) => {
+            let body = renderer.body(file);
+            for field in &spec_fields {
+                if !mentions(&body, field) {
+                    findings.push(Finding::new(
+                        RULE,
+                        &file.rel_path,
+                        file.lines[renderer.start].number,
+                        format!(
+                            "RunSpec field `{field}` is not rendered by text_with_options — the canonical key will not see it"
+                        ),
+                    ));
+                }
+            }
+        }
+        None => missing(findings, "RunSpec::text_with_options"),
+    }
+
+    // canonical_key: the normalised options are exactly the declared
+    // exclusions.
+    match find_fn(&items, "RunSpec", "canonical_key") {
+        Some(key_fn) => {
+            let body = key_fn.body(file);
+            let line = file.lines[key_fn.start].number;
+            let normalised = assignments_to(&body, "options");
+            for field in &cfg.options_exclude {
+                if !options_fields.is_empty() && !options_fields.contains(field) {
+                    findings.push(Finding::new(
+                        RULE,
+                        &file.rel_path,
+                        line,
+                        format!("declared excluded option `{field}` is not an EngineOptions field"),
+                    ));
+                }
+                if !normalised.contains(field) {
+                    findings.push(Finding::new(
+                        RULE,
+                        &file.rel_path,
+                        line,
+                        format!(
+                            "declared excluded option `{field}` is not normalised away in canonical_key — it would change cache identity"
+                        ),
+                    ));
+                }
+            }
+            for field in &normalised {
+                if !cfg.options_exclude.contains(field) {
+                    findings.push(Finding::new(
+                        RULE,
+                        &file.rel_path,
+                        line,
+                        format!(
+                            "canonical_key normalises `{field}` but lint.toml does not declare it excluded"
+                        ),
+                    ));
+                }
+            }
+        }
+        None => missing(findings, "RunSpec::canonical_key"),
+    }
+}
+
+fn check_outcome(file: &SourceFile, cfg: &SpecKeyCfg, findings: &mut Vec<Finding>) {
+    let items = scan_items(file);
+    let fields = match struct_fields(file, &items, "RunOutcome") {
+        Some(f) => f,
+        None => {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                0,
+                "rule target `struct RunOutcome` not found".to_string(),
+            ));
+            return;
+        }
+    };
+    let Some(eq_fn) = find_fn(&items, "RunOutcome", "eq") else {
+        findings.push(Finding::new(
+            RULE,
+            &file.rel_path,
+            0,
+            "rule target `RunOutcome::eq` (the manual PartialEq) not found".to_string(),
+        ));
+        return;
+    };
+    let eq_body = eq_fn.body(file);
+    let eq_line = file.lines[eq_fn.start].number;
+    for field in &fields {
+        let excluded = cfg.outcome_exclude.contains(field);
+        let compared = mentions(&eq_body, field);
+        if excluded && compared {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                eq_line,
+                format!(
+                    "RunOutcome field `{field}` is declared excluded from equality but RunOutcome::eq references it"
+                ),
+            ));
+        }
+        if !excluded && !compared {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                eq_line,
+                format!(
+                    "RunOutcome field `{field}` is not compared by the manual PartialEq — declare it excluded in lint.toml or compare it"
+                ),
+            ));
+        }
+    }
+    // Excluded fields stay observable: to_text must still serialise
+    // them.
+    if let Some(to_text) = find_fn(&items, "RunOutcome", "to_text") {
+        let body = to_text.body(file);
+        for field in &cfg.outcome_exclude {
+            if fields.contains(field) && !mentions(&body, field) {
+                findings.push(Finding::new(
+                    RULE,
+                    &file.rel_path,
+                    file.lines[to_text.start].number,
+                    format!(
+                        "equality-excluded RunOutcome field `{field}` is not serialised by to_text — it would be silently dropped from the wire"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The named struct's field names, in declaration order.
+fn struct_fields(file: &SourceFile, items: &[Item], name: &str) -> Option<Vec<String>> {
+    let item = items
+        .iter()
+        .find(|i| i.kind == ItemKind::Struct && i.name == name)?;
+    let mut fields = Vec::new();
+    for line in &file.lines[item.start..=item.end] {
+        let t = line.code.trim_start();
+        let rest = t.strip_prefix("pub ").unwrap_or(t);
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        if !ident.is_empty() && rest[ident.len()..].starts_with(':') {
+            fields.push(ident);
+        }
+    }
+    Some(fields)
+}
+
+fn find_fn<'a>(items: &'a [Item], impl_type: &str, name: &str) -> Option<&'a Item> {
+    items.iter().find(|i| {
+        i.kind == ItemKind::Fn && i.name == name && i.impl_type.as_deref() == Some(impl_type)
+    })
+}
+
+/// Field names assigned through `recv.<field> =` in a body.
+fn assignments_to(body: &str, recv: &str) -> Vec<String> {
+    let needle = format!("{recv}.");
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = body[from..].find(&needle) {
+        let start = from + pos;
+        let boundary = start == 0 || {
+            let b = body.as_bytes()[start - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+        };
+        let after = &body[start + needle.len()..];
+        let field: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let rest = after[field.len()..].trim_start();
+        if boundary
+            && !field.is_empty()
+            && rest.starts_with('=')
+            && !rest.starts_with("==")
+            && !out.contains(&field)
+        {
+            out.push(field);
+        }
+        from = start + needle.len();
+    }
+    out
+}

@@ -1,0 +1,271 @@
+//! The wire-token consistency rule.
+//!
+//! `protocol.rs` is the single source of truth for the line-framed wire
+//! protocol; the same verb and error-code spellings are repeated in the
+//! request renderer, the client, the remote executor's error mapping,
+//! the module's doc table and the README.  This rule extracts the
+//! canonical sets from the protocol parser and asserts everything else
+//! agrees:
+//!
+//! - the verbs matched by `Request::from_parts` are exactly the declared
+//!   list, every one is rendered by `Request::wire`, and every one
+//!   appears in the module doc table and the README protocol table;
+//! - the error codes produced by `Response::from_error` are exactly the
+//!   declared list;
+//! - every wire-looking literal (lowercase-hyphenated) in the checked
+//!   files is a declared code, verb or allowed token — a typo like
+//!   `"not-dome"` cannot parse-fail silently.
+
+use crate::config::WireCfg;
+use crate::lexer::SourceFile;
+use crate::report::{Finding, Workspace};
+use crate::scan::{scan_items, Item, ItemKind};
+
+/// The rule name used in findings.
+pub const RULE: &str = "wire-tokens";
+
+/// Runs the rule.
+pub fn run(ws: &Workspace, cfg: &WireCfg, findings: &mut Vec<Finding>) -> usize {
+    let mut checked = 0;
+    let protocol = match ws.load(&cfg.protocol) {
+        Ok(file) => {
+            checked += 1;
+            file
+        }
+        Err(err) => {
+            findings.push(Finding::new(
+                RULE,
+                &cfg.protocol,
+                0,
+                format!("configured protocol file is unreadable: {err}"),
+            ));
+            return checked;
+        }
+    };
+    let items = scan_items(&protocol);
+    check_verbs(&protocol, &items, cfg, findings);
+    check_error_codes(&protocol, &items, cfg, findings);
+
+    for rel in &cfg.check {
+        match ws.load(rel) {
+            Ok(file) => {
+                checked += 1;
+                check_usage(&file, cfg, findings);
+            }
+            Err(err) => findings.push(Finding::new(
+                RULE,
+                rel,
+                0,
+                format!("configured file is unreadable: {err}"),
+            )),
+        }
+    }
+
+    match ws.read(&cfg.readme) {
+        Ok(text) => {
+            checked += 1;
+            check_readme(&cfg.readme, &text, cfg, findings);
+        }
+        Err(err) => findings.push(Finding::new(
+            RULE,
+            &cfg.readme,
+            0,
+            format!("configured README is unreadable: {err}"),
+        )),
+    }
+    checked
+}
+
+fn find_fn<'a>(items: &'a [Item], impl_type: &str, name: &str) -> Option<&'a Item> {
+    items.iter().find(|i| {
+        i.kind == ItemKind::Fn && i.name == name && i.impl_type.as_deref() == Some(impl_type)
+    })
+}
+
+fn check_verbs(file: &SourceFile, items: &[Item], cfg: &WireCfg, findings: &mut Vec<Finding>) {
+    let Some(from_parts) = find_fn(items, "Request", "from_parts") else {
+        findings.push(Finding::new(
+            RULE,
+            &file.rel_path,
+            0,
+            "rule target `Request::from_parts` not found — the verb set can no longer be extracted"
+                .to_string(),
+        ));
+        return;
+    };
+    let line = file.lines[from_parts.start].number;
+    let parsed: Vec<String> = from_parts
+        .strings(file)
+        .filter(|s| s.len() >= 4 && s.chars().all(|c| c.is_ascii_uppercase()))
+        .map(str::to_string)
+        .collect();
+    for verb in &cfg.verbs {
+        if !parsed.contains(verb) {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line,
+                format!("declared verb `{verb}` is not parsed by Request::from_parts"),
+            ));
+        }
+    }
+    for verb in &parsed {
+        if !cfg.verbs.contains(verb) {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line,
+                format!("Request::from_parts parses verb `{verb}` that lint.toml does not declare"),
+            ));
+        }
+    }
+
+    // Every verb must be rendered by the request serialiser…
+    if let Some(wire_fn) = find_fn(items, "Request", "wire") {
+        let wire_line = file.lines[wire_fn.start].number;
+        for verb in &cfg.verbs {
+            let rendered = wire_fn
+                .strings(file)
+                .any(|s| s.split_whitespace().any(|w| w == verb));
+            if !rendered {
+                findings.push(Finding::new(
+                    RULE,
+                    &file.rel_path,
+                    wire_line,
+                    format!("declared verb `{verb}` is not rendered by Request::wire"),
+                ));
+            }
+        }
+    } else {
+        findings.push(Finding::new(
+            RULE,
+            &file.rel_path,
+            0,
+            "rule target `Request::wire` not found".to_string(),
+        ));
+    }
+
+    // …documented in the module's doc table…
+    for verb in &cfg.verbs {
+        let documented = file
+            .lines
+            .iter()
+            .any(|l| l.comment.contains('|') && l.comment.contains(verb.as_str()));
+        if !documented {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                1,
+                format!("declared verb `{verb}` is missing from the protocol doc table"),
+            ));
+        }
+    }
+}
+
+fn check_error_codes(
+    file: &SourceFile,
+    items: &[Item],
+    cfg: &WireCfg,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(from_error) = find_fn(items, "Response", "from_error") else {
+        findings.push(Finding::new(
+            RULE,
+            &file.rel_path,
+            0,
+            "rule target `Response::from_error` not found — the error-code set can no longer be extracted".to_string(),
+        ));
+        return;
+    };
+    let line = file.lines[from_error.start].number;
+    let produced: Vec<String> = from_error
+        .strings(file)
+        .filter(|s| is_wire_code(s))
+        .map(str::to_string)
+        .collect();
+    for code in &cfg.error_codes {
+        if !produced.contains(code) {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line,
+                format!("declared error code `{code}` is not produced by Response::from_error"),
+            ));
+        }
+    }
+    for code in &produced {
+        if !cfg.error_codes.contains(code) {
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line,
+                format!(
+                    "Response::from_error produces code `{code}` that lint.toml does not declare"
+                ),
+            ));
+        }
+    }
+}
+
+/// Every hyphenated wire-looking literal in a checked file must be a
+/// declared error code, a declared verb (lowercased) or an allowed
+/// token.
+fn check_usage(file: &SourceFile, cfg: &WireCfg, findings: &mut Vec<Finding>) {
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for (_, s) in &line.strings {
+            if !is_hyphenated_code(s) {
+                continue;
+            }
+            let known = cfg.error_codes.iter().any(|c| c == s)
+                || cfg.verbs.iter().any(|v| v.to_ascii_lowercase() == *s)
+                || cfg.allow_tokens.iter().any(|t| t == s);
+            if !known {
+                findings.push(Finding::new(
+                    RULE,
+                    &file.rel_path,
+                    line.number,
+                    format!(
+                        "wire-looking literal `\"{s}\"` matches no declared protocol token — a drifted spelling would fail at runtime, not here"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_readme(rel: &str, text: &str, cfg: &WireCfg, findings: &mut Vec<Finding>) {
+    for verb in &cfg.verbs {
+        let listed = text.lines().any(|l| {
+            let t = l.trim_start();
+            t.starts_with(verb.as_str())
+                && !t[verb.len()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphanumeric())
+        });
+        if !listed {
+            findings.push(Finding::new(
+                RULE,
+                rel,
+                0,
+                format!("declared verb `{verb}` is missing from the README protocol table"),
+            ));
+        }
+    }
+}
+
+/// `io`, `queue-full`, … — lowercase words joined by single hyphens.
+fn is_wire_code(s: &str) -> bool {
+    !s.is_empty()
+        && s.split('-')
+            .all(|w| !w.is_empty() && w.chars().all(|c| c.is_ascii_lowercase()))
+}
+
+/// As [`is_wire_code`], but requiring at least one hyphen (bare words
+/// like `auto` are too common to police).
+fn is_hyphenated_code(s: &str) -> bool {
+    s.contains('-') && is_wire_code(s)
+}

@@ -1,0 +1,253 @@
+//! A brace-depth item scanner over lexed lines.
+//!
+//! Recovers just enough structure for the rules: which `impl` block a
+//! line sits in, where each `fn` and `struct` body starts and ends, and
+//! the concatenated body code / string literals of an item.  Purely
+//! lexical — good enough for rustfmt-formatted sources, and the rules
+//! double-check that every item they depend on was actually found.
+
+use crate::lexer::SourceFile;
+
+/// What kind of item a scanner entry describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function body.
+    Fn,
+    /// A struct body.
+    Struct,
+}
+
+/// One `fn` or `struct` item with its body line range.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// The kind of item.
+    pub kind: ItemKind,
+    /// The item's name.
+    pub name: String,
+    /// The `Self` type of the enclosing `impl` block, if any (for
+    /// `impl Trait for Type`, the `Type`).
+    pub impl_type: Option<String>,
+    /// 0-based index of the line where the body opens.
+    pub start: usize,
+    /// 0-based index of the line where the body closes.
+    pub end: usize,
+}
+
+impl Item {
+    /// The item's body code: every line's code from `start` to `end`,
+    /// newline-joined.
+    pub fn body(&self, file: &SourceFile) -> String {
+        file.lines[self.start..=self.end]
+            .iter()
+            .map(|l| l.code.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// The string literals inside the item's line range.
+    pub fn strings<'a>(&self, file: &'a SourceFile) -> impl Iterator<Item = &'a str> {
+        file.lines[self.start..=self.end]
+            .iter()
+            .flat_map(|l| l.strings.iter().map(|(_, s)| s.as_str()))
+    }
+}
+
+enum Pending {
+    Impl(String),
+    Item(ItemKind, String),
+}
+
+struct Open {
+    kind: OpenKind,
+    depth: i64,
+}
+
+enum OpenKind {
+    Impl(String),
+    Item(usize), // index into items
+    Block,
+}
+
+/// Scans a lexed file into its `fn` / `struct` items.
+pub fn scan_items(file: &SourceFile) -> Vec<Item> {
+    let mut items: Vec<Item> = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut depth: i64 = 0;
+    for (idx, line) in file.lines.iter().enumerate() {
+        if let Some(p) = detect_header(&line.code) {
+            pending = Some(p);
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    let kind = match pending.take() {
+                        Some(Pending::Impl(ty)) => OpenKind::Impl(ty),
+                        Some(Pending::Item(kind, name)) => {
+                            let impl_type = stack.iter().rev().find_map(|o| match &o.kind {
+                                OpenKind::Impl(ty) => Some(ty.clone()),
+                                _ => None,
+                            });
+                            items.push(Item {
+                                kind,
+                                name,
+                                impl_type,
+                                start: idx,
+                                end: idx,
+                            });
+                            OpenKind::Item(items.len() - 1)
+                        }
+                        None => OpenKind::Block,
+                    };
+                    stack.push(Open { kind, depth });
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if stack.last().is_some_and(|o| o.depth == depth) {
+                        if let Some(Open {
+                            kind: OpenKind::Item(i),
+                            ..
+                        }) = stack.pop()
+                        {
+                            items[i].end = idx;
+                        }
+                    }
+                }
+                // A `;` before the body opens means a braceless item
+                // (trait method declaration, tuple struct): drop it.
+                ';' => pending = None,
+                _ => {}
+            }
+        }
+    }
+    items
+}
+
+/// Recognises `impl` / `fn` / `struct` headers at the start of a line's
+/// code (rustfmt puts each on its own line).
+fn detect_header(code: &str) -> Option<Pending> {
+    let t = code.trim_start();
+    if t == "impl" || t.starts_with("impl ") || t.starts_with("impl<") {
+        return Some(Pending::Impl(impl_type_of(t)));
+    }
+    if let Some(name) = item_name(t, "fn") {
+        return Some(Pending::Item(ItemKind::Fn, name));
+    }
+    if let Some(name) = item_name(t, "struct") {
+        return Some(Pending::Item(ItemKind::Struct, name));
+    }
+    None
+}
+
+/// Extracts the name following `kw` in a (possibly `pub`-prefixed)
+/// header line.
+fn item_name(t: &str, kw: &str) -> Option<String> {
+    let mut rest = t;
+    for prefix in ["pub(crate) ", "pub(super) ", "pub ", "const ", "unsafe "] {
+        rest = rest.strip_prefix(prefix).unwrap_or(rest);
+    }
+    let rest = rest.strip_prefix(kw)?.strip_prefix(' ')?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// The `Self` type of an `impl` header: the segment after `for` when
+/// present, otherwise the first type after the generics.
+pub fn impl_type_of(t: &str) -> String {
+    let mut rest = t.trim_start_matches("impl").trim_start();
+    if rest.starts_with('<') {
+        let mut level = 0i32;
+        let mut cut = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => level += 1,
+                '>' => {
+                    level -= 1;
+                    if level == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = rest[cut..].trim_start();
+    }
+    let rest = match rest.split_once(" for ") {
+        Some((_, after)) => after.trim_start(),
+        None => rest,
+    };
+    let ty: &str = rest
+        .split(|c: char| c == '<' || c == '{' || c.is_whitespace())
+        .next()
+        .unwrap_or("");
+    ty.rsplit("::").next().unwrap_or("").to_string()
+}
+
+/// Whether `word` occurs in `text` with non-identifier characters (or
+/// boundaries) on both sides.
+pub fn mentions(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || {
+            let b = bytes[start - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let right_ok = end == bytes.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    #[test]
+    fn finds_fns_structs_and_impl_types() {
+        let src = "pub struct Widget {\n    pub size: usize,\n}\n\nimpl Widget {\n    pub fn grow(&mut self) {\n        self.size += 1;\n    }\n}\n\nimpl Clone for Widget {\n    fn clone(&self) -> Self {\n        Widget { size: self.size }\n    }\n}\n";
+        let f = SourceFile::parse("t.rs", src);
+        let items = scan_items(&f);
+        let widget = items
+            .iter()
+            .find(|i| i.kind == ItemKind::Struct && i.name == "Widget")
+            .unwrap();
+        assert!(widget.body(&f).contains("pub size"));
+        let grow = items.iter().find(|i| i.name == "grow").unwrap();
+        assert_eq!(grow.impl_type.as_deref(), Some("Widget"));
+        let clone = items.iter().find(|i| i.name == "clone").unwrap();
+        assert_eq!(clone.impl_type.as_deref(), Some("Widget"));
+        assert!(clone.body(&f).contains("self.size"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_to_the_self_type() {
+        assert_eq!(impl_type_of("impl<T: Clone> Holder<T> {"), "Holder");
+        assert_eq!(
+            impl_type_of("impl fmt::Display for ExecError {"),
+            "ExecError"
+        );
+        assert_eq!(impl_type_of("impl<'a> Iterator for Walker<'a> {"), "Walker");
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(mentions("self.rounds == other.rounds", "rounds"));
+        assert!(!mentions("self.round_stats", "rounds"));
+        assert!(mentions("options.threads = 0;", "threads"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Wire-token fixture client: every hyphenated literal is declared.
+
+pub fn classify(code: &str) -> &'static str {
+    match code {
+        "io" => "retry",
+        "bad-spec" => "fatal",
+        "x-trace" => "ignore",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_literals_are_exempt() {
+        assert_eq!(super::classify("not-a-code"), "unknown");
+    }
+}

@@ -1,0 +1,51 @@
+//! Lock-order and panic-path fixture: every shape here is legal.
+
+use std::sync::{Mutex, MutexGuard};
+
+struct Pool {
+    state: Mutex<u64>,
+    events: Mutex<Vec<u64>>,
+}
+
+impl Pool {
+    fn lock(&self) -> MutexGuard<'_, u64> {
+        self.state.lock().expect("pool poisoned")
+    }
+
+    fn step(&self) {
+        let mut state = self.state.lock().expect("pool poisoned");
+        {
+            // Nested acquisition in the declared order, released by
+            // scope exit.
+            let mut events = self.events.lock().expect("event log poisoned");
+            events.push(*state);
+        }
+        *state += 1;
+        drop(state);
+        // Re-acquisition through the helper after an explicit drop.
+        let state = self.lock();
+        push_event(*state);
+    }
+}
+
+fn push_event(value: u64) {
+    let log = Pool {
+        state: Mutex::new(value),
+        events: Mutex::new(Vec::new()),
+    };
+    let mut events = log.events.lock().expect("event log poisoned");
+    events.push(value);
+}
+
+fn answer() -> u64 {
+    // lint: allow(panic) fixture: the literal always parses
+    "42".parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_unwraps_freely() {
+        assert_eq!(super::answer(), "42".parse::<u64>().unwrap());
+    }
+}

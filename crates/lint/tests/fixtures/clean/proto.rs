@@ -1,0 +1,39 @@
+//! Wire-token fixture protocol.
+//!
+//! | verb | meaning  |
+//! |------|----------|
+//! | PING | liveness |
+//! | STOP | drain    |
+
+pub enum Request {
+    Ping,
+    Stop,
+}
+
+impl Request {
+    pub fn from_parts(verb: &str) -> Result<Request, String> {
+        match verb {
+            "PING" => Ok(Request::Ping),
+            "STOP" => Ok(Request::Stop),
+            other => Err(format!("unknown verb {other}")),
+        }
+    }
+
+    pub fn wire(&self) -> String {
+        match self {
+            Request::Ping => "PING\n".into(),
+            Request::Stop => "STOP\n".into(),
+        }
+    }
+}
+
+pub struct Response;
+
+impl Response {
+    pub fn from_error(kind: u8) -> String {
+        match kind {
+            0 => "io".into(),
+            _ => "bad-spec".into(),
+        }
+    }
+}

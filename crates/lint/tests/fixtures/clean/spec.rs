@@ -1,0 +1,48 @@
+//! Spec-key fixture: the renderers, the key and the manual equality all
+//! agree with the declared exclusions.
+
+#[derive(Clone)]
+pub struct EngineOptions {
+    pub seed: u64,
+    pub threads: usize,
+}
+
+impl EngineOptions {
+    pub fn to_text(&self) -> String {
+        format!("seed={} threads={}", self.seed, self.threads)
+    }
+}
+
+pub struct RunSpec {
+    pub topology: String,
+    pub options: EngineOptions,
+}
+
+impl RunSpec {
+    pub fn text_with_options(&self, options: &EngineOptions) -> String {
+        format!("{}\n{}", self.topology, options.to_text())
+    }
+
+    pub fn canonical_key(&self) -> String {
+        let mut options = self.options.clone();
+        options.threads = 0;
+        self.text_with_options(&options)
+    }
+}
+
+pub struct RunOutcome {
+    pub rounds: u64,
+    pub stats: Vec<u64>,
+}
+
+impl PartialEq for RunOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+    }
+}
+
+impl RunOutcome {
+    pub fn to_text(&self) -> String {
+        format!("rounds={} stats={:?}", self.rounds, self.stats)
+    }
+}

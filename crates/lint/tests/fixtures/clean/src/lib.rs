@@ -1,0 +1,2 @@
+//! Hygiene fixture facade crate.
+#![deny(unsafe_code)]

@@ -1,0 +1,9 @@
+//! Wire-token violation: a drifted spelling on a non-test path.
+
+pub fn classify(code: &str) -> &'static str {
+    match code {
+        "io" => "retry",
+        "not-dome" => "fatal",
+        _ => "unknown",
+    }
+}

@@ -1,0 +1,44 @@
+//! Lock-order and panic-path violations, one per function.
+
+use std::sync::Mutex;
+
+struct Pool {
+    state: Mutex<u64>,
+    events: Mutex<Vec<u64>>,
+    misc: Mutex<u64>,
+}
+
+impl Pool {
+    fn backwards(&self) {
+        let events = self.events.lock().expect("event log poisoned");
+        let state = self.state.lock().expect("pool poisoned");
+        drop(state);
+        drop(events);
+    }
+
+    fn twice(&self) {
+        let first = self.state.lock().expect("pool poisoned");
+        let second = self.state.lock().expect("pool poisoned");
+        drop(second);
+        drop(first);
+    }
+
+    fn mystery(&self) {
+        let misc = self.misc.lock().expect("misc poisoned");
+        drop(misc);
+    }
+
+    fn crashy(&self) -> u64 {
+        let value: Option<u64> = None;
+        value.unwrap()
+    }
+
+    fn unfinished(&self) {
+        panic!("not yet");
+    }
+
+    fn weakly_excused(&self) -> u64 {
+        // lint: allow(panic)
+        "7".parse().unwrap()
+    }
+}

@@ -1,0 +1,39 @@
+//! Wire-token violations: the parser, renderer, doc table and error
+//! mapping all disagree with the declared sets.
+//!
+//! | verb | meaning  |
+//! |------|----------|
+//! | PING | liveness |
+
+pub enum Request {
+    Ping,
+    Kill,
+}
+
+impl Request {
+    pub fn from_parts(verb: &str) -> Result<Request, String> {
+        match verb {
+            "PING" => Ok(Request::Ping),
+            "KILL" => Ok(Request::Kill),
+            other => Err(format!("unknown verb {other}")),
+        }
+    }
+
+    pub fn wire(&self) -> String {
+        match self {
+            Request::Ping => "PING\n".into(),
+            Request::Kill => "KILL\n".into(),
+        }
+    }
+}
+
+pub struct Response;
+
+impl Response {
+    pub fn from_error(kind: u8) -> String {
+        match kind {
+            0 => "io".into(),
+            _ => "oops-bad".into(),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Spec-key drift, every class at once: an unrendered option, a
+//! mis-normalised key, and equality out of sync with the exclusions.
+
+#[derive(Clone)]
+pub struct EngineOptions {
+    pub seed: u64,
+    pub threads: usize,
+    pub quiet: bool,
+}
+
+impl EngineOptions {
+    pub fn to_text(&self) -> String {
+        format!("seed={} threads={}", self.seed, self.threads)
+    }
+}
+
+pub struct RunSpec {
+    pub topology: String,
+    pub options: EngineOptions,
+}
+
+impl RunSpec {
+    pub fn text_with_options(&self, options: &EngineOptions) -> String {
+        format!("{}\n{}", self.topology, options.to_text())
+    }
+
+    pub fn canonical_key(&self) -> String {
+        let mut options = self.options.clone();
+        options.seed = 0;
+        self.text_with_options(&options)
+    }
+}
+
+pub struct RunOutcome {
+    pub rounds: u64,
+    pub flag: bool,
+    pub stats: Vec<u64>,
+}
+
+impl PartialEq for RunOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds && self.stats == other.stats
+    }
+}
+
+impl RunOutcome {
+    pub fn to_text(&self) -> String {
+        format!("rounds={}", self.rounds)
+    }
+}

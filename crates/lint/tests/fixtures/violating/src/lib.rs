@@ -1,0 +1,1 @@
+//! Hygiene violation: the safety header is missing.

@@ -1,0 +1,147 @@
+//! Self-tests: every rule runs against a passing and a violating
+//! fixture tree, and the real workspace configuration stays clean.
+
+use ctori_lint::check;
+use ctori_lint::report::Report;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(name: &str) -> Report {
+    let root = fixture(name);
+    let cfg = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
+    check(&root, &cfg).expect("fixture config parses")
+}
+
+/// The unsuppressed messages a rule produced, for substring assertions.
+fn fatal_messages(report: &Report, rule: &str) -> Vec<String> {
+    report
+        .unsuppressed()
+        .filter(|f| f.rule == rule)
+        .map(|f| format!("{}:{}: {}", f.file, f.line, f.message))
+        .collect()
+}
+
+fn assert_finding(messages: &[String], needle: &str) {
+    assert!(
+        messages.iter().any(|m| m.contains(needle)),
+        "no finding contains `{needle}` in {messages:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_unsuppressed_findings() {
+    let report = run("clean");
+    let fatal: Vec<_> = report.unsuppressed().collect();
+    assert!(fatal.is_empty(), "unexpected findings: {fatal:#?}");
+    // The poisoning blanket and the justified allow still *record* their
+    // suppressed findings — LINT.json keeps the audit trail.
+    assert!(report.findings.iter().any(|f| f.suppressed.is_some()));
+}
+
+#[test]
+fn lock_order_catches_inversion_reentry_and_unknown_receivers() {
+    let report = run("violating");
+    let messages = fatal_messages(&report, "lock-order");
+    assert_finding(
+        &messages,
+        "acquires `state` while holding `events`; the declared order is state < events",
+    );
+    assert_finding(&messages, "re-entrant acquisition of `state`");
+    assert_finding(&messages, "receiver `self.misc` matches no lock class");
+    assert_eq!(messages.len(), 3, "{messages:#?}");
+}
+
+#[test]
+fn panic_path_catches_unwraps_macros_and_unjustified_allows() {
+    let report = run("violating");
+    let messages = fatal_messages(&report, "panic-path");
+    assert_finding(&messages, "`unwrap()` on a non-test path");
+    assert_finding(&messages, "`panic!(…)` on a non-test path");
+    assert_finding(&messages, "carries no justification");
+    assert_eq!(messages.len(), 3, "{messages:#?}");
+    // The poisoning blanket suppresses — but records — the expect.
+    assert!(report.findings.iter().any(|f| f.rule == "panic-path"
+        && f.suppressed.is_some()
+        && f.message.contains("misc poisoned")));
+}
+
+#[test]
+fn spec_key_drift_catches_renderer_key_and_equality_drift() {
+    let report = run("violating");
+    let messages = fatal_messages(&report, "spec-key-drift");
+    assert_finding(&messages, "`quiet` is not rendered by to_text");
+    assert_finding(
+        &messages,
+        "`threads` is not normalised away in canonical_key",
+    );
+    assert_finding(
+        &messages,
+        "normalises `seed` but lint.toml does not declare it",
+    );
+    assert_finding(&messages, "`stats` is declared excluded from equality but");
+    assert_finding(&messages, "`flag` is not compared by the manual PartialEq");
+    assert_finding(&messages, "`stats` is not serialised by to_text");
+    assert_eq!(messages.len(), 6, "{messages:#?}");
+}
+
+#[test]
+fn wire_tokens_catch_parser_renderer_doc_and_usage_drift() {
+    let report = run("violating");
+    let messages = fatal_messages(&report, "wire-tokens");
+    assert_finding(
+        &messages,
+        "verb `STOP` is not parsed by Request::from_parts",
+    );
+    assert_finding(
+        &messages,
+        "parses verb `KILL` that lint.toml does not declare",
+    );
+    assert_finding(
+        &messages,
+        "verb `STOP` is missing from the protocol doc table",
+    );
+    assert_finding(&messages, "error code `bad-spec` is not produced");
+    assert_finding(
+        &messages,
+        "produces code `oops-bad` that lint.toml does not declare",
+    );
+    assert_finding(
+        &messages,
+        "literal `\"not-dome\"` matches no declared protocol token",
+    );
+    assert_finding(
+        &messages,
+        "verb `STOP` is missing from the README protocol table",
+    );
+}
+
+#[test]
+fn hygiene_catches_missing_attrs_and_dropped_ci_gates() {
+    let report = run("violating");
+    let messages = fatal_messages(&report, "hygiene");
+    assert_finding(
+        &messages,
+        "missing required crate attribute `#![deny(unsafe_code)]`",
+    );
+    assert_finding(
+        &messages,
+        "no longer contains the gate `cargo run -p ctori-lint -- --check`",
+    );
+    assert_eq!(messages.len(), 2, "{messages:#?}");
+}
+
+#[test]
+fn the_real_workspace_configuration_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml");
+    let report = check(&root, &cfg).expect("workspace config parses");
+    let fatal: Vec<_> = report.unsuppressed().collect();
+    assert!(fatal.is_empty(), "workspace lint findings: {fatal:#?}");
+    // Sanity: the run actually covered the executor and the protocol.
+    assert!(report.checked_files > 10);
+}

@@ -195,6 +195,8 @@ impl JobControl for RemoteHandle {
         self.lock().status(self.id).map_err(lower)
     }
 
+    // Deliberate timing code: the bounded wait polls against a deadline.
+    #[allow(clippy::disallowed_methods)]
     fn wait(&mut self, timeout: Option<Duration>) -> Result<Arc<RunOutcome>, ExecError> {
         match timeout {
             // Unbounded: let the server block the reply until the job is

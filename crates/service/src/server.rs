@@ -226,6 +226,8 @@ fn next_block(
 /// flight).  A client that keeps streaming past the drain window still
 /// gets reset — delivery stays best-effort, the caller drops the
 /// connection either way.
+// Deliberate timing code: the drain window is wall-clock bounded.
+#[allow(clippy::disallowed_methods)]
 fn reply_bad_request(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, detail: String) {
     let error = ServiceError::Protocol(detail);
     let _ = writer.write_all(Response::from_error(&error).wire().as_bytes());

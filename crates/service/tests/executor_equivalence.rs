@@ -43,6 +43,7 @@ fn harness() -> &'static Harness {
         let addr = server.local_addr().expect("local addr").to_string();
         // The server thread lives for the whole test process; the test
         // harness exits without a drain, which is fine for a test.
+        #[allow(clippy::disallowed_methods)]
         std::thread::spawn(move || server.serve());
         Harness {
             local: LocalExecutor::start(LocalExecutorConfig {

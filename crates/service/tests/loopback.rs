@@ -31,7 +31,10 @@ fn start_server(scheduler: SchedulerConfig) -> (String, ServerHandle) {
     })
     .expect("bind ephemeral loopback port");
     let addr = server.local_addr().expect("local addr").to_string();
-    (addr, std::thread::spawn(move || server.serve()))
+    // Deliberate spawn: the test joins the handle after SHUTDOWN.
+    #[allow(clippy::disallowed_methods)]
+    let handle = std::thread::spawn(move || server.serve());
+    (addr, handle)
 }
 
 fn default_server() -> (String, ServerHandle) {

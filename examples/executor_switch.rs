@@ -114,6 +114,9 @@ fn main() -> Result<(), Box<dyn Error>> {
             })?;
             let addr = server.local_addr()?.to_string();
             println!("embedded ctori-serve listening on {addr}");
+            // Deliberate spawn: the embedded server is joined after the
+            // shutdown request below.
+            #[allow(clippy::disallowed_methods)]
             let thread = std::thread::spawn(move || server.serve());
             let remote = RemoteExecutor::connect(addr.as_str())?;
             let outcomes = drive("RemoteExecutor (embedded ctori-serve)", &remote)?;

@@ -49,7 +49,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             let server = Server::bind(ServiceConfig::default())?;
             let addr = server.local_addr()?.to_string();
             println!("embedded ctori-serve listening on {addr}");
-            (addr, Some(std::thread::spawn(move || server.serve())))
+            // Deliberate spawn: the embedded server outlives this scope
+            // and is joined after SHUTDOWN below.
+            #[allow(clippy::disallowed_methods)]
+            let thread = std::thread::spawn(move || server.serve());
+            (addr, Some(thread))
         }
     };
     let remote = RemoteExecutor::connect(addr.as_str())?;
