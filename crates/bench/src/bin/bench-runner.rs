@@ -5,13 +5,17 @@
 //! Unlike the Criterion benches (interactive, statistical), this binary
 //! produces one machine-readable artefact per PR so throughput history is
 //! diffable: `BENCH_6.json` recorded the single-threaded three-lane
-//! baseline, and `BENCH_7.json` adds the threads axis — every grid point
+//! baseline, `BENCH_7.json` adds the threads axis — every grid point
 //! is measured at `threads=1` and `threads=auto`, so the artefact
 //! captures both the lane speedup over the generic frontier and the
-//! intra-run thread scaling (`self_speedup`).  CI re-emits a quick-mode
-//! file on every push to catch silent regressions (Mcell/s must stay
-//! positive and the grid complete; absolute numbers are informational
-//! because runner hardware varies).
+//! intra-run thread scaling (`self_speedup`) — and `BENCH_9.json` embeds
+//! a `telemetry` object distilled from a short `LocalExecutor` workload:
+//! queue-wait and run-time quantiles from the pool's latency histograms
+//! plus the dense/sparse band ratio and cell throughput from the step
+//! profile, so the artefact records latency alongside throughput.  CI
+//! re-emits a quick-mode file on every push to catch silent regressions
+//! (Mcell/s must stay positive and the grid complete; absolute numbers
+//! are informational because runner hardware varies).
 //!
 //! ```text
 //! bench-runner [--quick] [--out PATH]
@@ -31,7 +35,10 @@
 
 use ctori_bench::multicolor_scatter;
 use ctori_coloring::Color;
-use ctori_engine::{default_threads, Simulator};
+use ctori_engine::{
+    default_threads, Executor, LocalExecutor, LocalExecutorConfig, RuleSpec, RunSpec, SeedSpec,
+    Simulator, SubmitOptions, TopologySpec,
+};
 use ctori_protocols::ThresholdRule;
 use ctori_topology::{Torus, TorusKind};
 use std::fmt::Write as _;
@@ -39,7 +46,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// The PR number this artefact belongs to (the perf-trajectory index).
-const PR: u32 = 7;
+const PR: u32 = 9;
 
 /// One measured grid point: the plane lane at one thread setting against
 /// the single-threaded generic frontier on the same workload.
@@ -153,8 +160,81 @@ fn measure(kind: TorusKind, size: usize, palette: u16, rounds: u32) -> Vec<Sampl
     ]
 }
 
+/// Executor-level telemetry distilled from a short pool-driven workload
+/// — the same instruments the wire `METRICS` verb exposes, sampled here
+/// so the artefact records latency alongside throughput.
+struct TelemetryProbe {
+    jobs: u64,
+    queue_wait_us_p50: u64,
+    queue_wait_us_p99: u64,
+    job_run_us_p50: u64,
+    job_run_us_p99: u64,
+    cells_per_sec: f64,
+    dense_band_ratio: f64,
+}
+
+/// Runs a small threshold-growth sweep through a [`LocalExecutor`] and
+/// reads the pool's telemetry registry plus the jobs' step profiles.
+fn probe_telemetry(quick: bool) -> TelemetryProbe {
+    let size = if quick { 48 } else { 256 };
+    let jobs = 6usize;
+    let pool = LocalExecutor::start(LocalExecutorConfig::default());
+    let specs: Vec<RunSpec> = (0..jobs)
+        .map(|n| {
+            RunSpec::new(
+                TopologySpec::toroidal_mesh(size, size),
+                RuleSpec::parse("threshold(2,1)").expect("registry rule"),
+                SeedSpec::nodes(Color::new(2), Color::new(1), [n]),
+            )
+        })
+        .collect();
+    let handles = pool
+        .submit_sweep(&specs, SubmitOptions::default())
+        .expect("pool admits the probe sweep");
+    let (mut cells, mut nanos, mut dense, mut sparse) = (0u64, 0u64, 0u64, 0u64);
+    for mut handle in handles {
+        let outcome = handle.wait().expect("probe job finishes");
+        let stats = outcome.round_stats.expect("fresh run records stats");
+        cells += stats.cells_evaluated;
+        nanos += stats.nanos;
+        dense += stats.dense_bands;
+        sparse += stats.sparse_bands;
+    }
+    let registry = pool.telemetry();
+    pool.drain();
+    let snapshot = registry.snapshot();
+    let wait = snapshot
+        .histogram("exec.queue.wait-us")
+        .expect("queue-wait histogram")
+        .clone();
+    let run = snapshot
+        .histogram("exec.job.run-us")
+        .expect("run-time histogram")
+        .clone();
+    assert_eq!(wait.count, jobs as u64, "every job recorded a queue wait");
+    TelemetryProbe {
+        jobs: snapshot
+            .counter("exec.jobs.submitted")
+            .expect("submission counter"),
+        queue_wait_us_p50: wait.quantile(0.5),
+        queue_wait_us_p99: wait.quantile(0.99),
+        job_run_us_p50: run.quantile(0.5),
+        job_run_us_p99: run.quantile(0.99),
+        cells_per_sec: if nanos == 0 {
+            0.0
+        } else {
+            cells as f64 / (nanos as f64 / 1e9)
+        },
+        dense_band_ratio: if dense + sparse == 0 {
+            0.0
+        } else {
+            dense as f64 / (dense + sparse) as f64
+        },
+    }
+}
+
 /// Renders the samples as the `BENCH_<pr>.json` document.
-fn render(samples: &[Sample], mode: &str, rounds: u32) -> String {
+fn render(samples: &[Sample], telemetry: &TelemetryProbe, mode: &str, rounds: u32) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"parallel_planes\",");
@@ -163,6 +243,31 @@ fn render(samples: &[Sample], mode: &str, rounds: u32) -> String {
     let _ = writeln!(out, "  \"rule\": \"threshold(palette,2)\",");
     let _ = writeln!(out, "  \"rounds\": {rounds},");
     let _ = writeln!(out, "  \"unit\": \"Mcell/s\",");
+    out.push_str("  \"telemetry\": {\n");
+    let _ = writeln!(out, "    \"jobs\": {},", telemetry.jobs);
+    let _ = writeln!(
+        out,
+        "    \"queue_wait_us_p50\": {},",
+        telemetry.queue_wait_us_p50
+    );
+    let _ = writeln!(
+        out,
+        "    \"queue_wait_us_p99\": {},",
+        telemetry.queue_wait_us_p99
+    );
+    let _ = writeln!(out, "    \"job_run_us_p50\": {},", telemetry.job_run_us_p50);
+    let _ = writeln!(out, "    \"job_run_us_p99\": {},", telemetry.job_run_us_p99);
+    let _ = writeln!(
+        out,
+        "    \"cells_per_sec\": {:.0},",
+        telemetry.cells_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"dense_band_ratio\": {:.3}",
+        telemetry.dense_band_ratio
+    );
+    out.push_str("  },\n");
     out.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
@@ -273,7 +378,19 @@ fn main() {
     }
 
     check_headlines(&samples);
-    let doc = render(&samples, mode, rounds);
+    let telemetry = probe_telemetry(quick);
+    eprintln!(
+        "telemetry probe: {} jobs, queue-wait p50/p99 {}us/{}us, \
+         run p50/p99 {}us/{}us, {:.1} Mcell/s, dense ratio {:.3}",
+        telemetry.jobs,
+        telemetry.queue_wait_us_p50,
+        telemetry.queue_wait_us_p99,
+        telemetry.job_run_us_p50,
+        telemetry.job_run_us_p99,
+        telemetry.cells_per_sec / 1e6,
+        telemetry.dense_band_ratio,
+    );
+    let doc = render(&samples, &telemetry, mode, rounds);
     std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path} ({} grid points)", samples.len());
 }

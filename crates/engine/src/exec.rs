@@ -58,6 +58,8 @@ use crate::runner::{RunOutcome, Runner};
 use crate::simulator::Termination;
 use crate::spec::{RunSpec, SpecKey};
 use crate::sweep::default_threads;
+use crate::telemetry::clock::monotonic_nanos;
+use crate::telemetry::{Counter, Gauge, Histogram, JobTrace, Registry, SpanKind};
 use ctori_coloring::Color;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -713,6 +715,10 @@ pub struct PoolStats {
     pub failed: u64,
     /// Jobs cancelled while queued.
     pub cancelled: u64,
+    /// Jobs ever admitted to the queue (monotone, unlike `queued`).
+    pub submitted: u64,
+    /// The deepest the submission queue has ever been.
+    pub queued_hwm: usize,
 }
 
 /// A queue reference: max-heap on priority, FIFO (smallest sequence
@@ -840,6 +846,13 @@ struct JobRecord {
     /// the other workers or submitters.  Lock order where both are held
     /// is always pool state → event log.
     events: Arc<Mutex<EventLog>>,
+    /// The lifecycle span ring, behind its own lock for the same reason
+    /// as `events`: the in-flight publisher appends progress spans
+    /// through this `Arc` off the pool lock.  Lock order where both are
+    /// held is always pool state → trace log.
+    trace: Arc<Mutex<JobTrace>>,
+    /// When the job entered the queue, for the queue-wait histogram.
+    queued_at_nanos: u64,
 }
 
 #[derive(Default)]
@@ -861,6 +874,10 @@ struct PoolState {
     /// Terminal job ids, oldest first — the retention window.
     terminal_order: VecDeque<u64>,
     counters: Counters,
+    /// Jobs ever admitted (monotone companion of `queued`).
+    submitted: u64,
+    /// Deepest the queue has ever been.
+    queued_hwm: usize,
     next_id: u64,
     next_seq: u64,
     shutdown: bool,
@@ -876,6 +893,37 @@ struct Shared {
     retain_jobs: usize,
     workers: usize,
     cache: Option<Arc<dyn OutcomeCache>>,
+    /// The pool's metrics registry; exposed through
+    /// [`LocalExecutor::telemetry`] so embedding layers (the service
+    /// scheduler) can add their own instruments to the same exposition.
+    telemetry: Arc<Registry>,
+    /// Handles pre-registered at pool start, so the submit/claim/finish
+    /// hot paths never touch the registry's map lock.
+    metrics: ExecMetrics,
+}
+
+/// The executor's pre-registered instruments (see [`Shared::metrics`]).
+struct ExecMetrics {
+    /// `exec.jobs.submitted`: jobs ever admitted to the queue.
+    jobs_submitted: Arc<Counter>,
+    /// `exec.queue.depth-hwm`: deepest the queue has ever been.
+    queue_depth_hwm: Arc<Gauge>,
+    /// `exec.queue.wait-us`: microseconds from admission to claim.
+    queue_wait_us: Arc<Histogram>,
+    /// `exec.job.run-us`: microseconds from claim to terminal state
+    /// (cache hits included — they record their probe time).
+    job_run_us: Arc<Histogram>,
+}
+
+impl ExecMetrics {
+    fn register(registry: &Registry) -> ExecMetrics {
+        ExecMetrics {
+            jobs_submitted: registry.counter("exec.jobs.submitted"),
+            queue_depth_hwm: registry.gauge("exec.queue.depth-hwm"),
+            queue_wait_us: registry.histogram("exec.queue.wait-us"),
+            job_run_us: registry.histogram("exec.job.run-us"),
+        }
+    }
 }
 
 /// Marks a job terminal and forgets the oldest terminal records beyond
@@ -919,6 +967,8 @@ impl LocalExecutor {
         } else {
             config.workers
         };
+        let telemetry = Arc::new(Registry::new());
+        let metrics = ExecMetrics::register(&telemetry);
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState {
                 queue: BinaryHeap::new(),
@@ -928,6 +978,8 @@ impl LocalExecutor {
                 jobs: HashMap::new(),
                 terminal_order: VecDeque::new(),
                 counters: Counters::default(),
+                submitted: 0,
+                queued_hwm: 0,
                 next_id: 1,
                 next_seq: 0,
                 shutdown: false,
@@ -938,6 +990,8 @@ impl LocalExecutor {
             retain_jobs: config.retain_jobs.max(1),
             workers,
             cache,
+            telemetry,
+            metrics,
         });
         // The one place unscoped threads are created: the pool owns their
         // lifecycle and joins them on shutdown.
@@ -970,7 +1024,7 @@ impl LocalExecutor {
         let key = self.shared.cache.as_ref().map(|_| spec.canonical_key());
         let mut state = self.lock();
         admit(&state, self.shared.queue_capacity, 1)?;
-        let id = enqueue_locked(&mut state, spec, key, priority);
+        let id = enqueue_locked(&mut state, &self.shared.metrics, spec, key, priority);
         drop(state);
         self.shared.work_ready.notify_one();
         Ok(id)
@@ -995,7 +1049,9 @@ impl LocalExecutor {
         let ids = specs
             .into_iter()
             .zip(keys)
-            .map(|(spec, key)| enqueue_locked(&mut state, spec, key, priority))
+            .map(|(spec, key)| {
+                enqueue_locked(&mut state, &self.shared.metrics, spec, key, priority)
+            })
             .collect();
         drop(state);
         self.shared.work_ready.notify_all();
@@ -1070,7 +1126,32 @@ impl LocalExecutor {
             done: state.counters.done,
             failed: state.counters.failed,
             cancelled: state.counters.cancelled,
+            submitted: state.submitted,
+            queued_hwm: state.queued_hwm,
         }
+    }
+
+    /// The pool's metrics registry.  The executor pre-registers its own
+    /// instruments (`exec.jobs.submitted`, `exec.queue.depth-hwm`,
+    /// `exec.queue.wait-us`, `exec.job.run-us`); embedding layers may add
+    /// theirs to the same registry so one snapshot covers everything.
+    pub fn telemetry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
+    /// A copy of the job's lifecycle span ring (submitted → queued →
+    /// claimed → running → sampled progress → terminal).  This is the
+    /// query behind the service's `TRACE <id>` verb.
+    pub fn job_trace(&self, id: u64) -> Result<JobTrace, ExecError> {
+        // As `events_since`: clone the trace handle under the pool lock,
+        // read it outside.
+        let trace = {
+            let state = self.lock();
+            let record = state.jobs.get(&id).ok_or(ExecError::UnknownJob)?;
+            Arc::clone(&record.trace)
+        };
+        let trace = trace.lock().expect("trace log poisoned");
+        Ok(trace.clone())
     }
 
     /// Drains the pool: rejects new submissions, lets every queued and
@@ -1144,6 +1225,7 @@ fn admit(state: &PoolState, capacity: usize, incoming: usize) -> Result<(), Exec
 
 fn enqueue_locked(
     state: &mut PoolState,
+    metrics: &ExecMetrics,
     spec: RunSpec,
     key: Option<SpecKey>,
     priority: Priority,
@@ -1152,6 +1234,10 @@ fn enqueue_locked(
     state.next_id += 1;
     let seq = state.next_seq;
     state.next_seq += 1;
+    let now = monotonic_nanos();
+    let trace = Arc::new(Mutex::new(JobTrace::new()));
+    push_span(&trace, SpanKind::Submitted, now);
+    push_span(&trace, SpanKind::Queued, now);
     state.jobs.insert(
         id,
         JobRecord {
@@ -1162,6 +1248,8 @@ fn enqueue_locked(
             outcome: None,
             error: None,
             events: Arc::new(Mutex::new(EventLog::default())),
+            trace,
+            queued_at_nanos: now,
         },
     );
     state.queue.push(QueueRef {
@@ -1170,6 +1258,10 @@ fn enqueue_locked(
         id,
     });
     state.queued += 1;
+    state.submitted += 1;
+    state.queued_hwm = state.queued_hwm.max(state.queued);
+    metrics.jobs_submitted.inc();
+    metrics.queue_depth_hwm.record_max(state.queued as u64);
     id
 }
 
@@ -1221,6 +1313,7 @@ fn cancel_on(shared: &Shared, id: u64) -> Result<(), ExecError> {
     record.state = JobState::Cancelled;
     record.spec = None;
     push_event(&record.events, RunEvent::Cancelled);
+    push_span(&record.trace, SpanKind::Cancelled, monotonic_nanos());
     state.queued -= 1;
     state.counters.cancelled += 1;
     record_terminal(&mut state, shared.retain_jobs, id);
@@ -1231,6 +1324,13 @@ fn cancel_on(shared: &Shared, id: u64) -> Result<(), ExecError> {
 
 fn push_event(events: &Arc<Mutex<EventLog>>, event: RunEvent) {
     events.lock().expect("event log poisoned").push(event);
+}
+
+fn push_span(trace: &Arc<Mutex<JobTrace>>, kind: SpanKind, at_nanos: u64) {
+    trace
+        .lock()
+        .expect("trace log poisoned")
+        .record(kind, at_nanos);
 }
 
 fn outcome_of(state: &PoolState, id: u64) -> Result<Arc<RunOutcome>, ExecError> {
@@ -1256,6 +1356,10 @@ fn outcome_of(state: &PoolState, id: u64) -> Result<Arc<RunOutcome>, ExecError> 
 /// the (rare) watcher of this very job.
 struct EventPublisher {
     events: Arc<Mutex<EventLog>>,
+    /// The job's span ring: sampled rounds land here too, so a `TRACE`
+    /// of a finished job shows its in-flight cadence.  Held as its own
+    /// `Arc` — the publisher never touches the pool lock.
+    trace: Arc<Mutex<JobTrace>>,
     stride: usize,
 }
 
@@ -1278,6 +1382,13 @@ impl Observer for EventPublisher {
                     changed: view.changed(),
                     histogram: view.histogram(),
                 },
+            );
+            push_span(
+                &self.trace,
+                SpanKind::Progress {
+                    round: view.round() as u64,
+                },
+                monotonic_nanos(),
             );
         }
     }
@@ -1314,6 +1425,14 @@ fn worker_loop(shared: &Shared) {
                     let spec = record.spec.take().expect("queued job still has its spec");
                     let key = record.key;
                     let events = Arc::clone(&record.events);
+                    let trace = Arc::clone(&record.trace);
+                    let claimed_at = monotonic_nanos();
+                    shared
+                        .metrics
+                        .queue_wait_us
+                        .record(claimed_at.saturating_sub(record.queued_at_nanos) / 1_000);
+                    push_span(&trace, SpanKind::Claimed, claimed_at);
+                    push_span(&trace, SpanKind::Running, claimed_at);
                     state.queued -= 1;
                     state.running += 1;
                     // A job stepping with T threads counts as T pool
@@ -1333,7 +1452,7 @@ fn worker_loop(shared: &Shared) {
                     } else {
                         1
                     };
-                    break Some((entry.id, key, spec, events, step_threads));
+                    break Some((entry.id, key, spec, events, trace, claimed_at, step_threads));
                 }
                 None if state.shutdown => break None,
                 None => {
@@ -1341,7 +1460,7 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
-        let Some((id, key, spec, events, step_threads)) = claimed else {
+        let Some((id, key, spec, events, trace, claimed_at, step_threads)) = claimed else {
             return; // drained and shutting down
         };
         drop(state);
@@ -1372,6 +1491,12 @@ fn worker_loop(shared: &Shared) {
                     termination: outcome.termination,
                 },
             );
+            let done_at = monotonic_nanos();
+            push_span(&trace, SpanKind::Done, done_at);
+            shared
+                .metrics
+                .job_run_us
+                .record(done_at.saturating_sub(claimed_at) / 1_000);
             record.outcome = Some(outcome);
             state.counters.done += 1;
             record_terminal(&mut state, shared.retain_jobs, id);
@@ -1386,6 +1511,7 @@ fn worker_loop(shared: &Shared) {
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut publisher = EventPublisher {
                 events: Arc::clone(&events),
+                trace: Arc::clone(&trace),
                 stride,
             };
             Runner::with_threads(step_threads).execute_observed(&spec, &mut publisher)
@@ -1411,6 +1537,11 @@ fn worker_loop(shared: &Shared) {
         // Terminal events are pushed under the state lock (nested
         // state → event-log order) so a watcher can never see the stream
         // close while the job still reports as running.
+        let finished_at = monotonic_nanos();
+        shared
+            .metrics
+            .job_run_us
+            .record(finished_at.saturating_sub(claimed_at) / 1_000);
         match result {
             Ok(outcome) => {
                 record.state = JobState::Done;
@@ -1421,6 +1552,7 @@ fn worker_loop(shared: &Shared) {
                         termination: outcome.termination,
                     },
                 );
+                push_span(&trace, SpanKind::Done, finished_at);
                 record.outcome = Some(outcome);
                 state.counters.done += 1;
             }
@@ -1432,6 +1564,7 @@ fn worker_loop(shared: &Shared) {
                         message: message.clone(),
                     },
                 );
+                push_span(&trace, SpanKind::Failed, finished_at);
                 record.error = Some(message);
                 state.counters.failed += 1;
             }
@@ -2028,6 +2161,76 @@ mod tests {
         }
         assert_eq!(Priority::parse_token("urgent"), None);
         assert_eq!(JobState::parse_token("gone"), None);
+    }
+
+    #[test]
+    fn job_trace_records_the_full_lifecycle() {
+        let pool = small_pool(1);
+        let mut handle = pool.submit(&spec(8, 0), SubmitOptions::default()).unwrap();
+        let id = 1;
+        handle.wait().unwrap();
+        let trace = pool.job_trace(id).unwrap();
+        assert!(trace.is_monotone(), "{trace:?}");
+        let kinds: Vec<SpanKind> = trace.spans().iter().map(|s| s.kind).collect();
+        assert_eq!(kinds[0], SpanKind::Submitted);
+        assert_eq!(kinds[1], SpanKind::Queued);
+        assert_eq!(kinds[2], SpanKind::Claimed);
+        assert_eq!(kinds[3], SpanKind::Running);
+        assert_eq!(trace.terminal().map(|s| s.kind), Some(SpanKind::Done));
+        assert!(
+            kinds.iter().any(|k| matches!(k, SpanKind::Progress { .. })),
+            "sampled rounds appear as progress spans: {kinds:?}"
+        );
+        assert!(trace.queue_wait_nanos().is_some());
+        assert!(trace.run_nanos().is_some());
+        assert!(matches!(pool.job_trace(999), Err(ExecError::UnknownJob)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cancelled_job_trace_ends_cancelled() {
+        // Zero workers never claim, so the job stays cancellable.
+        let pool = LocalExecutor::start(LocalExecutorConfig {
+            workers: 1,
+            queue_capacity: 64,
+            retain_jobs: 64,
+        });
+        // Saturate the single worker with one long job, then cancel a
+        // queued one behind it.
+        let _busy = pool.submit(&spec(24, 0), SubmitOptions::default()).unwrap();
+        let mut queued = pool.submit(&spec(24, 1), SubmitOptions::default()).unwrap();
+        if queued.cancel().is_ok() {
+            let trace = pool.job_trace(2).unwrap();
+            assert_eq!(
+                trace.terminal().map(|s| s.kind),
+                Some(SpanKind::Cancelled),
+                "{trace:?}"
+            );
+            assert!(trace.queue_wait_nanos().is_none(), "never claimed");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn telemetry_registry_tracks_submissions_and_latencies() {
+        let pool = small_pool(2);
+        for n in 0..4 {
+            pool.submit(&spec(6, n), SubmitOptions::default())
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let snapshot = pool.telemetry().snapshot();
+        assert_eq!(snapshot.counter("exec.jobs.submitted"), Some(4));
+        assert!(snapshot.gauge("exec.queue.depth-hwm").unwrap() >= 1);
+        let wait = snapshot.histogram("exec.queue.wait-us").unwrap();
+        assert_eq!(wait.count, 4);
+        let run = snapshot.histogram("exec.job.run-us").unwrap();
+        assert_eq!(run.count, 4);
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 4);
+        assert!(stats.queued_hwm >= 1);
+        pool.shutdown();
     }
 
     #[test]

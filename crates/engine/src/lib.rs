@@ -112,6 +112,7 @@ pub mod simulator;
 pub mod spec;
 pub mod state;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 
 pub use adjacency::Adjacency;
@@ -132,4 +133,5 @@ pub use spec::{
 };
 pub use state::StateVec;
 pub use sweep::{default_threads, parallel_map, parallel_runs};
+pub use telemetry::{HistogramSnapshot, JobTrace, MetricsSnapshot, Registry, SpanEvent, SpanKind};
 pub use trace::{run_with_trace, RecoloringTimes, Trace};

@@ -29,6 +29,17 @@ pub struct StepStats {
     pub sparse_bands: u64,
     /// Vertices evaluated across all rounds and bands.
     pub cells_evaluated: u64,
+    /// Nanoseconds spent evaluating vertex updates (lane stepping or the
+    /// generic frontier sweep).
+    pub evaluate_nanos: u64,
+    /// Nanoseconds spent merging band results (buffer concatenation and
+    /// the configuration-hash fold); zero for lane rounds, which have no
+    /// separate merge phase.
+    pub merge_nanos: u64,
+    /// Nanoseconds spent applying the merged changes (colour writes,
+    /// census/hash upkeep, next-round worklist build); zero for lane
+    /// rounds.
+    pub apply_nanos: u64,
 }
 
 impl StepStats {
@@ -38,6 +49,14 @@ impl StepStats {
         self.dense_bands += u64::from(dense_bands);
         self.sparse_bands += u64::from(sparse_bands);
         self.cells_evaluated += cells_evaluated;
+    }
+
+    /// Folds one round's phase timings into the totals.  Lane rounds pass
+    /// their whole step as `evaluate` with zero merge/apply.
+    pub fn record_phases(&mut self, evaluate_nanos: u64, merge_nanos: u64, apply_nanos: u64) {
+        self.evaluate_nanos += evaluate_nanos;
+        self.merge_nanos += merge_nanos;
+        self.apply_nanos += apply_nanos;
     }
 }
 
@@ -212,6 +231,8 @@ mod tests {
         let mut stats = StepStats::default();
         stats.record_round(4, 0, 1_000_000);
         stats.record_round(1, 3, 250_000);
+        stats.record_phases(700, 0, 0);
+        stats.record_phases(300, 40, 60);
         assert_eq!(
             stats,
             StepStats {
@@ -219,6 +240,9 @@ mod tests {
                 dense_bands: 5,
                 sparse_bands: 3,
                 cells_evaluated: 1_250_000,
+                evaluate_nanos: 1_000,
+                merge_nanos: 40,
+                apply_nanos: 60,
             }
         );
     }

@@ -18,6 +18,7 @@ use crate::observe::StepView;
 use crate::parallel::{band_ranges, run_bands};
 use crate::planes::PlaneLane;
 use crate::state::{ColorCensus, StateVec};
+use crate::telemetry::clock::monotonic_nanos;
 use ctori_coloring::{Color, Coloring};
 use ctori_protocols::LocalRule;
 use ctori_topology::{Adjacency, NodeId, NodeSet, Topology, Torus};
@@ -622,6 +623,11 @@ impl<R: LocalRule> Simulator<R> {
     /// [`Simulator::set_step_threads`] setting.
     pub fn step(&mut self) -> StepReport {
         let mut generic_profile = (0u32, 0u32, 0u64);
+        let step_start = monotonic_nanos();
+        // (evaluate, merge, apply) nanoseconds for this round.  Lane
+        // rounds do everything inside the lane step, so the whole round
+        // counts as evaluation.
+        let mut phase_profile = (0u64, 0u64, 0u64);
         let changed = match &mut self.state {
             StateVec::Packed { lane, zero, one } => {
                 let flips = lane.step(&self.adjacency);
@@ -633,6 +639,7 @@ impl<R: LocalRule> Simulator<R> {
                     }
                     self.hash ^= delta;
                 }
+                phase_profile.0 = monotonic_nanos().saturating_sub(step_start);
                 flips
             }
             StateVec::Planes { lane } => {
@@ -644,6 +651,7 @@ impl<R: LocalRule> Simulator<R> {
                     }
                     self.hash ^= delta;
                 }
+                phase_profile.0 = monotonic_nanos().saturating_sub(step_start);
                 flips
             }
             StateVec::Generic { colors, census } => {
@@ -662,6 +670,7 @@ impl<R: LocalRule> Simulator<R> {
                 } else {
                     (0, 1, self.worklist.candidates().len() as u64)
                 };
+                let evaluate_done;
                 if self.step_threads == 1 {
                     if dense {
                         for v in 0..len {
@@ -695,6 +704,7 @@ impl<R: LocalRule> Simulator<R> {
                             }
                         }
                     }
+                    evaluate_done = monotonic_nanos();
                 } else {
                     // Band-parallel evaluation against the frozen
                     // pre-round colours: dense rounds split the vertex
@@ -745,21 +755,26 @@ impl<R: LocalRule> Simulator<R> {
                             }
                         }
                     });
+                    evaluate_done = monotonic_nanos();
                     for buffer in &band_changes {
                         self.changes.extend_from_slice(buffer);
                     }
                     self.band_changes = band_changes;
                 }
+                // Merge: band-order concatenation above plus the hash
+                // delta, which only reads the change tuples and so can
+                // fold before the colours move.
+                if self.hash_live {
+                    for &(v, old, new) in &self.changes {
+                        self.hash ^= zkey(v as usize, old) ^ zkey(v as usize, new);
+                    }
+                }
+                let merge_done = monotonic_nanos();
                 // Apply after evaluating everything: synchronous semantics.
                 for &(v, old, new) in &self.changes {
                     colors[v as usize] = new;
                     census.remove(old);
                     census.add(new);
-                }
-                if self.hash_live {
-                    for &(v, old, new) in &self.changes {
-                        self.hash ^= zkey(v as usize, old) ^ zkey(v as usize, new);
-                    }
                 }
                 self.worklist.begin_next();
                 if !self.worklist.always_full() {
@@ -772,6 +787,12 @@ impl<R: LocalRule> Simulator<R> {
                     }
                 }
                 self.worklist.finish_round();
+                let apply_done = monotonic_nanos();
+                phase_profile = (
+                    evaluate_done.saturating_sub(step_start),
+                    merge_done.saturating_sub(evaluate_done),
+                    apply_done.saturating_sub(merge_done),
+                );
                 self.changes.len()
             }
         };
@@ -781,6 +802,8 @@ impl<R: LocalRule> Simulator<R> {
             StateVec::Generic { .. } => generic_profile,
         };
         self.stats.record_round(dense_bands, sparse_bands, cells);
+        self.stats
+            .record_phases(phase_profile.0, phase_profile.1, phase_profile.2);
         self.round += 1;
         StepReport {
             changed,

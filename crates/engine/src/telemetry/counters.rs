@@ -1,0 +1,151 @@
+//! Sharded atomic counters and high-water gauges.
+//!
+//! A [`Counter`] spreads increments over a small fixed set of
+//! cache-line-padded shards, selected per thread, so the executor's
+//! workers and the server's connection handlers never contend on one
+//! line; reads sum the shards.  A [`Gauge`] is a single atomic with a
+//! plain `set` and a `record_max` high-water form (queue-depth HWM).
+//! Everything is relaxed: telemetry tolerates torn cross-metric reads,
+//! and each individual value is exact.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards per counter.  Small enough to keep summation cheap,
+/// large enough that a full worker pool (capped at 16 in this workspace)
+/// rarely collides.
+const SHARDS: usize = 16;
+
+/// One shard, padded to its own cache line pair so neighbouring shards
+/// never false-share.
+#[repr(align(128))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// The calling thread's shard slot, assigned round-robin on first use.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|slot| *slot)
+}
+
+/// A monotonically increasing event counter, sharded for write-side
+/// scalability.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total (sum over shards).
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+/// A last-written-value metric with a high-water form.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `candidate` if it is higher — the high-water
+    /// mark form used for queue depth.
+    pub fn record_max(&self, candidate: u64) {
+        self.value.fetch_max(candidate, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let counter = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 8000);
+        counter.add(5);
+        assert_eq!(counter.value(), 8005);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let gauge = Gauge::new();
+        gauge.set(7);
+        assert_eq!(gauge.value(), 7);
+        gauge.record_max(3);
+        assert_eq!(gauge.value(), 7, "record_max never lowers");
+        gauge.record_max(11);
+        assert_eq!(gauge.value(), 11);
+        gauge.set(2);
+        assert_eq!(gauge.value(), 2, "set always overwrites");
+    }
+
+    #[test]
+    fn debug_forms_show_the_value() {
+        let counter = Counter::new();
+        counter.add(3);
+        assert_eq!(format!("{counter:?}"), "Counter(3)");
+        let gauge = Gauge::new();
+        gauge.set(9);
+        assert_eq!(format!("{gauge:?}"), "Gauge(9)");
+    }
+}

@@ -1,0 +1,266 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! A [`Histogram`] has [`HISTOGRAM_BUCKETS`] power-of-two buckets: bucket
+//! `0` holds the value `0`, and bucket `b` holds the values whose bit
+//! width is `b` (the range `[2^(b-1), 2^b - 1]`), with the last bucket
+//! absorbing everything above.  Recording is two relaxed atomic adds and
+//! one `fetch_max` — no locks, no allocation — which makes it safe to
+//! call from the executor's claim path and the server's per-request
+//! path.  A [`HistogramSnapshot`] is plain data answering count / sum /
+//! max / quantile queries, merging bucket-wise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 plus one per possible `u64` bit width up
+/// to 63, the last one unbounded above.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// The bucket a value lands in.
+fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The largest value bucket `b` represents (used as the quantile
+/// estimate: quantiles are upper bounds, never underestimates).
+fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A concurrent log2 histogram.  See the [module docs](self).
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snapshot.count)
+            .field("sum", &snapshot.sum)
+            .field("max", &snapshot.max)
+            .finish()
+    }
+}
+
+/// A plain-data copy of a [`Histogram`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping is the caller's concern; at
+    /// nanosecond scale a `u64` sum holds ~584 years).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// The mean observation, `0` when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// upper edge of the first bucket whose cumulative count reaches
+    /// `q * count`.  `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` bucket-wise.  Associative and
+    /// commutative, so shards and processes merge in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Renders the non-empty buckets as `index:count` pairs joined by
+    /// commas, `-` when empty (the wire form inside a metrics line).
+    pub fn render_buckets(&self) -> String {
+        let pairs: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| format!("{b}:{n}"))
+            .collect();
+        if pairs.is_empty() {
+            "-".into()
+        } else {
+            pairs.join(",")
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("buckets", &self.render_buckets())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn record_accumulates_count_sum_max() {
+        let hist = Histogram::new();
+        for v in [0u64, 1, 5, 5, 1000] {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1011);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.mean(), 202);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[3], 2);
+        assert_eq!(snap.buckets[10], 1);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let hist = Histogram::new();
+        for _ in 0..99 {
+            hist.record(10); // bucket 4, upper bound 15
+        }
+        hist.record(1_000_000); // bucket 20
+        let snap = hist.snapshot();
+        assert_eq!(snap.quantile(0.5), 15);
+        assert!(snap.quantile(0.5) >= 10, "never an underestimate");
+        assert_eq!(snap.quantile(1.0), 1_000_000, "capped at the max");
+        assert_eq!(HistogramSnapshot::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise() {
+        let a = Histogram::new();
+        a.record(3);
+        a.record(100);
+        let b = Histogram::new();
+        b.record(3);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 106);
+        assert_eq!(merged.max, 100);
+        assert_eq!(merged.buckets[2], 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let hist = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let hist = &hist;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        hist.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,431 @@
+//! The named metrics registry and its mergeable, text-serialisable
+//! snapshots.
+//!
+//! A [`Registry`] maps dotted names to live metric handles
+//! ([`super::Counter`] / [`super::Gauge`] / [`super::Histogram`]).
+//! Registration hands back an `Arc` that callers keep; after that the
+//! hot path touches only the metric's own atomics — the registry mutex
+//! guards registration and [`Registry::snapshot`] alone, so it is never
+//! part of a request or a worker loop.
+//!
+//! A [`MetricsSnapshot`] is the plain-data exposition: ordered
+//! `key: value` lines ([`MetricsSnapshot::to_text`] /
+//! [`MetricsSnapshot::from_text`], the same round-trip discipline as
+//! every other wire type in the workspace) and an associative,
+//! commutative [`MetricsSnapshot::merge`] (counters add, gauges max,
+//! histograms bucket-wise) so shards or processes can be aggregated in
+//! any order.
+
+use super::counters::{Counter, Gauge};
+use super::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A live metric handle held by the registry.
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of live metrics.  See the [module docs](self).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Handle>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// A name previously registered as a different kind is replaced (a
+    /// programming error; telemetry never panics over it).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        if let Some(Handle::Counter(counter)) = metrics.get(name) {
+            return Arc::clone(counter);
+        }
+        let counter = Arc::new(Counter::new());
+        metrics.insert(name.to_string(), Handle::Counter(Arc::clone(&counter)));
+        counter
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        if let Some(Handle::Gauge(gauge)) = metrics.get(name) {
+            return Arc::clone(gauge);
+        }
+        let gauge = Arc::new(Gauge::new());
+        metrics.insert(name.to_string(), Handle::Gauge(Arc::clone(&gauge)));
+        gauge
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        if let Some(Handle::Histogram(histogram)) = metrics.get(name) {
+            return Arc::clone(histogram);
+        }
+        let histogram = Arc::new(Histogram::new());
+        metrics.insert(name.to_string(), Handle::Histogram(Arc::clone(&histogram)));
+        histogram
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        MetricsSnapshot {
+            entries: metrics
+                .iter()
+                .map(|(name, handle)| {
+                    let value = match handle {
+                        Handle::Counter(c) => MetricValue::Counter(c.value()),
+                        Handle::Gauge(g) => MetricValue::Gauge(g.value()),
+                        Handle::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.snapshot().len())
+            .finish()
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonically increasing total.  Merges by addition.
+    Counter(u64),
+    /// A point-in-time level.  Merges by maximum.
+    Gauge(u64),
+    /// A log2 distribution.  Merges bucket-wise.  Boxed: the fixed
+    /// bucket array dwarfs the scalar variants, and snapshots are
+    /// cold-path values.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A plain-data, mergeable copy of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(name, v)| (name.as_str(), v))
+    }
+
+    /// The raw value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// The counter `name`, if present and a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name`, if present and a gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name`, if present and a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.entries.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Inserts (or replaces) one metric — how a layer folds locally
+    /// computed values into an exposition it is about to serve.
+    pub fn insert(&mut self, name: impl Into<String>, value: MetricValue) {
+        self.entries.insert(name.into(), value);
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the maximum,
+    /// histograms merge bucket-wise, and kind mismatches keep `self`'s
+    /// entry.  Associative and commutative (up to kind mismatches, which
+    /// well-formed snapshots of one schema never have).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, theirs) in &other.entries {
+            match self.entries.get_mut(name) {
+                None => {
+                    self.entries.insert(name.clone(), theirs.clone());
+                }
+                Some(mine) => match (mine, theirs) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    /// Renders the exposition: one `key: value` line per metric, in name
+    /// order.  Parses back with [`MetricsSnapshot::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(n) => out.push_str(&format!("{name}: counter {n}\n")),
+                MetricValue::Gauge(n) => out.push_str(&format!("{name}: gauge {n}\n")),
+                MetricValue::Histogram(h) => out.push_str(&format!(
+                    "{name}: hist count={} sum={} max={} buckets={}\n",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.render_buckets()
+                )),
+            }
+        }
+        out
+    }
+
+    /// Parses an exposition produced by [`MetricsSnapshot::to_text`]
+    /// (blank lines are skipped; anything else malformed is an error).
+    pub fn from_text(text: &str) -> Result<MetricsSnapshot, MetricsParseError> {
+        let bad = |line: usize, detail: String| MetricsParseError { line, detail };
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let (name, rest) = line
+                .split_once(':')
+                .ok_or_else(|| bad(lineno, format!("expected `key: value`, got {line:?}")))?;
+            let name = name.trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_'))
+            {
+                return Err(bad(lineno, format!("bad metric name {name:?}")));
+            }
+            let mut tokens = rest.split_whitespace();
+            let kind = tokens.next().unwrap_or("");
+            let value = match kind {
+                "counter" | "gauge" => {
+                    let n: u64 = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad(lineno, format!("{kind} needs one integer")))?;
+                    if tokens.next().is_some() {
+                        return Err(bad(lineno, "trailing tokens".into()));
+                    }
+                    if kind == "counter" {
+                        MetricValue::Counter(n)
+                    } else {
+                        MetricValue::Gauge(n)
+                    }
+                }
+                "hist" => MetricValue::Histogram(Box::new(parse_histogram(tokens, lineno)?)),
+                other => return Err(bad(lineno, format!("unknown metric kind {other:?}"))),
+            };
+            if entries.insert(name.to_string(), value).is_some() {
+                return Err(bad(lineno, format!("duplicate metric {name:?}")));
+            }
+        }
+        Ok(MetricsSnapshot { entries })
+    }
+}
+
+/// Parses the `count=… sum=… max=… buckets=…` tail of a `hist` line.
+fn parse_histogram<'a>(
+    tokens: impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<HistogramSnapshot, MetricsParseError> {
+    let bad = |detail: String| MetricsParseError {
+        line: lineno,
+        detail,
+    };
+    let mut snapshot = HistogramSnapshot::new();
+    let (mut saw_count, mut saw_sum, mut saw_max, mut saw_buckets) = (false, false, false, false);
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| bad(format!("expected `key=value`, got {token:?}")))?;
+        match key {
+            "count" => {
+                snapshot.count = value
+                    .parse()
+                    .map_err(|_| bad(format!("{value:?} is not a count")))?;
+                saw_count = true;
+            }
+            "sum" => {
+                snapshot.sum = value
+                    .parse()
+                    .map_err(|_| bad(format!("{value:?} is not a sum")))?;
+                saw_sum = true;
+            }
+            "max" => {
+                snapshot.max = value
+                    .parse()
+                    .map_err(|_| bad(format!("{value:?} is not a max")))?;
+                saw_max = true;
+            }
+            "buckets" => {
+                if value != "-" {
+                    for pair in value.split(',') {
+                        let (bucket, n) = pair
+                            .split_once(':')
+                            .ok_or_else(|| bad(format!("malformed bucket entry {pair:?}")))?;
+                        let bucket: usize = bucket
+                            .parse()
+                            .ok()
+                            .filter(|&b| b < super::HISTOGRAM_BUCKETS)
+                            .ok_or_else(|| bad(format!("{bucket:?} is not a bucket index")))?;
+                        snapshot.buckets[bucket] = n
+                            .parse()
+                            .map_err(|_| bad(format!("{n:?} is not a bucket count")))?;
+                    }
+                }
+                saw_buckets = true;
+            }
+            other => return Err(bad(format!("unknown hist field {other:?}"))),
+        }
+    }
+    if !(saw_count && saw_sum && saw_max && saw_buckets) {
+        return Err(bad("hist needs count=, sum=, max= and buckets=".into()));
+    }
+    Ok(snapshot)
+}
+
+/// Error produced when parsing a [`MetricsSnapshot`] from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl std::fmt::Display for MetricsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad metrics line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for MetricsParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let registry = Registry::new();
+        registry.counter("exec.jobs.submitted").add(17);
+        registry.gauge("exec.queue.depth-hwm").record_max(5);
+        let hist = registry.histogram("exec.queue.wait-us");
+        hist.record(0);
+        hist.record(12);
+        hist.record(900);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let registry = Registry::new();
+        let a = registry.counter("hits");
+        let b = registry.counter("hits");
+        a.inc();
+        b.inc();
+        assert_eq!(registry.snapshot().counter("hits"), Some(2));
+        // A kind mismatch replaces the handle instead of panicking.
+        let gauge = registry.gauge("hits");
+        gauge.set(9);
+        assert_eq!(registry.snapshot().gauge("hits"), Some(9));
+    }
+
+    #[test]
+    fn snapshot_text_round_trips() {
+        let snapshot = sample();
+        let text = snapshot.to_text();
+        assert_eq!(
+            MetricsSnapshot::from_text(&text).unwrap(),
+            snapshot,
+            "\n{text}"
+        );
+        assert!(text.contains("exec.jobs.submitted: counter 17"));
+        assert!(text.contains("exec.queue.depth-hwm: gauge 5"));
+        assert!(text.contains("count=3"));
+        // An empty snapshot is an empty exposition.
+        assert_eq!(MetricsSnapshot::new().to_text(), "");
+        assert_eq!(
+            MetricsSnapshot::from_text("").unwrap(),
+            MetricsSnapshot::new()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "nonsense",
+            "x: frobnicate 1",
+            "x: counter",
+            "x: counter 1 2",
+            "x: hist count=1",
+            "x: hist count=1 sum=2 max=3 buckets=99:1",
+            "bad key: counter 1",
+            "x: counter 1\nx: counter 2",
+        ] {
+            assert!(
+                MetricsSnapshot::from_text(bad).is_err(),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters_maxes_gauges_merges_histograms() {
+        let a = sample();
+        let mut merged = a.clone();
+        merged.merge(&a);
+        assert_eq!(merged.counter("exec.jobs.submitted"), Some(34));
+        assert_eq!(merged.gauge("exec.queue.depth-hwm"), Some(5));
+        assert_eq!(merged.histogram("exec.queue.wait-us").unwrap().count, 6);
+        // Disjoint keys union.
+        let mut other = MetricsSnapshot::new();
+        other.insert("server.connections", MetricValue::Counter(2));
+        merged.merge(&other);
+        assert_eq!(merged.counter("server.connections"), Some(2));
+        assert_eq!(merged.len(), 4);
+    }
+}

@@ -1,0 +1,372 @@
+//! The job-lifecycle trace model.
+//!
+//! A [`JobTrace`] is a bounded ring of typed, monotonically-timestamped
+//! [`SpanEvent`]s covering one job's life:
+//!
+//! ```text
+//! submitted → queued → claimed → running → progress… → done
+//!                 │                                  → failed
+//!                 └──────────────────────────────────→ cancelled
+//! ```
+//!
+//! Lifecycle spans are always kept; per-round progress spans are bounded
+//! by [`TRACE_PROGRESS_RETAIN`] (oldest dropped first, counted in
+//! [`JobTrace::dropped`]), so a million-round job cannot grow the
+//! executor's memory.  Timestamps come from the telemetry clock
+//! ([`super::clock::monotonic_nanos`]) and are clamped non-decreasing on
+//! recording, so a parsed trace is always replayable in order.  The
+//! queue-wait and run-time durations a TRACE consumer wants are derived
+//! ([`JobTrace::queue_wait_nanos`] / [`JobTrace::run_nanos`]) rather
+//! than stored.
+//!
+//! Like every wire type in the workspace, a trace has a line-oriented
+//! text round-trip ([`JobTrace::to_text`] / [`JobTrace::from_text`]) —
+//! the payload of the service's `TRACE <id>` verb.
+
+/// How many `Progress` spans one job's trace retains.  Lifecycle spans
+/// (at most six) are kept in addition.
+pub const TRACE_PROGRESS_RETAIN: usize = 256;
+
+/// What happened at one point of a job's life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpanKind {
+    /// The submission was accepted by the executor.
+    Submitted,
+    /// The job entered the priority queue (same instant as `Submitted`
+    /// for the local pool, kept distinct for backends that admit before
+    /// they queue).
+    Queued,
+    /// A worker popped the job off the queue.
+    Claimed,
+    /// The worker began executing the simulation.
+    Running,
+    /// A sampled synchronous round completed.
+    Progress {
+        /// The 1-based round that completed.
+        round: u64,
+    },
+    /// The run finished and its outcome is available.
+    Done,
+    /// The execution failed.
+    Failed,
+    /// The job was cancelled while still queued.
+    Cancelled,
+}
+
+impl SpanKind {
+    /// Whether this span closes the job's trace.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Done | SpanKind::Failed | SpanKind::Cancelled
+        )
+    }
+
+    /// The space-free wire token (`progress:<round>` for progress).
+    fn token(self) -> String {
+        match self {
+            SpanKind::Submitted => "submitted".into(),
+            SpanKind::Queued => "queued".into(),
+            SpanKind::Claimed => "claimed".into(),
+            SpanKind::Running => "running".into(),
+            SpanKind::Progress { round } => format!("progress:{round}"),
+            SpanKind::Done => "done".into(),
+            SpanKind::Failed => "failed".into(),
+            SpanKind::Cancelled => "cancelled".into(),
+        }
+    }
+
+    /// Parses the token produced by [`SpanKind::token`].
+    fn from_token(token: &str) -> Option<SpanKind> {
+        match token {
+            "submitted" => Some(SpanKind::Submitted),
+            "queued" => Some(SpanKind::Queued),
+            "claimed" => Some(SpanKind::Claimed),
+            "running" => Some(SpanKind::Running),
+            "done" => Some(SpanKind::Done),
+            "failed" => Some(SpanKind::Failed),
+            "cancelled" => Some(SpanKind::Cancelled),
+            other => {
+                let round = other.strip_prefix("progress:")?.parse().ok()?;
+                Some(SpanKind::Progress { round })
+            }
+        }
+    }
+}
+
+/// One timestamped point in a job's trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// What happened.
+    pub kind: SpanKind,
+    /// When, in nanoseconds on the recording process's telemetry clock.
+    pub at_nanos: u64,
+}
+
+/// One job's bounded, ordered span trace.  See the [module docs](self).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobTrace {
+    spans: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+impl JobTrace {
+    /// An empty trace.
+    pub fn new() -> JobTrace {
+        JobTrace::default()
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// How many `Progress` spans the retention bound evicted.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace holds no spans yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Appends one span.  The timestamp is clamped non-decreasing
+    /// against the previous span, so [`JobTrace::is_monotone`] holds by
+    /// construction; `Progress` spans beyond [`TRACE_PROGRESS_RETAIN`]
+    /// evict the oldest retained `Progress` span.
+    pub fn record(&mut self, kind: SpanKind, at_nanos: u64) {
+        let at_nanos = match self.spans.last() {
+            Some(last) => at_nanos.max(last.at_nanos),
+            None => at_nanos,
+        };
+        if matches!(kind, SpanKind::Progress { .. }) {
+            let progress = self
+                .spans
+                .iter()
+                .filter(|s| matches!(s.kind, SpanKind::Progress { .. }))
+                .count();
+            if progress >= TRACE_PROGRESS_RETAIN {
+                if let Some(oldest) = self
+                    .spans
+                    .iter()
+                    .position(|s| matches!(s.kind, SpanKind::Progress { .. }))
+                {
+                    self.spans.remove(oldest);
+                    self.dropped += 1;
+                }
+            }
+        }
+        self.spans.push(SpanEvent { kind, at_nanos });
+    }
+
+    /// The timestamp of the first span of the kind `pred` accepts.
+    fn first_at(&self, pred: impl Fn(SpanKind) -> bool) -> Option<u64> {
+        self.spans.iter().find(|s| pred(s.kind)).map(|s| s.at_nanos)
+    }
+
+    /// The terminal span, once one was recorded.
+    pub fn terminal(&self) -> Option<SpanEvent> {
+        self.spans
+            .iter()
+            .rev()
+            .find(|s| s.kind.is_terminal())
+            .copied()
+    }
+
+    /// Nanoseconds the job spent waiting in the queue: first `Queued`
+    /// span to first `Claimed` span.  `None` until both exist (a
+    /// cancelled job never gets claimed).
+    pub fn queue_wait_nanos(&self) -> Option<u64> {
+        let queued = self.first_at(|k| k == SpanKind::Queued)?;
+        let claimed = self.first_at(|k| k == SpanKind::Claimed)?;
+        Some(claimed - queued)
+    }
+
+    /// Nanoseconds the job spent executing: first `Running` span to the
+    /// terminal span.  `None` until both exist.
+    pub fn run_nanos(&self) -> Option<u64> {
+        let running = self.first_at(|k| k == SpanKind::Running)?;
+        let terminal = self.terminal()?;
+        Some(terminal.at_nanos - running)
+    }
+
+    /// Whether the timestamps never decrease (structurally true for
+    /// traces built through [`JobTrace::record`]; a parsed trace from a
+    /// foreign producer is validated by callers through this).
+    pub fn is_monotone(&self) -> bool {
+        self.spans
+            .windows(2)
+            .all(|w| w[0].at_nanos <= w[1].at_nanos)
+    }
+
+    /// Renders the trace: a `dropped:` line, then one `span:` line per
+    /// retained span, oldest first.  Parses back with
+    /// [`JobTrace::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = format!("dropped: {}\n", self.dropped);
+        for span in &self.spans {
+            out.push_str(&format!("span: {} {}\n", span.kind.token(), span.at_nanos));
+        }
+        out
+    }
+
+    /// Parses a trace produced by [`JobTrace::to_text`].
+    pub fn from_text(text: &str) -> Result<JobTrace, TraceParseError> {
+        let bad = |detail: String| TraceParseError { detail };
+        let mut trace = JobTrace::new();
+        let mut saw_dropped = false;
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(value) = line.strip_prefix("dropped:") {
+                if saw_dropped {
+                    return Err(bad("duplicate `dropped:` line".into()));
+                }
+                trace.dropped = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("{value:?} is not a drop count")))?;
+                saw_dropped = true;
+            } else if let Some(rest) = line.strip_prefix("span:") {
+                let mut tokens = rest.split_whitespace();
+                let kind = tokens
+                    .next()
+                    .and_then(SpanKind::from_token)
+                    .ok_or_else(|| bad(format!("bad span kind in {line:?}")))?;
+                let at_nanos = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad(format!("bad span timestamp in {line:?}")))?;
+                if tokens.next().is_some() {
+                    return Err(bad(format!("trailing tokens in {line:?}")));
+                }
+                trace.spans.push(SpanEvent { kind, at_nanos });
+            } else {
+                return Err(bad(format!("expected `dropped:` or `span:`, got {line:?}")));
+            }
+        }
+        if !saw_dropped {
+            return Err(bad("missing `dropped:` line".into()));
+        }
+        Ok(trace)
+    }
+}
+
+/// Error produced when parsing a [`JobTrace`] from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// What was wrong with the input.
+    pub detail: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad job trace: {}", self.detail)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_trace() -> JobTrace {
+        let mut trace = JobTrace::new();
+        trace.record(SpanKind::Submitted, 10);
+        trace.record(SpanKind::Queued, 10);
+        trace.record(SpanKind::Claimed, 40);
+        trace.record(SpanKind::Running, 45);
+        trace.record(SpanKind::Progress { round: 8 }, 60);
+        trace.record(SpanKind::Progress { round: 16 }, 80);
+        trace.record(SpanKind::Done, 145);
+        trace
+    }
+
+    #[test]
+    fn durations_derive_from_the_spans() {
+        let trace = full_trace();
+        assert_eq!(trace.queue_wait_nanos(), Some(30));
+        assert_eq!(trace.run_nanos(), Some(100));
+        assert_eq!(trace.terminal().map(|s| s.kind), Some(SpanKind::Done));
+        assert!(trace.is_monotone());
+        // A cancelled job has a queue but no claim and no run.
+        let mut cancelled = JobTrace::new();
+        cancelled.record(SpanKind::Submitted, 5);
+        cancelled.record(SpanKind::Queued, 5);
+        cancelled.record(SpanKind::Cancelled, 9);
+        assert_eq!(cancelled.queue_wait_nanos(), None);
+        assert_eq!(cancelled.run_nanos(), None);
+        assert_eq!(
+            cancelled.terminal().map(|s| s.kind),
+            Some(SpanKind::Cancelled)
+        );
+    }
+
+    #[test]
+    fn record_clamps_timestamps_monotone() {
+        let mut trace = JobTrace::new();
+        trace.record(SpanKind::Submitted, 100);
+        trace.record(SpanKind::Queued, 90); // clock jitter across threads
+        assert_eq!(trace.spans()[1].at_nanos, 100);
+        assert!(trace.is_monotone());
+    }
+
+    #[test]
+    fn progress_spans_are_bounded_lifecycle_spans_are_not() {
+        let mut trace = JobTrace::new();
+        trace.record(SpanKind::Submitted, 0);
+        trace.record(SpanKind::Queued, 0);
+        trace.record(SpanKind::Claimed, 1);
+        trace.record(SpanKind::Running, 1);
+        for round in 1..=(TRACE_PROGRESS_RETAIN as u64 + 50) {
+            trace.record(SpanKind::Progress { round }, round + 1);
+        }
+        trace.record(SpanKind::Done, 1_000_000);
+        assert_eq!(trace.dropped(), 50);
+        assert_eq!(trace.len(), TRACE_PROGRESS_RETAIN + 5);
+        // The oldest progress spans went first; lifecycle spans survive.
+        assert_eq!(trace.spans()[0].kind, SpanKind::Submitted);
+        assert_eq!(trace.spans()[4].kind, SpanKind::Progress { round: 51 });
+        assert_eq!(trace.queue_wait_nanos(), Some(1));
+        assert!(trace.run_nanos().is_some());
+    }
+
+    #[test]
+    fn trace_text_round_trips() {
+        let trace = full_trace();
+        let text = trace.to_text();
+        assert_eq!(JobTrace::from_text(&text).unwrap(), trace, "\n{text}");
+        assert!(text.starts_with("dropped: 0\n"));
+        assert!(text.contains("span: progress:8 60"));
+        // An empty trace still renders its dropped line.
+        let empty = JobTrace::new();
+        assert_eq!(JobTrace::from_text(&empty.to_text()).unwrap(), empty);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_traces() {
+        for bad in [
+            "",
+            "span: done 4\n",
+            "dropped: x\n",
+            "dropped: 0\ndropped: 0\n",
+            "dropped: 0\nspan: warp 4\n",
+            "dropped: 0\nspan: done\n",
+            "dropped: 0\nspan: done 4 5\n",
+            "dropped: 0\nnonsense\n",
+            "dropped: 0\nspan: progress:x 4\n",
+        ] {
+            assert!(JobTrace::from_text(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

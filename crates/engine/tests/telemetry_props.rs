@@ -1,0 +1,129 @@
+//! Property tests for the telemetry layer.
+//!
+//! The two algebraic contracts everything downstream leans on:
+//!
+//! * log2 **bucketing is monotone** — a larger observation never lands
+//!   in an earlier bucket, so cumulative counts (and therefore the
+//!   quantile estimates) are well defined;
+//! * **snapshot merging is associative and commutative** — shards,
+//!   layers and processes can fold their expositions in any order and
+//!   agree on the result.
+
+use ctori_engine::telemetry::{Histogram, MetricValue};
+use ctori_engine::MetricsSnapshot;
+use proptest::prelude::*;
+
+/// Six names with the kind fixed per name, the way a real schema pins
+/// it (merge commutes only when kinds agree per key).
+const NAMES: [&str; 6] = [
+    "alpha.count",
+    "beta.count",
+    "alpha.level",
+    "beta.level",
+    "alpha.lat-us",
+    "beta.lat-us",
+];
+
+/// The bucket one observation of `value` lands in.
+fn bucket_of(value: u64) -> usize {
+    let h = Histogram::new();
+    h.record(value);
+    let snapshot = h.snapshot();
+    snapshot
+        .buckets
+        .iter()
+        .position(|&n| n == 1)
+        .expect("exactly one bucket holds the observation")
+}
+
+/// Observation batches.  Values stay within `u32` so counter additions
+/// and histogram sums cannot overflow across three-way merges.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=u32::MAX as u64, 0..64)
+}
+
+/// Random well-formed snapshots over the fixed six-name schema.
+fn snapshots() -> impl Strategy<Value = MetricsSnapshot> {
+    proptest::collection::vec((0usize..6, 0u64..=u32::MAX as u64, values()), 0..6).prop_map(
+        |entries| {
+            let mut snap = MetricsSnapshot::new();
+            for (slot, n, vs) in entries {
+                let value = match slot / 2 {
+                    0 => MetricValue::Counter(n),
+                    1 => MetricValue::Gauge(n),
+                    _ => {
+                        let h = Histogram::new();
+                        for v in vs {
+                            h.record(v);
+                        }
+                        MetricValue::Histogram(Box::new(h.snapshot()))
+                    }
+                };
+                snap.insert(NAMES[slot], value);
+            }
+            snap
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn bucket_index_is_monotone_in_the_value(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_of(lo) <= bucket_of(hi), "{lo} -> {}, {hi} -> {}", bucket_of(lo), bucket_of(hi));
+    }
+
+    #[test]
+    fn bucket_counts_account_for_every_observation(vs in values()) {
+        let h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        prop_assert_eq!(snapshot.buckets.iter().sum::<u64>(), vs.len() as u64);
+        prop_assert_eq!(snapshot.count, vs.len() as u64);
+        prop_assert_eq!(snapshot.sum, vs.iter().sum::<u64>());
+        prop_assert_eq!(snapshot.max, vs.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(vs in values(), q1 in 0u32..=1000, q2 in 0u32..=1000) {
+        let h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(
+            snapshot.quantile(lo as f64 / 1000.0) <= snapshot.quantile(hi as f64 / 1000.0)
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative(a in snapshots(), b in snapshots()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative(a in snapshots(), b in snapshots(), c in snapshots()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn exposition_text_round_trips(snap in snapshots()) {
+        let text = snap.to_text();
+        let reparsed = MetricsSnapshot::from_text(&text).expect("own exposition parses");
+        prop_assert_eq!(reparsed, snap, "\n{}", text);
+    }
+}

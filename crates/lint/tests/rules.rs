@@ -118,6 +118,20 @@ fn wire_tokens_catch_parser_renderer_doc_and_usage_drift() {
         &messages,
         "verb `STOP` is missing from the README protocol table",
     );
+    // A freshly declared verb that nothing implements yet drifts in all
+    // three surfaces at once — parser, doc table and README.
+    assert_finding(
+        &messages,
+        "verb `TRACE` is not parsed by Request::from_parts",
+    );
+    assert_finding(
+        &messages,
+        "verb `TRACE` is missing from the protocol doc table",
+    );
+    assert_finding(
+        &messages,
+        "verb `TRACE` is missing from the README protocol table",
+    );
 }
 
 #[test]

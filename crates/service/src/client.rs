@@ -33,7 +33,7 @@ use crate::job::{JobId, JobStatus, Priority};
 use crate::protocol::{self, Request, Response};
 use crate::stats::ServiceStats;
 use ctori_engine::exec::RunEvent;
-use ctori_engine::{RunOutcome, RunSpec};
+use ctori_engine::{JobTrace, MetricsSnapshot, RunOutcome, RunSpec};
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -183,6 +183,27 @@ impl ServiceClient {
     pub fn stats(&mut self) -> Result<ServiceStats, ServiceError> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The full telemetry exposition: the executor's instruments
+    /// (queue-wait and run-time histograms, submission counters) plus
+    /// the server's wire-layer ones (per-verb request counts, bytes
+    /// in/out, connection lifetimes, framing errors).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServiceError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// A job's lifecycle span ring: submitted → queued → claimed →
+    /// running → sampled progress → terminal, with monotonic
+    /// timestamps.
+    pub fn trace(&mut self, id: JobId) -> Result<JobTrace, ServiceError> {
+        match self.roundtrip(&Request::Trace { id })? {
+            Response::Trace(trace) => Ok(trace),
             other => Err(unexpected(other)),
         }
     }

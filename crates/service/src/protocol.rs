@@ -16,6 +16,8 @@
 //! | `WATCH <id> [since-round]` | — | `OK events` + event block |
 //! | `CANCEL <id>` | — | `OK cancelled` |
 //! | `STATS` | — | `OK stats` + stats block |
+//! | `METRICS` | — | `OK metrics` + metrics block |
+//! | `TRACE <id>` | — | `OK trace` + span block |
 //! | `SHUTDOWN` | — | `OK bye`, then the server drains and exits |
 //!
 //! `WATCH` is the **polled progress stream** of the execution API: the
@@ -36,6 +38,7 @@ use crate::error::ServiceError;
 use crate::job::{parse_job_state, parse_priority, JobId, JobStatus, Priority};
 use crate::stats::ServiceStats;
 use ctori_engine::exec::{events_from_text, events_to_text, RunEvent};
+use ctori_engine::{JobTrace, MetricsSnapshot};
 use std::io::BufRead;
 
 /// The line separating two specs inside a `SWEEP` payload.
@@ -161,6 +164,15 @@ pub enum Request {
     },
     /// Fetch the service counters.
     Stats,
+    /// Fetch the full telemetry exposition (the metrics registry in
+    /// [`ctori_engine::MetricsSnapshot::to_text`] form).
+    Metrics,
+    /// Fetch a job's lifecycle span ring (the
+    /// [`ctori_engine::JobTrace::to_text`] form).
+    Trace {
+        /// The job.
+        id: JobId,
+    },
     /// Begin a graceful drain: the reply is `OK bye`, then the server
     /// finishes every admitted job and exits.
     Shutdown,
@@ -206,7 +218,26 @@ impl Request {
             },
             Request::Cancel { id } => format!("CANCEL {id}\n"),
             Request::Stats => "STATS\n".into(),
+            Request::Metrics => "METRICS\n".into(),
+            Request::Trace { id } => format!("TRACE {id}\n"),
             Request::Shutdown => "SHUTDOWN\n".into(),
+        }
+    }
+
+    /// The request's verb token, as it appears on the wire — the label
+    /// the server's per-verb request counters are keyed by.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Submit { .. } => "SUBMIT",
+            Request::Sweep { .. } => "SWEEP",
+            Request::Status { .. } => "STATUS",
+            Request::Result { .. } => "RESULT",
+            Request::Watch { .. } => "WATCH",
+            Request::Cancel { .. } => "CANCEL",
+            Request::Stats => "STATS",
+            Request::Metrics => "METRICS",
+            Request::Trace { .. } => "TRACE",
+            Request::Shutdown => "SHUTDOWN",
         }
     }
 
@@ -322,6 +353,16 @@ impl Request {
                 arity(1..=1)?;
                 Ok(Request::Stats)
             }
+            Some("METRICS") => {
+                arity(1..=1)?;
+                Ok(Request::Metrics)
+            }
+            Some("TRACE") => {
+                arity(2..=2)?;
+                Ok(Request::Trace {
+                    id: tokens[1].parse()?,
+                })
+            }
             Some("SHUTDOWN") => {
                 arity(1..=1)?;
                 Ok(Request::Shutdown)
@@ -356,6 +397,10 @@ pub enum Response {
     Cancelled,
     /// `STATS` payload.
     Stats(ServiceStats),
+    /// `METRICS` payload: the full registry exposition.
+    Metrics(MetricsSnapshot),
+    /// `TRACE` payload: one job's lifecycle span ring.
+    Trace(JobTrace),
     /// `SHUTDOWN` acknowledged.
     Bye,
     /// Any failure.
@@ -394,6 +439,10 @@ impl Response {
             }
             Response::Cancelled => "OK cancelled\n".into(),
             Response::Stats(stats) => format!("OK stats\n{}", encode_block(&stats.to_text())),
+            Response::Metrics(snapshot) => {
+                format!("OK metrics\n{}", encode_block(&snapshot.to_text()))
+            }
+            Response::Trace(trace) => format!("OK trace\n{}", encode_block(&trace.to_text())),
             Response::Bye => "OK bye\n".into(),
             Response::Error { code, message } => {
                 format!("ERR {code} {}\n", message.replace('\n', "; "))
@@ -403,7 +452,11 @@ impl Response {
 
     /// Whether a response header announces a payload block.
     pub fn header_needs_payload(header: &str) -> bool {
-        header == "OK result" || header == "OK stats" || header == "OK events"
+        header == "OK result"
+            || header == "OK stats"
+            || header == "OK events"
+            || header == "OK metrics"
+            || header == "OK trace"
     }
 
     /// Rebuilds a response from a header line and its payload block.
@@ -453,6 +506,20 @@ impl Response {
             Some("stats") if tokens.len() == 2 => Ok(Response::Stats(ServiceStats::from_text(
                 payload.ok_or_else(|| ServiceError::Protocol("stats without payload".into()))?,
             )?)),
+            Some("metrics") if tokens.len() == 2 => Ok(Response::Metrics(
+                MetricsSnapshot::from_text(
+                    payload
+                        .ok_or_else(|| ServiceError::Protocol("metrics without payload".into()))?,
+                )
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?,
+            )),
+            Some("trace") if tokens.len() == 2 => Ok(Response::Trace(
+                JobTrace::from_text(
+                    payload
+                        .ok_or_else(|| ServiceError::Protocol("trace without payload".into()))?,
+                )
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?,
+            )),
             Some("bye") if tokens.len() == 2 => Ok(Response::Bye),
             _ => Err(malformed()),
         }
@@ -558,7 +625,44 @@ mod tests {
         });
         round_trip_request(Request::Cancel { id: JobId::new(3) });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Metrics);
+        round_trip_request(Request::Trace { id: JobId::new(5) });
         round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn verb_tokens_match_the_wire_headers() {
+        let spec = "topology: toroidal-mesh 4x4\nrule: smp\nseed: uniform 1\n";
+        for request in [
+            Request::Submit {
+                priority: Priority::Normal,
+                spec_text: spec.to_string(),
+            },
+            Request::Sweep {
+                priority: Priority::Normal,
+                spec_texts: vec![spec.to_string()],
+            },
+            Request::Status { id: JobId::new(1) },
+            Request::Result {
+                id: JobId::new(1),
+                wait: false,
+            },
+            Request::Watch {
+                id: JobId::new(1),
+                since: None,
+            },
+            Request::Cancel { id: JobId::new(1) },
+            Request::Stats,
+            Request::Metrics,
+            Request::Trace { id: JobId::new(1) },
+            Request::Shutdown,
+        ] {
+            assert!(
+                request.wire().starts_with(request.verb()),
+                "{:?}",
+                request.verb()
+            );
+        }
     }
 
     #[test]
@@ -596,6 +700,34 @@ mod tests {
         round_trip_response(Response::Events(Vec::new()));
         round_trip_response(Response::Cancelled);
         round_trip_response(Response::Stats(ServiceStats::default()));
+        let mut snapshot = MetricsSnapshot::new();
+        snapshot.insert(
+            "server.requests.METRICS",
+            ctori_engine::telemetry::MetricValue::Counter(3),
+        );
+        snapshot.insert(
+            "exec.queue.depth-hwm",
+            ctori_engine::telemetry::MetricValue::Gauge(7),
+        );
+        let mut hist = ctori_engine::HistogramSnapshot::new();
+        hist.buckets[4] = 2;
+        hist.count = 2;
+        hist.sum = 20;
+        hist.max = 12;
+        snapshot.insert(
+            "exec.queue.wait-us",
+            ctori_engine::telemetry::MetricValue::Histogram(Box::new(hist)),
+        );
+        round_trip_response(Response::Metrics(snapshot));
+        round_trip_response(Response::Metrics(MetricsSnapshot::new()));
+        let mut trace = ctori_engine::JobTrace::new();
+        trace.record(ctori_engine::SpanKind::Submitted, 10);
+        trace.record(ctori_engine::SpanKind::Queued, 10);
+        trace.record(ctori_engine::SpanKind::Claimed, 40);
+        trace.record(ctori_engine::SpanKind::Running, 40);
+        trace.record(ctori_engine::SpanKind::Progress { round: 1 }, 55);
+        trace.record(ctori_engine::SpanKind::Done, 90);
+        round_trip_response(Response::Trace(trace));
         round_trip_response(Response::Bye);
         round_trip_response(Response::Error {
             code: "queue-full".into(),
@@ -628,6 +760,19 @@ mod tests {
         assert!(Request::from_parts("RESULT 1 now", None).is_err());
         assert!(Request::from_parts("WATCH", None).is_err(), "no id");
         assert!(Request::from_parts("WATCH 1 soon", None).is_err());
+        assert!(Request::from_parts("METRICS now", None).is_err());
+        assert!(Request::from_parts("TRACE", None).is_err(), "no id");
+        assert!(Request::from_parts("TRACE x", None).is_err());
+        assert!(
+            Response::from_parts("OK metrics", None).is_err(),
+            "no payload"
+        );
+        assert!(Response::from_parts("OK metrics", Some("key: rocket 1")).is_err());
+        assert!(
+            Response::from_parts("OK trace", None).is_err(),
+            "no payload"
+        );
+        assert!(Response::from_parts("OK trace", Some("span: levitated 1")).is_err());
         assert!(Request::from_parts("SUBMIT urgency=high", Some("x")).is_err());
         assert!(
             Response::from_parts("OK events", None).is_err(),

@@ -40,7 +40,7 @@ use crate::stats::ServiceStats;
 use ctori_engine::exec::{
     ExecError, Executor, JobControl, JobHandle, JobStatus, RunEvent, SubmitOptions,
 };
-use ctori_engine::{RunOutcome, RunSpec};
+use ctori_engine::{JobTrace, MetricsSnapshot, RunOutcome, RunSpec};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -79,6 +79,19 @@ impl RemoteExecutor {
     /// analogue of the local pool's stats snapshot.
     pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
         self.lock().stats()
+    }
+
+    /// The server's full telemetry exposition — the remote analogue of
+    /// [`ctori_engine::LocalExecutor::telemetry`], fetched as one
+    /// [`MetricsSnapshot`] rather than live instrument handles.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, ServiceError> {
+        self.lock().metrics()
+    }
+
+    /// A job's lifecycle span ring, fetched from the server — the
+    /// remote analogue of [`ctori_engine::LocalExecutor::job_trace`].
+    pub fn trace(&self, id: JobId) -> Result<JobTrace, ServiceError> {
+        self.lock().trace(id)
     }
 
     /// Asks the server to drain and exit (`SHUTDOWN`); the connection is

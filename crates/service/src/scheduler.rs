@@ -24,7 +24,10 @@ use crate::error::ServiceError;
 use crate::job::{JobId, JobState, JobStatus, Priority};
 use crate::stats::ServiceStats;
 use ctori_engine::exec::{ExecError, OutcomeCache, RunEvent};
-use ctori_engine::{LocalExecutor, LocalExecutorConfig, RunOutcome, RunSpec, SpecKey};
+use ctori_engine::telemetry::monotonic_nanos;
+use ctori_engine::{
+    JobTrace, LocalExecutor, LocalExecutorConfig, Registry, RunOutcome, RunSpec, SpecKey,
+};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -81,6 +84,8 @@ impl OutcomeCache for SharedCache {
 pub struct Scheduler {
     pool: LocalExecutor,
     cache: Arc<SharedCache>,
+    /// Monotonic start instant, for the STATS uptime report.
+    started_nanos: u64,
 }
 
 impl Scheduler {
@@ -103,7 +108,11 @@ impl Scheduler {
             },
             pool_cache,
         );
-        Scheduler { pool, cache }
+        Scheduler {
+            pool,
+            cache,
+            started_nanos: monotonic_nanos(),
+        }
     }
 
     /// Size of the worker pool.
@@ -220,8 +229,26 @@ impl Scheduler {
             done: pool.done,
             failed: pool.failed,
             cancelled: pool.cancelled,
+            jobs_submitted: pool.submitted,
+            queue_depth_hwm: pool.queued_hwm,
+            uptime_seconds: monotonic_nanos().saturating_sub(self.started_nanos) / 1_000_000_000,
             cache: self.cache.0.lock().expect("cache poisoned").stats(),
         }
+    }
+
+    /// The pool's metrics registry: the executor's pre-registered
+    /// instruments plus whatever the embedding server adds.  This is the
+    /// snapshot behind the `METRICS` protocol verb.
+    pub fn telemetry(&self) -> Arc<Registry> {
+        self.pool.telemetry()
+    }
+
+    /// A copy of the job's lifecycle span ring — the query behind the
+    /// `TRACE <id>` protocol verb.
+    pub fn trace(&self, id: JobId) -> Result<JobTrace, ServiceError> {
+        self.pool
+            .job_trace(id.as_u64())
+            .map_err(|e| self.lift(Some(id), e))
     }
 
     /// Drains the scheduler: rejects new submissions, lets every queued
@@ -511,6 +538,27 @@ mod tests {
             Ok(_) => {} // absurdly fast machine; still correct
             Err(other) => panic!("unexpected error: {other}"),
         }
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn telemetry_and_traces_surface_through_the_scheduler() {
+        let scheduler = small_scheduler(2);
+        let id = scheduler.submit(spec(6, 1), Priority::Normal).unwrap();
+        scheduler.wait(id, None).unwrap();
+        let snapshot = scheduler.telemetry().snapshot();
+        assert_eq!(snapshot.counter("exec.jobs.submitted"), Some(1));
+        assert!(snapshot.histogram("exec.queue.wait-us").unwrap().count >= 1);
+        let trace = scheduler.trace(id).unwrap();
+        assert!(trace.is_monotone());
+        assert!(trace.terminal().is_some());
+        assert!(matches!(
+            scheduler.trace(JobId::new(999)),
+            Err(ServiceError::UnknownJob(_))
+        ));
+        let stats = scheduler.stats();
+        assert_eq!(stats.jobs_submitted, 1);
+        assert!(stats.queue_depth_hwm >= 1);
         scheduler.shutdown();
     }
 

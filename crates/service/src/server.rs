@@ -32,6 +32,8 @@ use crate::error::ServiceError;
 use crate::protocol::{self, BlockLine, Request, Response};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::stats::ServiceStats;
+use ctori_engine::telemetry::{monotonic_nanos, Counter, Histogram};
+use ctori_engine::Registry;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -72,20 +74,76 @@ impl Default for ServiceConfig {
     }
 }
 
+/// The wire-layer instruments, pre-registered into the scheduler's
+/// registry at bind time so the per-request path never takes the
+/// registry's map lock.  Everything lands in the same exposition the
+/// `METRICS` verb serves.
+struct WireMetrics {
+    /// `server.requests.<VERB>`, one counter per protocol verb.
+    requests: Vec<(&'static str, Arc<Counter>)>,
+    /// `server.bytes.in`: request bytes framed (headers and payloads).
+    bytes_in: Arc<Counter>,
+    /// `server.bytes.out`: reply bytes written.
+    bytes_out: Arc<Counter>,
+    /// `server.connections`: connections accepted.
+    connections: Arc<Counter>,
+    /// `server.connection.lifetime-ms`: accept-to-close durations.
+    connection_lifetime_ms: Arc<Histogram>,
+    /// `server.framing-errors`: connections dropped on unframeable input.
+    framing_errors: Arc<Counter>,
+}
+
+/// Every protocol verb, for per-verb counter pre-registration.  Kept in
+/// lockstep with [`Request::verb`] (the `metrics_cover_every_verb` test
+/// breaks if one side drifts).
+const VERBS: [&str; 10] = [
+    "SUBMIT", "SWEEP", "STATUS", "RESULT", "WATCH", "CANCEL", "STATS", "METRICS", "TRACE",
+    "SHUTDOWN",
+];
+
+impl WireMetrics {
+    fn register(registry: &Registry) -> WireMetrics {
+        WireMetrics {
+            requests: VERBS
+                .iter()
+                .map(|verb| (*verb, registry.counter(&format!("server.requests.{verb}"))))
+                .collect(),
+            bytes_in: registry.counter("server.bytes.in"),
+            bytes_out: registry.counter("server.bytes.out"),
+            connections: registry.counter("server.connections"),
+            connection_lifetime_ms: registry.histogram("server.connection.lifetime-ms"),
+            framing_errors: registry.counter("server.framing-errors"),
+        }
+    }
+
+    /// The counter for one verb (pre-registered, so this is a ten-entry
+    /// scan, not a map lookup).
+    fn verb_counter(&self, verb: &str) -> Option<&Counter> {
+        self.requests
+            .iter()
+            .find(|(name, _)| *name == verb)
+            .map(|(_, counter)| &**counter)
+    }
+}
+
 /// A bound, not-yet-serving simulation server.
 pub struct Server {
     listener: TcpListener,
     scheduler: Scheduler,
     shutdown: Arc<AtomicBool>,
+    metrics: WireMetrics,
 }
 
 impl Server {
     /// Binds the listener and starts the scheduler's worker pool.
     pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
+        let scheduler = Scheduler::start(config.scheduler);
+        let metrics = WireMetrics::register(&scheduler.telemetry());
         Ok(Server {
             listener: TcpListener::bind(&config.addr)?,
-            scheduler: Scheduler::start(config.scheduler),
+            scheduler,
             shutdown: Arc::new(AtomicBool::new(false)),
+            metrics,
         })
     }
 
@@ -113,7 +171,15 @@ impl Server {
                         }
                         let scheduler = &self.scheduler;
                         let shutdown = &self.shutdown;
-                        scope.spawn(move || handle_connection(stream, scheduler, shutdown));
+                        let metrics = &self.metrics;
+                        scope.spawn(move || {
+                            metrics.connections.inc();
+                            let opened = monotonic_nanos();
+                            handle_connection(stream, scheduler, shutdown, metrics);
+                            metrics
+                                .connection_lifetime_ms
+                                .record(monotonic_nanos().saturating_sub(opened) / 1_000_000);
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                     // WouldBlock (no pending connection) or a transient
@@ -252,7 +318,12 @@ fn reply_bad_request(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, 
 }
 
 /// One connection's request/reply loop.
-fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &AtomicBool) {
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    shutdown: &AtomicBool,
+    metrics: &WireMetrics,
+) {
     // The timeout is only a poll interval for the shutdown flag; requests
     // themselves can sit idle indefinitely.
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
@@ -276,6 +347,7 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &Atomic
         let header = match next_line(&mut reader, &mut buf, shutdown) {
             Ok(Framed::Data(line)) => line,
             Ok(Framed::Malformed(detail)) => {
+                metrics.framing_errors.inc();
                 return reply_bad_request(&mut reader, &mut writer, detail);
             }
             Ok(Framed::Closed) | Err(_) => return,
@@ -283,10 +355,15 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &Atomic
         if header.trim().is_empty() {
             continue;
         }
+        metrics.bytes_in.add(header.len() as u64 + 1);
         let payload = if Request::header_needs_payload(&header) {
             match next_block(&mut reader, &mut buf, shutdown) {
-                Ok(Framed::Data(payload)) => Some(payload),
+                Ok(Framed::Data(payload)) => {
+                    metrics.bytes_in.add(payload.len() as u64);
+                    Some(payload)
+                }
                 Ok(Framed::Malformed(detail)) => {
+                    metrics.framing_errors.inc();
                     return reply_bad_request(&mut reader, &mut writer, detail);
                 }
                 Ok(Framed::Closed) | Err(_) => return,
@@ -295,10 +372,17 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &Atomic
             None
         };
         let (response, bye) = match Request::from_parts(&header, payload.as_deref()) {
-            Ok(request) => dispatch(request, scheduler, shutdown),
+            Ok(request) => {
+                if let Some(counter) = metrics.verb_counter(request.verb()) {
+                    counter.inc();
+                }
+                dispatch(request, scheduler, shutdown)
+            }
             Err(error) => (Response::from_error(&error), false),
         };
-        if writer.write_all(response.wire().as_bytes()).is_err() || writer.flush().is_err() {
+        let reply = response.wire();
+        metrics.bytes_out.add(reply.len() as u64);
+        if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
             return;
         }
         if bye {
@@ -336,6 +420,8 @@ fn dispatch(request: Request, scheduler: &Scheduler, shutdown: &AtomicBool) -> (
         Request::Watch { id, since } => scheduler.events_since(id, since).map(Response::Events),
         Request::Cancel { id } => scheduler.cancel(id).map(|()| Response::Cancelled),
         Request::Stats => Ok(Response::Stats(scheduler.stats())),
+        Request::Metrics => Ok(Response::Metrics(scheduler.telemetry().snapshot())),
+        Request::Trace { id } => scheduler.trace(id).map(Response::Trace),
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             // The nonblocking accept loop observes the flag within one
@@ -354,4 +440,55 @@ fn dispatch(request: Request, scheduler: &Scheduler, shutdown: &AtomicBool) -> (
 /// shape errors).
 fn parse_spec(text: &str) -> Result<ctori_engine::RunSpec, ServiceError> {
     Ok(ctori_engine::RunSpec::from_text(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, Priority};
+
+    #[test]
+    fn metrics_cover_every_verb() {
+        let registry = Registry::new();
+        let metrics = WireMetrics::register(&registry);
+        let requests = [
+            Request::Submit {
+                priority: Priority::Normal,
+                spec_text: String::new(),
+            },
+            Request::Sweep {
+                priority: Priority::Normal,
+                spec_texts: Vec::new(),
+            },
+            Request::Status { id: JobId::new(1) },
+            Request::Result {
+                id: JobId::new(1),
+                wait: false,
+            },
+            Request::Watch {
+                id: JobId::new(1),
+                since: None,
+            },
+            Request::Cancel { id: JobId::new(1) },
+            Request::Stats,
+            Request::Metrics,
+            Request::Trace { id: JobId::new(1) },
+            Request::Shutdown,
+        ];
+        assert_eq!(requests.len(), VERBS.len());
+        for request in &requests {
+            let counter = metrics
+                .verb_counter(request.verb())
+                .unwrap_or_else(|| panic!("no counter for {}", request.verb()));
+            counter.inc();
+        }
+        let snapshot = registry.snapshot();
+        for verb in VERBS {
+            assert_eq!(
+                snapshot.counter(&format!("server.requests.{verb}")),
+                Some(1),
+                "{verb}"
+            );
+        }
+    }
 }

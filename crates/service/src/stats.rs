@@ -40,6 +40,12 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Jobs cancelled while queued.
     pub cancelled: u64,
+    /// Jobs ever admitted to the queue (monotone, unlike `queued`).
+    pub jobs_submitted: u64,
+    /// The deepest the submission queue has ever been.
+    pub queue_depth_hwm: usize,
+    /// Whole seconds since the server started.
+    pub uptime_seconds: u64,
     /// Result-cache counters.
     pub cache: CacheStats,
 }
@@ -49,6 +55,7 @@ impl ServiceStats {
     pub fn to_text(&self) -> String {
         format!(
             "workers: {}\nqueued: {}\nrunning: {}\ndone: {}\nfailed: {}\ncancelled: {}\n\
+             jobs-submitted: {}\nqueue-depth-hwm: {}\nuptime-seconds: {}\n\
              cache-hits: {}\ncache-misses: {}\ncache-evictions: {}\ncache-insertions: {}\n\
              cache-entries: {}\ncache-capacity: {}\n",
             self.workers,
@@ -57,6 +64,9 @@ impl ServiceStats {
             self.done,
             self.failed,
             self.cancelled,
+            self.jobs_submitted,
+            self.queue_depth_hwm,
+            self.uptime_seconds,
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
@@ -89,6 +99,9 @@ impl ServiceStats {
                 "done" => stats.done = parse_u64(value)?,
                 "failed" => stats.failed = parse_u64(value)?,
                 "cancelled" => stats.cancelled = parse_u64(value)?,
+                "jobs-submitted" => stats.jobs_submitted = parse_u64(value)?,
+                "queue-depth-hwm" => stats.queue_depth_hwm = parse_u64(value)? as usize,
+                "uptime-seconds" => stats.uptime_seconds = parse_u64(value)?,
                 "cache-hits" => stats.cache.hits = parse_u64(value)?,
                 "cache-misses" => stats.cache.misses = parse_u64(value)?,
                 "cache-evictions" => stats.cache.evictions = parse_u64(value)?,
@@ -119,6 +132,9 @@ mod tests {
             done: 10,
             failed: 1,
             cancelled: 3,
+            jobs_submitted: 16,
+            queue_depth_hwm: 6,
+            uptime_seconds: 321,
             cache: CacheStats {
                 hits: 7,
                 misses: 11,

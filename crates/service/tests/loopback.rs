@@ -12,7 +12,9 @@
 //! marker, with byte-identical outcomes.
 
 use ctori_coloring::Color;
-use ctori_engine::{RuleSpec, RunEvent, RunSpec, Runner, SeedSpec, TopologySpec};
+use ctori_engine::{
+    MetricsSnapshot, RuleSpec, RunEvent, RunSpec, Runner, SeedSpec, SpanKind, TopologySpec,
+};
 use ctori_service::{
     JobState, Priority, SchedulerConfig, Server, ServiceClient, ServiceConfig, ServiceError,
     ServiceStats,
@@ -363,6 +365,93 @@ fn invalid_utf8_line_gets_bad_request() {
     assert_eq!(reader.read_line(&mut line).unwrap(), 0);
     // ...and the server keeps serving everyone else.
     let client = ServiceClient::connect(addr.as_str()).unwrap();
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn metrics_expose_wire_and_executor_instruments() {
+    let (addr, server) = default_server();
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+
+    // Generate traffic: one executed job plus a STATS round trip.
+    let id = client.submit(&spec(12, 4)).unwrap();
+    client.result(id).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_submitted, 1);
+    assert!(stats.queue_depth_hwm >= 1, "{stats:?}");
+
+    // A raw socket feeding invalid UTF-8 trips the framing counter (and
+    // its reply happens-before our next request is served).
+    {
+        let mut stream = TcpStream::connect(addr.as_str()).unwrap();
+        stream.write_all(b"STATS \xff\xfe\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR bad-request"), "{line}");
+    }
+
+    let snapshot = client.metrics().unwrap();
+    // Per-verb counters: this connection issued SUBMIT, RESULT, STATS
+    // and the METRICS request itself (counted before dispatch, so the
+    // exposition includes its own request).
+    assert_eq!(snapshot.counter("server.requests.SUBMIT"), Some(1));
+    assert_eq!(snapshot.counter("server.requests.RESULT"), Some(1));
+    assert_eq!(snapshot.counter("server.requests.STATS"), Some(1));
+    assert_eq!(snapshot.counter("server.requests.METRICS"), Some(1));
+    // Wire-layer counters observed real bytes and connections.
+    assert!(snapshot.counter("server.bytes.in").unwrap() > 0);
+    assert!(snapshot.counter("server.bytes.out").unwrap() > 0);
+    assert!(snapshot.counter("server.connections").unwrap() >= 2);
+    assert!(snapshot.counter("server.framing-errors").unwrap() >= 1);
+    // Executor instruments: the job's queue wait and run time landed in
+    // the latency histograms.
+    assert_eq!(snapshot.counter("exec.jobs.submitted"), Some(1));
+    let run = snapshot.histogram("exec.job.run-us").unwrap();
+    assert_eq!(run.count, 1);
+    assert!(run.quantile(0.99) >= run.quantile(0.5));
+    assert_eq!(snapshot.histogram("exec.queue.wait-us").unwrap().count, 1);
+    // The exposition is the canonical text form: it reparses losslessly.
+    let reparsed = MetricsSnapshot::from_text(&snapshot.to_text()).unwrap();
+    assert_eq!(reparsed, snapshot);
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn trace_returns_a_monotone_span_ring_for_a_finished_job() {
+    let (addr, server) = default_server();
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+
+    let id = client.submit(&spec(16, 2)).unwrap();
+    client.result(id).unwrap();
+
+    let trace = client.trace(id).unwrap();
+    assert!(trace.is_monotone(), "{trace:?}");
+    let kinds: Vec<SpanKind> = trace.spans().iter().map(|s| s.kind).collect();
+    assert_eq!(
+        &kinds[..4],
+        [
+            SpanKind::Submitted,
+            SpanKind::Queued,
+            SpanKind::Claimed,
+            SpanKind::Running,
+        ],
+        "lifecycle prefix"
+    );
+    assert_eq!(trace.terminal().map(|s| s.kind), Some(SpanKind::Done));
+    // Both durations derive from the ring.
+    assert!(trace.queue_wait_nanos().is_some());
+    assert!(trace.run_nanos().is_some());
+
+    // An unknown job surfaces the usual wire error.
+    match client.trace("999".parse().unwrap()) {
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, "unknown-job"),
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+
     client.shutdown().unwrap();
     server.join().unwrap().unwrap();
 }

@@ -100,9 +100,10 @@ pub mod prelude {
     pub use ctori_core::dynamo::{verify_dynamo, DynamoReport};
     pub use ctori_core::rounds::{theorem7_rounds, theorem8_rounds};
     pub use ctori_engine::{
-        EngineOptions, ExecError, Executor, JobHandle, LaneSpec, LocalExecutor,
-        LocalExecutorConfig, Observer, RuleSpec, RunConfig, RunEvent, RunOutcome, RunSpec, Runner,
-        SeedSpec, Simulator, StepView, SubmitOptions, Termination, TopologySpec, TraceObserver,
+        EngineOptions, ExecError, Executor, JobHandle, JobTrace, LaneSpec, LocalExecutor,
+        LocalExecutorConfig, MetricsSnapshot, Observer, Registry, RuleSpec, RunConfig, RunEvent,
+        RunOutcome, RunSpec, Runner, SeedSpec, Simulator, SpanKind, StepView, SubmitOptions,
+        Termination, TopologySpec, TraceObserver,
     };
     pub use ctori_protocols::{AnyRule, LocalRule, SmpProtocol};
     pub use ctori_service::RemoteExecutor;
