@@ -8,14 +8,18 @@
 //! baseline, `BENCH_7.json` adds the threads axis — every grid point
 //! is measured at `threads=1` and `threads=auto`, so the artefact
 //! captures both the lane speedup over the generic frontier and the
-//! intra-run thread scaling (`self_speedup`) — and `BENCH_9.json` embeds
+//! intra-run thread scaling (`self_speedup`) — `BENCH_9.json` embeds
 //! a `telemetry` object distilled from a short `LocalExecutor` workload:
 //! queue-wait and run-time quantiles from the pool's latency histograms
 //! plus the dense/sparse band ratio and cell throughput from the step
-//! profile, so the artefact records latency alongside throughput.  CI
-//! re-emits a quick-mode file on every push to catch silent regressions
-//! (Mcell/s must stay positive and the grid complete; absolute numbers
-//! are informational because runner hardware varies).
+//! profile, so the artefact records latency alongside throughput — and
+//! `BENCH_10.json` adds a `fleet` object: the same cache-cold sweep
+//! timed through a one-backend and a three-backend [`FleetExecutor`]
+//! (single-worker embedded servers, so backends are the only
+//! parallelism), recording the fan-out speedup.  CI re-emits a
+//! quick-mode file on every push to catch silent regressions (Mcell/s
+//! must stay positive and the grid complete; absolute numbers are
+//! informational because runner hardware varies).
 //!
 //! ```text
 //! bench-runner [--quick] [--out PATH]
@@ -30,7 +34,8 @@
 //!
 //! With `CTORI_BENCH_ASSERT_SPEEDUP=1` the run *asserts* the headline
 //! ratios (≥ 3× self-speedup on 4096² k=3 with ≥ 8 effective threads;
-//! ≥ 8× over the generic frontier on 1024² k=8 single-threaded); without
+//! ≥ 8× over the generic frontier on 1024² k=8 single-threaded; ≥ 2×
+//! fleet fan-out with three backends on a ≥ 3-core machine); without
 //! it, shortfalls are warnings, because CI and laptop hardware vary.
 
 use ctori_bench::multicolor_scatter;
@@ -39,14 +44,16 @@ use ctori_engine::{
     default_threads, Executor, LocalExecutor, LocalExecutorConfig, RuleSpec, RunSpec, SeedSpec,
     Simulator, SubmitOptions, TopologySpec,
 };
+use ctori_fleet::{FleetConfig, FleetExecutor};
 use ctori_protocols::ThresholdRule;
+use ctori_service::{SchedulerConfig, Server, ServiceClient, ServiceConfig};
 use ctori_topology::{Torus, TorusKind};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 /// The PR number this artefact belongs to (the perf-trajectory index).
-const PR: u32 = 9;
+const PR: u32 = 10;
 
 /// One measured grid point: the plane lane at one thread setting against
 /// the single-threaded generic frontier on the same workload.
@@ -233,8 +240,110 @@ fn probe_telemetry(quick: bool) -> TelemetryProbe {
     }
 }
 
+/// The fleet fan-out axis: one cache-cold sweep timed through a
+/// one-backend and a three-backend fleet.
+struct FleetProbe {
+    jobs: u64,
+    one_backend_secs: f64,
+    three_backend_secs: f64,
+    /// `one_backend_secs / three_backend_secs`.
+    speedup: f64,
+}
+
+/// Times a cache-cold sweep of `specs` through a fleet of `backends`
+/// embedded single-worker servers, so the backend count is the only
+/// source of parallelism.  Fresh servers per arm keep every run cold.
+fn run_fleet_arm(backends: usize, specs: &[RunSpec]) -> f64 {
+    let mut addrs = Vec::new();
+    let mut servers = Vec::new();
+    for _ in 0..backends {
+        let server = Server::bind(ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig {
+                workers: 1,
+                queue_capacity: specs.len().max(16),
+                cache_capacity: specs.len().max(16),
+                ..SchedulerConfig::default()
+            },
+        })
+        .expect("bind embedded backend");
+        addrs.push(server.local_addr().expect("local addr").to_string());
+        servers.push(std::thread::spawn(move || server.serve()));
+    }
+    let fleet =
+        FleetExecutor::connect(FleetConfig::new(addrs.iter().cloned())).expect("connect fleet");
+    let start = Instant::now();
+    let handles = fleet
+        .submit_sweep(specs, SubmitOptions::default())
+        .expect("fleet admits the sweep");
+    for mut handle in handles {
+        black_box(handle.wait().expect("fleet job finishes"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    fleet.drain();
+    for addr in &addrs {
+        ServiceClient::connect(addr.as_str())
+            .expect("connect for shutdown")
+            .shutdown()
+            .expect("backend shutdown");
+    }
+    for server in servers {
+        server.join().expect("server thread").expect("server exit");
+    }
+    secs
+}
+
+/// Measures the fleet fan-out speedup on a sweep of distinct
+/// threshold-growth runs (distinct seeds, so neither arm ever hits a
+/// result cache).  The ≥ 2× gate is hard only under
+/// `CTORI_BENCH_ASSERT_SPEEDUP` and only when the machine has the three
+/// cores the backends need.
+fn probe_fleet(quick: bool) -> FleetProbe {
+    // Sized so one job runs for tens of milliseconds in release mode —
+    // far above the fleet's 10ms completion-poll granularity, so the
+    // measured ratio reflects fan-out, not polling overhead.
+    let (size, jobs) = if quick { (768, 6) } else { (1024, 12) };
+    let specs: Vec<RunSpec> = (0..jobs)
+        .map(|n| {
+            RunSpec::new(
+                TopologySpec::toroidal_mesh(size, size),
+                RuleSpec::parse("threshold(2,1)").expect("registry rule"),
+                SeedSpec::nodes(Color::new(2), Color::new(1), [n]),
+            )
+            // One step thread per job: otherwise every job saturates the
+            // machine on its own and backend fan-out only adds contention.
+            .with_options(ctori_engine::EngineOptions::default().with_threads(1))
+        })
+        .collect();
+    let one = run_fleet_arm(1, &specs);
+    let three = run_fleet_arm(3, &specs);
+    let speedup = one / three;
+    if speedup < 2.0 {
+        let complaint = format!(
+            "fleet fan-out: {jobs} jobs {size}x{size}, 1 backend {one:.2}s vs \
+             3 backends {three:.2}s = {speedup:.2}x < 2x"
+        );
+        if std::env::var("CTORI_BENCH_ASSERT_SPEEDUP").is_ok() && default_threads() >= 3 {
+            panic!("headline perf gate failed: {complaint}");
+        }
+        eprintln!("warning: {complaint}");
+    }
+    FleetProbe {
+        jobs: jobs as u64,
+        one_backend_secs: one,
+        three_backend_secs: three,
+        speedup,
+    }
+}
+
 /// Renders the samples as the `BENCH_<pr>.json` document.
-fn render(samples: &[Sample], telemetry: &TelemetryProbe, mode: &str, rounds: u32) -> String {
+fn render(
+    samples: &[Sample],
+    telemetry: &TelemetryProbe,
+    fleet: &FleetProbe,
+    mode: &str,
+    rounds: u32,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"parallel_planes\",");
@@ -267,6 +376,20 @@ fn render(samples: &[Sample], telemetry: &TelemetryProbe, mode: &str, rounds: u3
         "    \"dense_band_ratio\": {:.3}",
         telemetry.dense_band_ratio
     );
+    out.push_str("  },\n");
+    out.push_str("  \"fleet\": {\n");
+    let _ = writeln!(out, "    \"jobs\": {},", fleet.jobs);
+    let _ = writeln!(
+        out,
+        "    \"one_backend_secs\": {:.3},",
+        fleet.one_backend_secs
+    );
+    let _ = writeln!(
+        out,
+        "    \"three_backend_secs\": {:.3},",
+        fleet.three_backend_secs
+    );
+    let _ = writeln!(out, "    \"speedup\": {:.2}", fleet.speedup);
     out.push_str("  },\n");
     out.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -390,7 +513,12 @@ fn main() {
         telemetry.cells_per_sec / 1e6,
         telemetry.dense_band_ratio,
     );
-    let doc = render(&samples, &telemetry, mode, rounds);
+    let fleet = probe_fleet(quick);
+    eprintln!(
+        "fleet probe: {} jobs, 1 backend {:.2}s, 3 backends {:.2}s, {:.2}x fan-out",
+        fleet.jobs, fleet.one_backend_secs, fleet.three_backend_secs, fleet.speedup,
+    );
+    let doc = render(&samples, &telemetry, &fleet, mode, rounds);
     std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path} ({} grid points)", samples.len());
 }

@@ -470,6 +470,11 @@ pub enum ExecError {
     TimedOut,
     /// A backend-specific failure (transport I/O, protocol, …).
     Backend(String),
+    /// The connection to a remote backend dropped mid-conversation.  The
+    /// job may still be running (or finished) server-side; routers such as
+    /// a fleet coordinator treat this as "evict the backend and resubmit
+    /// elsewhere" rather than a job failure.
+    BackendLost(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -487,6 +492,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Cancelled => write!(f, "job was cancelled"),
             ExecError::TimedOut => write!(f, "timed out"),
             ExecError::Backend(detail) => write!(f, "backend error: {detail}"),
+            ExecError::BackendLost(detail) => write!(f, "backend connection lost: {detail}"),
         }
     }
 }

@@ -1,0 +1,209 @@
+//! The PR-5 equivalence property, extended to the fleet: the **same
+//! spec driven through `LocalExecutor`, `RemoteExecutor`, and a
+//! single-backend `FleetExecutor` yields equal `RunOutcome`s** — adding
+//! a routing layer on top of the service must be invisible to callers.
+//!
+//! One embedded server is shared by the remote executor and the fleet
+//! (a one-backend fleet routes every key to it); outcomes are also
+//! compared against a plain blocking `Runner::execute` as ground truth.
+
+use ctori_coloring::Color;
+use ctori_engine::spec::PatternSpec;
+use ctori_engine::{
+    EngineOptions, Executor, JobHandle, LaneSpec, LocalExecutor, LocalExecutorConfig, RuleSpec,
+    RunOutcome, RunSpec, Runner, SeedSpec, SubmitOptions, TopologySpec,
+};
+use ctori_fleet::{FleetConfig, FleetExecutor};
+use ctori_service::{RemoteExecutor, SchedulerConfig, Server, ServiceConfig};
+use ctori_topology::TorusKind;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct Harness {
+    local: LocalExecutor,
+    remote: RemoteExecutor,
+    fleet: FleetExecutor,
+}
+
+fn start_server(workers: usize) -> String {
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            workers,
+            queue_capacity: 256,
+            cache_capacity: 64,
+            ..SchedulerConfig::default()
+        },
+    })
+    .expect("bind ephemeral loopback port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    // The server thread lives for the whole test process.
+    #[allow(clippy::disallowed_methods)]
+    std::thread::spawn(move || server.serve());
+    addr
+}
+
+fn harness() -> &'static Harness {
+    static HARNESS: OnceLock<Harness> = OnceLock::new();
+    HARNESS.get_or_init(|| {
+        let addr = start_server(2);
+        let mut config = FleetConfig::new([addr.clone()]);
+        // Keep the probe quiet during the proptest run.
+        config.probe_interval = Duration::from_millis(500);
+        Harness {
+            local: LocalExecutor::start(LocalExecutorConfig {
+                workers: 2,
+                ..LocalExecutorConfig::default()
+            }),
+            remote: RemoteExecutor::connect(addr.as_str()).expect("connect"),
+            fleet: FleetExecutor::connect(config).expect("connect fleet"),
+        }
+    })
+}
+
+fn drive(exec: &dyn Executor, spec: &RunSpec) -> RunOutcome {
+    let mut handle: JobHandle = exec
+        .submit(spec, SubmitOptions::default())
+        .expect("submit must be admitted");
+    (*handle.wait().expect("job must finish")).clone()
+}
+
+fn torus_kind() -> impl Strategy<Value = TorusKind> {
+    prop_oneof![
+        Just(TorusKind::ToroidalMesh),
+        Just(TorusKind::TorusCordalis),
+        Just(TorusKind::TorusSerpentinus),
+    ]
+}
+
+fn rule_text() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("smp"),
+        Just("prefer-black"),
+        Just("strong-majority"),
+        Just("threshold(2,1)"),
+        Just("irreversible-smp(2)"),
+    ]
+}
+
+fn seed_spec(m: usize, n: usize) -> impl Strategy<Value = SeedSpec> {
+    let c = Color::new;
+    let nodes = proptest::collection::vec(0..(m * n) as u32, 0..8).prop_map(|mut nodes| {
+        nodes.sort_unstable();
+        nodes.dedup();
+        SeedSpec::Nodes {
+            color: Color::BLACK,
+            background: Color::WHITE,
+            nodes,
+        }
+    });
+    let pattern = prop_oneof![
+        Just(SeedSpec::Pattern(PatternSpec::Checkerboard(c(1), c(2)))),
+        Just(SeedSpec::uniform(c(2))),
+    ];
+    let density =
+        (0u64..1_000_000, 0u32..=100).prop_map(move |(rng_seed, percent)| SeedSpec::Density {
+            color: c(1),
+            palette: 4,
+            fraction: f64::from(percent) / 100.0,
+            rng_seed,
+        });
+    prop_oneof![nodes, pattern, density]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fleet_remote_and_local_backends_agree(
+        kind in torus_kind(),
+        m in 3usize..=7,
+        n in 3usize..=7,
+        rule in rule_text(),
+        lane_full in any::<bool>(),
+        seed in seed_spec(7, 7),
+    ) {
+        let seed = match seed {
+            SeedSpec::Nodes { color, background, nodes } => SeedSpec::Nodes {
+                color,
+                background,
+                nodes: nodes.into_iter().filter(|&v| (v as usize) < m * n).collect(),
+            },
+            other => other,
+        };
+        let mut options = EngineOptions::default();
+        if lane_full {
+            options = options.with_lane(LaneSpec::FullSweep);
+        }
+        let spec = RunSpec::new(
+            TopologySpec::torus(kind, m, n),
+            RuleSpec::parse(rule).unwrap(),
+            seed,
+        )
+        .with_options(options);
+
+        let harness = harness();
+        let local = drive(&harness.local, &spec);
+        let remote = drive(&harness.remote, &spec);
+        let fleet = drive(&harness.fleet, &spec);
+
+        prop_assert_eq!(&local, &remote, "local vs remote\n{}", spec.to_text());
+        prop_assert_eq!(&local, &fleet, "local vs fleet\n{}", spec.to_text());
+        let direct = Runner::with_threads(1).execute(&spec);
+        prop_assert_eq!(&local, &direct, "executor must equal Runner::execute");
+    }
+}
+
+/// Sweeps through a *three*-backend fleet: outcomes equal the local
+/// pool's, pairwise and in spec order, even though the grid was split
+/// across backends.
+#[test]
+fn fleet_sweeps_agree_with_local() {
+    let grid: Vec<RunSpec> = TorusKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            [0.25f64, 0.6].into_iter().map(move |fraction| {
+                RunSpec::new(
+                    TopologySpec::torus(kind, 6, 6),
+                    RuleSpec::parse("smp").unwrap(),
+                    SeedSpec::Density {
+                        color: Color::new(1),
+                        palette: 4,
+                        fraction,
+                        rng_seed: 2011,
+                    },
+                )
+            })
+        })
+        .collect();
+    let addrs: Vec<String> = (0..3).map(|_| start_server(2)).collect();
+    let fleet = FleetExecutor::connect(FleetConfig::new(addrs)).expect("connect fleet");
+    let local = LocalExecutor::start(LocalExecutorConfig {
+        workers: 2,
+        ..LocalExecutorConfig::default()
+    });
+    let wait_all = |handles: Vec<JobHandle>| -> Vec<RunOutcome> {
+        handles
+            .into_iter()
+            .map(|mut h| (*h.wait().expect("job must finish")).clone())
+            .collect()
+    };
+    let fleet_outcomes = wait_all(fleet.submit_sweep(&grid, SubmitOptions::default()).unwrap());
+    let local_outcomes = wait_all(local.submit_sweep(&grid, SubmitOptions::default()).unwrap());
+    assert_eq!(fleet_outcomes, local_outcomes);
+    for (spec, outcome) in grid.iter().zip(&fleet_outcomes) {
+        assert_eq!(
+            *outcome,
+            Runner::with_threads(1).execute(spec),
+            "order kept"
+        );
+    }
+    let routed: u64 = fleet.local().jobs_routed.iter().sum();
+    assert!(
+        routed >= grid.len() as u64,
+        "every grid point was routed (stealing may add more): {routed}"
+    );
+    fleet.drain();
+    local.drain();
+}

@@ -1,0 +1,21 @@
+//! A miniature fleet shard: the member lock and the probe handle are
+//! never nested, and every wire-shaped literal it emits is declared.
+
+use std::sync::Mutex;
+
+struct Fleet {
+    members: Mutex<Vec<String>>,
+    probe: Mutex<Option<u64>>,
+}
+
+impl Fleet {
+    fn to_text(&self) -> String {
+        let members = self.members.lock().expect("fleet members poisoned");
+        format!("jobs-routed {}\n", members.len())
+    }
+
+    fn stop(&self) {
+        let mut probe = self.probe.lock().expect("fleet probe poisoned");
+        probe.take();
+    }
+}

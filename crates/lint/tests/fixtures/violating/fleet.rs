@@ -1,0 +1,22 @@
+//! Fleet-flavoured violations: a probe→members lock inversion and an
+//! undeclared wire-shaped stats key.
+
+use std::sync::Mutex;
+
+struct Fleet {
+    members: Mutex<Vec<String>>,
+    probe: Mutex<Option<u64>>,
+}
+
+impl Fleet {
+    fn inverted(&self) {
+        let probe = self.probe.lock().expect("fleet probe poisoned");
+        let members = self.members.lock().expect("fleet members poisoned");
+        drop(members);
+        drop(probe);
+    }
+
+    fn leaky_key(&self) -> &'static str {
+        "steal-count"
+    }
+}

@@ -53,7 +53,12 @@ fn lock_order_catches_inversion_reentry_and_unknown_receivers() {
     );
     assert_finding(&messages, "re-entrant acquisition of `state`");
     assert_finding(&messages, "receiver `self.misc` matches no lock class");
-    assert_eq!(messages.len(), 3, "{messages:#?}");
+    // The fleet fixture inverts the probe/members order.
+    assert_finding(
+        &messages,
+        "acquires `fleet-members` while holding `fleet-probe`",
+    );
+    assert_eq!(messages.len(), 4, "{messages:#?}");
 }
 
 #[test]
@@ -131,6 +136,12 @@ fn wire_tokens_catch_parser_renderer_doc_and_usage_drift() {
     assert_finding(
         &messages,
         "verb `TRACE` is missing from the README protocol table",
+    );
+    // A fleet stats key nothing declared — the drift a new FleetLocal
+    // field would introduce.
+    assert_finding(
+        &messages,
+        "literal `\"steal-count\"` matches no declared protocol token",
     );
 }
 

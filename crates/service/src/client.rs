@@ -35,13 +35,18 @@ use crate::stats::ServiceStats;
 use ctori_engine::exec::RunEvent;
 use ctori_engine::{JobTrace, MetricsSnapshot, RunOutcome, RunSpec};
 use std::io::{BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A blocking connection to a simulation server.
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The resolved peer endpoint, kept so [`ServiceClient::reconnect`]
+    /// can dial the same server again after the transport drops.
+    peer: SocketAddr,
+    /// The configured reply-read cap, re-applied across reconnects.
+    read_timeout: Option<Duration>,
 }
 
 impl ServiceClient {
@@ -73,8 +78,33 @@ impl ServiceClient {
     }
 
     fn from_stream(writer: TcpStream) -> Result<Self, ServiceError> {
+        let peer = writer.peer_addr()?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(ServiceClient { reader, writer })
+        Ok(ServiceClient {
+            reader,
+            writer,
+            peer,
+            read_timeout: None,
+        })
+    }
+
+    /// The server endpoint this client is (or was) connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Drops the current connection and dials the same server again,
+    /// re-applying the configured read timeout.  Use after
+    /// [`ServiceError::ConnectionLost`] or a mid-request
+    /// [`ServiceError::TimedOut`] left the old connection unusable; the
+    /// server keeps job state across connections, so ids from before the
+    /// drop remain valid.
+    pub fn reconnect(&mut self) -> Result<(), ServiceError> {
+        let writer = TcpStream::connect(self.peer)?;
+        writer.set_read_timeout(self.read_timeout)?;
+        self.reader = BufReader::new(writer.try_clone()?);
+        self.writer = writer;
+        Ok(())
     }
 
     /// Caps how long any single reply read may block (`None` removes the
@@ -87,6 +117,7 @@ impl ServiceClient {
     /// issuing further requests on it.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServiceError> {
         self.writer.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
         Ok(())
     }
 
@@ -235,13 +266,20 @@ impl ServiceClient {
     /// [`ServiceError::Remote`], expired read deadlines
     /// [`ServiceError::TimedOut`].
     fn roundtrip(&mut self, request: &Request) -> Result<Response, ServiceError> {
-        self.writer.write_all(request.wire().as_bytes())?;
-        self.writer.flush()?;
+        self.writer
+            .write_all(request.wire().as_bytes())
+            .map_err(|e| lift_lost(e.into()))?;
+        self.writer.flush().map_err(|e| lift_lost(e.into()))?;
         let header = protocol::read_line(&mut self.reader)
-            .map_err(lift_timeout)?
-            .ok_or_else(|| ServiceError::Protocol("server closed the connection".into()))?;
+            .map_err(lift_timeout)
+            .map_err(lift_lost)?
+            .ok_or(ServiceError::ConnectionLost)?;
         let payload = if Response::header_needs_payload(&header) {
-            Some(protocol::read_block(&mut self.reader).map_err(lift_timeout)?)
+            Some(
+                protocol::read_block(&mut self.reader)
+                    .map_err(lift_timeout)
+                    .map_err(lift_lost)?,
+            )
         } else {
             None
         };
@@ -264,6 +302,28 @@ fn is_timeout(e: &std::io::Error) -> bool {
 fn lift_timeout(e: ServiceError) -> ServiceError {
     match e {
         ServiceError::Io(ref io) if is_timeout(io) => ServiceError::TimedOut,
+        other => other,
+    }
+}
+
+/// Rewrites a dropped-transport I/O failure as
+/// [`ServiceError::ConnectionLost`], so callers can tell "the pipe broke,
+/// reconnect and retry" apart from unrecoverable I/O (a refused dial stays
+/// [`ServiceError::Io`]).
+fn lift_lost(e: ServiceError) -> ServiceError {
+    match e {
+        ServiceError::Io(ref io)
+            if matches!(
+                io.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::NotConnected
+                    | std::io::ErrorKind::UnexpectedEof
+            ) =>
+        {
+            ServiceError::ConnectionLost
+        }
         other => other,
     }
 }

@@ -53,6 +53,11 @@ pub enum ServiceError {
     /// replied.  After a mid-request timeout the connection may hold a
     /// half-read reply and should be dropped, not reused.
     TimedOut,
+    /// The transport dropped mid-conversation (broken pipe, reset, or an
+    /// unexpected EOF where a reply was due).  Unlike [`ServiceError::Io`],
+    /// this is a *reconnectable* condition: the peer address is still
+    /// valid, the connection is not.  See [`crate::ServiceClient::reconnect`].
+    ConnectionLost,
     /// A submitted spec failed to parse or validate.
     BadSpec(SpecParseError),
     /// An outcome payload failed to parse.
@@ -86,6 +91,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::JobCancelled(id) => write!(f, "job {id} was cancelled"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::TimedOut => write!(f, "timed out waiting for the server"),
+            ServiceError::ConnectionLost => {
+                write!(f, "connection to the server was lost mid-conversation")
+            }
             ServiceError::BadSpec(e) => write!(f, "bad run spec: {e}"),
             ServiceError::BadOutcome(e) => write!(f, "bad run outcome: {e}"),
             ServiceError::Protocol(detail) => write!(f, "protocol error: {detail}"),

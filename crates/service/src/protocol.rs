@@ -537,6 +537,9 @@ impl Response {
             ServiceError::JobCancelled(_) => "job-cancelled",
             ServiceError::ShuttingDown => "shutting-down",
             ServiceError::TimedOut => "timed-out",
+            // A lost connection is never reported *over* the connection; the
+            // arm exists only to keep this match exhaustive.
+            ServiceError::ConnectionLost => "io",
             ServiceError::BadSpec(_) => "bad-spec",
             ServiceError::BadOutcome(_) => "bad-outcome",
             ServiceError::Protocol(_) => "bad-request",

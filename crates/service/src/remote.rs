@@ -78,20 +78,20 @@ impl RemoteExecutor {
     /// The service counters (cache hits, queue depth, …) — the remote
     /// analogue of the local pool's stats snapshot.
     pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
-        self.lock().stats()
+        retry_lost(&self.client, |client| client.stats())
     }
 
     /// The server's full telemetry exposition — the remote analogue of
     /// [`ctori_engine::LocalExecutor::telemetry`], fetched as one
     /// [`MetricsSnapshot`] rather than live instrument handles.
     pub fn metrics(&self) -> Result<MetricsSnapshot, ServiceError> {
-        self.lock().metrics()
+        retry_lost(&self.client, |client| client.metrics())
     }
 
     /// A job's lifecycle span ring, fetched from the server — the
     /// remote analogue of [`ctori_engine::LocalExecutor::job_trace`].
     pub fn trace(&self, id: JobId) -> Result<JobTrace, ServiceError> {
-        self.lock().trace(id)
+        retry_lost(&self.client, |client| client.trace(id))
     }
 
     /// Asks the server to drain and exit (`SHUTDOWN`); the connection is
@@ -111,10 +111,13 @@ impl RemoteExecutor {
 
 impl Executor for RemoteExecutor {
     fn submit(&self, spec: &RunSpec, options: SubmitOptions) -> Result<JobHandle, ExecError> {
-        let id = self
-            .lock()
-            .submit_with_priority(spec, options.priority)
-            .map_err(lower)?;
+        // A retried SUBMIT may land twice when the reply (not the request)
+        // was lost; that is safe — jobs are content-addressed by
+        // `RunSpec::canonical_key()`, so the duplicate is a cache hit.
+        let id = retry_lost(&self.client, |client| {
+            client.submit_with_priority(spec, options.priority)
+        })
+        .map_err(lower)?;
         Ok(remote_handle(&self.client, id))
     }
 
@@ -123,10 +126,10 @@ impl Executor for RemoteExecutor {
         specs: &[RunSpec],
         options: SubmitOptions,
     ) -> Result<Vec<JobHandle>, ExecError> {
-        let ids = self
-            .lock()
-            .sweep_with_priority(specs, options.priority)
-            .map_err(lower)?;
+        let ids = retry_lost(&self.client, |client| {
+            client.sweep_with_priority(specs, options.priority)
+        })
+        .map_err(lower)?;
         Ok(ids
             .into_iter()
             .map(|id| remote_handle(&self.client, id))
@@ -153,6 +156,29 @@ fn remote_handle(client: &Arc<Mutex<ServiceClient>>, id: JobId) -> JobHandle {
     }))
 }
 
+/// Runs one client operation under the shared-connection lock, dialing the
+/// server again and retrying **exactly once** when the transport dropped
+/// ([`ServiceError::ConnectionLost`]) or a read deadline fired mid-request
+/// ([`ServiceError::TimedOut`] — the connection may hold a half-read reply,
+/// so a fresh dial is the only safe recovery either way).  If the redial
+/// itself fails the *original* error is returned, so a dead server still
+/// surfaces as `ConnectionLost` rather than a connect failure.
+fn retry_lost<T>(
+    client: &Arc<Mutex<ServiceClient>>,
+    mut op: impl FnMut(&mut ServiceClient) -> Result<T, ServiceError>,
+) -> Result<T, ServiceError> {
+    let mut guard = client.lock().expect("remote client poisoned");
+    match op(&mut guard) {
+        Err(first @ (ServiceError::ConnectionLost | ServiceError::TimedOut)) => {
+            if guard.reconnect().is_err() {
+                return Err(first);
+            }
+            op(&mut guard)
+        }
+        other => other,
+    }
+}
+
 /// Translates a wire-level failure into the backend-agnostic error the
 /// execution API speaks.  Remote errors lose the context a local pool
 /// has (job states, the queue bound), so the nearest variant is used.
@@ -166,6 +192,9 @@ fn lower(error: ServiceError) -> ExecError {
         ServiceError::JobFailed { message, .. } => ExecError::Failed { message },
         ServiceError::JobCancelled(_) => ExecError::Cancelled,
         ServiceError::TimedOut => ExecError::TimedOut,
+        ServiceError::ConnectionLost => {
+            ExecError::BackendLost(ServiceError::ConnectionLost.to_string())
+        }
         ServiceError::Remote { code, message } => match code.as_str() {
             "queue-full" => ExecError::QueueFull { capacity: 0 },
             "shutting-down" => ExecError::ShuttingDown,
@@ -193,19 +222,14 @@ struct RemoteHandle {
     stream_closed: bool,
 }
 
-impl RemoteHandle {
-    fn lock(&self) -> MutexGuard<'_, ServiceClient> {
-        self.client.lock().expect("remote client poisoned")
-    }
-}
-
 impl JobControl for RemoteHandle {
     fn label(&self) -> String {
         format!("remote:{}", self.id)
     }
 
     fn status(&mut self) -> Result<JobStatus, ExecError> {
-        self.lock().status(self.id).map_err(lower)
+        let id = self.id;
+        retry_lost(&self.client, |client| client.status(id)).map_err(lower)
     }
 
     // Deliberate timing code: the bounded wait polls against a deadline.
@@ -214,7 +238,12 @@ impl JobControl for RemoteHandle {
         match timeout {
             // Unbounded: let the server block the reply until the job is
             // terminal (one round trip, no polling).
-            None => self.lock().result(self.id).map(Arc::new).map_err(lower),
+            None => {
+                let id = self.id;
+                retry_lost(&self.client, |client| client.result(id))
+                    .map(Arc::new)
+                    .map_err(lower)
+            }
             // Bounded: poll with try_result so the shared connection is
             // released between probes and no half-read reply can be left
             // behind by a client-side read deadline.
@@ -234,21 +263,23 @@ impl JobControl for RemoteHandle {
     }
 
     fn try_outcome(&mut self) -> Result<Option<Arc<RunOutcome>>, ExecError> {
-        self.lock()
-            .try_result(self.id)
+        let id = self.id;
+        retry_lost(&self.client, |client| client.try_result(id))
             .map(|outcome| outcome.map(Arc::new))
             .map_err(lower)
     }
 
     fn cancel(&mut self) -> Result<(), ExecError> {
-        self.lock().cancel(self.id).map_err(lower)
+        let id = self.id;
+        retry_lost(&self.client, |client| client.cancel(id)).map_err(lower)
     }
 
     fn poll_events(&mut self) -> Result<Vec<RunEvent>, ExecError> {
         if self.stream_closed {
             return Ok(Vec::new());
         }
-        let events = self.lock().watch(self.id, self.last_round).map_err(lower)?;
+        let (id, since) = (self.id, self.last_round);
+        let events = retry_lost(&self.client, |client| client.watch(id, since)).map_err(lower)?;
         if let Some(round) = events.iter().filter_map(RunEvent::progress_round).max() {
             self.last_round = Some(round);
         } else if self.last_round.is_none() && events.iter().any(|e| !e.is_terminal()) {

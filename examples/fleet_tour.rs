@@ -1,0 +1,174 @@
+//! Three backends, one executor: a tour of the fleet layer.
+//!
+//! Spawns three embedded `ctori-serve` servers (or connects to external
+//! ones when `CTORI_FLEET_ADDRS` lists comma-separated addresses — the
+//! CI smoke job does that with three real processes), drives a sweep
+//! through [`FleetExecutor`], then resubmits one spec to show that
+//! consistent-hash routing sends it back to the *same* backend where it
+//! is served from that backend's result cache.  Per-backend routing and
+//! steal counters are printed from the fleet's own stats.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fleet_tour
+//! ```
+
+use colored_tori::prelude::*;
+use colored_tori::service::{SchedulerConfig, Server, ServiceConfig};
+use std::error::Error;
+
+/// The demo grid: nine runs across three torus kinds and three seeds.
+fn grid() -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for kind in [
+        TorusKind::ToroidalMesh,
+        TorusKind::TorusCordalis,
+        TorusKind::TorusSerpentinus,
+    ] {
+        for rng_seed in [7u64, 11, 13] {
+            specs.push(RunSpec::new(
+                TopologySpec::torus(kind, 24, 24),
+                RuleSpec::parse("smp").expect("registry rule"),
+                SeedSpec::Density {
+                    color: Color::new(1),
+                    palette: 3,
+                    fraction: 0.45,
+                    rng_seed,
+                },
+            ));
+        }
+    }
+    specs
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Assemble the fleet: external processes when CTORI_FLEET_ADDRS is
+    // set, three embedded servers otherwise.
+    let external = std::env::var("CTORI_FLEET_ADDRS").ok();
+    let mut server_threads = Vec::new();
+    let addrs: Vec<String> = match &external {
+        Some(list) => {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            println!("connecting to {} external backends: {addrs:?}", addrs.len());
+            addrs
+        }
+        None => {
+            let mut addrs = Vec::new();
+            for _ in 0..3 {
+                let server = Server::bind(ServiceConfig {
+                    addr: "127.0.0.1:0".into(),
+                    scheduler: SchedulerConfig {
+                        workers: 2,
+                        ..SchedulerConfig::default()
+                    },
+                })?;
+                let addr = server.local_addr()?.to_string();
+                println!("embedded ctori-serve listening on {addr}");
+                addrs.push(addr);
+                // Deliberate spawn: each embedded server is joined after
+                // the shutdown requests below.
+                #[allow(clippy::disallowed_methods)]
+                server_threads.push(std::thread::spawn(move || server.serve()));
+            }
+            addrs
+        }
+    };
+
+    let fleet = FleetExecutor::connect(FleetConfig::new(addrs.iter().cloned()))?;
+    println!(
+        "fleet up: {} backends, all healthy\n",
+        fleet.healthy_backends()
+    );
+
+    // 1. Fan a sweep out across the fleet.
+    let specs = grid();
+    let handles = fleet.submit_sweep(&specs, SubmitOptions::default())?;
+    let mut outcomes = Vec::new();
+    for mut handle in handles {
+        let label = handle.label();
+        let outcome = handle.wait()?;
+        println!(
+            "  [{label}] -> {:?} after {} rounds",
+            outcome.termination, outcome.rounds
+        );
+        outcomes.push(outcome);
+    }
+    assert_eq!(outcomes.len(), specs.len(), "every grid point completed");
+
+    // 2. Submit the same spec twice through the ring: with stable
+    //    membership both submissions land on the same backend, so the
+    //    second is served from that backend's result cache.
+    let mut first = fleet.submit(&specs[0], SubmitOptions::default())?;
+    let first_outcome = first.wait()?;
+    let mut again = fleet.submit(&specs[0], SubmitOptions::default())?;
+    let repeat = again.wait()?;
+    assert_eq!(
+        repeat, first_outcome,
+        "a resubmitted spec yields the identical outcome"
+    );
+    assert_eq!(
+        repeat, outcomes[0],
+        "ring-routed and sweep-routed runs agree"
+    );
+
+    // 3. Fleet-wide observability.
+    let stats = fleet.stats();
+    println!("\nper-backend routing:");
+    for (row, routed) in stats.per_backend.iter().zip(&stats.local.jobs_routed) {
+        let (hits, done) = row
+            .stats
+            .as_ref()
+            .map(|s| (s.cache.hits, s.done))
+            .unwrap_or((0, 0));
+        println!(
+            "  {} healthy={} routed={routed} done={done} cache-hits={hits}",
+            row.addr, row.healthy
+        );
+    }
+    println!(
+        "fleet: reroutes={} steals={} probe-failures={} evictions={} readds={}",
+        stats.local.reroutes,
+        stats.local.steals,
+        stats.local.probe_failures,
+        stats.local.evictions,
+        stats.local.readds
+    );
+    let total_routed: u64 = stats.local.jobs_routed.iter().sum();
+    assert!(
+        total_routed >= (specs.len() + 2) as u64,
+        "every submission was routed somewhere"
+    );
+    assert!(
+        stats.aggregate.cache.hits >= 1,
+        "the resubmitted spec must be a cache hit somewhere in the fleet"
+    );
+
+    let metrics = fleet.metrics();
+    println!(
+        "merged telemetry: fleet.backends.healthy={:?} server.connections={:?}",
+        metrics.gauge("fleet.backends.healthy"),
+        metrics.counter("server.connections")
+    );
+
+    fleet.drain();
+
+    // Embedded servers are ours to stop; external ones are shared
+    // infrastructure and are only shut down when the caller says so
+    // (the CI smoke job owns its processes and sets the variable).
+    let shutdown_external = std::env::var("CTORI_FLEET_SHUTDOWN").is_ok_and(|v| v == "1");
+    if external.is_none() || shutdown_external {
+        for addr in &addrs {
+            colored_tori::service::ServiceClient::connect(addr.as_str())?.shutdown()?;
+        }
+    }
+    for thread in server_threads {
+        thread.join().expect("server thread panicked")?;
+    }
+    println!("\nfleet tour complete");
+    Ok(())
+}

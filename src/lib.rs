@@ -15,6 +15,7 @@
 //! | [`dynamo`]    | `ctori-core`      | blocks, dynamos, bounds, constructions, round formulas, search, figures |
 //! | [`tss`]       | `ctori-tss`       | target set selection on general graphs, random graph generators |
 //! | [`service`]   | `ctori-service`   | batch simulation service: job scheduler, spec-hash result cache, TCP front-end, the remote `Executor` backend |
+//! | [`fleet`]     | `ctori-fleet`     | sharded multi-backend coordinator: consistent-hash routing, health probes, sweep work stealing, fleet-wide stats |
 //! | [`analysis`]  | `ctori-analysis`  | the per-figure / per-theorem experiment harness |
 //!
 //! # Quick start
@@ -84,6 +85,11 @@ pub mod service {
     pub use ctori_service::*;
 }
 
+/// The sharded multi-backend coordinator (re-export of `ctori-fleet`).
+pub mod fleet {
+    pub use ctori_fleet::*;
+}
+
 /// The experiment harness (re-export of `ctori-analysis`).
 pub mod analysis {
     pub use ctori_analysis::*;
@@ -105,6 +111,7 @@ pub mod prelude {
         RunOutcome, RunSpec, Runner, SeedSpec, Simulator, SpanKind, StepView, SubmitOptions,
         Termination, TopologySpec, TraceObserver,
     };
+    pub use ctori_fleet::{FleetConfig, FleetExecutor};
     pub use ctori_protocols::{AnyRule, LocalRule, SmpProtocol};
     pub use ctori_service::RemoteExecutor;
     pub use ctori_topology::{
